@@ -1,0 +1,267 @@
+//! The DCOM-style QueryInterface model.
+//!
+//! §2 of the paper: "Each object may introduce several interfaces and a
+//! user may query any one of them using the QueryInterface function ...
+//! However, while an object's interface can be changed in runtime (e.g., a
+//! new interface can be added) object's implementation can not ... there
+//! is no notion of a fixed behavior for an object since objects are
+//! entities unknown to their users (only the interfaces are known). Thus,
+//! an object that supports a certain interface in a particular time can be
+//! changed and appear later without support for that interface,
+//! introducing inconsistency."
+//!
+//! Modelled: objects hold a runtime-mutable table of interfaces, each a
+//! vtable of function pointers over shared object state; clients must
+//! `query_interface` before calling, and a later re-query can legally fail
+//! (the inconsistency the paper criticizes — demonstrated in tests).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mrom_value::Value;
+
+use crate::error::BaselineError;
+
+/// Shared mutable state of a COM-like object.
+pub type ComState = BTreeMap<String, Value>;
+
+/// A vtable slot.
+pub type ComFn = dyn Fn(&mut ComState, &[Value]) -> Result<Value, BaselineError> + Send + Sync;
+
+/// An interface: an ordered vtable plus name → slot index mapping.
+#[derive(Clone)]
+pub struct Interface {
+    iid: String,
+    slot_names: Vec<String>,
+    vtable: Vec<Arc<ComFn>>,
+}
+
+impl std::fmt::Debug for Interface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interface")
+            .field("iid", &self.iid)
+            .field("slots", &self.slot_names)
+            .finish()
+    }
+}
+
+impl Interface {
+    /// Starts an interface with the given IID.
+    pub fn new(iid: &str) -> Interface {
+        Interface {
+            iid: iid.to_owned(),
+            slot_names: Vec::new(),
+            vtable: Vec::new(),
+        }
+    }
+
+    /// Appends a vtable slot.
+    pub fn slot<F>(mut self, name: &str, f: F) -> Interface
+    where
+        F: Fn(&mut ComState, &[Value]) -> Result<Value, BaselineError> + Send + Sync + 'static,
+    {
+        self.slot_names.push(name.to_owned());
+        self.vtable.push(Arc::new(f));
+        self
+    }
+
+    /// The interface id.
+    pub fn iid(&self) -> &str {
+        &self.iid
+    }
+
+    /// Slot index for `name`, if present.
+    pub fn slot_index(&self, name: &str) -> Option<usize> {
+        self.slot_names.iter().position(|n| n == name)
+    }
+
+    /// Number of vtable slots.
+    pub fn slot_count(&self) -> usize {
+        self.vtable.len()
+    }
+}
+
+/// A COM-like object: state + a mutable interface table.
+#[derive(Debug)]
+pub struct ComObject {
+    state: ComState,
+    interfaces: BTreeMap<String, Arc<Interface>>,
+}
+
+impl ComObject {
+    /// An object with empty state and no interfaces.
+    pub fn new() -> ComObject {
+        ComObject {
+            state: ComState::new(),
+            interfaces: BTreeMap::new(),
+        }
+    }
+
+    /// Seeds a state entry.
+    pub fn with_state(mut self, key: &str, v: Value) -> ComObject {
+        self.state.insert(key.to_owned(), v);
+        self
+    }
+
+    /// Installs an interface (allowed at any time — "a new interface can
+    /// be added" at runtime).
+    pub fn expose(&mut self, interface: Interface) {
+        self.interfaces
+            .insert(interface.iid().to_owned(), Arc::new(interface));
+    }
+
+    /// Withdraws an interface — the legal-but-inconsistent move the paper
+    /// criticizes. Returns `true` if it was exposed.
+    pub fn withdraw(&mut self, iid: &str) -> bool {
+        self.interfaces.remove(iid).is_some()
+    }
+
+    /// `QueryInterface`: the handle needed before any call.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NotFound`] when the IID is not (or no longer)
+    /// exposed.
+    pub fn query_interface(&self, iid: &str) -> Result<Arc<Interface>, BaselineError> {
+        self.interfaces
+            .get(iid)
+            .cloned()
+            .ok_or_else(|| BaselineError::NotFound(format!("interface {iid:?}")))
+    }
+
+    /// Exposed IIDs, sorted.
+    pub fn interface_ids(&self) -> Vec<&str> {
+        self.interfaces.keys().map(String::as_str).collect()
+    }
+
+    /// Calls through a previously queried interface by slot index — the
+    /// fast path after QueryInterface.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NotFound`] for out-of-range slots; execution
+    /// errors from the body.
+    pub fn call(
+        &mut self,
+        interface: &Arc<Interface>,
+        slot: usize,
+        args: &[Value],
+    ) -> Result<Value, BaselineError> {
+        let f = interface
+            .vtable
+            .get(slot)
+            .cloned()
+            .ok_or_else(|| BaselineError::NotFound(format!("vtable slot {slot}")))?;
+        f(&mut self.state, args)
+    }
+
+    /// Reads a state entry (tests/benches).
+    pub fn state(&self, key: &str) -> Option<&Value> {
+        self.state.get(key)
+    }
+}
+
+impl Default for ComObject {
+    fn default() -> Self {
+        ComObject::new()
+    }
+}
+
+/// Builds the counter object + `ICounter` interface used by the benches.
+pub fn counter_object() -> ComObject {
+    let mut obj = ComObject::new().with_state("count", Value::Int(0));
+    obj.expose(
+        Interface::new("ICounter")
+            .slot("bump", |state, _| {
+                let c = state.get("count").and_then(Value::as_int).unwrap_or(0);
+                state.insert("count".into(), Value::Int(c + 1));
+                Ok(Value::Int(c + 1))
+            })
+            .slot("add", |_, args| match args {
+                [Value::Int(a), Value::Int(b)] => Ok(Value::Int(a.wrapping_add(*b))),
+                _ => Err(BaselineError::Execution("add requires two ints".into())),
+            }),
+    );
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_then_call() {
+        let mut obj = counter_object();
+        let iface = obj.query_interface("ICounter").unwrap();
+        let bump = iface.slot_index("bump").unwrap();
+        let add = iface.slot_index("add").unwrap();
+        assert_eq!(obj.call(&iface, bump, &[]).unwrap(), Value::Int(1));
+        assert_eq!(obj.call(&iface, bump, &[]).unwrap(), Value::Int(2));
+        assert_eq!(
+            obj.call(&iface, add, &[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(obj.state("count"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn unknown_interface_and_slot() {
+        let mut obj = counter_object();
+        assert!(matches!(
+            obj.query_interface("IGhost"),
+            Err(BaselineError::NotFound(_))
+        ));
+        let iface = obj.query_interface("ICounter").unwrap();
+        assert!(matches!(
+            obj.call(&iface, 99, &[]),
+            Err(BaselineError::NotFound(_))
+        ));
+        assert_eq!(iface.slot_index("ghost"), None);
+    }
+
+    #[test]
+    fn interfaces_can_be_added_at_runtime() {
+        let mut obj = counter_object();
+        assert_eq!(obj.interface_ids(), ["ICounter"]);
+        obj.expose(Interface::new("IReset").slot("reset", |state, _| {
+            state.insert("count".into(), Value::Int(0));
+            Ok(Value::Null)
+        }));
+        assert_eq!(obj.interface_ids(), ["ICounter", "IReset"]);
+        let reset = obj.query_interface("IReset").unwrap();
+        let bump_iface = obj.query_interface("ICounter").unwrap();
+        obj.call(&bump_iface, 0, &[]).unwrap();
+        obj.call(&reset, 0, &[]).unwrap();
+        assert_eq!(obj.state("count"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn the_papers_inconsistency_scenario() {
+        // "an object that supports a certain interface in a particular
+        // time can be changed and appear later without support for that
+        // interface"
+        let mut obj = counter_object();
+        let before = obj.query_interface("ICounter");
+        assert!(before.is_ok());
+        assert!(obj.withdraw("ICounter"));
+        // A client re-querying the same IID now fails — nothing in the
+        // model prevented the withdrawal.
+        assert!(matches!(
+            obj.query_interface("ICounter"),
+            Err(BaselineError::NotFound(_))
+        ));
+        // Stale handles keep working against the new state — there is no
+        // fixed behaviour contract.
+        let stale = before.unwrap();
+        assert_eq!(obj.call(&stale, 0, &[]).unwrap(), Value::Int(1));
+        assert!(!obj.withdraw("ICounter"));
+    }
+
+    #[test]
+    fn slot_counts() {
+        let obj = counter_object();
+        let iface = obj.query_interface("ICounter").unwrap();
+        assert_eq!(iface.slot_count(), 2);
+        assert_eq!(iface.iid(), "ICounter");
+    }
+}

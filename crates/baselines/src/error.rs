@@ -1,0 +1,82 @@
+//! Shared error type for the comparator models.
+
+use std::fmt;
+
+use mrom_value::ValueKind;
+
+/// Errors raised by the baseline object models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Method/operation/interface lookup failed.
+    NotFound(String),
+    /// The model does not support the attempted manipulation (the point of
+    /// several §2 comparisons).
+    NotSupported(String),
+    /// Argument count mismatch against the declared signature.
+    Arity {
+        /// Operation name.
+        operation: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// Argument kind mismatch against the declared signature.
+    ArgumentKind {
+        /// Operation name.
+        operation: String,
+        /// Parameter index.
+        index: usize,
+        /// Declared kind.
+        expected: ValueKind,
+        /// Supplied kind.
+        got: ValueKind,
+    },
+    /// The invoked implementation failed.
+    Execution(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NotFound(what) => write!(f, "not found: {what}"),
+            BaselineError::NotSupported(what) => write!(f, "not supported by this model: {what}"),
+            BaselineError::Arity {
+                operation,
+                expected,
+                got,
+            } => write!(f, "{operation} expects {expected} arguments, got {got}"),
+            BaselineError::ArgumentKind {
+                operation,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{operation} argument {index} must be {expected}, got {got}"
+            ),
+            BaselineError::Execution(detail) => write!(f, "execution failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(BaselineError::NotFound("iface".into())
+            .to_string()
+            .contains("iface"));
+        let e = BaselineError::Arity {
+            operation: "add".into(),
+            expected: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("expects 2"));
+    }
+}

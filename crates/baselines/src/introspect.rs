@@ -1,0 +1,270 @@
+//! The Java-JDK-1.1-style introspection model.
+//!
+//! §2 of the paper: "Though supplying facilities for querying object's
+//! structure, such as to examine its methods and their signatures, this
+//! API does not support mutability, e.g., it does not allow operations on
+//! existing objects that may change their semantics."
+//!
+//! Accordingly: classes describe fields and methods; instances can be
+//! inspected and invoked by name; every structural mutation returns
+//! [`BaselineError::NotSupported`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mrom_value::Value;
+
+use crate::error::BaselineError;
+
+/// A method implementation: a Rust closure over the instance fields.
+pub type IntrospectFn =
+    dyn Fn(&mut BTreeMap<String, Value>, &[Value]) -> Result<Value, BaselineError> + Send + Sync;
+
+/// An immutable class descriptor (the analogue of `java.lang.Class`).
+#[derive(Clone)]
+pub struct IntrospectClass {
+    name: String,
+    field_names: Vec<String>,
+    methods: BTreeMap<String, (usize, Arc<IntrospectFn>)>,
+}
+
+impl std::fmt::Debug for IntrospectClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntrospectClass")
+            .field("name", &self.name)
+            .field("fields", &self.field_names)
+            .field("methods", &self.method_names())
+            .finish()
+    }
+}
+
+impl IntrospectClass {
+    /// Starts a class descriptor.
+    pub fn new(name: &str) -> IntrospectClass {
+        IntrospectClass {
+            name: name.to_owned(),
+            field_names: Vec::new(),
+            methods: BTreeMap::new(),
+        }
+    }
+
+    /// Declares a field.
+    pub fn field(mut self, name: &str) -> IntrospectClass {
+        self.field_names.push(name.to_owned());
+        self
+    }
+
+    /// Declares a method with a fixed arity.
+    pub fn method<F>(mut self, name: &str, arity: usize, f: F) -> IntrospectClass
+    where
+        F: Fn(&mut BTreeMap<String, Value>, &[Value]) -> Result<Value, BaselineError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.methods
+            .insert(name.to_owned(), (arity, Arc::new(f)));
+        self
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared field names (reflection: `getFields`).
+    pub fn field_names(&self) -> &[String] {
+        &self.field_names
+    }
+
+    /// Declared method names (reflection: `getMethods`).
+    pub fn method_names(&self) -> Vec<&str> {
+        self.methods.keys().map(String::as_str).collect()
+    }
+
+    /// A method's declared arity (reflection: parameter inspection).
+    pub fn method_arity(&self, name: &str) -> Option<usize> {
+        self.methods.get(name).map(|(a, _)| *a)
+    }
+
+    /// Instantiates the class with all fields `Null`.
+    pub fn instantiate(self: &Arc<Self>) -> IntrospectObject {
+        IntrospectObject {
+            class: Arc::clone(self),
+            fields: self
+                .field_names
+                .iter()
+                .map(|n| (n.clone(), Value::Null))
+                .collect(),
+        }
+    }
+}
+
+/// An instance: queryable, invocable, immutable in structure.
+#[derive(Debug, Clone)]
+pub struct IntrospectObject {
+    class: Arc<IntrospectClass>,
+    fields: BTreeMap<String, Value>,
+}
+
+impl IntrospectObject {
+    /// The instance's class descriptor (reflection: `getClass`).
+    pub fn class(&self) -> &Arc<IntrospectClass> {
+        &self.class
+    }
+
+    /// Reads a field by name.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NotFound`].
+    pub fn get_field(&self, name: &str) -> Result<Value, BaselineError> {
+        self.fields
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BaselineError::NotFound(format!("field {name:?}")))
+    }
+
+    /// Writes a field by name (allowed: *state* is mutable, structure is
+    /// not).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NotFound`].
+    pub fn set_field(&mut self, name: &str, v: Value) -> Result<(), BaselineError> {
+        match self.fields.get_mut(name) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(BaselineError::NotFound(format!("field {name:?}"))),
+        }
+    }
+
+    /// Invokes a method by name (reflection: `Method.invoke`), with arity
+    /// checking against the declared signature.
+    ///
+    /// # Errors
+    ///
+    /// Lookup, arity, and execution errors.
+    pub fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, BaselineError> {
+        let (arity, f) = self
+            .class
+            .methods
+            .get(method)
+            .cloned()
+            .ok_or_else(|| BaselineError::NotFound(format!("method {method:?}")))?;
+        if args.len() != arity {
+            return Err(BaselineError::Arity {
+                operation: method.to_owned(),
+                expected: arity,
+                got: args.len(),
+            });
+        }
+        f(&mut self.fields, args)
+    }
+
+    /// Structural mutation is not part of this model — always fails.
+    ///
+    /// # Errors
+    ///
+    /// Always [`BaselineError::NotSupported`].
+    pub fn add_method(&mut self, name: &str) -> Result<(), BaselineError> {
+        Err(BaselineError::NotSupported(format!(
+            "adding method {name:?}: JDK 1.1 reflection is introspection-only"
+        )))
+    }
+
+    /// Structural mutation is not part of this model — always fails.
+    ///
+    /// # Errors
+    ///
+    /// Always [`BaselineError::NotSupported`].
+    pub fn add_field(&mut self, name: &str) -> Result<(), BaselineError> {
+        Err(BaselineError::NotSupported(format!(
+            "adding field {name:?}: JDK 1.1 reflection is introspection-only"
+        )))
+    }
+}
+
+/// Builds the counter class shared by the benchmark suite.
+pub fn counter_class() -> Arc<IntrospectClass> {
+    Arc::new(
+        IntrospectClass::new("counter")
+            .field("count")
+            .method("bump", 0, |fields, _| {
+                let c = fields
+                    .get("count")
+                    .and_then(Value::as_int)
+                    .unwrap_or_default();
+                fields.insert("count".into(), Value::Int(c + 1));
+                Ok(Value::Int(c + 1))
+            })
+            .method("add", 2, |_, args| {
+                match (args[0].as_int(), args[1].as_int()) {
+                    (Some(a), Some(b)) => Ok(Value::Int(a.wrapping_add(b))),
+                    _ => Err(BaselineError::Execution("add requires ints".into())),
+                }
+            }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_queryable() {
+        let class = counter_class();
+        assert_eq!(class.name(), "counter");
+        assert_eq!(class.field_names(), ["count"]);
+        assert_eq!(class.method_names(), ["add", "bump"]);
+        assert_eq!(class.method_arity("add"), Some(2));
+        assert_eq!(class.method_arity("ghost"), None);
+    }
+
+    #[test]
+    fn invocation_by_name_with_arity_checks() {
+        let class = counter_class();
+        let mut obj = class.instantiate();
+        obj.set_field("count", Value::Int(0)).unwrap();
+        assert_eq!(obj.invoke("bump", &[]).unwrap(), Value::Int(1));
+        assert_eq!(obj.get_field("count").unwrap(), Value::Int(1));
+        assert!(matches!(
+            obj.invoke("bump", &[Value::Int(1)]),
+            Err(BaselineError::Arity { .. })
+        ));
+        assert!(matches!(
+            obj.invoke("ghost", &[]),
+            Err(BaselineError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn mutation_is_rejected() {
+        let class = counter_class();
+        let mut obj = class.instantiate();
+        assert!(matches!(
+            obj.add_method("new_power"),
+            Err(BaselineError::NotSupported(_))
+        ));
+        assert!(matches!(
+            obj.add_field("new_state"),
+            Err(BaselineError::NotSupported(_))
+        ));
+        assert!(matches!(
+            obj.set_field("ghost", Value::Null),
+            Err(BaselineError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn instances_share_class_but_not_state() {
+        let class = counter_class();
+        let mut a = class.instantiate();
+        let b = class.instantiate();
+        a.set_field("count", Value::Int(10)).unwrap();
+        assert_eq!(b.get_field("count").unwrap(), Value::Null);
+        assert!(Arc::ptr_eq(a.class(), b.class()));
+    }
+}

@@ -1,0 +1,136 @@
+//! # mrom-baselines
+//!
+//! Working miniatures of the object models MROM is compared against in §2
+//! of the paper, sharing one call surface so the benchmark harness can
+//! drive them interchangeably:
+//!
+//! * [`StaticCounter`] — a plain Rust object: compile-time layout, direct
+//!   dispatch. The paper's "static structures \[whose\] location is
+//!   determined at compile time as a fixed offset".
+//! * [`introspect`] — a Java-JDK-1.1-style core-reflection model:
+//!   structure is queryable, invocation is by name, but nothing can be
+//!   changed ("this API does not support mutability").
+//! * [`dii`] — a CORBA-style Dynamic Invocation Interface: an interface
+//!   repository that can be searched and *changed*, request objects built
+//!   against signatures, but "the core object semantics, such as the
+//!   invocation mechanism, is not subject to any manipulations".
+//! * [`com`] — a DCOM-style QueryInterface model: objects expose
+//!   interfaces discovered at runtime; interfaces can appear and disappear
+//!   but implementations cannot change without "recompilation".
+//!
+//! Each model reports a [`Capabilities`] record; experiment E8 prints the
+//! matrix next to measured invocation costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod com;
+pub mod dii;
+pub mod introspect;
+mod statik;
+
+mod error;
+
+pub use error::BaselineError;
+pub use statik::StaticCounter;
+
+/// What a model can and cannot do — the qualitative §2 comparison made
+/// executable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Can a client discover an object's structure at runtime?
+    pub introspect_structure: bool,
+    /// Can an object's structure (fields/methods/interfaces) change at
+    /// runtime?
+    pub mutate_structure: bool,
+    /// Can method *implementations* be replaced at runtime?
+    pub mutate_behaviour: bool,
+    /// Can the invocation mechanism itself be modified (meta-invocation)?
+    pub mutate_invocation: bool,
+    /// Is per-item security part of the model (vs. left to implementers)?
+    pub security_in_model: bool,
+    /// Can an object serialize itself with its behaviour and move?
+    pub mobile: bool,
+}
+
+/// Capability rows for every model, MROM included, keyed by display name.
+pub fn capability_matrix() -> Vec<(&'static str, Capabilities)> {
+    vec![
+        (
+            "static (plain Rust)",
+            Capabilities {
+                introspect_structure: false,
+                mutate_structure: false,
+                mutate_behaviour: false,
+                mutate_invocation: false,
+                security_in_model: false,
+                mobile: false,
+            },
+        ),
+        (
+            "introspection (Java JDK 1.1)",
+            Capabilities {
+                introspect_structure: true,
+                mutate_structure: false,
+                mutate_behaviour: false,
+                mutate_invocation: false,
+                security_in_model: false,
+                mobile: false,
+            },
+        ),
+        (
+            "DII (CORBA)",
+            Capabilities {
+                introspect_structure: true,
+                mutate_structure: true, // the repository can change
+                mutate_behaviour: false,
+                mutate_invocation: false,
+                security_in_model: false,
+                mobile: false,
+            },
+        ),
+        (
+            "QueryInterface (DCOM)",
+            Capabilities {
+                introspect_structure: true,
+                mutate_structure: true, // interfaces can be added
+                mutate_behaviour: false,
+                mutate_invocation: false,
+                security_in_model: false,
+                mobile: false,
+            },
+        ),
+        (
+            "MROM",
+            Capabilities {
+                introspect_structure: true,
+                mutate_structure: true,
+                mutate_behaviour: true,
+                mutate_invocation: true,
+                security_in_model: true,
+                mobile: true,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_mrom_has_full_mutability() {
+        let matrix = capability_matrix();
+        let full: Vec<_> = matrix
+            .iter()
+            .filter(|(_, c)| c.mutate_behaviour && c.mutate_invocation && c.mobile)
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(full, ["MROM"]);
+    }
+
+    #[test]
+    fn matrix_covers_five_models() {
+        assert_eq!(capability_matrix().len(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! The static baseline: a plain Rust object with compile-time layout.
+//!
+//! Field offsets and method addresses are resolved by the compiler — the
+//! cost the paper says mutable structures must pay on top of ("in static
+//! structures the location is determined at compile time as a fixed
+//! offset"). E2 measures MROM lookup against these direct calls.
+
+use mrom_value::Value;
+
+use crate::error::BaselineError;
+
+/// A counter with statically dispatched methods, mirroring the behaviour
+/// of the MROM `counter` objects used across the benchmark suite.
+///
+/// # Example
+///
+/// ```
+/// use mrom_baselines::StaticCounter;
+///
+/// let mut c = StaticCounter::new();
+/// assert_eq!(c.bump(), 1);
+/// assert_eq!(c.add(2, 3), 5);
+/// assert_eq!(c.count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticCounter {
+    count: i64,
+}
+
+impl StaticCounter {
+    /// A counter at zero.
+    pub fn new() -> StaticCounter {
+        StaticCounter::default()
+    }
+
+    /// Direct field read — the "fixed offset" access.
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// Direct field write.
+    pub fn set_count(&mut self, v: i64) {
+        self.count = v;
+    }
+
+    /// Statically dispatched increment.
+    pub fn bump(&mut self) -> i64 {
+        self.count += 1;
+        self.count
+    }
+
+    /// Statically dispatched pure addition (the same body as the MROM
+    /// `add` script used in E1/E2).
+    pub fn add(&self, a: i64, b: i64) -> i64 {
+        a.wrapping_add(b)
+    }
+
+    /// Dynamic-looking entry point used where the harness needs a uniform
+    /// `(name, args)` signature; dispatch is still a compiled match.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NotFound`] / argument errors.
+    pub fn call(&mut self, method: &str, args: &[Value]) -> Result<Value, BaselineError> {
+        match method {
+            "bump" => Ok(Value::Int(self.bump())),
+            "count" => Ok(Value::Int(self.count())),
+            "add" => match args {
+                [Value::Int(a), Value::Int(b)] => Ok(Value::Int(self.add(*a, *b))),
+                _ => Err(BaselineError::Arity {
+                    operation: "add".into(),
+                    expected: 2,
+                    got: args.len(),
+                }),
+            },
+            other => Err(BaselineError::NotFound(format!("method {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_calls() {
+        let mut c = StaticCounter::new();
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.bump(), 1);
+        assert_eq!(c.bump(), 2);
+        c.set_count(10);
+        assert_eq!(c.count(), 10);
+        assert_eq!(c.add(i64::MAX, 1), i64::MIN); // wrapping by contract
+    }
+
+    #[test]
+    fn uniform_entry_point() {
+        let mut c = StaticCounter::new();
+        assert_eq!(c.call("bump", &[]).unwrap(), Value::Int(1));
+        assert_eq!(
+            c.call("add", &[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
+        assert!(matches!(
+            c.call("ghost", &[]),
+            Err(BaselineError::NotFound(_))
+        ));
+        assert!(matches!(
+            c.call("add", &[Value::Int(1)]),
+            Err(BaselineError::Arity { .. })
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Differential testing across object models: five implementations of the
+//! same conceptual counter must agree on every behaviour they all support.
+//! This is what makes the E8 cost comparison meaningful — the models are
+//! doing the same work.
+
+use mrom_baselines::com::counter_object;
+use mrom_baselines::dii::{counter_setup, Request};
+use mrom_baselines::introspect::counter_class;
+use mrom_baselines::StaticCounter;
+use mrom_core::{invoke, NoWorld};
+use mrom_value::{IdGenerator, NodeId, Value};
+use proptest::prelude::*;
+
+/// The MROM counter equivalent to the baseline fixtures.
+fn mrom_counter(ids: &mut IdGenerator) -> mrom_core::MromObject {
+    mrom_core::ObjectBuilder::new(ids.next_id())
+        .class("counter")
+        .fixed_data("count", mrom_core::DataItem::public(Value::Int(0)))
+        .fixed_method(
+            "add",
+            mrom_core::Method::public(mrom_core::MethodBody::native(|_, args| {
+                match (
+                    args.first().and_then(Value::as_int),
+                    args.get(1).and_then(Value::as_int),
+                ) {
+                    (Some(a), Some(b)) => Ok(Value::Int(a.wrapping_add(b))),
+                    _ => Ok(Value::Null),
+                }
+            })),
+        )
+        .fixed_method(
+            "bump",
+            mrom_core::Method::public(mrom_core::MethodBody::native(|env, _| {
+                let me = env.object_ref().id();
+                let c = env.object().read_data(me, "count")?.as_int().unwrap_or(0);
+                env.object().write_data(me, "count", Value::Int(c + 1))?;
+                Ok(Value::Int(c + 1))
+            })),
+        )
+        .build()
+}
+
+proptest! {
+    /// add(a, b) agrees across all five models for arbitrary inputs.
+    #[test]
+    fn add_is_identical_across_models(a in any::<i64>(), b in any::<i64>()) {
+        let expected = a.wrapping_add(b);
+        let args = [Value::Int(a), Value::Int(b)];
+
+        // Static.
+        let statik = StaticCounter::new();
+        prop_assert_eq!(statik.add(a, b), expected);
+
+        // Introspection.
+        let mut intro = counter_class().instantiate();
+        prop_assert_eq!(intro.invoke("add", &args).unwrap(), Value::Int(expected));
+
+        // DII.
+        let (repo, servant) = counter_setup();
+        let req = Request::build(&repo, "Counter", "add", &args).unwrap();
+        prop_assert_eq!(servant.invoke(&req).unwrap(), Value::Int(expected));
+
+        // COM.
+        let mut com = counter_object();
+        let iface = com.query_interface("ICounter").unwrap();
+        let slot = iface.slot_index("add").unwrap();
+        prop_assert_eq!(com.call(&iface, slot, &args).unwrap(), Value::Int(expected));
+
+        // MROM.
+        let mut ids = IdGenerator::new(NodeId(0xd1ff));
+        let mut obj = mrom_counter(&mut ids);
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+        prop_assert_eq!(
+            invoke(&mut obj, &mut world, caller, "add", &args).unwrap(),
+            Value::Int(expected)
+        );
+    }
+
+    /// `bump` sequences agree across every stateful model.
+    #[test]
+    fn bump_sequences_agree(times in 1usize..24) {
+        let mut statik = StaticCounter::new();
+        let mut intro = counter_class().instantiate();
+        intro.set_field("count", Value::Int(0)).unwrap();
+        let mut com = counter_object();
+        let iface = com.query_interface("ICounter").unwrap();
+        let bump_slot = iface.slot_index("bump").unwrap();
+        let mut ids = IdGenerator::new(NodeId(0xd1fe));
+        let mut obj = mrom_counter(&mut ids);
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+
+        for i in 1..=times {
+            let expected = Value::Int(i as i64);
+            prop_assert_eq!(Value::Int(statik.bump()), expected.clone());
+            prop_assert_eq!(intro.invoke("bump", &[]).unwrap(), expected.clone());
+            prop_assert_eq!(com.call(&iface, bump_slot, &[]).unwrap(), expected.clone());
+            prop_assert_eq!(
+                invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(),
+                expected
+            );
+        }
+    }
+
+    /// Weakly typed arguments: DII marshalling and MROM script coercion
+    /// accept string-encoded integers and agree on the result.
+    #[test]
+    fn weak_typing_agrees_where_supported(a in -1000i64..1000, b in -1000i64..1000) {
+        let args = [Value::Str(a.to_string()), Value::Int(b)];
+        let (repo, servant) = counter_setup();
+        let req = Request::build(&repo, "Counter", "add", &args).unwrap();
+        let dii_result = servant.invoke(&req).unwrap();
+
+        let mut ids = IdGenerator::new(NodeId(0xd1fd));
+        let mut obj = mrom_core::ObjectBuilder::new(ids.next_id())
+            .fixed_method(
+                "add",
+                mrom_core::Method::public(
+                    mrom_core::MethodBody::script(
+                        "param a; param b; return int(a) + int(b);",
+                    )
+                    .unwrap(),
+                ),
+            )
+            .build();
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+        let mrom_result = invoke(&mut obj, &mut world, caller, "add", &args).unwrap();
+        prop_assert_eq!(dii_result, mrom_result);
+    }
+}

@@ -1,0 +1,124 @@
+//! Ablations — isolating the cost of each design choice called out in
+//! `DESIGN.md`, so the composite numbers in E1-E10 can be attributed:
+//!
+//! * **lookup_only** — phase 1 of level-0 invocation alone (`find_method`)
+//!   on fixed (sorted array) vs extensible (B-tree) containers;
+//! * **acl_check_only** — phase 2 alone (`acl_allows`) across policies;
+//! * **method_snapshot** — the clone-at-lookup design that lets running
+//!   bodies mutate their own object (Arc-based, so O(1));
+//! * **wire_codec** — the self-contained TLV encode/decode throughput;
+//! * **script_interpreter** — the raw evaluator on a tight loop, the cost
+//!   floor under every mobile body (fuel metering included);
+//! * **value_clone** — the copy cost of the dynamic value representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mrom_bench::{acl_gated, bench_ids, cargo_object, counter_among};
+use mrom_core::Acl;
+use mrom_script::{Evaluator, NullHost, Program};
+use mrom_value::{wire, Value};
+
+fn bench_ablations(c: &mut Criterion) {
+    // Phase 1 alone: lookup.
+    {
+        let mut group = c.benchmark_group("ablation_lookup_only");
+        for n in [4usize, 64, 512, 4096] {
+            for (label, ext) in [("fixed", false), ("extensible", true)] {
+                let mut ids = bench_ids();
+                let obj = counter_among(&mut ids, n, ext);
+                group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                    b.iter(|| black_box(obj.find_method(black_box("m_add")).is_some()))
+                });
+            }
+        }
+        group.finish();
+    }
+
+    // Phase 2 alone: the ACL predicate.
+    {
+        let mut group = c.benchmark_group("ablation_acl_check_only");
+        let mut ids = bench_ids();
+        let (obj, admitted, _) = acl_gated(&mut ids, 128);
+        let (method, _) = obj.find_method("gated").unwrap();
+        let acl = method.invoke_acl().clone();
+        group.bench_function("list_128_hit", |b| {
+            b.iter(|| black_box(obj.acl_allows(&acl, black_box(admitted))))
+        });
+        let public = Acl::Public;
+        group.bench_function("public", |b| {
+            b.iter(|| black_box(obj.acl_allows(&public, black_box(admitted))))
+        });
+        let origin = Acl::Origin;
+        group.bench_function("origin_miss", |b| {
+            b.iter(|| black_box(obj.acl_allows(&origin, black_box(admitted))))
+        });
+        group.finish();
+    }
+
+    // The snapshot clone made at every lookup (design choice: running
+    // bodies may replace themselves without invalidating the application).
+    {
+        let mut group = c.benchmark_group("ablation_method_snapshot");
+        let mut ids = bench_ids();
+        let obj = mrom_bench::script_counter(&mut ids);
+        let (method, _) = obj.find_method("bump").unwrap();
+        group.bench_function("clone_script_method", |b| {
+            b.iter(|| black_box(method.clone()))
+        });
+        group.finish();
+    }
+
+    // Wire codec throughput on a realistic migration image.
+    {
+        let mut group = c.benchmark_group("ablation_wire_codec");
+        let mut ids = bench_ids();
+        let obj = cargo_object(&mut ids, 64, 64);
+        let image_value = obj.image_value().unwrap();
+        let encoded = wire::encode(&image_value);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_function("encode", |b| {
+            b.iter(|| black_box(wire::encode(black_box(&image_value))))
+        });
+        group.bench_function("decode", |b| {
+            b.iter(|| black_box(wire::decode(black_box(&encoded)).unwrap()))
+        });
+        group.finish();
+    }
+
+    // The interpreter floor: a 1000-iteration arithmetic loop.
+    {
+        let mut group = c.benchmark_group("ablation_script_interpreter");
+        let program =
+            Program::parse("let s = 0; for (i in range(1000)) { s = s + i * 2; } return s;")
+                .unwrap();
+        group.bench_function("loop_1000_iters", |b| {
+            b.iter(|| {
+                let mut host = NullHost;
+                let out = Evaluator::new(&mut host).run(&program, &[]).unwrap();
+                black_box(out)
+            })
+        });
+        let parse_src = "param a; param b; if (a > b) { return a - b; } return b - a;";
+        group.bench_function("parse_small_method", |b| {
+            b.iter(|| black_box(Program::parse(black_box(parse_src)).unwrap()))
+        });
+        group.finish();
+    }
+
+    // Dynamic value copies (the weak-typing tax on every call boundary).
+    {
+        let mut group = c.benchmark_group("ablation_value_clone");
+        let small = Value::Int(42);
+        let medium = Value::map([
+            ("name", Value::from("alice")),
+            ("tags", Value::list([Value::Int(1), Value::Int(2), Value::Int(3)])),
+        ]);
+        group.bench_function("scalar", |b| b.iter(|| black_box(small.clone())));
+        group.bench_function("small_map", |b| b.iter(|| black_box(medium.clone())));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

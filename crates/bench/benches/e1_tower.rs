@@ -1,0 +1,72 @@
+//! E1 — Figure 1: the invocation tower.
+//!
+//! Measures level-0 invocation against 1-, 2-, and 4-level meta-invoke
+//! towers (each level a script pass-through), plus the meta-method path
+//! `invoke("invoke", ...)`. The paper's claim: meta-levels buy semantic
+//! flexibility at a bounded per-level cost; level 0 stays the fast,
+//! non-reflective floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::{bench_ids, script_counter};
+use mrom_core::{invoke, Method, MethodBody, NoWorld};
+use mrom_value::Value;
+
+fn towered_counter(levels: usize) -> (mrom_core::MromObject, mrom_value::ObjectId) {
+    let mut ids = bench_ids();
+    let mut obj = script_counter(&mut ids);
+    let me = obj.id();
+    for i in 0..levels {
+        let name = format!("meta_invoke_{i}");
+        obj.add_method(
+            me,
+            &name,
+            Method::public(
+                MethodBody::script("param m; param a; return self.invoke(m, a);")
+                    .expect("meta parses"),
+            ),
+        )
+        .expect("fresh name");
+        obj.install_meta_invoke(me, &name).expect("extensible");
+    }
+    let caller = ids.next_id();
+    (obj, caller)
+}
+
+fn bench_tower(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_tower");
+    let args = [Value::Int(20), Value::Int(22)];
+    for levels in [0usize, 1, 2, 4] {
+        let (mut obj, caller) = towered_counter(levels);
+        let mut world = NoWorld;
+        group.bench_with_input(
+            BenchmarkId::new("invoke_add", levels),
+            &levels,
+            |b, _| {
+                b.iter(|| {
+                    let out =
+                        invoke(&mut obj, &mut world, caller, black_box("add"), &args).unwrap();
+                    black_box(out)
+                })
+            },
+        );
+    }
+    // The reflexive path: invoke through the invoke meta-method.
+    let (mut obj, caller) = towered_counter(0);
+    let mut world = NoWorld;
+    let meta_args = [
+        Value::from("add"),
+        Value::list([Value::Int(20), Value::Int(22)]),
+    ];
+    group.bench_function("invoke_via_meta_invoke", |b| {
+        b.iter(|| {
+            let out = invoke(&mut obj, &mut world, caller, "invoke", &meta_args).unwrap();
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tower);
+criterion_main!(benches);

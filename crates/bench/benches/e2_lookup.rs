@@ -1,0 +1,68 @@
+//! E2 — the price of structural mutability (§3).
+//!
+//! "Structural mutability bears some price on performance, because it
+//! implies that technically there must be an internal mechanism to lookup
+//! the location of an item before accessing it ... whereas in static
+//! structures the location is determined at compile time as a fixed
+//! offset."
+//!
+//! Rows: a statically dispatched Rust call, MROM invocation of a
+//! native-bodied method in the fixed vs. extensible section, with the
+//! container crowded by 4..4096 siblings, plus the same body as script.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrom_baselines::StaticCounter;
+use mrom_bench::{bench_ids, counter_among, script_counter};
+use mrom_core::{invoke, NoWorld};
+use mrom_value::Value;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_lookup");
+    let args = [Value::Int(20), Value::Int(22)];
+
+    // Baseline: the compiler resolved everything.
+    let mut statik = StaticCounter::new();
+    group.bench_function("static_direct_call", |b| {
+        b.iter(|| black_box(statik.add(black_box(20), black_box(22))))
+    });
+    group.bench_function("static_uniform_entry", |b| {
+        b.iter(|| black_box(statik.call(black_box("add"), &args).unwrap()))
+    });
+
+    // MROM native-bodied invocation across container sizes and sections.
+    for n in [4usize, 64, 512, 4096] {
+        for (label, extensible) in [("fixed", false), ("extensible", true)] {
+            let mut ids = bench_ids();
+            let mut obj = counter_among(&mut ids, n, extensible);
+            let caller = ids.next_id();
+            let mut world = NoWorld;
+            group.bench_with_input(
+                BenchmarkId::new(format!("mrom_{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            invoke(&mut obj, &mut world, caller, black_box("m_add"), &args)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+
+    // The same add as interpreted mobile code (full reflective stack).
+    let mut ids = bench_ids();
+    let mut obj = script_counter(&mut ids);
+    let caller = ids.next_id();
+    let mut world = NoWorld;
+    group.bench_function("mrom_script_body", |b| {
+        b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "add", &args).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E3 — wrapping overhead (§3.1).
+//!
+//! Pre- and post-procedures "are called before and after the invocation of
+//! the body of the method" and can be attached dynamically. Rows: a
+//! native-bodied method with no wrapping, a native pre, native pre+post,
+//! script pre+post, and the cost of a *vetoing* pre (body skipped).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::bench_ids;
+use mrom_core::{invoke, Method, MethodBody, NoWorld, ObjectBuilder};
+use mrom_value::Value;
+
+fn body() -> MethodBody {
+    MethodBody::native(|_, args| {
+        Ok(Value::Int(
+            args.first().and_then(Value::as_int).unwrap_or(0) * 2,
+        ))
+    })
+}
+
+fn native_true() -> MethodBody {
+    MethodBody::native(|_, _| Ok(Value::Bool(true)))
+}
+
+fn bench_wrapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_wrapping");
+    let mut ids = bench_ids();
+    let args = [Value::Int(21)];
+
+    let variants: Vec<(&str, Method)> = vec![
+        ("bare", Method::public(body())),
+        ("native_pre", Method::public(body()).with_pre(native_true())),
+        (
+            "native_pre_post",
+            Method::public(body())
+                .with_pre(native_true())
+                .with_post(native_true()),
+        ),
+        (
+            "script_pre_post",
+            Method::public(body())
+                .with_pre(MethodBody::script("param x; return x > 0;").unwrap())
+                .with_post(MethodBody::script("param r; param x; return r == x * 2;").unwrap()),
+        ),
+    ];
+
+    for (label, method) in variants {
+        let mut obj = ObjectBuilder::new(ids.next_id())
+            .fixed_method("m", method)
+            .build();
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &args).unwrap()))
+        });
+    }
+
+    // A vetoing pre: the body never runs; the error path is the product.
+    let mut obj = ObjectBuilder::new(ids.next_id())
+        .fixed_method(
+            "m",
+            Method::public(body()).with_pre(MethodBody::native(|_, _| Ok(Value::Bool(false)))),
+        )
+        .build();
+    let caller = ids.next_id();
+    let mut world = NoWorld;
+    group.bench_function("vetoing_pre", |b| {
+        b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &args).unwrap_err()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wrapping);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E4 — the Match phase (§3.1): security coupled with encapsulation.
+//!
+//! Every invocation pays one ACL check. Rows: public policy, origin
+//! policy, explicit lists of 1..1024 principals (hit in the middle), and
+//! the denial path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::{acl_gated, bench_ids};
+use mrom_core::{invoke, Acl, Method, MethodBody, NoWorld, ObjectBuilder};
+
+fn bench_acl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_acl");
+    let mut ids = bench_ids();
+
+    // Public and origin policies.
+    for (label, acl) in [("public", Acl::Public), ("origin", Acl::Origin)] {
+        let method = Method::new(MethodBody::native(|_, _| Ok(mrom_value::Value::Int(1))))
+            .with_invoke_acl(acl);
+        let mut obj = ObjectBuilder::new(ids.next_id())
+            .fixed_method("m", method)
+            .build();
+        let caller = if label == "origin" { obj.id() } else { ids.next_id() };
+        let mut world = NoWorld;
+        group.bench_function(format!("granted_{label}"), |b| {
+            b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &[]).unwrap()))
+        });
+    }
+
+    // Explicit list sizes.
+    for size in [1usize, 16, 128, 1024] {
+        let mut ids = bench_ids();
+        let (mut obj, admitted, rejected) = acl_gated(&mut ids, size);
+        let mut world = NoWorld;
+        group.bench_with_input(BenchmarkId::new("granted_list", size), &size, |b, _| {
+            b.iter(|| black_box(invoke(&mut obj, &mut world, admitted, "gated", &[]).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("denied_list", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(invoke(&mut obj, &mut world, rejected, "gated", &[]).unwrap_err())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acl);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E5 — mutation throughput: the cost of *being* mutable.
+//!
+//! Rows: addDataItem+deleteDataItem and addMethod+deleteMethod cycles at
+//! several extensible-container populations, a setMethod body replacement,
+//! plain value writes (fixed vs extensible), and the cost of the
+//! fixed-section violation error path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::{bench_ids, cargo_object, script_counter};
+use mrom_core::{Method, MethodBody};
+use mrom_value::Value;
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_mutation");
+
+    for population in [0usize, 64, 1024] {
+        let mut ids = bench_ids();
+        let mut obj = cargo_object(&mut ids, population, 8);
+        let me = obj.id();
+        group.bench_with_input(
+            BenchmarkId::new("add_delete_data", population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    obj.add_data(me, "probe", Value::Int(1)).unwrap();
+                    obj.delete_data(me, "probe").unwrap();
+                })
+            },
+        );
+        let method = Method::public(MethodBody::script("return 1;").unwrap());
+        group.bench_with_input(
+            BenchmarkId::new("add_delete_method", population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    obj.add_method(me, "probe_m", method.clone()).unwrap();
+                    obj.delete_method(me, "probe_m").unwrap();
+                })
+            },
+        );
+    }
+
+    // setMethod: replace a body through the descriptor path (includes
+    // re-parsing the script source).
+    let mut ids = bench_ids();
+    let mut obj = script_counter(&mut ids);
+    let me = obj.id();
+    obj.add_method(
+        me,
+        "volatile",
+        Method::public(MethodBody::script("return 1;").unwrap()),
+    )
+    .unwrap();
+    let desc = Value::map([("body", Value::from("return 2;"))]);
+    group.bench_function("set_method_body", |b| {
+        b.iter(|| obj.set_method(me, "volatile", black_box(&desc)).unwrap())
+    });
+
+    // Value writes: fixed vs extensible slots.
+    let mut obj = script_counter(&mut ids);
+    let me = obj.id();
+    obj.add_data(me, "ext_slot", Value::Int(0)).unwrap();
+    group.bench_function("write_fixed_value", |b| {
+        b.iter(|| obj.write_data(me, "count", black_box(Value::Int(5))).unwrap())
+    });
+    group.bench_function("write_ext_value", |b| {
+        b.iter(|| obj.write_data(me, "ext_slot", black_box(Value::Int(5))).unwrap())
+    });
+
+    // The guarded error path: attempting to delete fixed structure.
+    group.bench_function("fixed_violation_error", |b| {
+        b.iter(|| black_box(obj.delete_data(me, "count").unwrap_err()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation);
+criterion_main!(benches);

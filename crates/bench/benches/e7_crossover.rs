@@ -1,0 +1,98 @@
+//! E7 — the mobile-code crossover (the introduction's motivation).
+//!
+//! Two strategies for a client that will call a remote service `k` times:
+//! relay every call over the link, or migrate the method once and call
+//! locally. This bench measures the *engine* cost of both paths at small
+//! `k`; the deterministic virtual-time crossover sweep (who wins at which
+//! `k` and latency) is printed by the `tables` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hadas::{AmbassadorSpec, Federation};
+use mrom_bench::employee_db;
+use mrom_net::{LinkConfig, NetworkConfig};
+use mrom_value::{NodeId, Value};
+
+fn deployed_pair(seed: u64) -> (Federation, mrom_value::ObjectId, mrom_value::ObjectId) {
+    let cfg = NetworkConfig::new(seed).with_default_link(LinkConfig::wan());
+    let mut fed = Federation::new(cfg);
+    let (client_site, server) = (NodeId(1), NodeId(2));
+    fed.add_site(client_site).unwrap();
+    fed.add_site(server).unwrap();
+    fed.link(client_site, server).unwrap();
+    let apo = employee_db().instantiate(fed.runtime_mut(server).unwrap().ids_mut());
+    fed.integrate_apo(server, "db", apo, AmbassadorSpec::relay_only()).unwrap();
+    let amb = fed.import_apo(client_site, server, "db").unwrap();
+    let client = fed.runtime_mut(client_site).unwrap().ids_mut().next_id();
+    (fed, amb, client)
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_crossover");
+    group.sample_size(30);
+    let args = [Value::from("alice")];
+
+    for k in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("relay_per_call", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || deployed_pair(1),
+                |(mut fed, amb, client)| {
+                    for _ in 0..k {
+                        black_box(
+                            fed.call_through_ambassador(
+                                NodeId(1),
+                                client,
+                                amb,
+                                "salary_of",
+                                &args,
+                            )
+                            .unwrap(),
+                        );
+                    }
+                    black_box(fed)
+                },
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("migrate_then_local", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || deployed_pair(2),
+                |(mut fed, amb, client)| {
+                    fed.migrate_method(NodeId(2), "db", "salary_of").unwrap();
+                    // The ambassador needs the data its method reads.
+                    fed.push_update(
+                        NodeId(2),
+                        "db",
+                        &[hadas::UpdateOp::AddData(
+                            "employees".into(),
+                            fed.runtime(NodeId(2))
+                                .unwrap()
+                                .object(fed.apo_id(NodeId(2), "db").unwrap())
+                                .unwrap()
+                                .read_data(fed.apo_id(NodeId(2), "db").unwrap(), "employees")
+                                .unwrap(),
+                        )],
+                    )
+                    .unwrap();
+                    for _ in 0..k {
+                        black_box(
+                            fed.call_through_ambassador(
+                                NodeId(1),
+                                client,
+                                amb,
+                                "salary_of",
+                                &args,
+                            )
+                            .unwrap(),
+                        );
+                    }
+                    black_box(fed)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E8 — §2 made quantitative: dynamic invocation across object models.
+//!
+//! The same conceptual call (`add(20, 22)` on a counter) through each
+//! model's own idiom: static Rust, Java-style introspection, CORBA-style
+//! DII (request built per call vs. prebuilt), DCOM-style QueryInterface
+//! (query per call vs. cached handle), and MROM (native body, script body,
+//! and the full `invoke` meta-method path). The capability matrix behind
+//! the cost differences is printed by the `tables` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mrom_baselines::com::counter_object;
+use mrom_baselines::dii::{counter_setup, Request};
+use mrom_baselines::introspect::counter_class;
+use mrom_baselines::StaticCounter;
+use mrom_bench::{bench_ids, native_counter, script_counter};
+use mrom_core::{invoke, NoWorld};
+use mrom_value::Value;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_models");
+    let args = [Value::Int(20), Value::Int(22)];
+
+    // Static Rust.
+    let statik = StaticCounter::new();
+    group.bench_function("static", |b| {
+        b.iter(|| black_box(statik.add(black_box(20), black_box(22))))
+    });
+
+    // Java-style introspection: invoke by name.
+    let class = counter_class();
+    let mut obj = class.instantiate();
+    group.bench_function("introspect_invoke", |b| {
+        b.iter(|| black_box(obj.invoke(black_box("add"), &args).unwrap()))
+    });
+
+    // CORBA DII: repository lookup + request build + invoke, every call.
+    let (repo, servant) = counter_setup();
+    group.bench_function("dii_build_and_invoke", |b| {
+        b.iter(|| {
+            let req = Request::build(&repo, "Counter", black_box("add"), &args).unwrap();
+            black_box(servant.invoke(&req).unwrap())
+        })
+    });
+    // DII with the request built once (the repeated-call pattern).
+    let req = Request::build(&repo, "Counter", "add", &args).unwrap();
+    group.bench_function("dii_prebuilt_invoke", |b| {
+        b.iter(|| black_box(servant.invoke(black_box(&req)).unwrap()))
+    });
+
+    // DCOM QueryInterface: query + vtable call per call, and cached.
+    let mut com = counter_object();
+    group.bench_function("com_query_and_call", |b| {
+        b.iter(|| {
+            let iface = com.query_interface(black_box("ICounter")).unwrap();
+            let slot = iface.slot_index("add").unwrap();
+            black_box(com.call(&iface, slot, &args).unwrap())
+        })
+    });
+    let iface = com.query_interface("ICounter").unwrap();
+    let slot = iface.slot_index("add").unwrap();
+    group.bench_function("com_cached_call", |b| {
+        b.iter(|| black_box(com.call(&iface, black_box(slot), &args).unwrap()))
+    });
+
+    // MROM: native body, script body, and the reflexive invoke path.
+    let mut ids = bench_ids();
+    let mut world = NoWorld;
+    let caller = ids.next_id();
+    let mut native = native_counter(&mut ids);
+    group.bench_function("mrom_native", |b| {
+        b.iter(|| black_box(invoke(&mut native, &mut world, caller, "add", &args).unwrap()))
+    });
+    let mut script = script_counter(&mut ids);
+    group.bench_function("mrom_script", |b| {
+        b.iter(|| black_box(invoke(&mut script, &mut world, caller, "add", &args).unwrap()))
+    });
+    let meta_args = [Value::from("add"), Value::List(args.to_vec())];
+    group.bench_function("mrom_meta_invoke", |b| {
+        b.iter(|| {
+            black_box(invoke(&mut native, &mut world, caller, "invoke", &meta_args).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

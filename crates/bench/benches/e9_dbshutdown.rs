@@ -1,0 +1,73 @@
+//! E9 — the §5 database-maintenance scenario as a measured operation.
+//!
+//! Rows: pushing the maintenance meta-invoke to fleets of 1..8 deployed
+//! Ambassadors (engine cost; the virtual-time propagation appears in
+//! `tables`), the per-query cost while the notice is installed vs. normal
+//! operation, and lifting the notice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hadas::scenarios::{
+    deploy_employee_db, lift_maintenance_notice, push_maintenance_notice, star_federation,
+};
+use mrom_net::LinkConfig;
+use mrom_value::Value;
+
+fn bench_shutdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_dbshutdown");
+    group.sample_size(20);
+
+    for spokes in [1u64, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("push_notice", spokes),
+            &spokes,
+            |b, &spokes| {
+                b.iter_with_setup(
+                    || {
+                        let (mut fed, nodes) =
+                            star_federation(1, spokes + 1, LinkConfig::lan()).unwrap();
+                        deploy_employee_db(&mut fed, nodes[0], &nodes[1..]).unwrap();
+                        (fed, nodes)
+                    },
+                    |(mut fed, nodes)| {
+                        let n = push_maintenance_notice(&mut fed, nodes[0]).unwrap();
+                        assert_eq!(n as u64, spokes);
+                        black_box(fed)
+                    },
+                )
+            },
+        );
+    }
+
+    // Query cost with and without the notice installed.
+    let (mut fed, nodes) = star_federation(2, 2, LinkConfig::lan()).unwrap();
+    let hub = nodes[0];
+    let ambs = deploy_employee_db(&mut fed, hub, &nodes[1..]).unwrap();
+    let (spoke, amb) = ambs[0];
+    let client = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
+
+    group.bench_function("query_normal", |b| {
+        b.iter(|| {
+            black_box(
+                fed.call_through_ambassador(spoke, client, amb, "count", &[])
+                    .unwrap(),
+            )
+        })
+    });
+    push_maintenance_notice(&mut fed, hub).unwrap();
+    group.bench_function("query_during_maintenance", |b| {
+        b.iter(|| {
+            let out = fed
+                .call_through_ambassador(spoke, client, amb, "count", &[])
+                .unwrap();
+            assert_eq!(out, Value::from("database is down for maintenance"));
+            black_box(out)
+        })
+    });
+    lift_maintenance_notice(&mut fed, hub).unwrap();
+    group.finish();
+}
+
+criterion_group!(benches, bench_shutdown);
+criterion_main!(benches);

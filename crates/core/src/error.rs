@@ -1,0 +1,233 @@
+//! The MROM error type.
+
+use std::fmt;
+
+use mrom_script::ScriptError;
+use mrom_value::{ObjectId, ValueError};
+
+/// Errors produced by the object model: invocation failures, security
+/// denials, structural violations, and migration problems.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MromError {
+    /// The target object is not registered on this node.
+    NoSuchObject(ObjectId),
+    /// The target object is currently executing (reentrant cross-object
+    /// cycle); MROM objects are single-threaded autonomous units.
+    ObjectBusy(ObjectId),
+    /// Method lookup failed (phase 1 of level-0 invocation).
+    NoSuchMethod {
+        /// Object searched.
+        object: ObjectId,
+        /// Method name requested.
+        name: String,
+    },
+    /// Data-item lookup failed.
+    NoSuchDataItem {
+        /// Object searched.
+        object: ObjectId,
+        /// Item name requested.
+        name: String,
+    },
+    /// Security match failed (phase 2 of level-0 invocation): the caller
+    /// principal is not on the item's ACL. Security and encapsulation are
+    /// the same check in MROM.
+    AccessDenied {
+        /// Object that refused.
+        object: ObjectId,
+        /// Item or method name.
+        item: String,
+        /// Operation attempted (`"invoke"`, `"read"`, `"write"`, `"meta"`).
+        operation: &'static str,
+        /// The rejected principal.
+        caller: ObjectId,
+    },
+    /// A structural mutation targeted the fixed section. Fixed items may
+    /// not be added, removed, or replaced during the object's lifetime.
+    FixedSectionViolation {
+        /// Object whose fixed section was targeted.
+        object: ObjectId,
+        /// Item name.
+        item: String,
+    },
+    /// An add operation collided with an existing item.
+    DuplicateItem {
+        /// Object involved.
+        object: ObjectId,
+        /// The name already in use.
+        item: String,
+    },
+    /// A pre-procedure returned false: the body was not invoked.
+    PreConditionFailed {
+        /// Object involved.
+        object: ObjectId,
+        /// Method whose pre-procedure vetoed.
+        method: String,
+    },
+    /// A post-procedure returned false: the invocation raises.
+    PostConditionFailed {
+        /// Object involved.
+        object: ObjectId,
+        /// Method whose post-procedure failed.
+        method: String,
+    },
+    /// A dynamic type constraint on a data item rejected a write.
+    TypeConstraint {
+        /// Item name.
+        item: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// The invocation tower exceeded its depth bound.
+    TowerDepthExceeded(usize),
+    /// Cross-object call nesting exceeded its depth bound.
+    CallDepthExceeded(usize),
+    /// The object (or one of its methods) holds a native body and cannot
+    /// migrate; self-containment requires carrying one's own behaviour.
+    NotMobile {
+        /// Object that refused to serialize.
+        object: ObjectId,
+        /// The native item blocking migration.
+        item: String,
+    },
+    /// A descriptor (property map passed to a meta-method) was malformed.
+    BadDescriptor(String),
+    /// A migration or persistence image failed validation.
+    BadImage(String),
+    /// A class-level problem: unknown class, duplicate registration,
+    /// missing parent, or a spec that violates model rules.
+    Class(String),
+    /// The world hook rejected or failed an external operation.
+    World(String),
+    /// A script-layer error surfaced while running a method body.
+    Script(ScriptError),
+    /// A value-layer error surfaced.
+    Value(ValueError),
+}
+
+impl fmt::Display for MromError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MromError::NoSuchObject(id) => write!(f, "no object {id} on this node"),
+            MromError::ObjectBusy(id) => write!(f, "object {id} is already executing"),
+            MromError::NoSuchMethod { object, name } => {
+                write!(f, "object {object} has no method {name:?}")
+            }
+            MromError::NoSuchDataItem { object, name } => {
+                write!(f, "object {object} has no data item {name:?}")
+            }
+            MromError::AccessDenied {
+                object,
+                item,
+                operation,
+                caller,
+            } => write!(
+                f,
+                "access denied: caller {caller} may not {operation} {item:?} of {object}"
+            ),
+            MromError::FixedSectionViolation { object, item } => write!(
+                f,
+                "fixed-section violation: {item:?} of {object} is immutable"
+            ),
+            MromError::DuplicateItem { object, item } => {
+                write!(f, "object {object} already has an item named {item:?}")
+            }
+            MromError::PreConditionFailed { object, method } => write!(
+                f,
+                "pre-procedure of {method:?} on {object} returned false; body skipped"
+            ),
+            MromError::PostConditionFailed { object, method } => write!(
+                f,
+                "post-procedure of {method:?} on {object} returned false"
+            ),
+            MromError::TypeConstraint { item, detail } => {
+                write!(f, "type constraint on {item:?} rejected write: {detail}")
+            }
+            MromError::TowerDepthExceeded(limit) => {
+                write!(f, "invocation tower deeper than {limit} levels")
+            }
+            MromError::CallDepthExceeded(limit) => {
+                write!(f, "cross-object call depth exceeded {limit}")
+            }
+            MromError::NotMobile { object, item } => write!(
+                f,
+                "object {object} is not mobile: {item:?} has a native body"
+            ),
+            MromError::BadDescriptor(detail) => write!(f, "bad descriptor: {detail}"),
+            MromError::BadImage(detail) => write!(f, "bad object image: {detail}"),
+            MromError::Class(detail) => write!(f, "class error: {detail}"),
+            MromError::World(detail) => write!(f, "world operation failed: {detail}"),
+            MromError::Script(e) => write!(f, "script error: {e}"),
+            MromError::Value(e) => write!(f, "value error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MromError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MromError::Script(e) => Some(e),
+            MromError::Value(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScriptError> for MromError {
+    fn from(e: ScriptError) -> Self {
+        MromError::Script(e)
+    }
+}
+
+impl From<ValueError> for MromError {
+    fn from(e: ValueError) -> Self {
+        MromError::Value(e)
+    }
+}
+
+/// Lossy bridge used when a method body written in script calls back into
+/// the object model: model errors travel through the script layer as
+/// [`ScriptError::Host`] strings.
+impl From<MromError> for ScriptError {
+    fn from(e: MromError) -> Self {
+        match e {
+            MromError::Script(inner) => inner,
+            other => ScriptError::Host(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrom_value::NodeId;
+
+    #[test]
+    fn display_mentions_the_principals() {
+        let id = ObjectId::from_parts(NodeId(1), 2, 3);
+        let caller = ObjectId::from_parts(NodeId(9), 8, 7);
+        let msg = MromError::AccessDenied {
+            object: id,
+            item: "secret".into(),
+            operation: "invoke",
+            caller,
+        }
+        .to_string();
+        assert!(msg.contains("secret"));
+        assert!(msg.contains(&caller.to_string()));
+    }
+
+    #[test]
+    fn script_round_trip_preserves_script_errors() {
+        let orig = ScriptError::DivisionByZero;
+        let model: MromError = orig.clone().into();
+        let back: ScriptError = model.into();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<MromError>();
+    }
+}

@@ -1,0 +1,576 @@
+//! Node runtime: the per-node object table and the world hook that lets
+//! co-located objects invoke each other.
+//!
+//! A [`Runtime`] owns every object hosted on one logical node, mints
+//! identities through the node's [`IdGenerator`], and implements the
+//! `send`/`log`/`time` world operations for method bodies. Cross-node
+//! communication is *not* here — it belongs to the network substrate and
+//! HADAS, which wrap a runtime per simulated node.
+
+use std::collections::HashMap;
+
+use mrom_value::{IdGenerator, NodeId, ObjectId, Value};
+
+use crate::class::ClassRegistry;
+use crate::error::MromError;
+use crate::invoke::{InvokeLimits, WorldHook};
+use crate::object::MromObject;
+
+/// The per-node object host.
+///
+/// # Example
+///
+/// ```
+/// use mrom_core::{ClassSpec, Method, MethodBody, Runtime};
+/// use mrom_value::{NodeId, Value};
+///
+/// # fn main() -> Result<(), mrom_core::MromError> {
+/// let mut rt = Runtime::new(NodeId(1));
+/// rt.classes_mut().register(
+///     ClassSpec::new("echo").fixed_method(
+///         "say",
+///         Method::public(MethodBody::script("param x; return x;")?),
+///     ),
+/// )?;
+/// let id = rt.create("echo")?;
+/// let out = rt.invoke_as_system(id, "say", &[Value::from("hi")])?;
+/// assert_eq!(out, Value::from("hi"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    node: NodeId,
+    ids: IdGenerator,
+    objects: HashMap<ObjectId, MromObject>,
+    classes: ClassRegistry,
+    limits: InvokeLimits,
+    log: Vec<(ObjectId, String)>,
+    /// Objects currently executing (checked out of the table); used to
+    /// report [`MromError::ObjectBusy`] for cyclic cross-object calls.
+    busy: std::collections::HashSet<ObjectId>,
+    /// Virtual time surfaced to scripts via `self.time()`; substrates (the
+    /// network simulator) advance it.
+    now: u64,
+}
+
+impl Runtime {
+    /// Creates an empty runtime for `node`.
+    pub fn new(node: NodeId) -> Runtime {
+        Runtime {
+            node,
+            ids: IdGenerator::new(node),
+            objects: HashMap::new(),
+            classes: ClassRegistry::new(),
+            limits: InvokeLimits::default(),
+            log: Vec::new(),
+            busy: std::collections::HashSet::new(),
+            now: 0,
+        }
+    }
+
+    /// The node this runtime represents.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's identity generator.
+    pub fn ids_mut(&mut self) -> &mut IdGenerator {
+        &mut self.ids
+    }
+
+    /// The class registry.
+    pub fn classes(&self) -> &ClassRegistry {
+        &self.classes
+    }
+
+    /// Mutable class registry access.
+    pub fn classes_mut(&mut self) -> &mut ClassRegistry {
+        &mut self.classes
+    }
+
+    /// Replaces the invocation limits applied to every call on this node.
+    pub fn set_limits(&mut self, limits: InvokeLimits) {
+        self.limits = limits;
+    }
+
+    /// The current invocation limits.
+    pub fn limits(&self) -> InvokeLimits {
+        self.limits
+    }
+
+    /// Current virtual time (milliseconds by convention).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances virtual time (driven by the simulation substrate).
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Messages logged by objects via `self.log(...)`, in order.
+    pub fn log_entries(&self) -> &[(ObjectId, String)] {
+        &self.log
+    }
+
+    /// Instantiates a registered class, adopting the object into the node.
+    ///
+    /// # Errors
+    ///
+    /// [`MromError::Class`] for unknown class names.
+    pub fn create(&mut self, class: &str) -> Result<ObjectId, MromError> {
+        let obj = self.classes.instantiate(class, &mut self.ids)?;
+        let id = obj.id();
+        self.objects.insert(id, obj);
+        Ok(id)
+    }
+
+    /// Adopts an externally constructed object (builder output, or an
+    /// unpacked migration image).
+    ///
+    /// # Errors
+    ///
+    /// [`MromError::DuplicateItem`] if an object with this identity is
+    /// already hosted here.
+    pub fn adopt(&mut self, obj: MromObject) -> Result<ObjectId, MromError> {
+        let id = obj.id();
+        if self.objects.contains_key(&id) {
+            return Err(MromError::DuplicateItem {
+                object: id,
+                item: "object identity".to_owned(),
+            });
+        }
+        self.objects.insert(id, obj);
+        Ok(id)
+    }
+
+    /// Removes an object from the node (the local half of migration),
+    /// returning it.
+    ///
+    /// # Errors
+    ///
+    /// [`MromError::NoSuchObject`].
+    pub fn evict(&mut self, id: ObjectId) -> Result<MromObject, MromError> {
+        self.objects.remove(&id).ok_or(MromError::NoSuchObject(id))
+    }
+
+    /// Shared access to a hosted object.
+    pub fn object(&self, id: ObjectId) -> Option<&MromObject> {
+        self.objects.get(&id)
+    }
+
+    /// Mutable access to a hosted object (host-side administration).
+    pub fn object_mut(&mut self, id: ObjectId) -> Option<&mut MromObject> {
+        self.objects.get_mut(&id)
+    }
+
+    /// Identities of all hosted objects (unordered).
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Number of hosted objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Invokes a method on a hosted object as `caller`.
+    ///
+    /// The target is checked out of the table for the duration of the call
+    /// so its body can invoke *other* objects on this node through the
+    /// world hook; a cyclic call back into the executing object reports
+    /// [`MromError::ObjectBusy`].
+    ///
+    /// # Errors
+    ///
+    /// [`MromError::NoSuchObject`] plus all invocation errors.
+    pub fn invoke(
+        &mut self,
+        caller: ObjectId,
+        target: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, MromError> {
+        let mut obj = self.objects.remove(&target).ok_or({
+            if self.busy.contains(&target) {
+                MromError::ObjectBusy(target)
+            } else {
+                MromError::NoSuchObject(target)
+            }
+        })?;
+        self.busy.insert(target);
+        let limits = self.limits;
+        let result = crate::invoke::invoke_with_limits(
+            &mut obj,
+            &mut RuntimeWorld { runtime: self },
+            caller,
+            method,
+            args,
+            &limits,
+        );
+        self.busy.remove(&target);
+        self.objects.insert(target, obj);
+        result
+    }
+
+    /// [`Runtime::invoke`] with the system principal — host-initiated
+    /// administration (bootstrap, tests, benches).
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::invoke`].
+    pub fn invoke_as_system(
+        &mut self,
+        target: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, MromError> {
+        self.invoke(ObjectId::SYSTEM, target, method, args)
+    }
+}
+
+/// World hook giving method bodies mediated access to node services.
+///
+/// Supported operations:
+///
+/// * `send(target_ref, method, args_list)` — invoke a method on another
+///   object hosted on this node (caller principal = the sending object).
+/// * `spawn(class_name)` — instantiate a registered class, adopting the
+///   new object into this node; returns its reference. This is how an
+///   object creates other objects (an APO instantiating its Ambassador).
+/// * `log(message)` — append to the node log.
+/// * `time()` — current virtual time.
+/// * `node()` — the node id as an integer.
+struct RuntimeWorld<'r> {
+    runtime: &'r mut Runtime,
+}
+
+impl WorldHook for RuntimeWorld<'_> {
+    fn world_call(
+        &mut self,
+        caller: ObjectId,
+        op: &str,
+        args: &[Value],
+    ) -> Result<Value, MromError> {
+        match op {
+            "send" => match args {
+                [Value::ObjectRef(target), Value::Str(method), Value::List(inner)] => {
+                    // An object currently executing has been checked out of
+                    // the table, so a cyclic call finds it absent: report
+                    // busy for the sender itself, NoSuchObject otherwise —
+                    // both also cover genuinely unknown targets upstream.
+                    let mut obj = self.runtime.objects.remove(target).ok_or({
+                        if self.runtime.busy.contains(target) {
+                            MromError::ObjectBusy(*target)
+                        } else {
+                            MromError::NoSuchObject(*target)
+                        }
+                    })?;
+                    self.runtime.busy.insert(*target);
+                    let limits = self.runtime.limits;
+                    let result = crate::invoke::invoke_with_limits(
+                        &mut obj,
+                        &mut RuntimeWorld {
+                            runtime: self.runtime,
+                        },
+                        caller,
+                        method,
+                        inner,
+                        &limits,
+                    );
+                    self.runtime.busy.remove(target);
+                    self.runtime.objects.insert(*target, obj);
+                    result
+                }
+                _ => Err(MromError::World(
+                    "send expects (object_ref, method_name, args_list)".into(),
+                )),
+            },
+            "spawn" => match args {
+                [Value::Str(class)] => self
+                    .runtime
+                    .create(class)
+                    .map(Value::ObjectRef),
+                _ => Err(MromError::World(
+                    "spawn expects (class_name)".into(),
+                )),
+            },
+            "log" => {
+                let msg = args
+                    .first()
+                    .map(|v| match v {
+                        Value::Str(s) => s.clone(),
+                        other => other.to_string(),
+                    })
+                    .unwrap_or_default();
+                self.runtime.log.push((caller, msg));
+                Ok(Value::Null)
+            }
+            "time" => Ok(Value::Int(self.runtime.now as i64)),
+            "node" => Ok(Value::Int(self.runtime.node.0 as i64)),
+            other => Err(MromError::World(format!(
+                "unknown world operation {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassSpec;
+    use crate::item::DataItem;
+    use crate::method::{Method, MethodBody};
+
+    fn runtime_with_classes() -> Runtime {
+        let mut rt = Runtime::new(NodeId(21));
+        rt.classes_mut()
+            .register(
+                ClassSpec::new("calc")
+                    .fixed_data("acc", DataItem::public(Value::Int(0)))
+                    .fixed_method(
+                        "add",
+                        Method::public(
+                            MethodBody::script(
+                                "param x; self.set(\"acc\", self.get(\"acc\") + x); return self.get(\"acc\");",
+                            )
+                            .unwrap(),
+                        ),
+                    ),
+            )
+            .unwrap();
+        rt.classes_mut()
+            .register(ClassSpec::new("caller_class").fixed_method(
+                "relay",
+                Method::public(
+                    MethodBody::script(
+                        "param target; param x; return self.send(target, \"add\", [x]);",
+                    )
+                    .unwrap(),
+                ),
+            ))
+            .unwrap();
+        rt
+    }
+
+    #[test]
+    fn create_and_invoke() {
+        let mut rt = runtime_with_classes();
+        let id = rt.create("calc").unwrap();
+        assert_eq!(rt.object_count(), 1);
+        assert_eq!(
+            rt.invoke_as_system(id, "add", &[Value::Int(5)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            rt.invoke_as_system(id, "add", &[Value::Int(2)]).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn unknown_objects_and_classes() {
+        let mut rt = runtime_with_classes();
+        assert!(matches!(rt.create("nope"), Err(MromError::Class(_))));
+        let ghost = rt.ids_mut().next_id();
+        assert!(matches!(
+            rt.invoke_as_system(ghost, "m", &[]),
+            Err(MromError::NoSuchObject(_))
+        ));
+        assert!(matches!(rt.evict(ghost), Err(MromError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn objects_invoke_each_other_through_send() {
+        let mut rt = runtime_with_classes();
+        let calc = rt.create("calc").unwrap();
+        let relay = rt.create("caller_class").unwrap();
+        let out = rt
+            .invoke_as_system(
+                relay,
+                "relay",
+                &[Value::ObjectRef(calc), Value::Int(40)],
+            )
+            .unwrap();
+        assert_eq!(out, Value::Int(40));
+        // The calc object kept the state.
+        assert_eq!(
+            rt.object(calc).unwrap().read_data(ObjectId::SYSTEM, "acc").unwrap(),
+            Value::Int(40)
+        );
+    }
+
+    #[test]
+    fn send_to_self_reports_busy() {
+        let mut rt = Runtime::new(NodeId(5));
+        rt.classes_mut()
+            .register(ClassSpec::new("selfish").fixed_method(
+                "loopy",
+                Method::public(
+                    MethodBody::script("return self.send(self.id(), \"loopy\", []);").unwrap(),
+                ),
+            ))
+            .unwrap();
+        let id = rt.create("selfish").unwrap();
+        let err = rt.invoke_as_system(id, "loopy", &[]).unwrap_err();
+        assert!(
+            matches!(err, MromError::Script(_)),
+            "busy surfaces through the script layer: {err}"
+        );
+        // The object is back in the table afterwards.
+        assert!(rt.object(id).is_some());
+    }
+
+    #[test]
+    fn cyclic_cross_object_calls_report_busy() {
+        let mut rt = Runtime::new(NodeId(6));
+        rt.classes_mut()
+            .register(ClassSpec::new("pingpong").fixed_method(
+                "ping",
+                Method::public(
+                    MethodBody::script("param other; return self.send(other, \"ping\", [self.id()]);")
+                        .unwrap(),
+                ),
+            ))
+            .unwrap();
+        let a = rt.create("pingpong").unwrap();
+        let b = rt.create("pingpong").unwrap();
+        // a.ping(b) → b.ping(a) → a is checked out → busy error surfaces.
+        let err = rt
+            .invoke_as_system(a, "ping", &[Value::ObjectRef(b)])
+            .unwrap_err();
+        assert!(matches!(err, MromError::Script(_)), "{err}");
+        assert_eq!(rt.object_count(), 2);
+    }
+
+    #[test]
+    fn adopt_and_evict_round_trip() {
+        let mut rt = runtime_with_classes();
+        let id = rt.create("calc").unwrap();
+        rt.invoke_as_system(id, "add", &[Value::Int(9)]).unwrap();
+        let obj = rt.evict(id).unwrap();
+        assert_eq!(rt.object_count(), 0);
+        // Re-adopt (e.g. after a round trip through an image).
+        let id2 = rt.adopt(obj).unwrap();
+        assert_eq!(id2, id);
+        assert_eq!(
+            rt.invoke_as_system(id, "add", &[Value::Int(1)]).unwrap(),
+            Value::Int(10)
+        );
+        // Double adoption rejected.
+        let dup = rt.object(id).unwrap().clone();
+        assert!(matches!(rt.adopt(dup), Err(MromError::DuplicateItem { .. })));
+    }
+
+    #[test]
+    fn log_and_time_world_ops() {
+        let mut rt = Runtime::new(NodeId(9));
+        rt.classes_mut()
+            .register(ClassSpec::new("clock").fixed_method(
+                "stamp",
+                Method::public(
+                    MethodBody::script("self.log(\"tick\"); return self.time();").unwrap(),
+                ),
+            ))
+            .unwrap();
+        let id = rt.create("clock").unwrap();
+        rt.set_now(1234);
+        assert_eq!(rt.invoke_as_system(id, "stamp", &[]).unwrap(), Value::Int(1234));
+        assert_eq!(rt.log_entries().len(), 1);
+        assert_eq!(rt.log_entries()[0].1, "tick");
+        assert_eq!(rt.log_entries()[0].0, id);
+    }
+
+    #[test]
+    fn objects_spawn_other_objects() {
+        let mut rt = runtime_with_classes();
+        rt.classes_mut()
+            .register(ClassSpec::new("factory").fixed_method(
+                "make_calc",
+                Method::public(
+                    MethodBody::script(
+                        r#"
+                        let child = self.spawn("calc");
+                        self.send(child, "add", [41]);
+                        return child;
+                        "#,
+                    )
+                    .unwrap(),
+                ),
+            ))
+            .unwrap();
+        let factory = rt.create("factory").unwrap();
+        let child_ref = rt.invoke_as_system(factory, "make_calc", &[]).unwrap();
+        let child = child_ref.as_object_ref().expect("object ref");
+        assert_eq!(rt.object_count(), 2);
+        // The spawned object is real and kept the state the factory gave it.
+        assert_eq!(
+            rt.invoke_as_system(child, "add", &[Value::Int(1)]).unwrap(),
+            Value::Int(42)
+        );
+        // Unknown classes fail cleanly through the script layer.
+        rt.classes_mut()
+            .register(ClassSpec::new("bad-factory").fixed_method(
+                "make",
+                Method::public(
+                    MethodBody::script(r#"return self.spawn("ghost-class");"#).unwrap(),
+                ),
+            ))
+            .unwrap();
+        let bad = rt.create("bad-factory").unwrap();
+        assert!(rt.invoke_as_system(bad, "make", &[]).is_err());
+    }
+
+    #[test]
+    fn migration_between_runtimes() {
+        let mut rt_a = runtime_with_classes();
+        let mut rt_b = Runtime::new(NodeId(22));
+        let id = rt_a.create("calc").unwrap();
+        rt_a.invoke_as_system(id, "add", &[Value::Int(3)]).unwrap();
+        // Export from A...
+        let obj = rt_a.evict(id).unwrap();
+        let image = obj.image_value().unwrap();
+        let bytes = mrom_value::wire::encode(&image);
+        // ...import at B: the object keeps identity and state.
+        let unpacked = MromObject::from_image(&bytes).unwrap();
+        let id_b = rt_b.adopt(unpacked).unwrap();
+        assert_eq!(id_b, id);
+        assert_eq!(
+            rt_b.invoke_as_system(id, "add", &[Value::Int(4)]).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn limits_are_applied_per_node() {
+        let mut rt = Runtime::new(NodeId(30));
+        rt.set_limits(InvokeLimits {
+            fuel: 1_000,
+            ..InvokeLimits::default()
+        });
+        rt.classes_mut()
+            .register(ClassSpec::new("hot").fixed_method(
+                "spin",
+                Method::public(MethodBody::script("while (true) { }").unwrap()),
+            ))
+            .unwrap();
+        let id = rt.create("hot").unwrap();
+        let err = rt.invoke_as_system(id, "spin", &[]).unwrap_err();
+        assert!(matches!(err, MromError::Script(_)));
+        assert_eq!(rt.limits().fuel, 1_000);
+    }
+
+    #[test]
+    fn meta_acl_protects_against_hostile_host_principal() {
+        // A host (arbitrary principal) must not be able to mutate an
+        // object's structure through the runtime.
+        let mut rt = runtime_with_classes();
+        let id = rt.create("calc").unwrap();
+        let hostile = rt.ids_mut().next_id();
+        let err = rt
+            .invoke(hostile, id, "addDataItem", &[Value::from("evil"), Value::Int(0)])
+            .unwrap_err();
+        assert!(matches!(err, MromError::AccessDenied { .. }));
+    }
+}

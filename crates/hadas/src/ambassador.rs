@@ -1,0 +1,331 @@
+//! Ambassador instantiation — the mobile face of an APO.
+//!
+//! "An Ambassador is an object that has been instantiated in the origin
+//! APO and has been deployed in a 'foreign (IOO) territory', but is owned
+//! and maintained by its origin APO." (§5)
+//!
+//! [`AmbassadorSpec`] decides the *functionality split*: which of the
+//! APO's methods travel with the Ambassador (served locally at the foreign
+//! site) and which stay home (relayed back to the origin). Because split
+//! decisions are data, they can be revisited at runtime — see
+//! [`crate::Federation::migrate_method`].
+
+use mrom_core::{Acl, DataItem, Method, MromError, MromObject, ObjectBuilder};
+use mrom_value::{IdGenerator, NodeId, ObjectId, Value};
+
+use crate::error::HadasError;
+
+/// Default `install` body: record the installation context handed over by
+/// the importing IOO and flip the installed flag — the paper's "passes to
+/// it an installation context and invokes the Ambassador, which in turn
+/// installs itself in the new environment".
+const DEFAULT_INSTALL: &str = r#"
+param context;
+self.set("install_context", context);
+self.set("installed", true);
+return true;
+"#;
+
+/// How to derive an Ambassador from an APO.
+#[derive(Debug, Clone, Default)]
+pub struct AmbassadorSpec {
+    /// Methods copied into the Ambassador (served locally after import).
+    pub exported_methods: Vec<String>,
+    /// Data items whose current values are copied (public-read snapshots).
+    pub copied_data: Vec<String>,
+    /// Custom `install` body (script source); `None` uses the default.
+    pub install_script: Option<String>,
+}
+
+impl AmbassadorSpec {
+    /// An empty spec: a pure relay Ambassador (every call goes home).
+    pub fn relay_only() -> AmbassadorSpec {
+        AmbassadorSpec::default()
+    }
+
+    /// Exports the given methods.
+    pub fn with_methods<I, S>(mut self, names: I) -> AmbassadorSpec
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.exported_methods
+            .extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Copies the given data items.
+    pub fn with_data<I, S>(mut self, names: I) -> AmbassadorSpec
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.copied_data.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Uses a custom install script.
+    pub fn with_install(mut self, source: &str) -> AmbassadorSpec {
+        self.install_script = Some(source.to_owned());
+        self
+    }
+}
+
+/// What a hosting site records about a guest Ambassador.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuestInfo {
+    /// Site of the origin APO.
+    pub origin_node: NodeId,
+    /// Identity of the origin APO.
+    pub origin_apo: ObjectId,
+    /// The APO's registered name at its home site.
+    pub apo_name: String,
+    /// Public methods that did not migrate and are relayed to the origin.
+    pub remote_methods: Vec<String>,
+}
+
+/// Instantiates an Ambassador for `apo` according to `spec`.
+///
+/// Returns the Ambassador object plus the list of the APO's public methods
+/// that did **not** migrate (the relay set). The Ambassador's `origin`
+/// principal is the APO — the host IOO can neither read its meta-methods
+/// nor mutate it, while the remote APO can (the encapsulation/security
+/// duality of §5).
+///
+/// # Errors
+///
+/// [`HadasError::Model`] when a named method/data item does not exist or
+/// is not mobile.
+pub fn instantiate_ambassador(
+    apo: &MromObject,
+    apo_name: &str,
+    origin_node: NodeId,
+    spec: &AmbassadorSpec,
+    ids: &mut IdGenerator,
+) -> Result<(MromObject, Vec<String>), HadasError> {
+    let apo_id = apo.id();
+    let mut builder = ObjectBuilder::new(ids.next_id())
+        .class(&format!("ambassador:{}", apo.class_name()))
+        .origin(apo_id)
+        // Structural mutation is reserved for the origin APO.
+        .meta_acl(Acl::Origin)
+        .fixed_data(
+            "origin_ref",
+            DataItem::public(Value::ObjectRef(apo_id)).with_write_acl(Acl::Nobody),
+        )
+        .fixed_data(
+            "origin_site",
+            DataItem::public(Value::Int(origin_node.0 as i64)).with_write_acl(Acl::Nobody),
+        )
+        .fixed_data(
+            "apo_name",
+            DataItem::public(Value::from(apo_name)).with_write_acl(Acl::Nobody),
+        );
+
+    // The mutable installation state lives in the extensible section: the
+    // ambassador itself (and its origin) manage it.
+    builder = builder
+        .ext_data("installed", DataItem::public(Value::Bool(false)))
+        .ext_data("install_context", DataItem::public(Value::Null));
+
+    // Copy exported methods with their full definitions (pre/post, ACLs).
+    for name in &spec.exported_methods {
+        let desc = apo
+            .method_descriptor(apo_id, name)
+            .map_err(HadasError::Model)?;
+        let method = Method::from_descriptor(&desc).map_err(HadasError::Model)?;
+        if !method.is_mobile() {
+            return Err(HadasError::Model(MromError::NotMobile {
+                object: apo_id,
+                item: name.clone(),
+            }));
+        }
+        builder = builder.ext_method(name, method);
+    }
+
+    // Snapshot copied data.
+    for name in &spec.copied_data {
+        let value = apo.read_data(apo_id, name).map_err(HadasError::Model)?;
+        builder = builder.ext_data(name, DataItem::public(value));
+    }
+
+    // The install method.
+    let install_src = spec.install_script.as_deref().unwrap_or(DEFAULT_INSTALL);
+    let install = Method::public(
+        mrom_core::MethodBody::script(install_src).map_err(HadasError::Model)?,
+    );
+    builder = builder.ext_method("install", install);
+
+    let ambassador = builder.build();
+
+    // The relay set: the APO's publicly invocable methods that did not
+    // migrate (meta-methods excluded — they must never be relayed to the
+    // origin on a stranger's behalf).
+    let exported: Vec<&str> = spec.exported_methods.iter().map(String::as_str).collect();
+    let remote_methods: Vec<String> = apo
+        .list_methods(ids.next_id()) // an arbitrary stranger principal: public view
+        .into_iter()
+        .map(|(n, _)| n)
+        .filter(|n| {
+            !exported.contains(&n.as_str()) && mrom_core::MetaOp::from_method_name(n).is_none()
+        })
+        .collect();
+
+    Ok((ambassador, remote_methods))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrom_core::{invoke, ClassSpec, MethodBody, NoWorld};
+    use mrom_value::NodeId;
+
+    fn gen() -> IdGenerator {
+        IdGenerator::new(NodeId(40))
+    }
+
+    fn sample_apo(ids: &mut IdGenerator) -> MromObject {
+        ClassSpec::new("db")
+            .fixed_data("rows", DataItem::public(Value::Int(100)))
+            .fixed_method(
+                "query",
+                Method::public(MethodBody::script("return self.get(\"rows\");").unwrap()),
+            )
+            .fixed_method(
+                "stats",
+                Method::public(MethodBody::script("return \"ok\";").unwrap()),
+            )
+            .instantiate(ids)
+    }
+
+    #[test]
+    fn exported_methods_run_locally_in_the_ambassador() {
+        let mut ids = gen();
+        let apo = sample_apo(&mut ids);
+        let spec = AmbassadorSpec::relay_only()
+            .with_methods(["query"])
+            .with_data(["rows"]);
+        let (mut amb, remote) =
+            instantiate_ambassador(&apo, "db", NodeId(40), &spec, &mut ids).unwrap();
+        assert_eq!(amb.origin(), apo.id());
+        assert_eq!(remote, vec!["stats".to_owned()]);
+        let mut world = NoWorld;
+        let caller = ids.next_id();
+        assert_eq!(
+            invoke(&mut amb, &mut world, caller, "query", &[]).unwrap(),
+            Value::Int(100)
+        );
+    }
+
+    #[test]
+    fn install_records_context() {
+        let mut ids = gen();
+        let apo = sample_apo(&mut ids);
+        let (mut amb, _) = instantiate_ambassador(
+            &apo,
+            "db",
+            NodeId(40),
+            &AmbassadorSpec::relay_only(),
+            &mut ids,
+        )
+        .unwrap();
+        let mut world = NoWorld;
+        let host = ids.next_id();
+        let ctx = Value::map([("host_site", Value::Int(9))]);
+        assert_eq!(
+            invoke(&mut amb, &mut world, host, "install", std::slice::from_ref(&ctx)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(amb.read_data(host, "installed").unwrap(), Value::Bool(true));
+        assert_eq!(amb.read_data(host, "install_context").unwrap(), ctx);
+    }
+
+    #[test]
+    fn host_cannot_mutate_but_origin_can() {
+        let mut ids = gen();
+        let apo = sample_apo(&mut ids);
+        let (mut amb, _) = instantiate_ambassador(
+            &apo,
+            "db",
+            NodeId(40),
+            &AmbassadorSpec::relay_only().with_methods(["query"]),
+            &mut ids,
+        )
+        .unwrap();
+        let host = ids.next_id();
+        // Host IOO: no structural access.
+        assert!(amb.add_data(host, "spy", Value::Null).is_err());
+        assert!(amb
+            .set_method(host, "query", &Value::map([("body", Value::from("return 0;"))]))
+            .is_err());
+        // The origin APO: full control, remotely.
+        let origin = apo.id();
+        amb.set_method(
+            origin,
+            "query",
+            &Value::map([("body", Value::from("return \"updated\";"))]),
+        )
+        .unwrap();
+        let mut world = NoWorld;
+        assert_eq!(
+            invoke(&mut amb, &mut world, host, "query", &[]).unwrap(),
+            Value::from("updated")
+        );
+    }
+
+    #[test]
+    fn ambassadors_are_mobile_by_construction() {
+        let mut ids = gen();
+        let apo = sample_apo(&mut ids);
+        let (amb, _) = instantiate_ambassador(
+            &apo,
+            "db",
+            NodeId(40),
+            &AmbassadorSpec::relay_only().with_methods(["query", "stats"]),
+            &mut ids,
+        )
+        .unwrap();
+        // The origin can export it (the meta principal).
+        let image = amb.migration_image(apo.id()).unwrap();
+        let back = MromObject::from_image(&image).unwrap();
+        assert_eq!(back, amb);
+    }
+
+    #[test]
+    fn unknown_exports_fail() {
+        let mut ids = gen();
+        let apo = sample_apo(&mut ids);
+        assert!(instantiate_ambassador(
+            &apo,
+            "db",
+            NodeId(40),
+            &AmbassadorSpec::relay_only().with_methods(["ghost"]),
+            &mut ids,
+        )
+        .is_err());
+        assert!(instantiate_ambassador(
+            &apo,
+            "db",
+            NodeId(40),
+            &AmbassadorSpec::relay_only().with_data(["ghost"]),
+            &mut ids,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn custom_install_scripts() {
+        let mut ids = gen();
+        let apo = sample_apo(&mut ids);
+        let spec = AmbassadorSpec::relay_only()
+            .with_install("param ctx; self.set(\"installed\", true); return \"custom\";");
+        let (mut amb, _) =
+            instantiate_ambassador(&apo, "db", NodeId(40), &spec, &mut ids).unwrap();
+        let mut world = NoWorld;
+        let host = ids.next_id();
+        assert_eq!(
+            invoke(&mut amb, &mut world, host, "install", &[Value::Null]).unwrap(),
+            Value::from("custom")
+        );
+    }
+}

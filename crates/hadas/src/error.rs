@@ -1,0 +1,123 @@
+//! HADAS errors.
+
+use std::fmt;
+
+use mrom_core::MromError;
+use mrom_net::NetError;
+use mrom_value::{NodeId, ObjectId};
+
+/// Errors raised by the interoperability framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HadasError {
+    /// The referenced site does not exist in this federation.
+    UnknownSite(NodeId),
+    /// A site with this node id is already part of the federation.
+    DuplicateSite(NodeId),
+    /// No APO registered under this name at the site.
+    UnknownApo(String),
+    /// An APO with this name is already integrated at the site.
+    DuplicateApo(String),
+    /// The operation requires a Link agreement that does not exist.
+    NotLinked {
+        /// Requesting site.
+        from: NodeId,
+        /// Target site.
+        to: NodeId,
+    },
+    /// The referenced object is not a hosted ambassador here.
+    UnknownAmbassador(ObjectId),
+    /// A synchronous protocol exchange did not complete (partition, loss,
+    /// or a dead peer).
+    Timeout {
+        /// The operation that timed out.
+        operation: String,
+    },
+    /// The peer answered with an error.
+    Remote(String),
+    /// A protocol message failed to decode.
+    BadMessage(String),
+    /// Export was refused: the requested APO is not accessible to the
+    /// requesting IOO.
+    ExportDenied {
+        /// The APO name requested.
+        apo: String,
+        /// The requesting site.
+        requester: NodeId,
+    },
+    /// An underlying model error.
+    Model(MromError),
+    /// An underlying network error.
+    Net(NetError),
+}
+
+impl fmt::Display for HadasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HadasError::UnknownSite(n) => write!(f, "no site at node {n}"),
+            HadasError::DuplicateSite(n) => write!(f, "site {n} already exists"),
+            HadasError::UnknownApo(name) => write!(f, "no apo named {name:?} at this site"),
+            HadasError::DuplicateApo(name) => write!(f, "apo {name:?} already integrated"),
+            HadasError::NotLinked { from, to } => {
+                write!(f, "sites {from} and {to} have no link agreement")
+            }
+            HadasError::UnknownAmbassador(id) => {
+                write!(f, "object {id} is not an ambassador hosted here")
+            }
+            HadasError::Timeout { operation } => {
+                write!(f, "{operation} did not complete (message lost or peer down)")
+            }
+            HadasError::Remote(detail) => write!(f, "remote error: {detail}"),
+            HadasError::BadMessage(detail) => write!(f, "bad protocol message: {detail}"),
+            HadasError::ExportDenied { apo, requester } => {
+                write!(f, "export of {apo:?} denied to site {requester}")
+            }
+            HadasError::Model(e) => write!(f, "model error: {e}"),
+            HadasError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HadasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HadasError::Model(e) => Some(e),
+            HadasError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MromError> for HadasError {
+    fn from(e: MromError) -> Self {
+        HadasError::Model(e)
+    }
+}
+
+impl From<NetError> for HadasError {
+    fn from(e: NetError) -> Self {
+        HadasError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(HadasError::UnknownSite(NodeId(3)).to_string().contains("n3"));
+        assert!(HadasError::NotLinked {
+            from: NodeId(1),
+            to: NodeId(2)
+        }
+        .to_string()
+        .contains("link"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<HadasError>();
+    }
+}

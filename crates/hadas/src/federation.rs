@@ -1,0 +1,1364 @@
+//! The federation driver: sites, the protocol engine, and the synchronous
+//! convenience operations (Link, Import/Export, remote invocation,
+//! functionality migration, update push) running over the simulated
+//! network.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mrom_core::{MromError, MromObject, Runtime};
+use mrom_net::{Delivery, NetStats, NetworkConfig, SimNet, SimTime};
+use mrom_value::{NodeId, ObjectId, Value};
+
+use crate::ambassador::{instantiate_ambassador, AmbassadorSpec, GuestInfo};
+use crate::error::HadasError;
+use crate::ioo::{build_ioo, map_insert};
+use crate::protocol::{ProtocolMsg, UpdateOp};
+
+/// Who may import an APO — the access check the paper's Export performs
+/// ("Export verifies that the requested APO is accessible to the
+/// requesting IOO").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ExportPolicy {
+    /// Any *linked* site may import (the default: Link is already a
+    /// prerequisite for all cooperation).
+    #[default]
+    Linked,
+    /// Only the listed sites may import.
+    Sites(BTreeSet<NodeId>),
+    /// Nobody may import.
+    Nobody,
+}
+
+/// One logical site: a node runtime, its IOO, and the bookkeeping the
+/// protocol handlers maintain.
+struct Site {
+    runtime: Runtime,
+    ioo: ObjectId,
+    /// Home: APO name → identity.
+    apos: BTreeMap<String, ObjectId>,
+    /// Default functionality split per APO name.
+    specs: BTreeMap<String, AmbassadorSpec>,
+    /// Export access policy per APO name.
+    policies: BTreeMap<String, ExportPolicy>,
+    /// Sites this site has a Link agreement with (either direction).
+    links: BTreeSet<NodeId>,
+    /// Hosted guest Ambassadors.
+    guests: BTreeMap<ObjectId, GuestInfo>,
+    /// Ambassadors deployed *from* this site's APOs: APO id → (host node,
+    /// ambassador id) pairs.
+    deployed: BTreeMap<ObjectId, Vec<(NodeId, ObjectId)>>,
+}
+
+/// A point-in-time summary of one site, used by reports and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The site's node.
+    pub node: NodeId,
+    /// Number of integrated APOs.
+    pub apos: usize,
+    /// Number of link agreements.
+    pub links: usize,
+    /// Number of hosted guest Ambassadors.
+    pub guests: usize,
+    /// Number of Ambassadors deployed from here.
+    pub deployed: usize,
+}
+
+/// A federation of HADAS sites over a simulated network.
+///
+/// # Example
+///
+/// ```
+/// use hadas::Federation;
+/// use mrom_net::NetworkConfig;
+/// use mrom_value::NodeId;
+///
+/// # fn main() -> Result<(), hadas::HadasError> {
+/// let mut fed = Federation::new(NetworkConfig::new(7));
+/// fed.add_site(NodeId(1))?;
+/// fed.add_site(NodeId(2))?;
+/// fed.link(NodeId(1), NodeId(2))?;
+/// assert!(fed.is_linked(NodeId(1), NodeId(2)));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Federation {
+    net: SimNet,
+    sites: BTreeMap<NodeId, Site>,
+    next_req: u64,
+    completed: HashMap<u64, ProtocolMsg>,
+    /// Safety bound on deliveries processed while waiting for one reply.
+    max_pump: usize,
+}
+
+impl Federation {
+    /// Creates an empty federation over a simulator with `config`.
+    pub fn new(config: NetworkConfig) -> Federation {
+        Federation {
+            net: SimNet::new(config),
+            sites: BTreeMap::new(),
+            next_req: 0,
+            completed: HashMap::new(),
+            max_pump: 100_000,
+        }
+    }
+
+    /// Adds a site at `node`, creating its runtime and IOO. Returns the
+    /// IOO's identity.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::DuplicateSite`] / network errors.
+    pub fn add_site(&mut self, node: NodeId) -> Result<ObjectId, HadasError> {
+        if self.sites.contains_key(&node) {
+            return Err(HadasError::DuplicateSite(node));
+        }
+        self.net.add_node(node)?;
+        let mut runtime = Runtime::new(node);
+        let ioo_obj = build_ioo(runtime.ids_mut(), node);
+        let ioo = ioo_obj.id();
+        runtime.adopt(ioo_obj).map_err(HadasError::Model)?;
+        self.sites.insert(
+            node,
+            Site {
+                runtime,
+                ioo,
+                apos: BTreeMap::new(),
+                specs: BTreeMap::new(),
+                policies: BTreeMap::new(),
+                links: BTreeSet::new(),
+                guests: BTreeMap::new(),
+                deployed: BTreeMap::new(),
+            },
+        );
+        Ok(ioo)
+    }
+
+    fn site(&self, node: NodeId) -> Result<&Site, HadasError> {
+        self.sites.get(&node).ok_or(HadasError::UnknownSite(node))
+    }
+
+    fn site_mut(&mut self, node: NodeId) -> Result<&mut Site, HadasError> {
+        self.sites
+            .get_mut(&node)
+            .ok_or(HadasError::UnknownSite(node))
+    }
+
+    /// The runtime hosting a site's objects.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`].
+    pub fn runtime(&self, node: NodeId) -> Result<&Runtime, HadasError> {
+        Ok(&self.site(node)?.runtime)
+    }
+
+    /// Mutable runtime access (local administration, tests).
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`].
+    pub fn runtime_mut(&mut self, node: NodeId) -> Result<&mut Runtime, HadasError> {
+        Ok(&mut self.site_mut(node)?.runtime)
+    }
+
+    /// A site's IOO identity.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`].
+    pub fn ioo_id(&self, node: NodeId) -> Result<ObjectId, HadasError> {
+        Ok(self.site(node)?.ioo)
+    }
+
+    /// Simulator traffic statistics.
+    pub fn net_stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Mutable simulator configuration (partitions mid-run).
+    pub fn net_config_mut(&mut self) -> &mut NetworkConfig {
+        self.net.config_mut()
+    }
+
+    /// Per-site summary.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`].
+    pub fn site_stats(&self, node: NodeId) -> Result<SiteStats, HadasError> {
+        let site = self.site(node)?;
+        Ok(SiteStats {
+            node,
+            apos: site.apos.len(),
+            links: site.links.len(),
+            guests: site.guests.len(),
+            deployed: site.deployed.values().map(Vec::len).sum(),
+        })
+    }
+
+    /// Integrates a pre-built APO object at `node` under `name`, with the
+    /// default functionality split `spec` for its Ambassadors. Returns the
+    /// APO's identity.
+    ///
+    /// # Errors
+    ///
+    /// Site/duplicate errors and model errors.
+    pub fn integrate_apo(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        apo: MromObject,
+        spec: AmbassadorSpec,
+    ) -> Result<ObjectId, HadasError> {
+        let site = self.site_mut(node)?;
+        if site.apos.contains_key(name) {
+            return Err(HadasError::DuplicateApo(name.to_owned()));
+        }
+        let id = apo.id();
+        site.runtime.adopt(apo).map_err(HadasError::Model)?;
+        site.apos.insert(name.to_owned(), id);
+        site.specs.insert(name.to_owned(), spec);
+        site.policies.insert(name.to_owned(), ExportPolicy::default());
+        let ioo = site.ioo;
+        if let Some(ioo_obj) = site.runtime.object_mut(ioo) {
+            map_insert(ioo_obj, "home", name, Value::ObjectRef(id));
+        }
+        Ok(id)
+    }
+
+    /// Sets the export policy for an APO.
+    ///
+    /// # Errors
+    ///
+    /// Site/APO lookup errors.
+    pub fn set_export_policy(
+        &mut self,
+        node: NodeId,
+        apo_name: &str,
+        policy: ExportPolicy,
+    ) -> Result<(), HadasError> {
+        let site = self.site_mut(node)?;
+        if !site.apos.contains_key(apo_name) {
+            return Err(HadasError::UnknownApo(apo_name.to_owned()));
+        }
+        site.policies.insert(apo_name.to_owned(), policy);
+        Ok(())
+    }
+
+    /// The identity of an APO registered at a site.
+    ///
+    /// # Errors
+    ///
+    /// Site/APO lookup errors.
+    pub fn apo_id(&self, node: NodeId, name: &str) -> Result<ObjectId, HadasError> {
+        self.site(node)?
+            .apos
+            .get(name)
+            .copied()
+            .ok_or_else(|| HadasError::UnknownApo(name.to_owned()))
+    }
+
+    /// Are two sites linked (in either direction)?
+    pub fn is_linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.sites
+            .get(&a)
+            .is_some_and(|s| s.links.contains(&b))
+    }
+
+    /// Guest info for a hosted Ambassador.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors.
+    pub fn guest_info(&self, host: NodeId, amb: ObjectId) -> Result<&GuestInfo, HadasError> {
+        self.site(host)?
+            .guests
+            .get(&amb)
+            .ok_or(HadasError::UnknownAmbassador(amb))
+    }
+
+    /// Ambassadors deployed from an APO: `(host node, ambassador id)`.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors.
+    pub fn deployed_ambassadors(
+        &self,
+        origin: NodeId,
+        apo_name: &str,
+    ) -> Result<Vec<(NodeId, ObjectId)>, HadasError> {
+        let site = self.site(origin)?;
+        let apo = site
+            .apos
+            .get(apo_name)
+            .ok_or_else(|| HadasError::UnknownApo(apo_name.to_owned()))?;
+        Ok(site.deployed.get(apo).cloned().unwrap_or_default())
+    }
+
+    // -- protocol engine -----------------------------------------------------
+
+    fn fresh_req_id(&mut self) -> u64 {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    fn post(&mut self, from: NodeId, to: NodeId, msg: &ProtocolMsg) -> Result<(), HadasError> {
+        self.net.send(from, to, msg.encode())?;
+        Ok(())
+    }
+
+    /// Sends a request and pumps the network until its reply arrives.
+    fn request(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: ProtocolMsg,
+    ) -> Result<ProtocolMsg, HadasError> {
+        let req_id = msg.req_id();
+        let operation = format!("request {msg:?}");
+        self.post(from, to, &msg)?;
+        self.pump_until(&[req_id], &operation)?;
+        Ok(self
+            .completed
+            .remove(&req_id)
+            .expect("pump_until guarantees presence"))
+    }
+
+    /// Processes deliveries until every listed reply has arrived.
+    fn pump_until(&mut self, req_ids: &[u64], operation: &str) -> Result<(), HadasError> {
+        let mut steps = 0;
+        while !req_ids.iter().all(|id| self.completed.contains_key(id)) {
+            let Some(delivery) = self.net.step() else {
+                return Err(HadasError::Timeout {
+                    operation: operation.to_owned(),
+                });
+            };
+            self.handle(delivery);
+            steps += 1;
+            if steps > self.max_pump {
+                return Err(HadasError::Timeout {
+                    operation: format!("{operation} (pump bound exceeded)"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every in-flight message (fire-and-forget flows, tests).
+    pub fn pump_all(&mut self) {
+        while let Some(delivery) = self.net.step() {
+            self.handle(delivery);
+        }
+    }
+
+    /// Fault injection: puts raw bytes on the wire between two sites, as a
+    /// hostile or broken peer would. Undecodable traffic must be dropped
+    /// by the protocol engine without disturbing real operations.
+    ///
+    /// # Errors
+    ///
+    /// Network errors for unknown endpoints.
+    pub fn inject_raw(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: Vec<u8>,
+    ) -> Result<(), HadasError> {
+        self.net.send(from, to, bytes)?;
+        Ok(())
+    }
+
+    /// Handles one delivery: requests produce replies, replies complete
+    /// pending operations. Undecodable traffic is dropped (a hostile peer
+    /// cannot wedge the engine).
+    fn handle(&mut self, delivery: Delivery) {
+        let Ok(msg) = ProtocolMsg::decode(&delivery.payload) else {
+            return;
+        };
+        // Keep every site's virtual clock in step with the network.
+        if let Some(site) = self.sites.get_mut(&delivery.dst) {
+            site.runtime.set_now(delivery.at.as_millis());
+        }
+        match msg {
+            ProtocolMsg::LinkReq {
+                req_id,
+                from,
+                from_ioo,
+            } => {
+                let reply = self.handle_link_req(delivery.dst, from, from_ioo, req_id);
+                let _ = self.post(delivery.dst, delivery.src, &reply);
+            }
+            ProtocolMsg::ImportReq {
+                req_id,
+                from,
+                from_ioo,
+                apo_name,
+            } => {
+                let reply = self.handle_import_req(delivery.dst, from, from_ioo, &apo_name, req_id);
+                let _ = self.post(delivery.dst, delivery.src, &reply);
+            }
+            ProtocolMsg::InvokeReq {
+                req_id,
+                caller,
+                target,
+                method,
+                args,
+            } => {
+                let reply = match self
+                    .sites
+                    .get_mut(&delivery.dst)
+                    .ok_or(HadasError::UnknownSite(delivery.dst))
+                    .and_then(|site| {
+                        site.runtime
+                            .invoke(caller, target, &method, &args)
+                            .map_err(HadasError::Model)
+                    }) {
+                    Ok(result) => ProtocolMsg::InvokeResp { req_id, result },
+                    Err(e) => ProtocolMsg::Error {
+                        req_id,
+                        reason: e.to_string(),
+                    },
+                };
+                let _ = self.post(delivery.dst, delivery.src, &reply);
+            }
+            ProtocolMsg::UpdateReq {
+                req_id,
+                origin,
+                target,
+                ops,
+            } => {
+                let reply = match self.apply_update(delivery.dst, origin, target, &ops) {
+                    Ok(applied) => ProtocolMsg::UpdateAck { req_id, applied },
+                    Err(e) => ProtocolMsg::Error {
+                        req_id,
+                        reason: e.to_string(),
+                    },
+                };
+                let _ = self.post(delivery.dst, delivery.src, &reply);
+            }
+            ProtocolMsg::MoveObject { req_id, image } => {
+                let reply = match self.handle_move(delivery.dst, delivery.src, &image) {
+                    Ok(adopted) => ProtocolMsg::MoveAck { req_id, adopted },
+                    Err(e) => ProtocolMsg::Error {
+                        req_id,
+                        reason: e.to_string(),
+                    },
+                };
+                let _ = self.post(delivery.dst, delivery.src, &reply);
+            }
+            reply @ (ProtocolMsg::LinkAck { .. }
+            | ProtocolMsg::ExportAck { .. }
+            | ProtocolMsg::InvokeResp { .. }
+            | ProtocolMsg::UpdateAck { .. }
+            | ProtocolMsg::MoveAck { .. }
+            | ProtocolMsg::Error { .. }) => {
+                self.completed.insert(reply.req_id(), reply);
+            }
+        }
+    }
+
+    fn handle_link_req(
+        &mut self,
+        at: NodeId,
+        from: NodeId,
+        _from_ioo: ObjectId,
+        req_id: u64,
+    ) -> ProtocolMsg {
+        let Some(site) = self.sites.get_mut(&at) else {
+            return ProtocolMsg::Error {
+                req_id,
+                reason: format!("no site at {at}"),
+            };
+        };
+        site.links.insert(from);
+        // Build an IOO Ambassador: a small mobile object representing this
+        // IOO abroad.
+        let ioo = site.ioo;
+        let amb = mrom_core::ObjectBuilder::new(site.runtime.ids_mut().next_id())
+            .class("ioo-ambassador")
+            .origin(ioo)
+            .fixed_data(
+                "represents_site",
+                mrom_core::DataItem::public(Value::Int(at.0 as i64)),
+            )
+            .fixed_data(
+                "represents_ioo",
+                mrom_core::DataItem::public(Value::ObjectRef(ioo)),
+            )
+            .fixed_method(
+                "site_info",
+                mrom_core::Method::public(
+                    mrom_core::MethodBody::script(
+                        "return {\"site\": self.get(\"represents_site\"), \"ioo\": self.get(\"represents_ioo\")};",
+                    )
+                    .expect("site_info parses"),
+                ),
+            )
+            .build();
+        match amb.image_value().map(|v| mrom_value::wire::encode(&v)) {
+            Ok(image) => ProtocolMsg::LinkAck {
+                req_id,
+                ioo,
+                ambassador_image: image,
+            },
+            Err(e) => ProtocolMsg::Error {
+                req_id,
+                reason: e.to_string(),
+            },
+        }
+    }
+
+    fn handle_import_req(
+        &mut self,
+        at: NodeId,
+        from: NodeId,
+        _from_ioo: ObjectId,
+        apo_name: &str,
+        req_id: u64,
+    ) -> ProtocolMsg {
+        let deny = |reason: String| ProtocolMsg::Error { req_id, reason };
+        let Some(site) = self.sites.get_mut(&at) else {
+            return deny(format!("no site at {at}"));
+        };
+        // Export phase 1: verify the requested APO is accessible to the
+        // requesting IOO.
+        let Some(&apo_id) = site.apos.get(apo_name) else {
+            return deny(format!("no apo named {apo_name:?}"));
+        };
+        let allowed = match site.policies.get(apo_name).unwrap_or(&ExportPolicy::Linked) {
+            ExportPolicy::Linked => site.links.contains(&from),
+            ExportPolicy::Sites(set) => set.contains(&from),
+            ExportPolicy::Nobody => false,
+        };
+        if !allowed {
+            return deny(format!("export of {apo_name:?} denied to site {from}"));
+        }
+        // Export phase 2: instantiate the proper APO Ambassador.
+        let spec = site.specs.get(apo_name).cloned().unwrap_or_default();
+        let Some(apo) = site.runtime.object(apo_id) else {
+            return deny(format!("apo object {apo_id} missing"));
+        };
+        let apo_clone = apo.clone();
+        let scratch_ids = site.runtime.ids_mut();
+        let (ambassador, remote_methods) =
+            match instantiate_ambassador(&apo_clone, apo_name, at, &spec, scratch_ids) {
+                Ok(pair) => pair,
+                Err(e) => return deny(e.to_string()),
+            };
+        let amb_id = ambassador.id();
+        // Export phase 3: ship it as data.
+        let image = match ambassador.image_value().map(|v| mrom_value::wire::encode(&v)) {
+            Ok(bytes) => bytes,
+            Err(e) => return deny(e.to_string()),
+        };
+        site.deployed.entry(apo_id).or_default().push((from, amb_id));
+        ProtocolMsg::ExportAck {
+            req_id,
+            ambassador_image: image,
+            origin_apo: apo_id,
+            remote_methods,
+        }
+    }
+
+    /// Receives a migrating object: unpack, adopt, run its `on_arrival`
+    /// hook (if any) with an arrival context.
+    fn handle_move(
+        &mut self,
+        at: NodeId,
+        from: NodeId,
+        image: &[u8],
+    ) -> Result<ObjectId, HadasError> {
+        let obj = MromObject::from_image(image).map_err(HadasError::Model)?;
+        let id = obj.id();
+        let now = self.net.now().as_millis();
+        let site = self.sites.get_mut(&at).ok_or(HadasError::UnknownSite(at))?;
+        let host_ioo = site.ioo;
+        site.runtime.adopt(obj).map_err(HadasError::Model)?;
+        let has_hook = site
+            .runtime
+            .object(id)
+            .is_some_and(|o| o.find_method("on_arrival").is_some());
+        if has_hook {
+            let context = Value::map([
+                ("host_site", Value::Int(at.0 as i64)),
+                ("came_from", Value::Int(from.0 as i64)),
+                ("host_ioo", Value::ObjectRef(host_ioo)),
+                ("arrived_at", Value::Int(now as i64)),
+            ]);
+            // A failing arrival hook evicts the object back into limbo
+            // rather than leaving a half-installed guest.
+            if let Err(e) = site.runtime.invoke(host_ioo, id, "on_arrival", &[context]) {
+                let _ = site.runtime.evict(id);
+                return Err(HadasError::Model(e));
+            }
+        }
+        Ok(id)
+    }
+
+    fn apply_update(
+        &mut self,
+        at: NodeId,
+        origin: ObjectId,
+        target: ObjectId,
+        ops: &[UpdateOp],
+    ) -> Result<usize, HadasError> {
+        let site = self
+            .sites
+            .get_mut(&at)
+            .ok_or(HadasError::UnknownSite(at))?;
+        if !site.guests.contains_key(&target) {
+            return Err(HadasError::UnknownAmbassador(target));
+        }
+        let obj = site
+            .runtime
+            .object_mut(target)
+            .ok_or(HadasError::Model(MromError::NoSuchObject(target)))?;
+        let mut applied = 0;
+        for op in ops {
+            // Each op runs with the claimed origin principal; the object's
+            // own ACLs decide whether that principal is honoured, so a
+            // forged origin gains nothing it could not do anyway.
+            match op {
+                UpdateOp::AddMethod(name, desc) => {
+                    let method = mrom_core::Method::from_descriptor(desc)
+                        .map_err(HadasError::Model)?;
+                    obj.add_method(origin, name, method)
+                        .map_err(HadasError::Model)?;
+                }
+                UpdateOp::SetMethod(name, desc) => {
+                    obj.set_method(origin, name, desc).map_err(HadasError::Model)?;
+                }
+                UpdateOp::DeleteMethod(name) => {
+                    obj.delete_method(origin, name).map_err(HadasError::Model)?;
+                }
+                UpdateOp::AddData(name, value) => {
+                    obj.add_data(origin, name, value.clone())
+                        .map_err(HadasError::Model)?;
+                }
+                UpdateOp::SetData(name, value) => {
+                    obj.write_data(origin, name, value.clone())
+                        .map_err(HadasError::Model)?;
+                }
+                UpdateOp::InstallMetaInvoke(name) => {
+                    obj.install_meta_invoke(origin, name)
+                        .map_err(HadasError::Model)?;
+                }
+                UpdateOp::UninstallMetaInvoke => {
+                    obj.uninstall_meta_invoke(origin).map_err(HadasError::Model)?;
+                }
+            }
+            applied += 1;
+            // Migrated methods stop being relayed.
+            if let UpdateOp::AddMethod(name, _) = op {
+                if let Some(info) = site.guests.get_mut(&target) {
+                    info.remote_methods.retain(|m| m != name);
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    // -- synchronous operations ----------------------------------------------
+
+    /// Establishes a Link agreement: installs an Ambassador of `to`'s IOO
+    /// in `from`'s Vicinity. "This operation is a prerequisite for any
+    /// further cooperation between the two IOOs."
+    ///
+    /// # Errors
+    ///
+    /// Site errors, [`HadasError::Timeout`] under partition/loss, remote
+    /// refusals.
+    pub fn link(&mut self, from: NodeId, to: NodeId) -> Result<(), HadasError> {
+        let from_ioo = self.ioo_id(from)?;
+        self.site(to)?; // fail fast on unknown peer
+        let req_id = self.fresh_req_id();
+        let reply = self.request(
+            from,
+            to,
+            ProtocolMsg::LinkReq {
+                req_id,
+                from,
+                from_ioo,
+            },
+        )?;
+        match reply {
+            ProtocolMsg::LinkAck {
+                ambassador_image, ..
+            } => {
+                let amb =
+                    MromObject::from_image(&ambassador_image).map_err(HadasError::Model)?;
+                let amb_id = amb.id();
+                let site = self.site_mut(from)?;
+                site.runtime.adopt(amb).map_err(HadasError::Model)?;
+                site.links.insert(to);
+                let ioo = site.ioo;
+                if let Some(ioo_obj) = site.runtime.object_mut(ioo) {
+                    map_insert(
+                        ioo_obj,
+                        "vicinity",
+                        &to.to_string(),
+                        Value::ObjectRef(amb_id),
+                    );
+                }
+                Ok(())
+            }
+            ProtocolMsg::Error { reason, .. } => Err(HadasError::Remote(reason)),
+            other => Err(HadasError::BadMessage(format!(
+                "unexpected reply to link: {other:?}"
+            ))),
+        }
+    }
+
+    /// Imports an APO from `provider`: the Import/Export handshake. The
+    /// Ambassador arrives as data, is unpacked, receives an installation
+    /// context, installs itself, and is registered as a guest. Returns its
+    /// identity.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::NotLinked`] without a prior [`Federation::link`];
+    /// export denials; transport failures.
+    pub fn import_apo(
+        &mut self,
+        requester: NodeId,
+        provider: NodeId,
+        apo_name: &str,
+    ) -> Result<ObjectId, HadasError> {
+        if !self.is_linked(requester, provider) {
+            return Err(HadasError::NotLinked {
+                from: requester,
+                to: provider,
+            });
+        }
+        let from_ioo = self.ioo_id(requester)?;
+        let req_id = self.fresh_req_id();
+        let reply = self.request(
+            requester,
+            provider,
+            ProtocolMsg::ImportReq {
+                req_id,
+                from: requester,
+                from_ioo,
+                apo_name: apo_name.to_owned(),
+            },
+        )?;
+        match reply {
+            ProtocolMsg::ExportAck {
+                ambassador_image,
+                origin_apo,
+                remote_methods,
+                ..
+            } => {
+                // "When the Ambassador arrives (as data) the importing IOO
+                // unpacks it, passes to it an installation context and
+                // invokes the Ambassador, which in turn installs itself."
+                let amb = MromObject::from_image(&ambassador_image)
+                    .map_err(HadasError::Model)?;
+                let amb_id = amb.id();
+                let now = self.net.now().as_millis();
+                let site = self.site_mut(requester)?;
+                let host_ioo = site.ioo;
+                site.runtime.adopt(amb).map_err(HadasError::Model)?;
+                let context = Value::map([
+                    ("host_site", Value::Int(requester.0 as i64)),
+                    ("host_ioo", Value::ObjectRef(host_ioo)),
+                    ("arrived_at", Value::Int(now as i64)),
+                ]);
+                site.runtime
+                    .invoke(host_ioo, amb_id, "install", &[context])
+                    .map_err(HadasError::Model)?;
+                site.guests.insert(
+                    amb_id,
+                    GuestInfo {
+                        origin_node: provider,
+                        origin_apo,
+                        apo_name: apo_name.to_owned(),
+                        remote_methods,
+                    },
+                );
+                let ioo = site.ioo;
+                if let Some(ioo_obj) = site.runtime.object_mut(ioo) {
+                    map_insert(
+                        ioo_obj,
+                        "guests",
+                        &amb_id.to_string(),
+                        Value::ObjectRef(origin_apo),
+                    );
+                }
+                Ok(amb_id)
+            }
+            ProtocolMsg::Error { reason, .. } => Err(HadasError::Remote(reason)),
+            other => Err(HadasError::BadMessage(format!(
+                "unexpected reply to import: {other:?}"
+            ))),
+        }
+    }
+
+    /// Invokes a method on an object hosted at a remote site, as `caller`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and remote invocation errors.
+    pub fn remote_invoke(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        caller: ObjectId,
+        target: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, HadasError> {
+        self.site(from)?;
+        self.site(to)?;
+        let req_id = self.fresh_req_id();
+        let reply = self.request(
+            from,
+            to,
+            ProtocolMsg::InvokeReq {
+                req_id,
+                caller,
+                target,
+                method: method.to_owned(),
+                args: args.to_vec(),
+            },
+        )?;
+        match reply {
+            ProtocolMsg::InvokeResp { result, .. } => Ok(result),
+            ProtocolMsg::Error { reason, .. } => Err(HadasError::Remote(reason)),
+            other => Err(HadasError::BadMessage(format!(
+                "unexpected reply to invoke: {other:?}"
+            ))),
+        }
+    }
+
+    /// Invokes through a hosted Ambassador: locally when the method has
+    /// migrated with (or was later pushed to) the Ambassador, relayed to
+    /// the origin APO when it stayed home.
+    ///
+    /// # Errors
+    ///
+    /// Unknown-ambassador errors, local invocation errors, relay errors,
+    /// and [`HadasError::Remote`]/[`HadasError::Timeout`] on the relay
+    /// path.
+    pub fn call_through_ambassador(
+        &mut self,
+        host: NodeId,
+        caller: ObjectId,
+        ambassador: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, HadasError> {
+        let site = self.site(host)?;
+        let info = site
+            .guests
+            .get(&ambassador)
+            .ok_or(HadasError::UnknownAmbassador(ambassador))?
+            .clone();
+        // The Ambassador gets first say: if the method migrated with it, it
+        // serves locally, and if a meta-invoke tower is installed (e.g. the
+        // maintenance notice), the tower intercepts *every* invocation —
+        // even of methods that normally relay.
+        let try_local = site.runtime.object(ambassador).is_some_and(|obj| {
+            obj.has_method(caller, method) || !obj.tower().is_empty()
+        });
+        if try_local {
+            let site = self.site_mut(host)?;
+            match site.runtime.invoke(caller, ambassador, method, args) {
+                Ok(v) => return Ok(v),
+                // The tower was installed but descended to a method the
+                // Ambassador does not carry: fall through to the relay.
+                Err(MromError::NoSuchMethod { .. }) => {}
+                Err(e) => return Err(HadasError::Model(e)),
+            }
+        }
+        if info.remote_methods.iter().any(|m| m == method) {
+            return self.remote_invoke(
+                host,
+                info.origin_node,
+                caller,
+                info.origin_apo,
+                method,
+                args,
+            );
+        }
+        Err(HadasError::Model(MromError::NoSuchMethod {
+            object: ambassador,
+            name: method.to_owned(),
+        }))
+    }
+
+    /// Pushes structural updates from an origin APO to **all** of its
+    /// deployed Ambassadors (the §5 dynamic-update mechanism). Returns the
+    /// number of Ambassadors updated.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors, [`HadasError::Timeout`] when some host is
+    /// unreachable, [`HadasError::Remote`] when a host rejected the
+    /// update.
+    pub fn push_update(
+        &mut self,
+        origin: NodeId,
+        apo_name: &str,
+        ops: &[UpdateOp],
+    ) -> Result<usize, HadasError> {
+        let apo_id = self.apo_id(origin, apo_name)?;
+        let targets = self.deployed_ambassadors(origin, apo_name)?;
+        let mut req_ids = Vec::with_capacity(targets.len());
+        for (host, amb) in &targets {
+            let req_id = self.fresh_req_id();
+            let msg = ProtocolMsg::UpdateReq {
+                req_id,
+                origin: apo_id,
+                target: *amb,
+                ops: ops.to_vec(),
+            };
+            self.post(origin, *host, &msg)?;
+            req_ids.push(req_id);
+        }
+        self.pump_until(&req_ids, "push_update")?;
+        let mut updated = 0;
+        for req_id in req_ids {
+            match self.completed.remove(&req_id) {
+                Some(ProtocolMsg::UpdateAck { .. }) => updated += 1,
+                Some(ProtocolMsg::Error { reason, .. }) => {
+                    return Err(HadasError::Remote(reason))
+                }
+                other => {
+                    return Err(HadasError::BadMessage(format!(
+                        "unexpected update reply: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(updated)
+    }
+
+    /// Dispatches a whole object to another site — the itinerant-agent
+    /// move of the paper's introduction. The object is evicted locally,
+    /// serializes itself, travels as data, is adopted at the destination,
+    /// and — if it carries an `on_arrival` method — is invoked with an
+    /// arrival context so it can install itself and decide its next move.
+    ///
+    /// Requires a Link agreement between the sites. On transport failure
+    /// the object is restored locally (it never ceases to exist).
+    ///
+    /// # Errors
+    ///
+    /// Link/lookup errors, [`MromError::NotMobile`] for objects with
+    /// native bodies, transport timeouts, and remote refusals.
+    pub fn dispatch_object(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        object: ObjectId,
+    ) -> Result<(), HadasError> {
+        if !self.is_linked(from, to) {
+            return Err(HadasError::NotLinked { from, to });
+        }
+        let site = self.site_mut(from)?;
+        let obj = site.runtime.evict(object).map_err(HadasError::Model)?;
+        let image = match obj.image_value().map(|v| mrom_value::wire::encode(&v)) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // Not mobile: put it back, report.
+                site.runtime.adopt(obj).expect("just evicted");
+                return Err(HadasError::Model(e));
+            }
+        };
+        let req_id = self.fresh_req_id();
+        let outcome = self.request(from, to, ProtocolMsg::MoveObject { req_id, image });
+        match outcome {
+            Ok(ProtocolMsg::MoveAck { adopted, .. }) if adopted == object => Ok(()),
+            Ok(ProtocolMsg::Error { reason, .. }) => {
+                self.site_mut(from)?
+                    .runtime
+                    .adopt(obj)
+                    .expect("identity unused after failed move");
+                Err(HadasError::Remote(reason))
+            }
+            Ok(other) => {
+                self.site_mut(from)?
+                    .runtime
+                    .adopt(obj)
+                    .expect("identity unused after failed move");
+                Err(HadasError::BadMessage(format!(
+                    "unexpected reply to move: {other:?}"
+                )))
+            }
+            Err(e) => {
+                self.site_mut(from)?
+                    .runtime
+                    .adopt(obj)
+                    .expect("identity unused after failed move");
+                Err(e)
+            }
+        }
+    }
+
+    /// Installs an *interoperability program* — a coordination-level
+    /// script — into a site's IOO (Figure 2's **Interop** component).
+    ///
+    /// The program runs on the IOO object and may reach every object
+    /// hosted at the site (local APOs and guest Ambassadors alike) through
+    /// `self.send(ref, method, args)`; it is how "(dynamic) control- and
+    /// data-flow between (integrated, interconnected and configured)
+    /// components" is specified.
+    ///
+    /// # Errors
+    ///
+    /// Site errors, script parse errors, and duplicate program names.
+    pub fn install_interop_program(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        source: &str,
+    ) -> Result<(), HadasError> {
+        let site = self.site_mut(node)?;
+        let ioo = site.ioo;
+        let program = mrom_core::Method::public(
+            mrom_core::MethodBody::script(source).map_err(HadasError::Model)?,
+        );
+        site.runtime
+            .object_mut(ioo)
+            .ok_or(HadasError::Model(MromError::NoSuchObject(ioo)))?
+            .add_method(mrom_value::ObjectId::SYSTEM, name, program)
+            .map_err(HadasError::Model)
+    }
+
+    /// Runs an installed interoperability program with the system
+    /// principal, returning its result.
+    ///
+    /// # Errors
+    ///
+    /// Site errors and whatever the program raises.
+    pub fn run_interop(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, HadasError> {
+        let site = self.site_mut(node)?;
+        let ioo = site.ioo;
+        site.runtime
+            .invoke_as_system(ioo, name, args)
+            .map_err(HadasError::Model)
+    }
+
+    /// The guest Ambassadors hosted at a site, as `(ambassador id, origin
+    /// APO name)` pairs — what an interop program enumerates to find its
+    /// components.
+    ///
+    /// # Errors
+    ///
+    /// Site errors.
+    pub fn guests(&self, node: NodeId) -> Result<Vec<(ObjectId, String)>, HadasError> {
+        Ok(self
+            .site(node)?
+            .guests
+            .iter()
+            .map(|(id, info)| (*id, info.apo_name.clone()))
+            .collect())
+    }
+
+    /// Migrates a method from an APO to all of its deployed Ambassadors:
+    /// "The dynamic migration of functionality (methods) and data from the
+    /// APO to its ambassador ... can be done using the meta-methods."
+    /// After migration the method is served locally at every hosting site.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors, non-mobile methods, transport failures.
+    pub fn migrate_method(
+        &mut self,
+        origin: NodeId,
+        apo_name: &str,
+        method: &str,
+    ) -> Result<usize, HadasError> {
+        let apo_id = self.apo_id(origin, apo_name)?;
+        let site = self.site(origin)?;
+        let apo = site
+            .runtime
+            .object(apo_id)
+            .ok_or(HadasError::Model(MromError::NoSuchObject(apo_id)))?;
+        // The APO reads its own method definition (full descriptor) ...
+        let desc = apo
+            .method_descriptor(apo_id, method)
+            .map_err(HadasError::Model)?;
+        // ... and pushes it to every Ambassador via addMethod.
+        self.push_update(
+            origin,
+            apo_name,
+            &[UpdateOp::AddMethod(method.to_owned(), desc)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrom_core::{ClassSpec, DataItem, Method, MethodBody};
+    use mrom_net::LinkConfig;
+
+    fn db_apo_class() -> ClassSpec {
+        ClassSpec::new("employee-db")
+            .fixed_data("rows", DataItem::public(Value::Int(3)))
+            .fixed_method(
+                "count",
+                Method::public(MethodBody::script("return self.get(\"rows\");").unwrap()),
+            )
+            .fixed_method(
+                "salary_of",
+                Method::public(
+                    MethodBody::script(
+                        "param name; return {\"alice\": 100, \"bob\": 90, \"eve\": 80}[name];",
+                    )
+                    .unwrap(),
+                ),
+            )
+    }
+
+    fn two_site_federation() -> (Federation, NodeId, NodeId) {
+        let cfg = NetworkConfig::new(3).with_default_link(LinkConfig::lan());
+        let mut fed = Federation::new(cfg);
+        let a = NodeId(1);
+        let b = NodeId(2);
+        fed.add_site(a).unwrap();
+        fed.add_site(b).unwrap();
+        (fed, a, b)
+    }
+
+    fn integrate_db(fed: &mut Federation, at: NodeId, export: &[&str]) -> ObjectId {
+        let apo = db_apo_class().instantiate(fed.runtime_mut(at).unwrap().ids_mut());
+        let spec = AmbassadorSpec::relay_only()
+            .with_methods(export.iter().copied())
+            .with_data(["rows"]);
+        fed.integrate_apo(at, "db", apo, spec).unwrap()
+    }
+
+    #[test]
+    fn link_installs_vicinity_ambassador() {
+        let (mut fed, a, b) = two_site_federation();
+        assert!(!fed.is_linked(a, b));
+        fed.link(a, b).unwrap();
+        assert!(fed.is_linked(a, b));
+        assert!(fed.is_linked(b, a), "provider records the partner too");
+        // The vicinity map holds the ambassador; the object answers.
+        let ioo = fed.ioo_id(a).unwrap();
+        let vicinity = fed
+            .runtime(a)
+            .unwrap()
+            .object(ioo)
+            .unwrap()
+            .read_data(ObjectId::SYSTEM, "vicinity")
+            .unwrap();
+        let amb_ref = vicinity.as_map().unwrap()["n2"].as_object_ref().unwrap();
+        let info = fed
+            .runtime_mut(a)
+            .unwrap()
+            .invoke_as_system(amb_ref, "site_info", &[])
+            .unwrap();
+        assert_eq!(info.as_map().unwrap()["site"], Value::Int(2));
+    }
+
+    #[test]
+    fn import_requires_link() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        assert!(matches!(
+            fed.import_apo(a, b, "db"),
+            Err(HadasError::NotLinked { .. })
+        ));
+    }
+
+    #[test]
+    fn import_export_ships_a_working_ambassador() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        fed.link(a, b).unwrap();
+        let amb = fed.import_apo(a, b, "db").unwrap();
+        // Installed itself with the context.
+        let caller = fed.runtime_mut(a).unwrap().ids_mut().next_id();
+        let installed = fed
+            .runtime(a)
+            .unwrap()
+            .object(amb)
+            .unwrap()
+            .read_data(caller, "installed")
+            .unwrap();
+        assert_eq!(installed, Value::Bool(true));
+        // Exported method runs locally at A.
+        let out = fed
+            .call_through_ambassador(a, caller, amb, "count", &[])
+            .unwrap();
+        assert_eq!(out, Value::Int(3));
+        // Non-exported method relays to the origin at B.
+        let out = fed
+            .call_through_ambassador(a, caller, amb, "salary_of", &[Value::from("alice")])
+            .unwrap();
+        assert_eq!(out, Value::Int(100));
+        // Guest bookkeeping.
+        let info = fed.guest_info(a, amb).unwrap();
+        assert_eq!(info.origin_node, b);
+        assert_eq!(info.apo_name, "db");
+        assert!(info.remote_methods.contains(&"salary_of".to_owned()));
+    }
+
+    #[test]
+    fn export_policy_denies_unauthorized_sites() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        fed.link(a, b).unwrap();
+        fed.set_export_policy(b, "db", ExportPolicy::Nobody).unwrap();
+        assert!(matches!(
+            fed.import_apo(a, b, "db"),
+            Err(HadasError::Remote(reason)) if reason.contains("denied")
+        ));
+        fed.set_export_policy(b, "db", ExportPolicy::Sites([a].into()))
+            .unwrap();
+        assert!(fed.import_apo(a, b, "db").is_ok());
+    }
+
+    #[test]
+    fn unknown_apo_import_fails_remotely() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        assert!(matches!(
+            fed.import_apo(a, b, "ghost"),
+            Err(HadasError::Remote(_))
+        ));
+    }
+
+    #[test]
+    fn migrate_method_moves_functionality_to_the_edge() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        fed.link(a, b).unwrap();
+        let amb = fed.import_apo(a, b, "db").unwrap();
+        let caller = fed.runtime_mut(a).unwrap().ids_mut().next_id();
+
+        let before_relay = fed.net_stats().messages_sent;
+        fed.call_through_ambassador(a, caller, amb, "salary_of", &[Value::from("bob")])
+            .unwrap();
+        assert!(fed.net_stats().messages_sent > before_relay, "relayed over the net");
+
+        // Migrate salary_of into the deployed ambassador.
+        assert_eq!(fed.migrate_method(b, "db", "salary_of").unwrap(), 1);
+
+        let before_local = fed.net_stats().messages_sent;
+        let out = fed
+            .call_through_ambassador(a, caller, amb, "salary_of", &[Value::from("bob")])
+            .unwrap();
+        assert_eq!(out, Value::Int(90));
+        assert_eq!(
+            fed.net_stats().messages_sent,
+            before_local,
+            "served locally after migration"
+        );
+    }
+
+    #[test]
+    fn push_update_rewrites_remote_semantics() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        fed.link(a, b).unwrap();
+        let amb = fed.import_apo(a, b, "db").unwrap();
+        let caller = fed.runtime_mut(a).unwrap().ids_mut().next_id();
+
+        // The origin pushes a maintenance meta-invoke (the §5 example).
+        let updated = fed
+            .push_update(
+                b,
+                "db",
+                &[
+                    UpdateOp::AddMethod(
+                        "maintenance_notice".into(),
+                        Value::map([
+                            ("body", Value::from("return \"database is down for maintenance\";")),
+                            ("invoke_acl", Value::from("public")),
+                        ]),
+                    ),
+                    UpdateOp::InstallMetaInvoke("maintenance_notice".into()),
+                ],
+            )
+            .unwrap();
+        assert_eq!(updated, 1);
+        // Every invocation on the ambassador now echoes the notice.
+        let out = fed
+            .call_through_ambassador(a, caller, amb, "count", &[])
+            .unwrap();
+        assert_eq!(out, Value::from("database is down for maintenance"));
+        // Back to normal after the uninstall push.
+        fed.push_update(b, "db", &[UpdateOp::UninstallMetaInvoke])
+            .unwrap();
+        let out = fed
+            .call_through_ambassador(a, caller, amb, "count", &[])
+            .unwrap();
+        assert_eq!(out, Value::Int(3));
+    }
+
+    #[test]
+    fn partition_times_out_cleanly() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        fed.link(a, b).unwrap();
+        fed.net_config_mut().partition(a, b);
+        assert!(matches!(
+            fed.import_apo(a, b, "db"),
+            Err(HadasError::Timeout { .. })
+        ));
+        fed.net_config_mut().heal(a, b);
+        assert!(fed.import_apo(a, b, "db").is_ok());
+    }
+
+    #[test]
+    fn hostile_host_cannot_update_a_guest_with_forged_origin() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        fed.link(a, b).unwrap();
+        let amb = fed.import_apo(a, b, "db").unwrap();
+        // Site A (the host) forges an update claiming some random origin.
+        let forged = fed.runtime_mut(a).unwrap().ids_mut().next_id();
+        let site_b_view = fed.apo_id(b, "db").unwrap();
+        assert_ne!(forged, site_b_view);
+        let err = fed
+            .apply_update(
+                a,
+                forged,
+                amb,
+                &[UpdateOp::AddData("evil".into(), Value::Null)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, HadasError::Model(MromError::AccessDenied { .. })));
+    }
+
+    #[test]
+    fn site_stats_reflect_topology() {
+        let (mut fed, a, b) = two_site_federation();
+        integrate_db(&mut fed, b, &["count"]);
+        fed.link(a, b).unwrap();
+        fed.import_apo(a, b, "db").unwrap();
+        let sa = fed.site_stats(a).unwrap();
+        let sb = fed.site_stats(b).unwrap();
+        assert_eq!(sa.guests, 1);
+        assert_eq!(sa.apos, 0);
+        assert_eq!(sb.apos, 1);
+        assert_eq!(sb.deployed, 1);
+        assert_eq!(sa.links, 1);
+        assert_eq!(sb.links, 1);
+    }
+
+    #[test]
+    fn virtual_time_advances_with_traffic() {
+        let (mut fed, a, b) = two_site_federation();
+        assert_eq!(fed.now(), SimTime::ZERO);
+        fed.link(a, b).unwrap();
+        assert!(fed.now() > SimTime::ZERO);
+    }
+}

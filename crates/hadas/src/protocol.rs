@@ -1,0 +1,595 @@
+//! The HADAS wire protocol.
+//!
+//! Every cross-site exchange is a [`ProtocolMsg`] lowered to a
+//! [`mrom_value::Value`] map and encoded with the standard wire format, so
+//! protocol traffic and mobile objects share one self-contained encoding.
+
+use mrom_value::{wire, NodeId, ObjectId, Value};
+
+use crate::error::HadasError;
+
+/// One structural update pushed by an origin APO to a deployed Ambassador
+/// (the dynamic-update mechanism of §5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `addMethod(name, descriptor)`.
+    AddMethod(String, Value),
+    /// `setMethod(name, descriptor)`.
+    SetMethod(String, Value),
+    /// `deleteMethod(name)`.
+    DeleteMethod(String),
+    /// `addDataItem(name, value)`.
+    AddData(String, Value),
+    /// Ordinary `set(name, value)`.
+    SetData(String, Value),
+    /// Push a new meta-invoke level (the database-maintenance move).
+    InstallMetaInvoke(String),
+    /// Pop the topmost meta-invoke level.
+    UninstallMetaInvoke,
+}
+
+impl UpdateOp {
+    /// Lowers to a tagged list.
+    pub fn to_value(&self) -> Value {
+        match self {
+            UpdateOp::AddMethod(n, d) => Value::list([
+                Value::from("add_method"),
+                Value::Str(n.clone()),
+                d.clone(),
+            ]),
+            UpdateOp::SetMethod(n, d) => Value::list([
+                Value::from("set_method"),
+                Value::Str(n.clone()),
+                d.clone(),
+            ]),
+            UpdateOp::DeleteMethod(n) => {
+                Value::list([Value::from("delete_method"), Value::Str(n.clone())])
+            }
+            UpdateOp::AddData(n, v) => Value::list([
+                Value::from("add_data"),
+                Value::Str(n.clone()),
+                v.clone(),
+            ]),
+            UpdateOp::SetData(n, v) => Value::list([
+                Value::from("set_data"),
+                Value::Str(n.clone()),
+                v.clone(),
+            ]),
+            UpdateOp::InstallMetaInvoke(n) => {
+                Value::list([Value::from("install_meta_invoke"), Value::Str(n.clone())])
+            }
+            UpdateOp::UninstallMetaInvoke => {
+                Value::list([Value::from("uninstall_meta_invoke")])
+            }
+        }
+    }
+
+    /// Rebuilds from [`UpdateOp::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::BadMessage`].
+    pub fn from_value(v: &Value) -> Result<UpdateOp, HadasError> {
+        let items = v
+            .as_list()
+            .ok_or_else(|| bad("update op must be a list"))?;
+        let tag = items
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("update op missing tag"))?;
+        let name = |i: usize| -> Result<String, HadasError> {
+            items
+                .get(i)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| bad("update op missing name"))
+        };
+        let val = |i: usize| -> Result<Value, HadasError> {
+            items
+                .get(i)
+                .cloned()
+                .ok_or_else(|| bad("update op missing value"))
+        };
+        Ok(match tag {
+            "add_method" => UpdateOp::AddMethod(name(1)?, val(2)?),
+            "set_method" => UpdateOp::SetMethod(name(1)?, val(2)?),
+            "delete_method" => UpdateOp::DeleteMethod(name(1)?),
+            "add_data" => UpdateOp::AddData(name(1)?, val(2)?),
+            "set_data" => UpdateOp::SetData(name(1)?, val(2)?),
+            "install_meta_invoke" => UpdateOp::InstallMetaInvoke(name(1)?),
+            "uninstall_meta_invoke" => UpdateOp::UninstallMetaInvoke,
+            other => return Err(bad(&format!("unknown update op {other:?}"))),
+        })
+    }
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolMsg {
+    /// Link handshake request: "let our IOOs cooperate".
+    LinkReq {
+        /// Correlation id.
+        req_id: u64,
+        /// The requesting site.
+        from: NodeId,
+        /// The requester's IOO identity.
+        from_ioo: ObjectId,
+    },
+    /// Link acknowledgement carrying an IOO-Ambassador image for the
+    /// requester's Vicinity.
+    LinkAck {
+        /// Correlation id.
+        req_id: u64,
+        /// The replying site's IOO identity.
+        ioo: ObjectId,
+        /// Migration image of the IOO Ambassador.
+        ambassador_image: Vec<u8>,
+    },
+    /// Import request naming an APO at the remote site.
+    ImportReq {
+        /// Correlation id.
+        req_id: u64,
+        /// The requesting site.
+        from: NodeId,
+        /// The requester's IOO identity (the principal Export checks).
+        from_ioo: ObjectId,
+        /// Name of the APO to import.
+        apo_name: String,
+    },
+    /// Successful Export reply carrying the APO Ambassador as data.
+    ExportAck {
+        /// Correlation id.
+        req_id: u64,
+        /// Migration image of the freshly instantiated Ambassador.
+        ambassador_image: Vec<u8>,
+        /// Identity of the origin APO (for the relay path).
+        origin_apo: ObjectId,
+        /// Methods that did *not* migrate and must be relayed to the
+        /// origin.
+        remote_methods: Vec<String>,
+    },
+    /// Any request refused or failed remotely.
+    Error {
+        /// Correlation id.
+        req_id: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Remote method invocation request.
+    InvokeReq {
+        /// Correlation id.
+        req_id: u64,
+        /// Principal on whose behalf the invocation runs.
+        caller: ObjectId,
+        /// Target object at the receiving site.
+        target: ObjectId,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// Remote invocation response.
+    InvokeResp {
+        /// Correlation id.
+        req_id: u64,
+        /// The returned value.
+        result: Value,
+    },
+    /// Origin-pushed structural update for a deployed Ambassador.
+    UpdateReq {
+        /// Correlation id.
+        req_id: u64,
+        /// Acting principal (must be the Ambassador's origin).
+        origin: ObjectId,
+        /// The Ambassador to update.
+        target: ObjectId,
+        /// Ordered operations.
+        ops: Vec<UpdateOp>,
+    },
+    /// Update acknowledgement.
+    UpdateAck {
+        /// Correlation id.
+        req_id: u64,
+        /// Number of operations applied.
+        applied: usize,
+    },
+    /// Whole-object migration: an autonomous object (agent) moves itself
+    /// to another site, as data.
+    MoveObject {
+        /// Correlation id.
+        req_id: u64,
+        /// The object's migration image.
+        image: Vec<u8>,
+    },
+    /// Migration acknowledgement.
+    MoveAck {
+        /// Correlation id.
+        req_id: u64,
+        /// Identity the receiving site adopted.
+        adopted: ObjectId,
+    },
+}
+
+fn bad(detail: &str) -> HadasError {
+    HadasError::BadMessage(detail.to_owned())
+}
+
+impl ProtocolMsg {
+    /// The correlation id of any message.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            ProtocolMsg::LinkReq { req_id, .. }
+            | ProtocolMsg::LinkAck { req_id, .. }
+            | ProtocolMsg::ImportReq { req_id, .. }
+            | ProtocolMsg::ExportAck { req_id, .. }
+            | ProtocolMsg::Error { req_id, .. }
+            | ProtocolMsg::InvokeReq { req_id, .. }
+            | ProtocolMsg::InvokeResp { req_id, .. }
+            | ProtocolMsg::UpdateReq { req_id, .. }
+            | ProtocolMsg::UpdateAck { req_id, .. }
+            | ProtocolMsg::MoveObject { req_id, .. }
+            | ProtocolMsg::MoveAck { req_id, .. } => *req_id,
+        }
+    }
+
+    /// Lowers the message to a value map.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ProtocolMsg::LinkReq {
+                req_id,
+                from,
+                from_ioo,
+            } => Value::map([
+                ("op", Value::from("link_req")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("from", Value::Int(from.0 as i64)),
+                ("from_ioo", Value::ObjectRef(*from_ioo)),
+            ]),
+            ProtocolMsg::LinkAck {
+                req_id,
+                ioo,
+                ambassador_image,
+            } => Value::map([
+                ("op", Value::from("link_ack")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("ioo", Value::ObjectRef(*ioo)),
+                ("image", Value::Bytes(ambassador_image.clone())),
+            ]),
+            ProtocolMsg::ImportReq {
+                req_id,
+                from,
+                from_ioo,
+                apo_name,
+            } => Value::map([
+                ("op", Value::from("import_req")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("from", Value::Int(from.0 as i64)),
+                ("from_ioo", Value::ObjectRef(*from_ioo)),
+                ("apo", Value::Str(apo_name.clone())),
+            ]),
+            ProtocolMsg::ExportAck {
+                req_id,
+                ambassador_image,
+                origin_apo,
+                remote_methods,
+            } => Value::map([
+                ("op", Value::from("export_ack")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("image", Value::Bytes(ambassador_image.clone())),
+                ("origin_apo", Value::ObjectRef(*origin_apo)),
+                (
+                    "remote_methods",
+                    Value::List(
+                        remote_methods
+                            .iter()
+                            .map(|m| Value::Str(m.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            ProtocolMsg::Error { req_id, reason } => Value::map([
+                ("op", Value::from("error")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("reason", Value::Str(reason.clone())),
+            ]),
+            ProtocolMsg::InvokeReq {
+                req_id,
+                caller,
+                target,
+                method,
+                args,
+            } => Value::map([
+                ("op", Value::from("invoke_req")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("caller", Value::ObjectRef(*caller)),
+                ("target", Value::ObjectRef(*target)),
+                ("method", Value::Str(method.clone())),
+                ("args", Value::List(args.clone())),
+            ]),
+            ProtocolMsg::InvokeResp { req_id, result } => Value::map([
+                ("op", Value::from("invoke_resp")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("result", result.clone()),
+            ]),
+            ProtocolMsg::UpdateReq {
+                req_id,
+                origin,
+                target,
+                ops,
+            } => Value::map([
+                ("op", Value::from("update_req")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("origin", Value::ObjectRef(*origin)),
+                ("target", Value::ObjectRef(*target)),
+                (
+                    "ops",
+                    Value::List(ops.iter().map(UpdateOp::to_value).collect()),
+                ),
+            ]),
+            ProtocolMsg::UpdateAck { req_id, applied } => Value::map([
+                ("op", Value::from("update_ack")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("applied", Value::Int(*applied as i64)),
+            ]),
+            ProtocolMsg::MoveObject { req_id, image } => Value::map([
+                ("op", Value::from("move_object")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("image", Value::Bytes(image.clone())),
+            ]),
+            ProtocolMsg::MoveAck { req_id, adopted } => Value::map([
+                ("op", Value::from("move_ack")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("adopted", Value::ObjectRef(*adopted)),
+            ]),
+        }
+    }
+
+    /// Encodes the message to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        wire::encode(&self.to_value())
+    }
+
+    /// Decodes a message from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::BadMessage`] for undecodable or malformed buffers.
+    pub fn decode(bytes: &[u8]) -> Result<ProtocolMsg, HadasError> {
+        let v = wire::decode(bytes).map_err(|e| bad(&e.to_string()))?;
+        ProtocolMsg::from_value(&v)
+    }
+
+    /// Rebuilds a message from its value form.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::BadMessage`].
+    pub fn from_value(v: &Value) -> Result<ProtocolMsg, HadasError> {
+        let m = v.as_map().ok_or_else(|| bad("message must be a map"))?;
+        let op = m
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing op"))?;
+        let req_id = m
+            .get("req_id")
+            .and_then(Value::as_int)
+            .ok_or_else(|| bad("missing req_id"))? as u64;
+        let get_ref = |key: &str| -> Result<ObjectId, HadasError> {
+            m.get(key)
+                .and_then(Value::as_object_ref)
+                .ok_or_else(|| bad(&format!("missing object ref {key:?}")))
+        };
+        let get_str = |key: &str| -> Result<String, HadasError> {
+            m.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("missing string {key:?}")))
+        };
+        let get_bytes = |key: &str| -> Result<Vec<u8>, HadasError> {
+            m.get(key)
+                .and_then(Value::as_bytes)
+                .map(<[u8]>::to_vec)
+                .ok_or_else(|| bad(&format!("missing bytes {key:?}")))
+        };
+        let get_node = |key: &str| -> Result<NodeId, HadasError> {
+            m.get(key)
+                .and_then(Value::as_int)
+                .map(|n| NodeId(n as u64))
+                .ok_or_else(|| bad(&format!("missing node {key:?}")))
+        };
+        Ok(match op {
+            "link_req" => ProtocolMsg::LinkReq {
+                req_id,
+                from: get_node("from")?,
+                from_ioo: get_ref("from_ioo")?,
+            },
+            "link_ack" => ProtocolMsg::LinkAck {
+                req_id,
+                ioo: get_ref("ioo")?,
+                ambassador_image: get_bytes("image")?,
+            },
+            "import_req" => ProtocolMsg::ImportReq {
+                req_id,
+                from: get_node("from")?,
+                from_ioo: get_ref("from_ioo")?,
+                apo_name: get_str("apo")?,
+            },
+            "export_ack" => ProtocolMsg::ExportAck {
+                req_id,
+                ambassador_image: get_bytes("image")?,
+                origin_apo: get_ref("origin_apo")?,
+                remote_methods: m
+                    .get("remote_methods")
+                    .and_then(Value::as_list)
+                    .ok_or_else(|| bad("missing remote_methods"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| bad("remote_methods entries must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            "error" => ProtocolMsg::Error {
+                req_id,
+                reason: get_str("reason")?,
+            },
+            "invoke_req" => ProtocolMsg::InvokeReq {
+                req_id,
+                caller: get_ref("caller")?,
+                target: get_ref("target")?,
+                method: get_str("method")?,
+                args: m
+                    .get("args")
+                    .and_then(Value::as_list)
+                    .ok_or_else(|| bad("missing args"))?
+                    .to_vec(),
+            },
+            "invoke_resp" => ProtocolMsg::InvokeResp {
+                req_id,
+                result: m
+                    .get("result")
+                    .cloned()
+                    .ok_or_else(|| bad("missing result"))?,
+            },
+            "update_req" => ProtocolMsg::UpdateReq {
+                req_id,
+                origin: get_ref("origin")?,
+                target: get_ref("target")?,
+                ops: m
+                    .get("ops")
+                    .and_then(Value::as_list)
+                    .ok_or_else(|| bad("missing ops"))?
+                    .iter()
+                    .map(UpdateOp::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            "update_ack" => ProtocolMsg::UpdateAck {
+                req_id,
+                applied: m
+                    .get("applied")
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| bad("missing applied"))? as usize,
+            },
+            "move_object" => ProtocolMsg::MoveObject {
+                req_id,
+                image: get_bytes("image")?,
+            },
+            "move_ack" => ProtocolMsg::MoveAck {
+                req_id,
+                adopted: get_ref("adopted")?,
+            },
+            other => return Err(bad(&format!("unknown op {other:?}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrom_value::{IdGenerator, NodeId};
+
+    fn ids() -> IdGenerator {
+        IdGenerator::new(NodeId(77))
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        let mut gen = ids();
+        let a = gen.next_id();
+        let b = gen.next_id();
+        let msgs = vec![
+            ProtocolMsg::LinkReq {
+                req_id: 1,
+                from: NodeId(4),
+                from_ioo: a,
+            },
+            ProtocolMsg::LinkAck {
+                req_id: 1,
+                ioo: b,
+                ambassador_image: vec![1, 2, 3],
+            },
+            ProtocolMsg::ImportReq {
+                req_id: 2,
+                from: NodeId(4),
+                from_ioo: a,
+                apo_name: "db".into(),
+            },
+            ProtocolMsg::ExportAck {
+                req_id: 2,
+                ambassador_image: vec![9; 64],
+                origin_apo: b,
+                remote_methods: vec!["query".into(), "update".into()],
+            },
+            ProtocolMsg::Error {
+                req_id: 3,
+                reason: "denied".into(),
+            },
+            ProtocolMsg::InvokeReq {
+                req_id: 4,
+                caller: a,
+                target: b,
+                method: "query".into(),
+                args: vec![Value::Int(1), Value::from("x")],
+            },
+            ProtocolMsg::InvokeResp {
+                req_id: 4,
+                result: Value::map([("rows", Value::list([]))]),
+            },
+            ProtocolMsg::UpdateReq {
+                req_id: 5,
+                origin: b,
+                target: a,
+                ops: vec![
+                    UpdateOp::AddData("note".into(), Value::from("hi")),
+                    UpdateOp::SetMethod("m".into(), Value::map([("body", Value::from("return 1;"))])),
+                    UpdateOp::DeleteMethod("old".into()),
+                    UpdateOp::InstallMetaInvoke("maintenance".into()),
+                    UpdateOp::UninstallMetaInvoke,
+                    UpdateOp::SetData("x".into(), Value::Int(2)),
+                    UpdateOp::AddMethod("n".into(), Value::from("return 2;")),
+                ],
+            },
+            ProtocolMsg::UpdateAck {
+                req_id: 5,
+                applied: 7,
+            },
+            ProtocolMsg::MoveObject {
+                req_id: 6,
+                image: vec![0xAB; 32],
+            },
+            ProtocolMsg::MoveAck {
+                req_id: 6,
+                adopted: a,
+            },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            let back = ProtocolMsg::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+            assert_eq!(back.req_id(), msg.req_id());
+        }
+    }
+
+    #[test]
+    fn hostile_buffers_are_rejected() {
+        assert!(ProtocolMsg::decode(b"junk").is_err());
+        let v = Value::map([("op", Value::from("link_req"))]); // no req_id
+        assert!(ProtocolMsg::from_value(&v).is_err());
+        let v = Value::map([
+            ("op", Value::from("who_knows")),
+            ("req_id", Value::Int(1)),
+        ]);
+        assert!(ProtocolMsg::from_value(&v).is_err());
+        let v = Value::Int(7);
+        assert!(ProtocolMsg::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn update_op_rejects_malformed() {
+        assert!(UpdateOp::from_value(&Value::Int(1)).is_err());
+        assert!(UpdateOp::from_value(&Value::list([])).is_err());
+        assert!(UpdateOp::from_value(&Value::list([Value::from("add_method")])).is_err());
+        assert!(UpdateOp::from_value(&Value::list([Value::from("zap")])).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Canned scenarios shared by the examples, integration tests, and the
+//! benchmark harness.
+
+use mrom_core::{ClassSpec, DataItem, Method, MethodBody};
+use mrom_net::{LinkConfig, NetworkConfig};
+use mrom_value::{NodeId, ObjectId, Value};
+
+use crate::ambassador::AmbassadorSpec;
+use crate::error::HadasError;
+use crate::federation::Federation;
+use crate::protocol::UpdateOp;
+
+/// The employee-database APO of the paper's §5 running example: "a
+/// database APO whose methods return employees information".
+pub fn employee_db_class() -> ClassSpec {
+    ClassSpec::new("employee-db")
+        .fixed_data(
+            "employees",
+            DataItem::public(Value::map([
+                ("alice", Value::map([("salary", Value::Int(120)), ("dept", Value::from("os"))])),
+                ("bob", Value::map([("salary", Value::Int(95)), ("dept", Value::from("db"))])),
+                ("carol", Value::map([("salary", Value::Int(130)), ("dept", Value::from("net"))])),
+                ("dave", Value::map([("salary", Value::Int(88)), ("dept", Value::from("db"))])),
+            ])),
+        )
+        .fixed_method(
+            "count",
+            Method::public(MethodBody::script("return len(self.get(\"employees\"));").unwrap()),
+        )
+        .fixed_method(
+            "salary_of",
+            Method::public(
+                MethodBody::script(
+                    r#"
+                    param name;
+                    let db = self.get("employees");
+                    if (!contains(db, name)) { fail("no such employee: " + name); }
+                    return db[name]["salary"];
+                    "#,
+                )
+                .unwrap(),
+            ),
+        )
+        .fixed_method(
+            "department_total",
+            Method::public(
+                MethodBody::script(
+                    r#"
+                    param dept;
+                    let db = self.get("employees");
+                    let total = 0;
+                    for (name in db) {
+                        if (db[name]["dept"] == dept) {
+                            total = total + db[name]["salary"];
+                        }
+                    }
+                    return total;
+                    "#,
+                )
+                .unwrap(),
+            ),
+        )
+}
+
+/// Builds a federation with `site_count` sites (nodes `1..=site_count`)
+/// over the given link profile, all linked to site 1.
+///
+/// # Errors
+///
+/// Propagates federation setup errors.
+pub fn star_federation(
+    seed: u64,
+    site_count: u64,
+    link: LinkConfig,
+) -> Result<(Federation, Vec<NodeId>), HadasError> {
+    let cfg = NetworkConfig::new(seed).with_default_link(link);
+    let mut fed = Federation::new(cfg);
+    let nodes: Vec<NodeId> = (1..=site_count).map(NodeId).collect();
+    for &n in &nodes {
+        fed.add_site(n)?;
+    }
+    for &n in &nodes[1..] {
+        fed.link(n, nodes[0])?;
+    }
+    Ok((fed, nodes))
+}
+
+/// Sets up the full §5 database scenario: the employee DB lives at the hub
+/// site, every spoke imports an Ambassador exporting only `count`. Returns
+/// the ambassador ids by spoke.
+///
+/// # Errors
+///
+/// Propagates federation errors.
+pub fn deploy_employee_db(
+    fed: &mut Federation,
+    hub: NodeId,
+    spokes: &[NodeId],
+) -> Result<Vec<(NodeId, ObjectId)>, HadasError> {
+    let apo = employee_db_class().instantiate(fed.runtime_mut(hub)?.ids_mut());
+    // `count` is served at the edge, so the employee table snapshot rides
+    // along; the heavier queries stay home and are relayed.
+    let spec = AmbassadorSpec::relay_only()
+        .with_methods(["count"])
+        .with_data(["employees"]);
+    fed.integrate_apo(hub, "employee-db", apo, spec)?;
+    let mut out = Vec::with_capacity(spokes.len());
+    for &spoke in spokes {
+        let amb = fed.import_apo(spoke, hub, "employee-db")?;
+        out.push((spoke, amb));
+    }
+    Ok(out)
+}
+
+/// The maintenance-shutdown update of §5: the database administrator
+/// pushes a meta-invoke to every deployed Ambassador so "users at remote
+/// sites can have instant meaningful results for their queries".
+///
+/// # Errors
+///
+/// Propagates push failures.
+pub fn push_maintenance_notice(fed: &mut Federation, hub: NodeId) -> Result<usize, HadasError> {
+    fed.push_update(
+        hub,
+        "employee-db",
+        &[
+            UpdateOp::AddMethod(
+                "maintenance_notice".into(),
+                Value::map([
+                    (
+                        "body",
+                        Value::from("return \"database is down for maintenance\";"),
+                    ),
+                    ("invoke_acl", Value::from("public")),
+                ]),
+            ),
+            UpdateOp::InstallMetaInvoke("maintenance_notice".into()),
+        ],
+    )
+}
+
+/// Lifts the maintenance notice again (uninstall + cleanup).
+///
+/// # Errors
+///
+/// Propagates push failures.
+pub fn lift_maintenance_notice(fed: &mut Federation, hub: NodeId) -> Result<usize, HadasError> {
+    fed.push_update(
+        hub,
+        "employee-db",
+        &[
+            UpdateOp::UninstallMetaInvoke,
+            UpdateOp::DeleteMethod("maintenance_notice".into()),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_federation_links_all_spokes() {
+        let (fed, nodes) = star_federation(5, 4, LinkConfig::lan()).unwrap();
+        for &spoke in &nodes[1..] {
+            assert!(fed.is_linked(spoke, nodes[0]));
+        }
+    }
+
+    #[test]
+    fn employee_db_answers_queries() {
+        let (mut fed, nodes) = star_federation(6, 2, LinkConfig::lan()).unwrap();
+        let hub = nodes[0];
+        let ambs = deploy_employee_db(&mut fed, hub, &nodes[1..]).unwrap();
+        let (spoke, amb) = ambs[0];
+        let caller = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
+        // Local (exported) method.
+        assert_eq!(
+            fed.call_through_ambassador(spoke, caller, amb, "count", &[])
+                .unwrap(),
+            Value::Int(4)
+        );
+        // Relayed methods.
+        assert_eq!(
+            fed.call_through_ambassador(spoke, caller, amb, "salary_of", &[Value::from("carol")])
+                .unwrap(),
+            Value::Int(130)
+        );
+        assert_eq!(
+            fed.call_through_ambassador(
+                spoke,
+                caller,
+                amb,
+                "department_total",
+                &[Value::from("db")]
+            )
+            .unwrap(),
+            Value::Int(183)
+        );
+        // Failing queries surface the script's own error remotely.
+        assert!(matches!(
+            fed.call_through_ambassador(spoke, caller, amb, "salary_of", &[Value::from("zed")]),
+            Err(HadasError::Remote(reason)) if reason.contains("no such employee")
+        ));
+    }
+
+    #[test]
+    fn maintenance_cycle_end_to_end() {
+        let (mut fed, nodes) = star_federation(7, 3, LinkConfig::lan()).unwrap();
+        let hub = nodes[0];
+        let ambs = deploy_employee_db(&mut fed, hub, &nodes[1..]).unwrap();
+        assert_eq!(push_maintenance_notice(&mut fed, hub).unwrap(), 2);
+        for &(spoke, amb) in &ambs {
+            let caller = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
+            let out = fed
+                .call_through_ambassador(spoke, caller, amb, "count", &[])
+                .unwrap();
+            assert_eq!(out, Value::from("database is down for maintenance"));
+        }
+        assert_eq!(lift_maintenance_notice(&mut fed, hub).unwrap(), 2);
+        for &(spoke, amb) in &ambs {
+            let caller = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
+            assert_eq!(
+                fed.call_through_ambassador(spoke, caller, amb, "count", &[])
+                    .unwrap(),
+                Value::Int(4)
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the HADAS wire protocol: every message round-trips;
+//! the decoder is total on hostile input.
+
+use hadas::{ProtocolMsg, UpdateOp};
+use mrom_value::{NodeId, ObjectId, Value};
+use proptest::prelude::*;
+
+fn arb_id() -> impl Strategy<Value = ObjectId> {
+    (any::<u64>(), any::<u32>(), any::<u32>())
+        .prop_map(|(n, s, e)| ObjectId::from_parts(NodeId(n), s, e))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        ".{0,12}".prop_map(Value::Str),
+        arb_id().prop_map(Value::ObjectRef),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::btree_map(".{0,8}", inner, 0..4).prop_map(Value::Map),
+        ]
+    })
+}
+
+fn arb_update_op() -> impl Strategy<Value = UpdateOp> {
+    prop_oneof![
+        (".{1,10}", arb_value()).prop_map(|(n, v)| UpdateOp::AddMethod(n, v)),
+        (".{1,10}", arb_value()).prop_map(|(n, v)| UpdateOp::SetMethod(n, v)),
+        ".{1,10}".prop_map(UpdateOp::DeleteMethod),
+        (".{1,10}", arb_value()).prop_map(|(n, v)| UpdateOp::AddData(n, v)),
+        (".{1,10}", arb_value()).prop_map(|(n, v)| UpdateOp::SetData(n, v)),
+        ".{1,10}".prop_map(UpdateOp::InstallMetaInvoke),
+        Just(UpdateOp::UninstallMetaInvoke),
+    ]
+}
+
+fn arb_msg() -> impl Strategy<Value = ProtocolMsg> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), arb_id()).prop_map(|(r, n, i)| ProtocolMsg::LinkReq {
+            req_id: r,
+            from: NodeId(n),
+            from_ioo: i,
+        }),
+        (any::<u64>(), arb_id(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(r, i, img)| ProtocolMsg::LinkAck {
+                req_id: r,
+                ioo: i,
+                ambassador_image: img,
+            }
+        ),
+        (any::<u64>(), any::<u64>(), arb_id(), ".{0,16}").prop_map(|(r, n, i, a)| {
+            ProtocolMsg::ImportReq {
+                req_id: r,
+                from: NodeId(n),
+                from_ioo: i,
+                apo_name: a,
+            }
+        }),
+        (
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..64),
+            arb_id(),
+            prop::collection::vec(".{0,10}".prop_map(String::from), 0..4)
+        )
+            .prop_map(|(r, img, o, ms)| ProtocolMsg::ExportAck {
+                req_id: r,
+                ambassador_image: img,
+                origin_apo: o,
+                remote_methods: ms,
+            }),
+        (any::<u64>(), ".{0,40}").prop_map(|(r, reason)| ProtocolMsg::Error {
+            req_id: r,
+            reason,
+        }),
+        (
+            any::<u64>(),
+            arb_id(),
+            arb_id(),
+            ".{0,12}",
+            prop::collection::vec(arb_value(), 0..3)
+        )
+            .prop_map(|(r, c, t, m, a)| ProtocolMsg::InvokeReq {
+                req_id: r,
+                caller: c,
+                target: t,
+                method: m,
+                args: a,
+            }),
+        (any::<u64>(), arb_value()).prop_map(|(r, v)| ProtocolMsg::InvokeResp {
+            req_id: r,
+            result: v,
+        }),
+        (
+            any::<u64>(),
+            arb_id(),
+            arb_id(),
+            prop::collection::vec(arb_update_op(), 0..4)
+        )
+            .prop_map(|(r, o, t, ops)| ProtocolMsg::UpdateReq {
+                req_id: r,
+                origin: o,
+                target: t,
+                ops,
+            }),
+        (any::<u64>(), any::<u16>()).prop_map(|(r, a)| ProtocolMsg::UpdateAck {
+            req_id: r,
+            applied: a as usize,
+        }),
+    ]
+}
+
+proptest! {
+    /// Every protocol message round-trips bit-exactly.
+    #[test]
+    fn messages_round_trip(msg in arb_msg()) {
+        let bytes = msg.encode();
+        let back = ProtocolMsg::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(back.req_id(), msg.req_id());
+    }
+
+    /// Truncated messages are rejected, never panic.
+    #[test]
+    fn truncations_fail_cleanly(msg in arb_msg(), frac in 0.0f64..1.0) {
+        let bytes = msg.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(ProtocolMsg::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_is_total(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = ProtocolMsg::decode(&data);
+    }
+
+    /// Bit flips either fail or decode to *some* message — never a panic.
+    #[test]
+    fn bitflips_are_total(msg in arb_msg(), bit in any::<u32>()) {
+        let mut bytes = msg.encode();
+        let idx = (bit as usize) % (bytes.len() * 8);
+        bytes[idx / 8] ^= 1 << (idx % 8);
+        let _ = ProtocolMsg::decode(&bytes);
+    }
+
+    /// Update ops round-trip through their value form.
+    #[test]
+    fn update_ops_round_trip(op in arb_update_op()) {
+        prop_assert_eq!(UpdateOp::from_value(&op.to_value()).expect("decodes"), op);
+    }
+}

@@ -1,0 +1,288 @@
+//! Randomized soak test: hundreds of interleaved federation operations
+//! (links, imports, calls, migrations, update pushes, partitions, agent
+//! dispatches) driven by a seeded RNG, with conservation invariants
+//! checked throughout and exact determinism across reruns.
+
+use hadas::scenarios::employee_db_class;
+use hadas::{AmbassadorSpec, Federation, HadasError, UpdateOp};
+use mrom_core::{Acl, DataItem, Method, MethodBody, ObjectBuilder};
+use mrom_net::{LinkConfig, NetworkConfig};
+use mrom_value::{NodeId, ObjectId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SITES: u64 = 6;
+const OPS: usize = 300;
+
+struct Soak {
+    fed: Federation,
+    nodes: Vec<NodeId>,
+    rng: StdRng,
+    /// Every guest ambassador we imported: (host, id).
+    ambassadors: Vec<(NodeId, ObjectId)>,
+    /// Roaming agents: (current host, id).
+    agents: Vec<(NodeId, ObjectId)>,
+    /// Pairs currently partitioned.
+    partitions: Vec<(NodeId, NodeId)>,
+    log: Vec<String>,
+}
+
+impl Soak {
+    fn new(seed: u64) -> Soak {
+        let cfg = NetworkConfig::new(seed).with_default_link(LinkConfig::lan());
+        let mut fed = Federation::new(cfg);
+        let nodes: Vec<NodeId> = (1..=SITES).map(NodeId).collect();
+        for &n in &nodes {
+            fed.add_site(n).unwrap();
+        }
+        // Full mesh of links up front; the soak exercises the data plane.
+        for &a in &nodes {
+            for &b in &nodes {
+                if a < b {
+                    fed.link(a, b).unwrap();
+                }
+            }
+        }
+        // One DB APO at site 1.
+        let apo = employee_db_class().instantiate(fed.runtime_mut(nodes[0]).unwrap().ids_mut());
+        fed.integrate_apo(
+            nodes[0],
+            "db",
+            apo,
+            AmbassadorSpec::relay_only()
+                .with_methods(["count"])
+                .with_data(["employees"]),
+        )
+        .unwrap();
+        Soak {
+            fed,
+            nodes,
+            rng: StdRng::seed_from_u64(seed ^ 0xabcdef),
+            ambassadors: Vec::new(),
+            agents: Vec::new(),
+            partitions: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    fn pick_node(&mut self) -> NodeId {
+        self.nodes[self.rng.random_range(0..self.nodes.len())]
+    }
+
+    fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(x, y)| (x, y) == (a.min(b), a.max(b)))
+    }
+
+    fn spawn_agent(&mut self, at: NodeId) -> ObjectId {
+        let rt = self.fed.runtime_mut(at).unwrap();
+        let agent = ObjectBuilder::new(rt.ids_mut().next_id())
+            .class("soak-agent")
+            .meta_acl(Acl::Public)
+            .ext_data("hops", DataItem::public(Value::Int(0)))
+            .ext_method(
+                "on_arrival",
+                Method::public(
+                    MethodBody::script(
+                        "param ctx; self.set(\"hops\", self.get(\"hops\") + 1); return true;",
+                    )
+                    .unwrap(),
+                ),
+            )
+            .build();
+        let id = agent.id();
+        rt.adopt(agent).unwrap();
+        id
+    }
+
+    fn step(&mut self, i: usize) {
+        let hub = self.nodes[0];
+        match self.rng.random_range(0..10u32) {
+            // Import another db ambassador somewhere.
+            0 | 1 => {
+                let host = self.pick_node();
+                if host == hub || self.partitioned(host, hub) {
+                    return;
+                }
+                let amb = self.fed.import_apo(host, hub, "db").unwrap_or_else(|e| {
+                    panic!("op {i}: import at {host} failed: {e}")
+                });
+                self.ambassadors.push((host, amb));
+                self.log.push(format!("import {host} {amb}"));
+            }
+            // Call through a random ambassador.
+            2 | 3 | 4 => {
+                if self.ambassadors.is_empty() {
+                    return;
+                }
+                let (host, amb) =
+                    self.ambassadors[self.rng.random_range(0..self.ambassadors.len())];
+                let caller = self.fed.runtime_mut(host).unwrap().ids_mut().next_id();
+                // `count` is always local, so partitions never matter.
+                let out = self
+                    .fed
+                    .call_through_ambassador(host, caller, amb, "count", &[])
+                    .unwrap_or_else(|e| panic!("op {i}: local count failed: {e}"));
+                assert!(
+                    out == Value::Int(4) || out.as_str().is_some(),
+                    "op {i}: unexpected count result {out}"
+                );
+                self.log.push(format!("call {host} {amb}"));
+            }
+            // Push a (benign, idempotent) update to all ambassadors.
+            5 => {
+                if self.ambassadors.is_empty() {
+                    return;
+                }
+                let blocked = self
+                    .ambassadors
+                    .iter()
+                    .any(|&(host, _)| self.partitioned(host, hub));
+                let result = self.fed.push_update(
+                    hub,
+                    "db",
+                    &[UpdateOp::SetData("employees".into(), Value::map::<String, _>([]))],
+                );
+                match result {
+                    Ok(n) => {
+                        assert!(!blocked, "op {i}: push succeeded across a partition");
+                        assert_eq!(n, self.ambassadors.len(), "op {i}");
+                        // Restore the table for later counts... count uses
+                        // len(employees) so put 4 entries back.
+                        let table = employee_db_class()
+                            .instantiate(&mut mrom_value::IdGenerator::new(NodeId(999)))
+                            .read_data(ObjectId::SYSTEM, "employees")
+                            .unwrap();
+                        self.fed
+                            .push_update(hub, "db", &[UpdateOp::SetData("employees".into(), table)])
+                            .ok();
+                    }
+                    Err(HadasError::Timeout { .. }) => {
+                        assert!(blocked, "op {i}: push timed out without a partition");
+                    }
+                    Err(e) => panic!("op {i}: push failed unexpectedly: {e}"),
+                }
+                self.log.push(format!("push blocked={blocked}"));
+            }
+            // Spawn or move an agent.
+            6 | 7 => {
+                if self.agents.is_empty() || self.rng.random_bool(0.3) {
+                    let at = self.pick_node();
+                    let id = self.spawn_agent(at);
+                    self.agents.push((at, id));
+                    self.log.push(format!("spawn {at} {id}"));
+                } else {
+                    let idx = self.rng.random_range(0..self.agents.len());
+                    let (from, id) = self.agents[idx];
+                    let to = self.pick_node();
+                    if to == from {
+                        return;
+                    }
+                    match self.fed.dispatch_object(from, to, id) {
+                        Ok(()) => {
+                            self.agents[idx] = (to, id);
+                            self.log.push(format!("move {from}->{to} {id}"));
+                        }
+                        Err(HadasError::Timeout { .. }) => {
+                            assert!(
+                                self.partitioned(from, to),
+                                "op {i}: move timed out without a partition"
+                            );
+                            self.log.push(format!("move-blocked {from}->{to}"));
+                        }
+                        Err(e) => panic!("op {i}: move failed: {e}"),
+                    }
+                }
+            }
+            // Partition or heal a random pair (never isolate the hub so the
+            // import path stays exercised).
+            8 => {
+                let a = self.pick_node();
+                let b = self.pick_node();
+                if a == b || a == hub || b == hub {
+                    return;
+                }
+                let key = (a.min(b), a.max(b));
+                if let Some(pos) = self.partitions.iter().position(|&p| p == key) {
+                    self.partitions.remove(pos);
+                    self.fed.net_config_mut().heal(a, b);
+                    self.log.push(format!("heal {a} {b}"));
+                } else {
+                    self.partitions.push(key);
+                    self.fed.net_config_mut().partition(a, b);
+                    self.log.push(format!("cut {a} {b}"));
+                }
+            }
+            // Remote invoke straight at the hub APO.
+            _ => {
+                let from = self.pick_node();
+                if from == hub || self.partitioned(from, hub) {
+                    return;
+                }
+                let apo = self.fed.apo_id(hub, "db").unwrap();
+                let caller = self.fed.runtime_mut(from).unwrap().ids_mut().next_id();
+                let out = self
+                    .fed
+                    .remote_invoke(from, hub, caller, apo, "salary_of", &[Value::from("bob")])
+                    .unwrap_or_else(|e| panic!("op {i}: remote invoke failed: {e}"));
+                assert_eq!(out, Value::Int(95), "op {i}");
+                self.log.push(format!("remote {from}"));
+            }
+        }
+        self.check_invariants(i);
+    }
+
+    fn check_invariants(&self, i: usize) {
+        // Conservation: every tracked agent exists at exactly its recorded
+        // host and nowhere else.
+        for &(host, id) in &self.agents {
+            for &n in &self.nodes {
+                let present = self.fed.runtime(n).unwrap().object(id).is_some();
+                assert_eq!(
+                    present,
+                    n == host,
+                    "op {i}: agent {id} presence wrong at {n} (expected host {host})"
+                );
+            }
+        }
+        // Every ambassador stays at its import host.
+        for &(host, amb) in &self.ambassadors {
+            assert!(
+                self.fed.runtime(host).unwrap().object(amb).is_some(),
+                "op {i}: ambassador {amb} vanished from {host}"
+            );
+        }
+        // Traffic accounting stays coherent.
+        let s = self.fed.net_stats();
+        assert!(
+            s.messages_delivered + s.messages_dropped <= s.messages_sent,
+            "op {i}: stats incoherent"
+        );
+    }
+
+    fn run(mut self) -> (Vec<String>, u64, u64) {
+        for i in 0..OPS {
+            self.step(i);
+        }
+        let s = self.fed.net_stats();
+        (self.log, s.messages_sent, s.bytes_sent)
+    }
+}
+
+#[test]
+fn soak_runs_clean_under_random_interleavings() {
+    let (log, sent, bytes) = Soak::new(2026).run();
+    assert!(log.len() > 100, "only {} effective ops", log.len());
+    assert!(sent > 100, "only {sent} messages");
+    assert!(bytes > 10_000, "only {bytes} bytes");
+}
+
+#[test]
+fn soak_is_deterministic_per_seed() {
+    let a = Soak::new(7).run();
+    let b = Soak::new(7).run();
+    assert_eq!(a, b);
+    let c = Soak::new(8).run();
+    assert_ne!(a.0, c.0);
+}

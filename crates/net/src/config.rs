@@ -1,0 +1,239 @@
+//! Link and network configuration.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mrom_value::NodeId;
+
+use crate::time::SimTime;
+
+/// Transfer characteristics of one directed link.
+///
+/// Delivery time for a message of `n` bytes is
+/// `latency + n / bandwidth ± jitter`, where jitter is drawn uniformly from
+/// `[0, jitter_us]` with the network's seeded generator.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkConfig {
+    latency_us: u64,
+    bandwidth_bytes_per_sec: u64,
+    jitter_us: u64,
+    loss_probability: f64,
+}
+
+impl LinkConfig {
+    /// A fast, lossless default: 100 µs latency, 100 MB/s, no jitter.
+    pub fn new() -> LinkConfig {
+        LinkConfig {
+            latency_us: 100,
+            bandwidth_bytes_per_sec: 100_000_000,
+            jitter_us: 0,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A profile resembling a mid-1990s campus LAN: 2 ms, 1 MB/s.
+    pub fn lan() -> LinkConfig {
+        LinkConfig::new().latency_us(2_000).bandwidth_bytes_per_sec(1_000_000)
+    }
+
+    /// A profile resembling a mid-1990s WAN hop: 80 ms, 64 kB/s, jittery.
+    pub fn wan() -> LinkConfig {
+        LinkConfig::new()
+            .latency_us(80_000)
+            .bandwidth_bytes_per_sec(64_000)
+            .jitter_us(10_000)
+    }
+
+    /// Sets the propagation latency in microseconds.
+    pub fn latency_us(mut self, us: u64) -> LinkConfig {
+        self.latency_us = us;
+        self
+    }
+
+    /// Sets the bandwidth in bytes per second (minimum 1).
+    pub fn bandwidth_bytes_per_sec(mut self, bps: u64) -> LinkConfig {
+        self.bandwidth_bytes_per_sec = bps.max(1);
+        self
+    }
+
+    /// Sets the maximum uniform jitter in microseconds.
+    pub fn jitter_us(mut self, us: u64) -> LinkConfig {
+        self.jitter_us = us;
+        self
+    }
+
+    /// Sets the independent per-message loss probability (clamped to
+    /// `[0, 1]`).
+    pub fn loss_probability(mut self, p: f64) -> LinkConfig {
+        self.loss_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The propagation latency.
+    pub fn latency(&self) -> SimTime {
+        SimTime::from_micros(self.latency_us)
+    }
+
+    /// The configured loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// The configured jitter bound in microseconds.
+    pub fn jitter_bound_us(&self) -> u64 {
+        self.jitter_us
+    }
+
+    /// Deterministic part of the transfer time for `bytes`.
+    pub fn transfer_time(&self, bytes: usize) -> SimTime {
+        let serialization =
+            (bytes as u128 * 1_000_000u128 / self.bandwidth_bytes_per_sec as u128) as u64;
+        SimTime::from_micros(self.latency_us + serialization)
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::new()
+    }
+}
+
+/// Whole-network configuration: a default link profile, per-pair overrides,
+/// active partitions, and the seed for jitter/loss draws.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    seed: u64,
+    default_link: LinkConfig,
+    overrides: BTreeMap<(NodeId, NodeId), LinkConfig>,
+    partitions: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl NetworkConfig {
+    /// A configuration with the given RNG seed and default links.
+    pub fn new(seed: u64) -> NetworkConfig {
+        NetworkConfig {
+            seed,
+            default_link: LinkConfig::new(),
+            overrides: BTreeMap::new(),
+            partitions: BTreeSet::new(),
+        }
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the default link profile.
+    pub fn with_default_link(mut self, link: LinkConfig) -> NetworkConfig {
+        self.default_link = link;
+        self
+    }
+
+    /// Overrides the directed link `src → dst`.
+    pub fn with_link(mut self, src: NodeId, dst: NodeId, link: LinkConfig) -> NetworkConfig {
+        self.overrides.insert((src, dst), link);
+        self
+    }
+
+    /// Overrides both directions between `a` and `b`.
+    pub fn with_symmetric_link(self, a: NodeId, b: NodeId, link: LinkConfig) -> NetworkConfig {
+        self.with_link(a, b, link).with_link(b, a, link)
+    }
+
+    /// The effective config for the directed link `src → dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        self.overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Severs both directions between `a` and `b` (messages sent while
+    /// partitioned are dropped and counted).
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert(order(a, b));
+    }
+
+    /// Heals a partition.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&order(a, b));
+    }
+
+    /// Is the pair currently partitioned?
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.contains(&order(a, b))
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::new(0)
+    }
+}
+
+fn order(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_combines_latency_and_serialization() {
+        let link = LinkConfig::new()
+            .latency_us(1_000)
+            .bandwidth_bytes_per_sec(1_000_000);
+        // 1 MB/s = 1 byte/us.
+        assert_eq!(link.transfer_time(0).as_micros(), 1_000);
+        assert_eq!(link.transfer_time(500).as_micros(), 1_500);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_clamped() {
+        let link = LinkConfig::new().bandwidth_bytes_per_sec(0);
+        // Must not divide by zero; 1 byte/s floor.
+        assert!(link.transfer_time(1).as_micros() >= 1_000_000);
+    }
+
+    #[test]
+    fn loss_probability_is_clamped() {
+        assert_eq!(LinkConfig::new().loss_probability(7.0).loss(), 1.0);
+        assert_eq!(LinkConfig::new().loss_probability(-1.0).loss(), 0.0);
+    }
+
+    #[test]
+    fn link_overrides() {
+        let a = NodeId(1);
+        let b = NodeId(2);
+        let c = NodeId(3);
+        let cfg = NetworkConfig::new(1)
+            .with_default_link(LinkConfig::lan())
+            .with_symmetric_link(a, b, LinkConfig::wan());
+        assert_eq!(cfg.link(a, b), LinkConfig::wan());
+        assert_eq!(cfg.link(b, a), LinkConfig::wan());
+        assert_eq!(cfg.link(a, c), LinkConfig::lan());
+    }
+
+    #[test]
+    fn partitions_are_symmetric() {
+        let mut cfg = NetworkConfig::new(1);
+        let a = NodeId(1);
+        let b = NodeId(2);
+        assert!(!cfg.is_partitioned(a, b));
+        cfg.partition(b, a);
+        assert!(cfg.is_partitioned(a, b));
+        assert!(cfg.is_partitioned(b, a));
+        cfg.heal(a, b);
+        assert!(!cfg.is_partitioned(b, a));
+    }
+
+    #[test]
+    fn era_profiles_are_ordered() {
+        assert!(LinkConfig::wan().transfer_time(1000) > LinkConfig::lan().transfer_time(1000));
+    }
+}

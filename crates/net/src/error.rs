@@ -1,0 +1,41 @@
+//! Network simulator errors.
+
+use std::fmt;
+
+use mrom_value::NodeId;
+
+/// Errors raised by the simulator API (delivery failures are modelled as
+/// silent drops with stats, not errors — like a real datagram network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The referenced node was never added to the simulation.
+    UnknownNode(NodeId),
+    /// A node id was added twice.
+    DuplicateNode(NodeId),
+    /// A send targeted the sending node itself.
+    SelfSend(NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "node {n} is not part of the simulation"),
+            NetError::DuplicateNode(n) => write!(f, "node {n} already exists"),
+            NetError::SelfSend(n) => write!(f, "node {n} cannot send to itself"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(NetError::UnknownNode(NodeId(3)).to_string().contains("n3"));
+        assert!(NetError::SelfSend(NodeId(1)).to_string().contains("itself"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Live in-process transport: real threads, real channels.
+//!
+//! The discrete-event simulator ([`crate::SimNet`]) gives deterministic
+//! timing for experiments; this module gives *real concurrency* for
+//! validating that the whole stack — migration images, protocol buffers,
+//! object runtimes — is `Send` and behaves under genuine parallelism, the
+//! way the paper's Java/RMI deployment did. Each node handle owns a
+//! crossbeam receiver and can be moved onto its own thread; traffic
+//! accounting is shared behind a [`parking_lot::Mutex`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mrom_value::NodeId;
+use parking_lot::Mutex;
+
+use crate::error::NetError;
+use crate::stats::NetStats;
+
+/// A message as seen by a receiving live node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveDelivery {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node (always the handle's own node).
+    pub dst: NodeId,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// One node's endpoint in a live cluster. `Send`, so it can be moved onto
+/// a thread; the cluster stays alive as long as any handle does.
+#[derive(Debug)]
+pub struct LiveNode {
+    node: NodeId,
+    peers: Arc<BTreeMap<NodeId, Sender<LiveDelivery>>>,
+    inbox: Receiver<LiveDelivery>,
+    stats: Arc<Mutex<NetStats>>,
+}
+
+impl LiveNode {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `payload` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] for nodes outside the cluster and
+    /// [`NetError::SelfSend`] for loopback. A peer whose handle was
+    /// dropped counts the message as dropped (like a dead host).
+    pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), NetError> {
+        if dst == self.node {
+            return Err(NetError::SelfSend(dst));
+        }
+        let tx = self.peers.get(&dst).ok_or(NetError::UnknownNode(dst))?;
+        let bytes = payload.len();
+        let msg = LiveDelivery {
+            src: self.node,
+            dst,
+            payload,
+        };
+        let mut stats = self.stats.lock();
+        stats.record_send(bytes);
+        if tx.send(msg).is_ok() {
+            stats.record_delivery(self.node, dst, bytes);
+        } else {
+            stats.record_drop();
+        }
+        Ok(())
+    }
+
+    /// Blocks until a message arrives; `None` when every peer handle has
+    /// been dropped (cluster shutdown).
+    pub fn recv(&self) -> Option<LiveDelivery> {
+        self.inbox.recv().ok()
+    }
+
+    /// Waits up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<LiveDelivery> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<LiveDelivery> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// A snapshot of the cluster-wide traffic counters.
+    pub fn stats_snapshot(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+}
+
+/// Builds a fully connected live cluster over the given nodes, returning
+/// one [`LiveNode`] handle per node (in input order).
+///
+/// # Errors
+///
+/// [`NetError::DuplicateNode`] on repeated ids.
+///
+/// # Example
+///
+/// ```
+/// use mrom_net::live_cluster;
+/// use mrom_value::NodeId;
+///
+/// # fn main() -> Result<(), mrom_net::NetError> {
+/// let mut handles = live_cluster(&[NodeId(1), NodeId(2)])?;
+/// let b = handles.pop().unwrap();
+/// let a = handles.pop().unwrap();
+/// let t = std::thread::spawn(move || b.recv().unwrap().payload);
+/// a.send(NodeId(2), b"across threads".to_vec())?;
+/// assert_eq!(t.join().unwrap(), b"across threads");
+/// # Ok(())
+/// # }
+/// ```
+pub fn live_cluster(nodes: &[NodeId]) -> Result<Vec<LiveNode>, NetError> {
+    let mut senders = BTreeMap::new();
+    let mut receivers = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        let (tx, rx) = unbounded();
+        if senders.insert(n, tx).is_some() {
+            return Err(NetError::DuplicateNode(n));
+        }
+        receivers.push((n, rx));
+    }
+    let peers = Arc::new(senders);
+    let stats = Arc::new(Mutex::new(NetStats::default()));
+    Ok(receivers
+        .into_iter()
+        .map(|(node, inbox)| LiveNode {
+            node,
+            peers: Arc::clone(&peers),
+            inbox,
+            stats: Arc::clone(&stats),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn cluster_validates_nodes() {
+        assert!(matches!(
+            live_cluster(&[NodeId(1), NodeId(1)]),
+            Err(NetError::DuplicateNode(_))
+        ));
+        let handles = live_cluster(&[NodeId(1), NodeId(2)]).unwrap();
+        assert!(matches!(
+            handles[0].send(NodeId(9), vec![]),
+            Err(NetError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            handles[0].send(NodeId(1), vec![]),
+            Err(NetError::SelfSend(_))
+        ));
+    }
+
+    #[test]
+    fn messages_cross_threads() {
+        let mut handles = live_cluster(&[NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let c = handles.pop().unwrap();
+        let b = handles.pop().unwrap();
+        let a = handles.pop().unwrap();
+
+        // b and c echo whatever they get back to the source.
+        let echo = |h: LiveNode| {
+            thread::spawn(move || {
+                while let Some(d) = h.recv_timeout(Duration::from_secs(2)) {
+                    let mut reply = d.payload.clone();
+                    reply.push(h.node().0 as u8);
+                    h.send(d.src, reply).unwrap();
+                }
+            })
+        };
+        let tb = echo(b);
+        let tc = echo(c);
+
+        a.send(NodeId(2), vec![10]).unwrap();
+        a.send(NodeId(3), vec![20]).unwrap();
+        let mut got = vec![
+            a.recv_timeout(Duration::from_secs(2)).unwrap().payload,
+            a.recv_timeout(Duration::from_secs(2)).unwrap().payload,
+        ];
+        got.sort();
+        assert_eq!(got, vec![vec![10, 2], vec![20, 3]]);
+        drop(a);
+        tb.join().unwrap();
+        tc.join().unwrap();
+    }
+
+    #[test]
+    fn stats_are_shared_and_thread_safe() {
+        let mut handles = live_cluster(&[NodeId(1), NodeId(2)]).unwrap();
+        let b = handles.pop().unwrap();
+        let a = handles.pop().unwrap();
+        let t = thread::spawn(move || {
+            let mut n = 0;
+            while b.recv_timeout(Duration::from_millis(500)).is_some() {
+                n += 1;
+            }
+            n
+        });
+        for i in 0..50u8 {
+            a.send(NodeId(2), vec![i]).unwrap();
+        }
+        assert_eq!(t.join().unwrap(), 50);
+        let s = a.stats_snapshot();
+        assert_eq!(s.messages_sent, 50);
+        assert_eq!(s.messages_delivered, 50);
+        assert_eq!(s.bytes_sent, 50);
+    }
+
+    #[test]
+    fn dead_peer_counts_as_drop() {
+        let mut handles = live_cluster(&[NodeId(1), NodeId(2)]).unwrap();
+        let b = handles.pop().unwrap();
+        let a = handles.pop().unwrap();
+        drop(b); // peer dies
+        a.send(NodeId(2), vec![1]).unwrap();
+        let s = a.stats_snapshot();
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.messages_delivered, 0);
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let handles = live_cluster(&[NodeId(1), NodeId(2)]).unwrap();
+        assert!(handles[0].try_recv().is_none());
+        handles[1].send(NodeId(1), vec![7]).unwrap();
+        assert_eq!(handles[0].try_recv().unwrap().payload, vec![7]);
+    }
+}

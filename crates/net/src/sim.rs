@@ -1,0 +1,401 @@
+//! The discrete-event simulator core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, BTreeSet};
+
+use mrom_value::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::NetworkConfig;
+use crate::error::NetError;
+use crate::stats::NetStats;
+use crate::time::SimTime;
+
+/// A message arriving at its destination node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Virtual arrival time.
+    pub at: SimTime,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Opaque payload (protocols encode [`mrom_value::wire`] buffers).
+    pub payload: Vec<u8>,
+}
+
+/// In-flight message ordered by arrival time, with a sequence tie-breaker
+/// for determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight {
+    at: SimTime,
+    seq: u64,
+    src: NodeId,
+    dst: NodeId,
+    payload: Vec<u8>,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated network: seeded, deterministic, FIFO per directed link.
+///
+/// Drive it by calling [`SimNet::send`] and then pumping [`SimNet::step`]
+/// until it returns `None`; each step advances the virtual clock to the
+/// next arrival.
+#[derive(Debug)]
+pub struct SimNet {
+    config: NetworkConfig,
+    nodes: BTreeSet<NodeId>,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    /// Earliest legal next-arrival per directed link, enforcing FIFO
+    /// (TCP-like) ordering even under jitter.
+    link_front: BTreeMap<(NodeId, NodeId), SimTime>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// Creates an empty network under `config`.
+    pub fn new(config: NetworkConfig) -> SimNet {
+        let rng = StdRng::seed_from_u64(config.seed());
+        SimNet {
+            config,
+            nodes: BTreeSet::new(),
+            queue: BinaryHeap::new(),
+            link_front: BTreeMap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Registers a node.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::DuplicateNode`].
+    pub fn add_node(&mut self, node: NodeId) -> Result<(), NetError> {
+        if !self.nodes.insert(node) {
+            return Err(NetError::DuplicateNode(node));
+        }
+        Ok(())
+    }
+
+    /// The registered nodes, sorted.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Mutable access to the live configuration (partitions can be toggled
+    /// mid-run; new sends observe the change, in-flight messages do not).
+    pub fn config_mut(&mut self) -> &mut NetworkConfig {
+        &mut self.config
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sends `payload` from `src` to `dst`. Returns the scheduled arrival
+    /// time, or `None` when the message was dropped (loss or partition) —
+    /// the sender cannot tell, just like on a real network; the return
+    /// value exists for tests and stats-free assertions.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] / [`NetError::SelfSend`].
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: Vec<u8>,
+    ) -> Result<Option<SimTime>, NetError> {
+        if !self.nodes.contains(&src) {
+            return Err(NetError::UnknownNode(src));
+        }
+        if !self.nodes.contains(&dst) {
+            return Err(NetError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Err(NetError::SelfSend(src));
+        }
+        self.stats.record_send(payload.len());
+
+        if self.config.is_partitioned(src, dst) {
+            self.stats.record_drop();
+            return Ok(None);
+        }
+        let link = self.config.link(src, dst);
+        if link.loss() > 0.0 && self.rng.random::<f64>() < link.loss() {
+            self.stats.record_drop();
+            return Ok(None);
+        }
+
+        let mut arrival = self.now + link.transfer_time(payload.len());
+        if link.jitter_bound_us() > 0 {
+            arrival += SimTime::from_micros(self.rng.random_range(0..=link.jitter_bound_us()));
+        }
+        // FIFO per directed link: never deliver before an earlier send on
+        // the same link.
+        let front = self
+            .link_front
+            .entry((src, dst))
+            .or_insert(SimTime::ZERO);
+        if arrival < *front {
+            arrival = *front;
+        }
+        *front = arrival;
+
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight {
+            at: arrival,
+            seq: self.seq,
+            src,
+            dst,
+            payload,
+        }));
+        Ok(Some(arrival))
+    }
+
+    /// Delivers the next in-flight message, advancing the clock to its
+    /// arrival time. Returns `None` when the network is idle.
+    pub fn step(&mut self) -> Option<Delivery> {
+        let Reverse(msg) = self.queue.pop()?;
+        debug_assert!(msg.at >= self.now, "time cannot run backwards");
+        self.now = msg.at;
+        self.stats
+            .record_delivery(msg.src, msg.dst, msg.payload.len());
+        Some(Delivery {
+            at: msg.at,
+            src: msg.src,
+            dst: msg.dst,
+            payload: msg.payload,
+        })
+    }
+
+    /// Pumps deliveries through `handler` until the network is idle. The
+    /// handler may send new messages (request/response protocols). Returns
+    /// the number of deliveries processed.
+    pub fn run<F>(&mut self, mut handler: F) -> usize
+    where
+        F: FnMut(&mut SimNet, Delivery),
+    {
+        let mut count = 0;
+        while let Some(d) = self.step() {
+            count += 1;
+            handler(self, d);
+        }
+        count
+    }
+
+    /// Advances the clock to `t` without delivering anything scheduled
+    /// after `t`; returns deliveries due at or before `t`, in order.
+    pub fn run_until(&mut self, t: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            out.push(self.step().expect("peeked"));
+        }
+        if self.now < t {
+            self.now = t;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkConfig;
+
+    fn three_node_net(seed: u64) -> SimNet {
+        let cfg = NetworkConfig::new(seed).with_default_link(
+            LinkConfig::new()
+                .latency_us(1_000)
+                .bandwidth_bytes_per_sec(1_000_000),
+        );
+        let mut net = SimNet::new(cfg);
+        for n in 1..=3 {
+            net.add_node(NodeId(n)).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn delivery_time_is_latency_plus_serialization() {
+        let mut net = three_node_net(1);
+        net.send(NodeId(1), NodeId(2), vec![0u8; 1_000]).unwrap();
+        let d = net.step().unwrap();
+        assert_eq!(d.at.as_micros(), 2_000); // 1 ms latency + 1 ms at 1 MB/s
+        assert_eq!(net.now(), d.at);
+    }
+
+    #[test]
+    fn send_validates_endpoints() {
+        let mut net = three_node_net(1);
+        assert_eq!(
+            net.send(NodeId(9), NodeId(1), vec![]),
+            Err(NetError::UnknownNode(NodeId(9)))
+        );
+        assert_eq!(
+            net.send(NodeId(1), NodeId(9), vec![]),
+            Err(NetError::UnknownNode(NodeId(9)))
+        );
+        assert_eq!(
+            net.send(NodeId(1), NodeId(1), vec![]),
+            Err(NetError::SelfSend(NodeId(1)))
+        );
+        assert!(matches!(
+            net.add_node(NodeId(1)),
+            Err(NetError::DuplicateNode(_))
+        ));
+    }
+
+    #[test]
+    fn deliveries_come_out_in_time_order() {
+        let mut net = three_node_net(2);
+        // Big message first, then a small one on a *different* link; the
+        // small one arrives earlier.
+        net.send(NodeId(1), NodeId(2), vec![0u8; 100_000]).unwrap();
+        net.send(NodeId(1), NodeId(3), vec![0u8; 10]).unwrap();
+        let first = net.step().unwrap();
+        let second = net.step().unwrap();
+        assert_eq!(first.dst, NodeId(3));
+        assert_eq!(second.dst, NodeId(2));
+        assert!(first.at <= second.at);
+        assert!(net.step().is_none());
+    }
+
+    #[test]
+    fn same_link_is_fifo_even_when_sizes_differ() {
+        let mut net = three_node_net(3);
+        net.send(NodeId(1), NodeId(2), vec![0u8; 100_000]).unwrap();
+        net.send(NodeId(1), NodeId(2), vec![0u8; 1]).unwrap();
+        let first = net.step().unwrap();
+        let second = net.step().unwrap();
+        assert_eq!(first.payload.len(), 100_000, "FIFO: first sent, first out");
+        assert_eq!(second.payload.len(), 1);
+        assert!(second.at >= first.at);
+    }
+
+    #[test]
+    fn partitions_drop_messages() {
+        let mut net = three_node_net(4);
+        net.config_mut().partition(NodeId(1), NodeId(2));
+        assert_eq!(net.send(NodeId(1), NodeId(2), vec![1]).unwrap(), None);
+        assert_eq!(net.send(NodeId(2), NodeId(1), vec![1]).unwrap(), None);
+        // The unrelated link still works.
+        assert!(net.send(NodeId(1), NodeId(3), vec![1]).unwrap().is_some());
+        assert_eq!(net.stats().messages_dropped, 2);
+        net.config_mut().heal(NodeId(1), NodeId(2));
+        assert!(net.send(NodeId(1), NodeId(2), vec![1]).unwrap().is_some());
+    }
+
+    #[test]
+    fn lossy_links_drop_roughly_the_configured_fraction() {
+        let cfg = NetworkConfig::new(7)
+            .with_default_link(LinkConfig::new().loss_probability(0.3));
+        let mut net = SimNet::new(cfg);
+        net.add_node(NodeId(1)).unwrap();
+        net.add_node(NodeId(2)).unwrap();
+        for _ in 0..2_000 {
+            net.send(NodeId(1), NodeId(2), vec![0]).unwrap();
+        }
+        let dropped = net.stats().messages_dropped as f64 / 2_000.0;
+        assert!((dropped - 0.3).abs() < 0.05, "drop rate {dropped}");
+    }
+
+    #[test]
+    fn identical_seeds_identical_schedules() {
+        let run = |seed| {
+            let cfg = NetworkConfig::new(seed).with_default_link(
+                LinkConfig::new().jitter_us(5_000).loss_probability(0.1),
+            );
+            let mut net = SimNet::new(cfg);
+            net.add_node(NodeId(1)).unwrap();
+            net.add_node(NodeId(2)).unwrap();
+            let mut arrivals = Vec::new();
+            for i in 0..100u8 {
+                net.send(NodeId(1), NodeId(2), vec![i]).unwrap();
+            }
+            while let Some(d) = net.step() {
+                arrivals.push((d.at, d.payload));
+            }
+            arrivals
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn run_pumps_request_response() {
+        let mut net = three_node_net(5);
+        net.send(NodeId(1), NodeId(2), b"ping".to_vec()).unwrap();
+        let delivered = net.run(|net, d| {
+            if d.payload == b"ping" {
+                net.send(d.dst, d.src, b"pong".to_vec()).unwrap();
+            }
+        });
+        assert_eq!(delivered, 2);
+        assert_eq!(net.stats().messages_delivered, 2);
+    }
+
+    #[test]
+    fn run_until_respects_the_horizon() {
+        let mut net = three_node_net(6);
+        net.send(NodeId(1), NodeId(2), vec![0u8; 10]).unwrap(); // ~1ms
+        net.send(NodeId(1), NodeId(3), vec![0u8; 3_000_000]).unwrap(); // ~3s
+        let early = net.run_until(SimTime::from_millis(100));
+        assert_eq!(early.len(), 1);
+        assert_eq!(net.now(), SimTime::from_millis(100));
+        assert_eq!(net.in_flight(), 1);
+        let late = net.run_until(SimTime::from_secs(10));
+        assert_eq!(late.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_links() {
+        let mut net = three_node_net(8);
+        net.send(NodeId(1), NodeId(2), vec![0u8; 7]).unwrap();
+        net.send(NodeId(1), NodeId(2), vec![0u8; 3]).unwrap();
+        net.send(NodeId(2), NodeId(3), vec![0u8; 5]).unwrap();
+        while net.step().is_some() {}
+        let s = net.stats();
+        assert_eq!(s.per_link[&(NodeId(1), NodeId(2))], (2, 10));
+        assert_eq!(s.per_link[&(NodeId(2), NodeId(3))], (1, 5));
+        assert_eq!(s.bytes_delivered, 15);
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+}

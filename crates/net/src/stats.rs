@@ -1,0 +1,78 @@
+//! Traffic accounting.
+
+use std::collections::BTreeMap;
+
+use mrom_value::NodeId;
+
+/// Counters maintained by the simulator; every experiment report reads
+/// these rather than re-deriving traffic from logs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct NetStats {
+    /// Messages accepted by `send`.
+    pub messages_sent: u64,
+    /// Messages handed to their destination.
+    pub messages_delivered: u64,
+    /// Messages dropped by loss or partitions.
+    pub messages_dropped: u64,
+    /// Payload bytes accepted by `send`.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Per directed link `(src, dst)`: (messages, bytes) delivered.
+    pub per_link: BTreeMap<(NodeId, NodeId), (u64, u64)>,
+}
+
+impl NetStats {
+    /// Fraction of sent messages that were delivered (1.0 when nothing was
+    /// sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
+        self.messages_delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        let entry = self.per_link.entry((src, dst)).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += bytes as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record_send(10);
+        s.record_send(20);
+        s.record_drop();
+        s.record_delivery(NodeId(1), NodeId(2), 10);
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.bytes_sent, 30);
+        assert_eq!(s.bytes_delivered, 10);
+        assert_eq!(s.per_link[&(NodeId(1), NodeId(2))], (1, 10));
+        assert!((s.delivery_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ratio_is_one() {
+        assert_eq!(NetStats::default().delivery_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in microseconds since simulation
+/// start.
+///
+/// Newtype over `u64` so simulated instants can never be confused with
+/// wall-clock values or plain counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time `us` microseconds after the epoch.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// A time `ms` milliseconds after the epoch.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// A time `s` seconds after the epoch.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub fn as_millis(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimTime::from_secs(1).as_millis(), 1_000);
+        assert_eq!(SimTime::from_micros(1_500).as_millis(), 1);
+        assert!((SimTime::from_millis(500).as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(3);
+        assert_eq!(a + b, SimTime::from_micros(13));
+        assert_eq!(a - b, SimTime::from_micros(7));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_micros(13));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_micros(5).to_string(), "5us");
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

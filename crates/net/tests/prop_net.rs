@@ -1,0 +1,128 @@
+//! Property tests for the simulator: exactly-once delivery, per-link FIFO,
+//! timing laws, and determinism.
+
+use mrom_net::{LinkConfig, NetworkConfig, SimNet, SimTime};
+use mrom_value::NodeId;
+use proptest::prelude::*;
+
+/// A randomized send plan: (src index, dst index, payload size).
+fn plan(nodes: usize) -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    prop::collection::vec(
+        (0..nodes, 0..nodes, 0usize..4096).prop_filter("no self sends", |(a, b, _)| a != b),
+        0..64,
+    )
+}
+
+fn build_net(seed: u64, nodes: usize, jitter: u64, loss: f64) -> SimNet {
+    let cfg = NetworkConfig::new(seed).with_default_link(
+        LinkConfig::new()
+            .latency_us(500)
+            .bandwidth_bytes_per_sec(1_000_000)
+            .jitter_us(jitter)
+            .loss_probability(loss),
+    );
+    let mut net = SimNet::new(cfg);
+    for n in 0..nodes {
+        net.add_node(NodeId(n as u64)).unwrap();
+    }
+    net
+}
+
+proptest! {
+    /// Every accepted (non-dropped) message is delivered exactly once, and
+    /// sent = delivered + dropped.
+    #[test]
+    fn exactly_once_accounting(sends in plan(4), seed in 0u64..1000, loss in 0.0f64..0.5) {
+        let mut net = build_net(seed, 4, 2_000, loss);
+        let mut accepted = 0u64;
+        for (s, d, size) in &sends {
+            if net
+                .send(NodeId(*s as u64), NodeId(*d as u64), vec![0u8; *size])
+                .unwrap()
+                .is_some()
+            {
+                accepted += 1;
+            }
+        }
+        let mut delivered = 0u64;
+        while net.step().is_some() {
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, accepted);
+        let st = net.stats();
+        prop_assert_eq!(st.messages_sent, sends.len() as u64);
+        prop_assert_eq!(st.messages_delivered + st.messages_dropped, st.messages_sent);
+    }
+
+    /// Per directed link, messages arrive in send order even under jitter.
+    #[test]
+    fn per_link_fifo(sends in plan(3), seed in 0u64..1000) {
+        let mut net = build_net(seed, 3, 10_000, 0.0);
+        // Tag payloads with a global sequence number.
+        for (i, (s, d, _)) in sends.iter().enumerate() {
+            let payload = (i as u64).to_be_bytes().to_vec();
+            net.send(NodeId(*s as u64), NodeId(*d as u64), payload).unwrap();
+        }
+        let mut last_seq_per_link = std::collections::HashMap::new();
+        while let Some(d) = net.step() {
+            let seq = u64::from_be_bytes(d.payload.as_slice().try_into().unwrap());
+            if let Some(prev) = last_seq_per_link.insert((d.src, d.dst), seq) {
+                prop_assert!(seq > prev, "link {:?}->{:?} reordered {} after {}", d.src, d.dst, seq, prev);
+            }
+        }
+    }
+
+    /// Arrival time is never before send time + deterministic transfer
+    /// time, and the clock never runs backwards.
+    #[test]
+    fn timing_laws(sends in plan(3), seed in 0u64..1000) {
+        let mut net = build_net(seed, 3, 3_000, 0.0);
+        let mut expected_min = Vec::new();
+        for (s, d, size) in &sends {
+            let src = NodeId(*s as u64);
+            let dst = NodeId(*d as u64);
+            let min_arrival = net.now() + net.config().link(src, dst).transfer_time(*size);
+            let scheduled = net.send(src, dst, vec![0u8; *size]).unwrap().unwrap();
+            prop_assert!(scheduled >= min_arrival);
+            expected_min.push(min_arrival);
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some(d) = net.step() {
+            prop_assert!(d.at >= prev, "clock ran backwards");
+            prev = d.at;
+        }
+    }
+
+    /// The same seed and plan produce byte-identical delivery schedules.
+    #[test]
+    fn determinism(sends in plan(3), seed in 0u64..1000) {
+        let run = |seed: u64| {
+            let mut net = build_net(seed, 3, 7_000, 0.2);
+            for (s, d, size) in &sends {
+                net.send(NodeId(*s as u64), NodeId(*d as u64), vec![0u8; *size])
+                    .unwrap();
+            }
+            let mut log = Vec::new();
+            while let Some(d) = net.step() {
+                log.push((d.at, d.src, d.dst, d.payload.len()));
+            }
+            log
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Partitioned pairs deliver nothing; others are unaffected.
+    #[test]
+    fn partitions_are_absolute(sends in plan(3), seed in 0u64..1000) {
+        let mut net = build_net(seed, 3, 0, 0.0);
+        net.config_mut().partition(NodeId(0), NodeId(1));
+        for (s, d, size) in &sends {
+            net.send(NodeId(*s as u64), NodeId(*d as u64), vec![0u8; *size])
+                .unwrap();
+        }
+        while let Some(d) = net.step() {
+            let pair = (d.src.0.min(d.dst.0), d.src.0.max(d.dst.0));
+            prop_assert_ne!(pair, (0, 1), "partitioned pair delivered");
+        }
+    }
+}

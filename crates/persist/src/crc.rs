@@ -1,0 +1,76 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Hand-rolled because the store format — like everything a mobile object
+//! depends on — must be self-contained and byte-stable across hosts.
+
+/// Computes the CRC-32 checksum of `data` (IEEE polynomial, reflected,
+/// initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF` — the same
+/// parameters as zlib).
+///
+/// # Example
+///
+/// ```
+/// // The classic check value for "123456789".
+/// assert_eq!(mrom_persist::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// The lookup table for the reflected IEEE polynomial `0xEDB8_8320`.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"some payload worth protecting".to_vec();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_order_sensitive() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Persistence errors.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mrom_core::MromError;
+use mrom_value::ObjectId;
+
+/// Errors from the store layer and the self-persistence protocol.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// No image is stored for this object.
+    NotFound(ObjectId),
+    /// A stored record failed its CRC or framing checks.
+    Corrupt {
+        /// The store key involved.
+        key: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// The model layer refused (not mobile, ACL, bad image).
+    Model(MromError),
+    /// An I/O failure from the file backend. `Arc` keeps the error
+    /// cloneable for retry loops.
+    Io(Arc<std::io::Error>),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::NotFound(id) => write!(f, "no stored image for object {id}"),
+            PersistError::Corrupt { key, detail } => {
+                write!(f, "corrupt record for key {key:?}: {detail}")
+            }
+            PersistError::Model(e) => write!(f, "model error: {e}"),
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Model(e) => Some(e),
+            PersistError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<MromError> for PersistError {
+    fn from(e: MromError) -> Self {
+        PersistError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(Arc::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PersistError::from(std::io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(e.source().is_some());
+        let e = PersistError::Corrupt {
+            key: "k".into(),
+            detail: "bad crc".into(),
+        };
+        assert!(e.to_string().contains("bad crc"));
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn assert_traits<T: Send + Sync + Clone + 'static>() {}
+        assert_traits::<PersistError>();
+    }
+}

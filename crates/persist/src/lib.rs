@@ -1,0 +1,62 @@
+//! # mrom-persist
+//!
+//! The self-contained persistence substrate: log-structured blob stores
+//! into which MROM objects write *themselves*.
+//!
+//! The paper's requirement: "a long-lived persistent mobile object should
+//! contain its own persistence scheme and be able to write itself to disk
+//! on a space allocated for it by the host environment, as well as read
+//! itself into memory following some bootstrap procedure initiated by the
+//! host environment." The division of labour here is exactly that:
+//!
+//! * the **host** provides a [`BlobStore`] (memory or file backed) — raw
+//!   space, keyed by object identity, with no knowledge of object
+//!   internals;
+//! * the **object** provides the bytes — its own migration image, produced
+//!   by its own serializer ([`mrom_core::MromObject::migration_image`]);
+//! * [`Depot`] wires the two together and runs the bootstrap procedure
+//!   ([`Depot::restore`] / [`Depot::restore_all`]).
+//!
+//! The [`FileStore`] is an append-only log with per-record CRC32, crash
+//! recovery by scan-and-truncate, and compaction.
+//!
+//! ## Example
+//!
+//! ```
+//! use mrom_persist::{Depot, MemStore};
+//! use mrom_core::{DataItem, ObjectBuilder};
+//! use mrom_value::{IdGenerator, NodeId, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut ids = IdGenerator::new(NodeId(1));
+//! let obj = ObjectBuilder::new(ids.next_id())
+//!     .fixed_data("x", DataItem::public(Value::Int(9)))
+//!     .build();
+//!
+//! let mut depot = Depot::new(MemStore::new());
+//! depot.save(&obj)?;                       // the object writes itself
+//! let back = depot.restore(obj.id())?;     // host-initiated bootstrap
+//! assert_eq!(back, obj);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod depot;
+mod error;
+mod file;
+mod mem;
+mod store;
+
+pub use crc::crc32;
+pub use depot::Depot;
+pub use error::PersistError;
+pub use file::FileStore;
+pub use mem::MemStore;
+pub use store::BlobStore;
+
+/// Crate-local result alias over [`PersistError`].
+pub type Result<T> = std::result::Result<T, PersistError>;

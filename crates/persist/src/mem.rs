@@ -1,0 +1,112 @@
+//! In-memory store (tests, benches, volatile hosts).
+
+use std::collections::BTreeMap;
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::store::BlobStore;
+
+/// A [`BlobStore`] held in process memory.
+///
+/// Checksums are kept alongside the data so corruption *injected by tests*
+/// (via [`MemStore::corrupt`]) is detected exactly like on-disk rot.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    blobs: BTreeMap<String, (u32, Vec<u8>)>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Test hook: flips a bit in the stored blob, simulating medium rot.
+    /// Returns `false` when the key is absent or empty.
+    pub fn corrupt(&mut self, key: &str, byte_index: usize) -> bool {
+        match self.blobs.get_mut(key) {
+            Some((_, data)) if !data.is_empty() => {
+                let i = byte_index % data.len();
+                data[i] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl BlobStore for MemStore {
+    fn put(&mut self, key: &str, data: &[u8]) -> Result<(), PersistError> {
+        self.blobs
+            .insert(key.to_owned(), (crc32(data), data.to_vec()));
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, PersistError> {
+        match self.blobs.get(key) {
+            None => Ok(None),
+            Some((stored_crc, data)) => {
+                if crc32(data) != *stored_crc {
+                    return Err(PersistError::Corrupt {
+                        key: key.to_owned(),
+                        detail: "crc mismatch".into(),
+                    });
+                }
+                Ok(Some(data.clone()))
+            }
+        }
+    }
+
+    fn delete(&mut self, key: &str) -> Result<bool, PersistError> {
+        Ok(self.blobs.remove(key).is_some())
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.blobs.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = MemStore::new();
+        assert!(s.is_empty());
+        s.put("a", b"one").unwrap();
+        s.put("b", b"two").unwrap();
+        assert_eq!(s.get("a").unwrap().unwrap(), b"one");
+        assert_eq!(s.get("missing").unwrap(), None);
+        assert_eq!(s.keys(), ["a", "b"]);
+        assert_eq!(s.len(), 2);
+        assert!(s.delete("a").unwrap());
+        assert!(!s.delete("a").unwrap());
+        assert_eq!(s.get("a").unwrap(), None);
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut s = MemStore::new();
+        s.put("k", b"v1").unwrap();
+        s.put("k", b"v2").unwrap();
+        assert_eq!(s.get("k").unwrap().unwrap(), b"v2");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn corruption_is_detected_on_read() {
+        let mut s = MemStore::new();
+        s.put("k", b"precious bytes").unwrap();
+        assert!(s.corrupt("k", 3));
+        assert!(matches!(
+            s.get("k"),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // Other keys unaffected.
+        s.put("ok", b"fine").unwrap();
+        assert_eq!(s.get("ok").unwrap().unwrap(), b"fine");
+        // Corrupting nothing.
+        assert!(!s.corrupt("missing", 0));
+    }
+}

@@ -1,0 +1,49 @@
+//! The host-side storage abstraction.
+
+use crate::error::PersistError;
+
+/// Raw keyed blob storage allocated by a host environment.
+///
+/// This is all a host offers a mobile object: space. The host never
+/// interprets the bytes — the object's own serializer produces them and
+/// the object's own deserializer consumes them (self-containment).
+///
+/// Implementations must be durable within their own medium ([`crate::MemStore`]
+/// for the process lifetime, [`crate::FileStore`] across crashes) and must
+/// detect corruption on read rather than return damaged bytes.
+pub trait BlobStore {
+    /// Writes (or replaces) the blob under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    fn put(&mut self, key: &str, data: &[u8]) -> Result<(), PersistError>;
+
+    /// Reads the blob under `key`, `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures or [`PersistError::Corrupt`] when the stored
+    /// record fails validation.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, PersistError>;
+
+    /// Deletes the blob under `key`; `true` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    fn delete(&mut self, key: &str) -> Result<bool, PersistError>;
+
+    /// All live keys, sorted.
+    fn keys(&self) -> Vec<String>;
+
+    /// Number of live blobs.
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    /// `true` when no blobs are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

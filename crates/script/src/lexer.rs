@@ -1,0 +1,588 @@
+//! Hand-written lexer for the script language.
+
+use crate::error::ScriptError;
+
+/// A lexical token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The token vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (variable, builtin, or host-call name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `let`
+    Let,
+    /// `param`
+    Param,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `self`
+    SelfKw,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable spelling for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier {name:?}"),
+            TokenKind::Int(i) => format!("integer {i}"),
+            TokenKind::Float(x) => format!("float {x}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::True => "`true`".into(),
+            TokenKind::False => "`false`".into(),
+            TokenKind::Null => "`null`".into(),
+            TokenKind::Let => "`let`".into(),
+            TokenKind::Param => "`param`".into(),
+            TokenKind::If => "`if`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::While => "`while`".into(),
+            TokenKind::For => "`for`".into(),
+            TokenKind::In => "`in`".into(),
+            TokenKind::Return => "`return`".into(),
+            TokenKind::Break => "`break`".into(),
+            TokenKind::Continue => "`continue`".into(),
+            TokenKind::SelfKw => "`self`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Eq => "`==`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes `source` into a token vector ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// [`ScriptError::Lex`] on unexpected characters, unterminated strings, or
+/// malformed numeric literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Line comment.
+                for t in chars.by_ref() {
+                    if t == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                push!(TokenKind::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(TokenKind::RParen);
+            }
+            '{' => {
+                chars.next();
+                push!(TokenKind::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(TokenKind::RBrace);
+            }
+            '[' => {
+                chars.next();
+                push!(TokenKind::LBracket);
+            }
+            ']' => {
+                chars.next();
+                push!(TokenKind::RBracket);
+            }
+            ',' => {
+                chars.next();
+                push!(TokenKind::Comma);
+            }
+            ';' => {
+                chars.next();
+                push!(TokenKind::Semi);
+            }
+            ':' => {
+                chars.next();
+                push!(TokenKind::Colon);
+            }
+            '.' => {
+                chars.next();
+                push!(TokenKind::Dot);
+            }
+            '+' => {
+                chars.next();
+                push!(TokenKind::Plus);
+            }
+            '-' => {
+                chars.next();
+                push!(TokenKind::Minus);
+            }
+            '*' => {
+                chars.next();
+                push!(TokenKind::Star);
+            }
+            '/' => {
+                chars.next();
+                push!(TokenKind::Slash);
+            }
+            '%' => {
+                chars.next();
+                push!(TokenKind::Percent);
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Eq);
+                } else {
+                    push!(TokenKind::Assign);
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Ne);
+                } else {
+                    push!(TokenKind::Bang);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Le);
+                } else {
+                    push!(TokenKind::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Ge);
+                } else {
+                    push!(TokenKind::Gt);
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    push!(TokenKind::AndAnd);
+                } else {
+                    return Err(ScriptError::Lex {
+                        line,
+                        detail: "lone `&`; did you mean `&&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    push!(TokenKind::OrOr);
+                } else {
+                    return Err(ScriptError::Lex {
+                        line,
+                        detail: "lone `|`; did you mean `||`".into(),
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(t) = chars.next() {
+                    match t {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            Some('0') => s.push('\0'),
+                            Some(other) => {
+                                return Err(ScriptError::Lex {
+                                    line,
+                                    detail: format!("unknown escape `\\{other}`"),
+                                })
+                            }
+                            None => {
+                                return Err(ScriptError::Lex {
+                                    line,
+                                    detail: "unterminated string".into(),
+                                })
+                            }
+                        },
+                        '\n' => {
+                            return Err(ScriptError::Lex {
+                                line,
+                                detail: "newline inside string literal".into(),
+                            })
+                        }
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(ScriptError::Lex {
+                        line,
+                        detail: "unterminated string".into(),
+                    });
+                }
+                push!(TokenKind::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&t) = chars.peek() {
+                    if t.is_ascii_digit() {
+                        text.push(t);
+                        chars.next();
+                    } else if t == '.' && !is_float {
+                        // Only treat the dot as a decimal point when a digit
+                        // follows; `1.foo` stays Int(1) Dot Ident(foo).
+                        let mut lookahead = chars.clone();
+                        lookahead.next();
+                        if lookahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            text.push('.');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else if (t == 'e' || t == 'E') && !text.is_empty() {
+                        // Exponent part: e[+|-]digits. Only consume when a
+                        // well-formed exponent follows; otherwise `2e` lexes
+                        // as Int(2) Ident(e).
+                        let mut lookahead = chars.clone();
+                        lookahead.next();
+                        let mut sign = false;
+                        if matches!(lookahead.peek(), Some('+') | Some('-')) {
+                            sign = true;
+                            lookahead.next();
+                        }
+                        if lookahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            text.push('e');
+                            chars.next();
+                            if sign {
+                                text.push(chars.next().expect("sign present"));
+                            }
+                            while let Some(&d) = chars.peek() {
+                                if d.is_ascii_digit() {
+                                    text.push(d);
+                                    chars.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    let x: f64 = text.parse().map_err(|e| ScriptError::Lex {
+                        line,
+                        detail: format!("bad float literal {text:?}: {e}"),
+                    })?;
+                    push!(TokenKind::Float(x));
+                } else {
+                    let i: i64 = text.parse().map_err(|e| ScriptError::Lex {
+                        line,
+                        detail: format!("bad integer literal {text:?}: {e}"),
+                    })?;
+                    push!(TokenKind::Int(i));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&t) = chars.peek() {
+                    if t.is_alphanumeric() || t == '_' {
+                        name.push(t);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match name.as_str() {
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "null" => TokenKind::Null,
+                    "let" => TokenKind::Let,
+                    "param" => TokenKind::Param,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    "return" => TokenKind::Return,
+                    "break" => TokenKind::Break,
+                    "continue" => TokenKind::Continue,
+                    "self" => TokenKind::SelfKw,
+                    _ => TokenKind::Ident(name),
+                };
+                push!(kind);
+            }
+            other => {
+                return Err(ScriptError::Lex {
+                    line,
+                    detail: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        assert_eq!(
+            kinds("let x = 1;"),
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_compound_operators() {
+        assert_eq!(
+            kinds("== = != ! <= < >= > && ||"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Assign,
+                TokenKind::Ne,
+                TokenKind::Bang,
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Ge,
+                TokenKind::Gt,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 3.5 1.0"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1.0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_is_not_float_without_digit() {
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(matches!(lex("\"abc"), Err(ScriptError::Lex { .. })));
+        assert!(matches!(lex("\"a\nb\""), Err(ScriptError::Lex { .. })));
+        assert!(matches!(lex(r#""a\q""#), Err(ScriptError::Lex { .. })));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("# comment\nlet x = 1;").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Let);
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("self selfish if iffy"),
+            vec![
+                TokenKind::SelfKw,
+                TokenKind::Ident("selfish".into()),
+                TokenKind::If,
+                TokenKind::Ident("iffy".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(lex("let x = 1 @"), Err(ScriptError::Lex { .. })));
+        assert!(matches!(lex("a & b"), Err(ScriptError::Lex { .. })));
+        assert!(matches!(lex("a | b"), Err(ScriptError::Lex { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t # only a comment"), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,713 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (statement-oriented, C-ish):
+//!
+//! ```text
+//! program    := param* stmt*
+//! param      := 'param' IDENT ';'
+//! stmt       := 'let' IDENT '=' expr ';'
+//!             | 'if' '(' expr ')' block ('else' (block | ifstmt))?
+//!             | 'while' '(' expr ')' block
+//!             | 'for' '(' IDENT 'in' expr ')' block
+//!             | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+//!             | expr ('=' expr)? ';'
+//! expr       := or ; or := and ('||' and)* ; and := eq ('&&' eq)* ; ...
+//! postfix    := primary ('[' expr ']')*
+//! primary    := literal | IDENT | IDENT '(' args ')' | 'self' '.' IDENT '(' args ')'
+//!             | '(' expr ')' | '[' args ']' | '{' (STR ':' expr)* '}'
+//! ```
+//!
+//! The parser constant-folds `-` applied to numeric literals and the
+//! `bytes("…")` / `objectref("…")` literal constructors, so the
+//! pretty-printer ↔ parser round trip is exact on the AST.
+
+use mrom_value::Value;
+
+use crate::ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+use crate::error::ScriptError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Maximum expression nesting the parser accepts. Mobile code arrives from
+/// untrusted sources: without this bound a deeply parenthesized program
+/// would overflow the host's stack during parsing (and later during
+/// evaluation).
+pub const MAX_EXPR_DEPTH: usize = 64;
+
+/// Parses source text into a [`Program`]. See [`Program::parse`].
+pub fn parse(source: &str) -> Result<Program, ScriptError> {
+    let tokens = lex(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        expr_depth: 0,
+    };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    expr_depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, expected: &TokenKind) -> Result<(), ScriptError> {
+        if self.peek() == expected {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.unexpected(&expected.describe()))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ScriptError {
+        ScriptError::Parse {
+            line: self.line(),
+            detail: format!("expected {wanted}, found {}", self.peek().describe()),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ScriptError> {
+        let mut params = Vec::new();
+        while self.peek() == &TokenKind::Param {
+            self.advance();
+            match self.advance() {
+                TokenKind::Ident(name) => {
+                    if params.contains(&name) {
+                        return Err(ScriptError::Parse {
+                            line: self.line(),
+                            detail: format!("duplicate parameter {name:?}"),
+                        });
+                    }
+                    params.push(name);
+                }
+                other => {
+                    return Err(ScriptError::Parse {
+                        line: self.line(),
+                        detail: format!("expected parameter name, found {}", other.describe()),
+                    })
+                }
+            }
+            self.eat(&TokenKind::Semi)?;
+        }
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            body.push(self.stmt()?);
+        }
+        Ok(Program::from_parts(params, body))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        // Blocks nest through stmt() recursion; share the expression-depth
+        // budget so deeply nested `if { if { ... } }` chains cannot
+        // overflow the stack either.
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            self.expr_depth -= 1;
+            return Err(ScriptError::Parse {
+                line: self.line(),
+                detail: format!("block nesting exceeds the limit of {MAX_EXPR_DEPTH}"),
+            });
+        }
+        let result = (|| {
+            self.eat(&TokenKind::LBrace)?;
+            let mut out = Vec::new();
+            while self.peek() != &TokenKind::RBrace {
+                if self.peek() == &TokenKind::Eof {
+                    return Err(self.unexpected("`}`"));
+                }
+                out.push(self.stmt()?);
+            }
+            self.eat(&TokenKind::RBrace)?;
+            Ok(out)
+        })();
+        self.expr_depth -= 1;
+        result
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ScriptError> {
+        match self.peek().clone() {
+            TokenKind::Let => {
+                self.advance();
+                let name = match self.advance() {
+                    TokenKind::Ident(name) => name,
+                    other => {
+                        return Err(ScriptError::Parse {
+                            line: self.line(),
+                            detail: format!("expected variable name, found {}", other.describe()),
+                        })
+                    }
+                };
+                self.eat(&TokenKind::Assign)?;
+                let e = self.expr()?;
+                self.eat(&TokenKind::Semi)?;
+                Ok(Stmt::Let(name, e))
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.advance();
+                self.eat(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            TokenKind::For => {
+                self.advance();
+                self.eat(&TokenKind::LParen)?;
+                let name = match self.advance() {
+                    TokenKind::Ident(name) => name,
+                    other => {
+                        return Err(ScriptError::Parse {
+                            line: self.line(),
+                            detail: format!(
+                                "expected loop variable name, found {}",
+                                other.describe()
+                            ),
+                        })
+                    }
+                };
+                self.eat(&TokenKind::In)?;
+                let iter = self.expr()?;
+                self.eat(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For(name, iter, body))
+            }
+            TokenKind::Return => {
+                self.advance();
+                if self.peek() == &TokenKind::Semi {
+                    self.advance();
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.eat(&TokenKind::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            TokenKind::Break => {
+                self.advance();
+                self.eat(&TokenKind::Semi)?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Continue => {
+                self.advance();
+                self.eat(&TokenKind::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            TokenKind::Param => Err(ScriptError::Parse {
+                line: self.line(),
+                detail: "`param` declarations must precede all statements".into(),
+            }),
+            _ => {
+                let e = self.expr()?;
+                if self.peek() == &TokenKind::Assign {
+                    // Assignment target validation: variable or index chain.
+                    if !is_assign_target(&e) {
+                        return Err(ScriptError::Parse {
+                            line: self.line(),
+                            detail: "left side of `=` must be a variable or index chain".into(),
+                        });
+                    }
+                    self.advance();
+                    let rhs = self.expr()?;
+                    self.eat(&TokenKind::Semi)?;
+                    Ok(Stmt::Assign(e, rhs))
+                } else {
+                    self.eat(&TokenKind::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.eat(&TokenKind::If)?;
+        self.eat(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.eat(&TokenKind::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.peek() == &TokenKind::Else {
+            self.advance();
+            if self.peek() == &TokenKind::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(cond, then_body, else_body))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            self.expr_depth -= 1;
+            return Err(ScriptError::Parse {
+                line: self.line(),
+                detail: format!("expression nesting exceeds the limit of {MAX_EXPR_DEPTH}"),
+            });
+        }
+        let out = self.binary(1);
+        self.expr_depth -= 1;
+        out
+    }
+
+    /// Precedence-climbing over the binary operator tiers (1..=6).
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ScriptError> {
+        if min_prec > 6 {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_prec + 1)?;
+        loop {
+            let op = match (self.peek(), min_prec) {
+                (TokenKind::OrOr, 1) => BinaryOp::Or,
+                (TokenKind::AndAnd, 2) => BinaryOp::And,
+                (TokenKind::Eq, 3) => BinaryOp::Eq,
+                (TokenKind::Ne, 3) => BinaryOp::Ne,
+                (TokenKind::Lt, 4) => BinaryOp::Lt,
+                (TokenKind::Le, 4) => BinaryOp::Le,
+                (TokenKind::Gt, 4) => BinaryOp::Gt,
+                (TokenKind::Ge, 4) => BinaryOp::Ge,
+                (TokenKind::Plus, 5) => BinaryOp::Add,
+                (TokenKind::Minus, 5) => BinaryOp::Sub,
+                (TokenKind::Star, 6) => BinaryOp::Mul,
+                (TokenKind::Slash, 6) => BinaryOp::Div,
+                (TokenKind::Percent, 6) => BinaryOp::Rem,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.binary(min_prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ScriptError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.advance();
+                let inner = self.unary()?;
+                // Constant-fold negation of numeric literals so the
+                // pretty-printer round-trips exactly.
+                Ok(match inner {
+                    Expr::Literal(Value::Int(i)) if i.checked_neg().is_some() => {
+                        Expr::Literal(Value::Int(-i))
+                    }
+                    Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                    other => Expr::Unary(UnaryOp::Neg, Box::new(other)),
+                })
+            }
+            TokenKind::Bang => {
+                self.advance();
+                let inner = self.unary()?;
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ScriptError> {
+        let mut e = self.primary()?;
+        while self.peek() == &TokenKind::LBracket {
+            self.advance();
+            let idx = self.expr()?;
+            self.eat(&TokenKind::RBracket)?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ScriptError> {
+        self.eat(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ScriptError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            TokenKind::Null => {
+                self.advance();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::SelfKw => {
+                self.advance();
+                self.eat(&TokenKind::Dot)?;
+                let name = match self.advance() {
+                    TokenKind::Ident(name) => name,
+                    other => {
+                        return Err(ScriptError::Parse {
+                            line: self.line(),
+                            detail: format!(
+                                "expected host-call name after `self.`, found {}",
+                                other.describe()
+                            ),
+                        })
+                    }
+                };
+                let args = self.call_args()?;
+                Ok(Expr::HostCall(name, args))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.call_args()?;
+                    Ok(fold_literal_ctor(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.eat(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.advance();
+                let mut items = Vec::new();
+                if self.peek() != &TokenKind::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.peek() == &TokenKind::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(&TokenKind::RBracket)?;
+                // Fold all-literal lists so pretty-printed literal lists
+                // round-trip to Literal form.
+                if items.iter().all(|e| matches!(e, Expr::Literal(_))) {
+                    let vals = items
+                        .into_iter()
+                        .map(|e| match e {
+                            Expr::Literal(v) => v,
+                            _ => unreachable!("checked literal"),
+                        })
+                        .collect();
+                    Ok(Expr::Literal(Value::List(vals)))
+                } else {
+                    Ok(Expr::ListExpr(items))
+                }
+            }
+            TokenKind::LBrace => {
+                self.advance();
+                let mut entries: Vec<(String, Expr)> = Vec::new();
+                if self.peek() != &TokenKind::RBrace {
+                    loop {
+                        let key = match self.advance() {
+                            TokenKind::Str(s) => s,
+                            other => {
+                                return Err(ScriptError::Parse {
+                                    line: self.line(),
+                                    detail: format!(
+                                        "map keys must be string literals, found {}",
+                                        other.describe()
+                                    ),
+                                })
+                            }
+                        };
+                        if entries.iter().any(|(k, _)| k == &key) {
+                            return Err(ScriptError::Parse {
+                                line: self.line(),
+                                detail: format!("duplicate map key {key:?}"),
+                            });
+                        }
+                        self.eat(&TokenKind::Colon)?;
+                        let v = self.expr()?;
+                        entries.push((key, v));
+                        if self.peek() == &TokenKind::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(&TokenKind::RBrace)?;
+                if entries.iter().all(|(_, e)| matches!(e, Expr::Literal(_))) {
+                    let m = entries
+                        .into_iter()
+                        .map(|(k, e)| match e {
+                            Expr::Literal(v) => (k, v),
+                            _ => unreachable!("checked literal"),
+                        })
+                        .collect();
+                    Ok(Expr::Literal(Value::Map(m)))
+                } else {
+                    Ok(Expr::MapExpr(entries))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+/// Folds the `bytes("hex")` / `objectref("id")` literal constructors emitted
+/// by the pretty-printer back into literal values.
+fn fold_literal_ctor(name: String, args: Vec<Expr>) -> Expr {
+    if args.len() == 1 {
+        if let Expr::Literal(Value::Str(s)) = &args[0] {
+            match name.as_str() {
+                "bytes" if s.len() % 2 == 0 => {
+                    if let Ok(raw) = (0..s.len())
+                        .step_by(2)
+                        .map(|i| u8::from_str_radix(&s[i..i + 2], 16))
+                        .collect::<Result<Vec<u8>, _>>()
+                    {
+                        return Expr::Literal(Value::Bytes(raw));
+                    }
+                }
+                "objectref" => {
+                    if let Ok(id) = s.parse() {
+                        return Expr::Literal(Value::ObjectRef(id));
+                    }
+                }
+                "float" => {
+                    // Folding is only safe when a plain parse succeeds (the
+                    // `float` builtin additionally strips markup and trims,
+                    // but plain-parseable inputs behave identically).
+                    if let Ok(x) = s.parse::<f64>() {
+                        return Expr::Literal(Value::Float(x));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Expr::Call(name, args)
+}
+
+/// `true` when an expression is a valid assignment target: a variable or an
+/// index chain rooted at a variable.
+fn is_assign_target(e: &Expr) -> bool {
+    match e {
+        Expr::Var(_) => true,
+        Expr::Index(base, _) => is_assign_target(base),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"))
+    }
+
+    #[test]
+    fn parses_params_and_statements() {
+        let p = parse_ok("param a; param b; return a + b;");
+        assert_eq!(p.params(), ["a", "b"]);
+        assert_eq!(p.body().len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_params() {
+        assert!(parse("param a; param a;").is_err());
+    }
+
+    #[test]
+    fn rejects_param_after_statement() {
+        assert!(parse("let x = 1; param a;").is_err());
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let p = parse_ok("return 1 + 2 * 3;");
+        match &p.body()[0] {
+            Stmt::Return(Some(Expr::Binary(BinaryOp::Add, lhs, rhs))) => {
+                assert_eq!(**lhs, Expr::Literal(Value::Int(1)));
+                assert!(matches!(**rhs, Expr::Binary(BinaryOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let p = parse_ok("return 10 - 2 - 3;");
+        match &p.body()[0] {
+            Stmt::Return(Some(Expr::Binary(BinaryOp::Sub, lhs, rhs))) => {
+                assert!(matches!(**lhs, Expr::Binary(BinaryOp::Sub, _, _)));
+                assert_eq!(**rhs, Expr::Literal(Value::Int(3)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse_ok("return -5;");
+        assert_eq!(
+            p.body()[0],
+            Stmt::Return(Some(Expr::Literal(Value::Int(-5))))
+        );
+        let p = parse_ok("return -2.5;");
+        assert_eq!(
+            p.body()[0],
+            Stmt::Return(Some(Expr::Literal(Value::Float(-2.5))))
+        );
+        // Negation of a non-literal stays an AST node.
+        let p = parse_ok("return -x;");
+        assert!(matches!(
+            &p.body()[0],
+            Stmt::Return(Some(Expr::Unary(UnaryOp::Neg, _)))
+        ));
+    }
+
+    #[test]
+    fn literal_lists_and_maps_fold() {
+        let p = parse_ok("return [1, 2, 3];");
+        assert_eq!(
+            p.body()[0],
+            Stmt::Return(Some(Expr::Literal(Value::list([
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))))
+        );
+        let p = parse_ok("return {\"a\": 1};");
+        assert_eq!(
+            p.body()[0],
+            Stmt::Return(Some(Expr::Literal(Value::map([("a", Value::Int(1))]))))
+        );
+        // Non-literal elements keep constructor form.
+        let p = parse_ok("return [x];");
+        assert!(matches!(&p.body()[0], Stmt::Return(Some(Expr::ListExpr(_)))));
+    }
+
+    #[test]
+    fn bytes_and_objectref_ctors_fold() {
+        let p = parse_ok("return bytes(\"ab01\");");
+        assert_eq!(
+            p.body()[0],
+            Stmt::Return(Some(Expr::Literal(Value::Bytes(vec![0xab, 0x01]))))
+        );
+        let p = parse_ok("return objectref(\"0000000000000001-00000002-00000003\");");
+        assert!(matches!(
+            &p.body()[0],
+            Stmt::Return(Some(Expr::Literal(Value::ObjectRef(_))))
+        ));
+        // Invalid payloads stay as (failing) calls rather than literals.
+        let p = parse_ok("return bytes(\"zz\");");
+        assert!(matches!(&p.body()[0], Stmt::Return(Some(Expr::Call(_, _)))));
+    }
+
+    #[test]
+    fn host_calls_parse() {
+        let p = parse_ok("self.invoke(\"m\", [1]);");
+        match &p.body()[0] {
+            Stmt::Expr(Expr::HostCall(name, args)) => {
+                assert_eq!(name, "invoke");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse_ok("if (a) { return 1; } else if (b) { return 2; } else { return 3; }");
+        match &p.body()[0] {
+            Stmt::If(_, _, else_body) => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If(_, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_and_while_loops() {
+        parse_ok("for (x in range(10)) { let y = x; }");
+        parse_ok("while (true) { break; }");
+    }
+
+    #[test]
+    fn assignment_targets() {
+        parse_ok("x = 1;");
+        parse_ok("x[0] = 1;");
+        parse_ok("x[0][\"k\"] = 1;");
+        assert!(parse("1 = 2;").is_err());
+        assert!(parse("f() = 2;").is_err());
+        assert!(parse("self.get(\"x\") = 2;").is_err());
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let err = parse("let x = 1;\nlet y = ;").unwrap_err();
+        match err {
+            ScriptError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_constructs() {
+        assert!(parse("let = 1;").is_err());
+        assert!(parse("if a { }").is_err());
+        assert!(parse("while (true) return;").is_err());
+        assert!(parse("{1: 2};").is_err());
+        assert!(parse("{\"a\": 1, \"a\": 2};").is_err());
+        assert!(parse("return [1, 2").is_err());
+        assert!(parse("self.x;").is_err());
+        assert!(parse("if (true) { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn empty_program_parses() {
+        let p = parse_ok("");
+        assert!(p.params().is_empty());
+        assert!(p.body().is_empty());
+    }
+}

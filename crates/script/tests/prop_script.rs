@@ -1,0 +1,198 @@
+//! Property tests: pretty-printer/parser round trips, serialization round
+//! trips, and evaluator robustness under arbitrary programs.
+
+use mrom_script::{BinaryOp, Evaluator, Expr, NullHost, Program, Stmt, UnaryOp};
+use mrom_value::{wire, Value};
+use proptest::prelude::*;
+
+/// Identifier strategy that avoids keywords and builtin collisions (a
+/// variable named `len` is legal but would shadow nothing — calls and vars
+/// are distinguished syntactically — still, keep names distinct for
+/// clarity).
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "let" | "param" | "if" | "else" | "while" | "for" | "in" | "return" | "break"
+                | "continue" | "self" | "true" | "false" | "null"
+        )
+    })
+}
+
+/// Literal values that have exact source syntax (excludes NaN — not
+/// comparable — and i64::MIN, whose negative literal cannot be re-lexed).
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        ((i64::MIN + 1)..i64::MAX).prop_map(Value::Int),
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        Just(Value::Float(0.0)),
+        Just(Value::Float(f64::INFINITY)),
+        Just(Value::Float(f64::NEG_INFINITY)),
+        "[ -~&&[^\"\\\\]]{0,12}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..8).prop_map(Value::Bytes),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Literal),
+        ident().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        let op = prop_oneof![
+            Just(BinaryOp::Or),
+            Just(BinaryOp::And),
+            Just(BinaryOp::Eq),
+            Just(BinaryOp::Ne),
+            Just(BinaryOp::Lt),
+            Just(BinaryOp::Le),
+            Just(BinaryOp::Gt),
+            Just(BinaryOp::Ge),
+            Just(BinaryOp::Add),
+            Just(BinaryOp::Sub),
+            Just(BinaryOp::Mul),
+            Just(BinaryOp::Div),
+            Just(BinaryOp::Rem),
+        ];
+        let unop = prop_oneof![Just(UnaryOp::Not)];
+        prop_oneof![
+            (op, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            // Neg folds numeric literals at parse time, so restrict Neg to
+            // non-literal operands; Not never folds.
+            (unop, inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+            ident().prop_map(|v| Expr::Unary(UnaryOp::Neg, Box::new(Expr::Var(v)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Index(Box::new(a), Box::new(b))),
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| build_call(name, args)),
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::HostCall(name, args)),
+            // List/map constructors with at least one non-literal element
+            // (all-literal constructors fold to Literal at parse time).
+            (inner.clone(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(head, rest)| {
+                    let mut items = vec![Expr::Var("seed_var".into()), head];
+                    items.extend(rest);
+                    Expr::ListExpr(items)
+                }),
+        ]
+    })
+}
+
+/// `bytes`/`objectref`/`float` calls with a single string-literal argument
+/// fold to literals at parse time; avoid generating those shapes.
+fn build_call(name: String, args: Vec<Expr>) -> Expr {
+    let folds = matches!(name.as_str(), "bytes" | "objectref" | "float")
+        && args.len() == 1
+        && matches!(args[0], Expr::Literal(Value::Str(_)));
+    if folds {
+        Expr::Call(format!("{name}_"), args)
+    } else {
+        Expr::Call(name, args)
+    }
+}
+
+fn assign_target() -> impl Strategy<Value = Expr> {
+    (ident(), prop::collection::vec(literal(), 0..3)).prop_map(|(root, idxs)| {
+        let mut e = Expr::Var(root);
+        for idx in idxs {
+            e = Expr::Index(Box::new(e), Box::new(Expr::Literal(idx)));
+        }
+        e
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident(), arb_expr()).prop_map(|(n, e)| Stmt::Let(n, e)),
+        (assign_target(), arb_expr()).prop_map(|(t, e)| Stmt::Assign(t, e)),
+        arb_expr().prop_map(Stmt::Expr),
+        arb_expr().prop_map(|e| Stmt::Return(Some(e))),
+        Just(Stmt::Return(None)),
+        Just(Stmt::Break),
+        Just(Stmt::Continue),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, a, b)| Stmt::If(c, a, b)),
+            (arb_expr(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(c, b)| Stmt::While(c, b)),
+            (ident(), arb_expr(), prop::collection::vec(inner, 0..3))
+                .prop_map(|(v, e, b)| Stmt::For(v, e, b)),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::btree_set(ident(), 0..4),
+        prop::collection::vec(arb_stmt(), 0..6),
+    )
+        .prop_map(|(params, body)| Program::from_parts(params.into_iter().collect(), body))
+}
+
+proptest! {
+    /// Pretty-printed source re-parses to the identical AST.
+    #[test]
+    fn pretty_print_round_trip(p in arb_program()) {
+        let source = p.to_string();
+        let q = Program::parse(&source)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nsource:\n{source}"));
+        prop_assert_eq!(q, p);
+    }
+
+    /// Program → Value → Program is the identity.
+    #[test]
+    fn value_encoding_round_trip(p in arb_program()) {
+        let v = p.to_value();
+        prop_assert_eq!(Program::from_value(&v).expect("decode"), p);
+    }
+
+    /// Program → Value → bytes → Value → Program is the identity.
+    #[test]
+    fn byte_encoding_round_trip(p in arb_program()) {
+        let bytes = wire::encode(&p.to_value());
+        let v = wire::decode(&bytes).expect("wire decode");
+        prop_assert_eq!(Program::from_value(&v).expect("program decode"), p);
+    }
+
+    /// Running an arbitrary program never panics and never exceeds its fuel
+    /// budget by more than the final step.
+    #[test]
+    fn evaluation_is_total_under_fuel(p in arb_program(), args in prop::collection::vec(literal(), 0..3)) {
+        let mut host = NullHost;
+        let mut ev = Evaluator::with_fuel(&mut host, 50_000);
+        let _ = ev.run(&p, &args);
+        prop_assert!(ev.fuel_used() <= 50_000);
+    }
+
+    /// Parsing arbitrary text never panics (errors are fine).
+    #[test]
+    fn parser_is_total(src in ".{0,200}") {
+        let _ = Program::parse(&src);
+    }
+
+    /// Decoding arbitrary value trees as programs never panics.
+    #[test]
+    fn program_decoder_is_total(tag in "[a-z]{1,6}", n in 0usize..5) {
+        let v = Value::map([
+            ("params", Value::list([])),
+            ("body", Value::List(vec![
+                Value::List(
+                    std::iter::once(Value::Str(tag.clone()))
+                        .chain((0..n).map(|i| Value::Int(i as i64)))
+                        .collect(),
+                ),
+            ])),
+        ]);
+        let _ = Program::from_value(&v);
+    }
+}

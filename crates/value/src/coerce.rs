@@ -1,0 +1,429 @@
+//! Generic coercion — the *weak typing* requirement.
+//!
+//! The paper: "the object model should support generic coercion to
+//! facilitate the high level of abstraction (e.g., to transform a value that
+//! is represented as HTML text into an integer, when arithmetic operation
+//! should be performed on that value)".
+//!
+//! The coercion matrix below is intentionally permissive in the directions
+//! the paper motivates (presentation formats → machine types) and
+//! conservative elsewhere (no lossy silent truncation: `Float` → `Int`
+//! requires an integral value).
+
+use std::collections::BTreeMap;
+
+use crate::error::ValueError;
+use crate::value::{Value, ValueKind};
+
+impl Value {
+    /// Coerces `self` into the requested kind, consuming it.
+    ///
+    /// Identity coercions are free. The supported conversions:
+    ///
+    /// | from \ to | Bool | Int | Float | Str | Bytes | List | Map |
+    /// |-----------|------|-----|-------|-----|-------|------|-----|
+    /// | Null      | ✓(false) | ✗ | ✗ | ✓("null") | ✗ | wrap | ✗ |
+    /// | Bool      | ✓ | ✓(0/1) | ✓ | ✓ | ✗ | wrap | ✗ |
+    /// | Int       | ✓(≠0) | ✓ | ✓ | ✓ | ✗ | wrap | ✗ |
+    /// | Float     | ✓(≠0) | ✓ if integral | ✓ | ✓ | ✗ | wrap | ✗ |
+    /// | Str       | ✓ parse | ✓ parse (HTML-aware) | ✓ parse (HTML-aware) | ✓ | ✓ utf-8 | wrap | ✗ |
+    /// | Bytes     | ✗ | ✗ | ✗ | ✓ if utf-8 | ✓ | wrap | ✗ |
+    /// | List      | ✗ | ✗ | ✗ | ✓ display | ✗ | ✓ | ✗ |
+    /// | Map       | ✗ | ✗ | ✗ | ✓ display | ✗ | ✓ entries | ✓ |
+    /// | ObjectRef | ✗ | ✗ | ✗ | ✓ display | ✓ 16 B id | wrap | ✗ |
+    ///
+    /// "wrap" means a single-element list. String → number strips markup
+    /// first (tags removed, entities decoded, whitespace normalized) so `"<td><b>42</b></td>"` coerces to
+    /// `Int(42)` — the paper's example.
+    ///
+    /// # Errors
+    ///
+    /// [`ValueError::CoercionUndefined`] when the kind pair has no rule, and
+    /// [`ValueError::CoercionFailed`] when the rule exists but this value
+    /// does not satisfy it.
+    pub fn coerce(self, to: ValueKind) -> Result<Value, ValueError> {
+        let from = self.kind();
+        if from == to {
+            return Ok(self);
+        }
+        match (self, to) {
+            // --- to Bool: truthiness of convertible scalars + parsed strings.
+            (Value::Null, ValueKind::Bool) => Ok(Value::Bool(false)),
+            (Value::Int(i), ValueKind::Bool) => Ok(Value::Bool(i != 0)),
+            (Value::Float(x), ValueKind::Bool) => Ok(Value::Bool(x != 0.0)),
+            (Value::Str(s), ValueKind::Bool) => parse_bool(&s).map(Value::Bool).ok_or_else(|| {
+                ValueError::CoercionFailed {
+                    from,
+                    to,
+                    detail: format!("{s:?} is not a boolean literal"),
+                }
+            }),
+
+            // --- to Int.
+            (Value::Bool(b), ValueKind::Int) => Ok(Value::Int(i64::from(b))),
+            (Value::Float(x), ValueKind::Int) => {
+                if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 {
+                    Ok(Value::Int(x as i64))
+                } else {
+                    Err(ValueError::CoercionFailed {
+                        from,
+                        to,
+                        detail: format!("{x} is not an integral value in i64 range"),
+                    })
+                }
+            }
+            (Value::Str(s), ValueKind::Int) => {
+                let cleaned = strip_markup(&s);
+                cleaned.trim().parse::<i64>().map(Value::Int).map_err(|e| {
+                    ValueError::CoercionFailed {
+                        from,
+                        to,
+                        detail: format!("{s:?} does not contain an integer: {e}"),
+                    }
+                })
+            }
+
+            // --- to Float.
+            (Value::Bool(b), ValueKind::Float) => Ok(Value::Float(if b { 1.0 } else { 0.0 })),
+            (Value::Int(i), ValueKind::Float) => Ok(Value::Float(i as f64)),
+            (Value::Str(s), ValueKind::Float) => {
+                let cleaned = strip_markup(&s);
+                cleaned
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|e| ValueError::CoercionFailed {
+                        from,
+                        to,
+                        detail: format!("{s:?} does not contain a number: {e}"),
+                    })
+            }
+
+            // --- to Str: display of everything.
+            (Value::Null, ValueKind::Str) => Ok(Value::Str("null".to_owned())),
+            (Value::Bool(b), ValueKind::Str) => Ok(Value::Str(b.to_string())),
+            (Value::Int(i), ValueKind::Str) => Ok(Value::Str(i.to_string())),
+            (Value::Float(x), ValueKind::Str) => Ok(Value::Str(x.to_string())),
+            (Value::Bytes(b), ValueKind::Str) => String::from_utf8(b)
+                .map(Value::Str)
+                .map_err(|_| ValueError::InvalidUtf8),
+            (v @ Value::List(_), ValueKind::Str) => Ok(Value::Str(v.to_string())),
+            (v @ Value::Map(_), ValueKind::Str) => Ok(Value::Str(v.to_string())),
+            (Value::ObjectRef(id), ValueKind::Str) => Ok(Value::Str(id.to_string())),
+
+            // --- to Bytes.
+            (Value::Str(s), ValueKind::Bytes) => Ok(Value::Bytes(s.into_bytes())),
+            (Value::ObjectRef(id), ValueKind::Bytes) => Ok(Value::Bytes(id.to_bytes().to_vec())),
+
+            // --- to List: wrap scalars, expand map entries.
+            (Value::Map(m), ValueKind::List) => Ok(Value::List(
+                m.into_iter()
+                    .map(|(k, v)| Value::List(vec![Value::Str(k), v]))
+                    .collect(),
+            )),
+            (v, ValueKind::List) => Ok(Value::List(vec![v])),
+
+            // --- to Map: only from a list of [key, value] pairs.
+            (Value::List(items), ValueKind::Map) => {
+                let mut out = BTreeMap::new();
+                for (i, item) in items.into_iter().enumerate() {
+                    match item {
+                        Value::List(mut pair) if pair.len() == 2 => {
+                            let v = pair.pop().expect("len 2");
+                            let k = pair.pop().expect("len 2");
+                            match k {
+                                Value::Str(k) => {
+                                    out.insert(k, v);
+                                }
+                                other => {
+                                    return Err(ValueError::CoercionFailed {
+                                        from,
+                                        to,
+                                        detail: format!(
+                                            "pair {i} key has kind {}, expected str",
+                                            other.kind()
+                                        ),
+                                    })
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(ValueError::CoercionFailed {
+                                from,
+                                to,
+                                detail: format!(
+                                    "element {i} is {} rather than a [key, value] pair",
+                                    other.kind()
+                                ),
+                            })
+                        }
+                    }
+                }
+                Ok(Value::Map(out))
+            }
+
+            // --- to ObjectRef: parse the display / byte forms back.
+            (Value::Str(s), ValueKind::ObjectRef) => s
+                .parse()
+                .map(Value::ObjectRef)
+                .map_err(|_| ValueError::CoercionFailed {
+                    from,
+                    to,
+                    detail: format!("{s:?} is not an object id"),
+                }),
+            (Value::Bytes(b), ValueKind::ObjectRef) => {
+                let raw: [u8; 16] = b.as_slice().try_into().map_err(|_| {
+                    ValueError::CoercionFailed {
+                        from,
+                        to,
+                        detail: format!("object id needs 16 bytes, got {}", b.len()),
+                    }
+                })?;
+                Ok(Value::ObjectRef(crate::ObjectId::from_bytes(raw)))
+            }
+
+            (_, to) => Err(ValueError::CoercionUndefined { from, to }),
+        }
+    }
+
+    /// Non-consuming convenience over [`Value::coerce`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Value::coerce`].
+    pub fn coerce_ref(&self, to: ValueKind) -> Result<Value, ValueError> {
+        self.clone().coerce(to)
+    }
+}
+
+/// Parses the boolean literals accepted by string → bool coercion.
+fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "true" | "yes" | "1" | "on" => Some(true),
+        "false" | "no" | "0" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// Strips SGML/HTML markup and entities from presentation text so the
+/// numeric payload can be parsed — the paper's HTML-to-integer scenario.
+///
+/// Tags (`<...>`) are removed; the five standard entities are decoded;
+/// `&nbsp;` becomes a space; the result is whitespace-normalized.
+pub(crate) fn strip_markup(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '<' => {
+                // Skip to the matching '>'; an unterminated tag swallows the rest,
+                // matching lenient browser behaviour.
+                for t in chars.by_ref() {
+                    if t == '>' {
+                        break;
+                    }
+                }
+            }
+            '&' => {
+                let mut entity = String::new();
+                let mut terminated = false;
+                while let Some(&t) = chars.peek() {
+                    chars.next();
+                    if t == ';' {
+                        terminated = true;
+                        break;
+                    }
+                    entity.push(t);
+                    if entity.len() > 8 {
+                        break;
+                    }
+                }
+                if terminated {
+                    match entity.as_str() {
+                        "amp" => out.push('&'),
+                        "lt" => out.push('<'),
+                        "gt" => out.push('>'),
+                        "quot" => out.push('"'),
+                        "apos" => out.push('\''),
+                        "nbsp" => out.push(' '),
+                        other => {
+                            // Unknown entity: keep the literal text.
+                            out.push('&');
+                            out.push_str(other);
+                            out.push(';');
+                        }
+                    }
+                } else {
+                    out.push('&');
+                    out.push_str(&entity);
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    // Whitespace-normalize.
+    out.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{NodeId, ObjectId};
+
+    #[test]
+    fn identity_coercion_is_free() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(5),
+            Value::Float(1.5),
+            Value::from("s"),
+            Value::Bytes(vec![1]),
+            Value::list([Value::Int(1)]),
+            Value::map([("k", Value::Int(1))]),
+        ] {
+            let k = v.kind();
+            assert_eq!(v.clone().coerce(k).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn paper_html_example() {
+        let html = Value::from("<td><b> 42 </b></td>");
+        assert_eq!(html.coerce(ValueKind::Int).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn html_with_entities_and_floats() {
+        let html = Value::from("<span>&nbsp;3.25&nbsp;</span>");
+        assert_eq!(html.coerce(ValueKind::Float).unwrap(), Value::Float(3.25));
+    }
+
+    #[test]
+    fn negative_number_in_markup() {
+        let html = Value::from("<em>-17</em>");
+        assert_eq!(html.coerce(ValueKind::Int).unwrap(), Value::Int(-17));
+    }
+
+    #[test]
+    fn strip_markup_handles_unknown_entities() {
+        assert_eq!(strip_markup("a &weird; b"), "a &weird; b");
+        assert_eq!(strip_markup("a &amp; b"), "a & b");
+        assert_eq!(strip_markup("x &unterminated"), "x &unterminated");
+        assert_eq!(strip_markup("<unclosed tag"), "");
+    }
+
+    #[test]
+    fn bool_coercions() {
+        assert_eq!(
+            Value::from("Yes").coerce(ValueKind::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::from(" off ").coerce(ValueKind::Bool).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(Value::Int(0).coerce(ValueKind::Bool).unwrap(), Value::Bool(false));
+        assert_eq!(Value::Null.coerce(ValueKind::Bool).unwrap(), Value::Bool(false));
+        assert!(Value::from("maybe").coerce(ValueKind::Bool).is_err());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Bool(true).coerce(ValueKind::Int).unwrap(), Value::Int(1));
+        assert_eq!(Value::Int(2).coerce(ValueKind::Float).unwrap(), Value::Float(2.0));
+        assert_eq!(Value::Float(3.0).coerce(ValueKind::Int).unwrap(), Value::Int(3));
+        assert!(Value::Float(3.5).coerce(ValueKind::Int).is_err());
+        assert!(Value::Float(f64::NAN).coerce(ValueKind::Int).is_err());
+        assert!(Value::Float(1e300).coerce(ValueKind::Int).is_err());
+    }
+
+    #[test]
+    fn string_coercions() {
+        assert_eq!(
+            Value::Int(-9).coerce(ValueKind::Str).unwrap(),
+            Value::from("-9")
+        );
+        assert_eq!(
+            Value::Null.coerce(ValueKind::Str).unwrap(),
+            Value::from("null")
+        );
+        assert_eq!(
+            Value::Bytes(b"hi".to_vec()).coerce(ValueKind::Str).unwrap(),
+            Value::from("hi")
+        );
+        assert_eq!(
+            Value::Bytes(vec![0xff]).coerce(ValueKind::Str),
+            Err(ValueError::InvalidUtf8)
+        );
+    }
+
+    #[test]
+    fn list_wrap_and_map_entries() {
+        assert_eq!(
+            Value::Int(1).coerce(ValueKind::List).unwrap(),
+            Value::list([Value::Int(1)])
+        );
+        let m = Value::map([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        let l = m.clone().coerce(ValueKind::List).unwrap();
+        assert_eq!(
+            l,
+            Value::list([
+                Value::list([Value::from("a"), Value::Int(1)]),
+                Value::list([Value::from("b"), Value::Int(2)]),
+            ])
+        );
+        // And back again.
+        assert_eq!(l.coerce(ValueKind::Map).unwrap(), m);
+    }
+
+    #[test]
+    fn map_coercion_rejects_non_pairs() {
+        let bad = Value::list([Value::Int(1)]);
+        assert!(matches!(
+            bad.coerce(ValueKind::Map),
+            Err(ValueError::CoercionFailed { .. })
+        ));
+        let bad_key = Value::list([Value::list([Value::Int(1), Value::Int(2)])]);
+        assert!(bad_key.coerce(ValueKind::Map).is_err());
+    }
+
+    #[test]
+    fn object_ref_round_trips_via_str_and_bytes() {
+        let id = ObjectId::from_parts(NodeId(0xabc), 7, 9);
+        let as_str = Value::ObjectRef(id).coerce(ValueKind::Str).unwrap();
+        assert_eq!(
+            as_str.coerce(ValueKind::ObjectRef).unwrap(),
+            Value::ObjectRef(id)
+        );
+        let as_bytes = Value::ObjectRef(id).coerce(ValueKind::Bytes).unwrap();
+        assert_eq!(
+            as_bytes.coerce(ValueKind::ObjectRef).unwrap(),
+            Value::ObjectRef(id)
+        );
+        assert!(Value::Bytes(vec![1, 2, 3])
+            .coerce(ValueKind::ObjectRef)
+            .is_err());
+    }
+
+    #[test]
+    fn undefined_pairs_report_cleanly() {
+        assert_eq!(
+            Value::list([]).coerce(ValueKind::Int),
+            Err(ValueError::CoercionUndefined {
+                from: ValueKind::List,
+                to: ValueKind::Int
+            })
+        );
+        assert!(Value::Null.coerce(ValueKind::Bytes).is_err());
+        assert!(Value::map::<String, _>([]).coerce(ValueKind::Float).is_err());
+    }
+
+    #[test]
+    fn coerce_ref_leaves_original_intact() {
+        let v = Value::from("12");
+        let n = v.coerce_ref(ValueKind::Int).unwrap();
+        assert_eq!(n, Value::Int(12));
+        assert_eq!(v, Value::from("12"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type shared by the value, coercion, identity and wire modules.
+
+use std::fmt;
+
+use crate::value::ValueKind;
+
+/// Errors produced while manipulating, coercing, or (de)serializing
+/// [`Value`](crate::Value)s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValueError {
+    /// A coercion between two kinds is not defined at all.
+    CoercionUndefined {
+        /// Kind of the source value.
+        from: ValueKind,
+        /// Requested target kind.
+        to: ValueKind,
+    },
+    /// A coercion is defined for the kind pair but failed for this
+    /// particular value (e.g. `"abc"` → `Int`).
+    CoercionFailed {
+        /// Kind of the source value.
+        from: ValueKind,
+        /// Requested target kind.
+        to: ValueKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An integer conversion overflowed or a float was not representable.
+    NumericRange(String),
+    /// The wire decoder met a malformed buffer.
+    Malformed(String),
+    /// The wire decoder met an unknown type tag byte.
+    UnknownTag(u8),
+    /// The wire decoder met a format version it does not speak.
+    UnsupportedVersion(u8),
+    /// The buffer ended before the announced payload did.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        have: usize,
+    },
+    /// Trailing bytes remained after a complete value was decoded.
+    TrailingBytes(usize),
+    /// A nested structure exceeded the decoder's depth budget.
+    DepthExceeded(usize),
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::CoercionUndefined { from, to } => {
+                write!(f, "no coercion defined from {from} to {to}")
+            }
+            ValueError::CoercionFailed { from, to, detail } => {
+                write!(f, "coercion from {from} to {to} failed: {detail}")
+            }
+            ValueError::NumericRange(detail) => {
+                write!(f, "numeric value out of range: {detail}")
+            }
+            ValueError::Malformed(detail) => write!(f, "malformed wire data: {detail}"),
+            ValueError::UnknownTag(tag) => write!(f, "unknown wire type tag {tag:#04x}"),
+            ValueError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire format version {v}")
+            }
+            ValueError::Truncated { needed, have } => {
+                write!(f, "truncated wire data: needed {needed} bytes, have {have}")
+            }
+            ValueError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after decoded value")
+            }
+            ValueError::DepthExceeded(limit) => {
+                write!(f, "value nesting exceeds depth limit {limit}")
+            }
+            ValueError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            ValueError::CoercionUndefined {
+                from: ValueKind::List,
+                to: ValueKind::Int,
+            }
+            .to_string(),
+            ValueError::InvalidUtf8.to_string(),
+            ValueError::TrailingBytes(3).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "no trailing period: {m}");
+            let first = m.chars().next().unwrap();
+            assert!(!first.is_uppercase(), "no leading capital: {m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<ValueError>();
+    }
+}

@@ -1,0 +1,480 @@
+//! The dynamic [`Value`] tree and its runtime type tags.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::id::ObjectId;
+
+/// Runtime type tag of a [`Value`].
+///
+/// MROM is weakly typed: data items may carry an optional *dynamic type*
+/// constraint expressed as a `ValueKind`, and coercions name their target
+/// with one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValueKind {
+    /// The absent value.
+    Null,
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Raw byte string.
+    Bytes,
+    /// Ordered heterogeneous list.
+    List,
+    /// String-keyed ordered map.
+    Map,
+    /// Reference to another object by identity.
+    ObjectRef,
+}
+
+impl ValueKind {
+    /// All kinds, in tag order. Useful for exhaustive sweeps in tests and
+    /// benches.
+    pub const ALL: [ValueKind; 9] = [
+        ValueKind::Null,
+        ValueKind::Bool,
+        ValueKind::Int,
+        ValueKind::Float,
+        ValueKind::Str,
+        ValueKind::Bytes,
+        ValueKind::List,
+        ValueKind::Map,
+        ValueKind::ObjectRef,
+    ];
+
+    /// Canonical lowercase name (`"int"`, `"objectref"`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValueKind::Null => "null",
+            ValueKind::Bool => "bool",
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "str",
+            ValueKind::Bytes => "bytes",
+            ValueKind::List => "list",
+            ValueKind::Map => "map",
+            ValueKind::ObjectRef => "objectref",
+        }
+    }
+
+    /// Parses a kind from its canonical [`ValueKind::name`].
+    pub fn from_name(name: &str) -> Option<ValueKind> {
+        ValueKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed MROM value.
+///
+/// Values are the only currency of the model: data items hold them, method
+/// parameters and return values are slices/instances of them, and the wire
+/// format ships trees of them between nodes.
+///
+/// # Example
+///
+/// ```
+/// use mrom_value::Value;
+///
+/// let v = Value::list([Value::Int(1), Value::from("two")]);
+/// assert_eq!(v.kind(), mrom_value::ValueKind::List);
+/// assert_eq!(v.as_list().unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// The absent value.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw byte string.
+    Bytes(Vec<u8>),
+    /// Ordered heterogeneous list.
+    List(Vec<Value>),
+    /// String-keyed ordered map (BTreeMap keeps encoding canonical).
+    Map(BTreeMap<String, Value>),
+    /// Reference to another object by identity.
+    ObjectRef(ObjectId),
+}
+
+impl Value {
+    /// The runtime kind tag of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Null => ValueKind::Null,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Bytes(_) => ValueKind::Bytes,
+            Value::List(_) => ValueKind::List,
+            Value::Map(_) => ValueKind::Map,
+            Value::ObjectRef(_) => ValueKind::ObjectRef,
+        }
+    }
+
+    /// Builds a list value from anything iterable.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Builds a map value from `(key, value)` pairs.
+    pub fn map<K, I>(entries: I) -> Value
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        Value::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrows the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Borrows the float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the byte payload, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the list payload, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the list payload, if this is a `List`.
+    pub fn as_list_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the map payload, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the map payload, if this is a `Map`.
+    pub fn as_map_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object reference, if this is an `ObjectRef`.
+    pub fn as_object_ref(&self) -> Option<ObjectId> {
+        match self {
+            Value::ObjectRef(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by the script language and by pre/post procedures
+    /// that return non-`Bool` values: `Null`, `false`, `0`, `0.0`, empty
+    /// string/bytes/list/map are falsy; everything else (including any
+    /// `ObjectRef`) is truthy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(x) => *x != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bytes(b) => !b.is_empty(),
+            Value::List(items) => !items.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+            Value::ObjectRef(_) => true,
+        }
+    }
+
+    /// Recursively counts nodes in the value tree (the value itself counts
+    /// as one). Used for size accounting in migration benches.
+    pub fn tree_size(&self) -> usize {
+        match self {
+            Value::List(items) => 1 + items.iter().map(Value::tree_size).sum::<usize>(),
+            Value::Map(m) => 1 + m.values().map(Value::tree_size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Maximum nesting depth of the value tree (a scalar has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::List(items) => 1 + items.iter().map(Value::depth).max().unwrap_or(0),
+            Value::Map(m) => 1 + m.values().map(Value::depth).max().unwrap_or(0),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => {
+                f.write_str("0x")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+            Value::List(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Map(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                f.write_str("}")
+            }
+            Value::ObjectRef(id) => write!(f, "@{id}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+impl From<ObjectId> for Value {
+    fn from(id: ObjectId) -> Self {
+        Value::ObjectRef(id)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::List(items)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::List(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+
+    #[test]
+    fn kind_matches_variant() {
+        assert_eq!(Value::Null.kind(), ValueKind::Null);
+        assert_eq!(Value::Bool(true).kind(), ValueKind::Bool);
+        assert_eq!(Value::Int(1).kind(), ValueKind::Int);
+        assert_eq!(Value::Float(1.0).kind(), ValueKind::Float);
+        assert_eq!(Value::from("x").kind(), ValueKind::Str);
+        assert_eq!(Value::Bytes(vec![]).kind(), ValueKind::Bytes);
+        assert_eq!(Value::list([]).kind(), ValueKind::List);
+        assert_eq!(Value::map::<String, _>([]).kind(), ValueKind::Map);
+        let id = ObjectId::from_parts(NodeId(1), 1, 1);
+        assert_eq!(Value::ObjectRef(id).kind(), ValueKind::ObjectRef);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in ValueKind::ALL {
+            assert_eq!(ValueKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(ValueKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn truthiness_table() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(Value::Float(0.1).truthy());
+        assert!(!Value::from("").truthy());
+        assert!(Value::from("x").truthy());
+        assert!(!Value::Bytes(vec![]).truthy());
+        assert!(!Value::list([]).truthy());
+        assert!(Value::list([Value::Null]).truthy());
+        assert!(!Value::map::<String, _>([]).truthy());
+        assert!(Value::ObjectRef(ObjectId::SYSTEM).truthy());
+    }
+
+    #[test]
+    fn tree_size_and_depth() {
+        let v = Value::list([
+            Value::Int(1),
+            Value::list([Value::Int(2), Value::Int(3)]),
+            Value::map([("a", Value::Null)]),
+        ]);
+        assert_eq!(v.tree_size(), 7);
+        assert_eq!(v.depth(), 3);
+        assert_eq!(Value::Int(5).tree_size(), 1);
+        assert_eq!(Value::Int(5).depth(), 1);
+    }
+
+    #[test]
+    fn accessors_return_none_for_wrong_variant() {
+        let v = Value::Int(1);
+        assert!(v.as_bool().is_none());
+        assert!(v.as_str().is_none());
+        assert!(v.as_list().is_none());
+        assert!(v.as_map().is_none());
+        assert!(v.as_object_ref().is_none());
+        assert_eq!(v.as_int(), Some(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Bytes(vec![0xab, 0x01]).to_string(), "0xab01");
+        assert_eq!(
+            Value::list([Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(
+            Value::map([("k", Value::Bool(true))]).to_string(),
+            "{\"k\": true}"
+        );
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(
+            [Value::Int(1)].into_iter().collect::<Value>(),
+            Value::list([Value::Int(1)])
+        );
+    }
+}

@@ -1,0 +1,557 @@
+//! Self-contained tag-length-value wire format.
+//!
+//! Mobile objects are *self-contained*: when an object migrates or persists
+//! itself, it must not depend on marshaling facilities that may differ
+//! between hosts. This module is therefore a hand-rolled, versioned,
+//! byte-stable encoding that every MROM crate (migration images, simulator
+//! payloads, the persistent store) shares.
+//!
+//! ## Layout
+//!
+//! A buffer produced by [`encode`] is `MAGIC (2 bytes) | VERSION (1 byte) |
+//! value`. A `value` is `tag (1 byte)` followed by a tag-specific payload:
+//!
+//! | tag | kind | payload |
+//! |-----|------|---------|
+//! | `0x00` | Null | — |
+//! | `0x01` | Bool | 1 byte, `0`/`1` |
+//! | `0x02` | Int | varint zig-zag |
+//! | `0x03` | Float | 8 bytes IEEE-754 BE |
+//! | `0x04` | Str | varint len + UTF-8 bytes |
+//! | `0x05` | Bytes | varint len + bytes |
+//! | `0x06` | List | varint count + values |
+//! | `0x07` | Map | varint count + (str, value) pairs |
+//! | `0x08` | ObjectRef | 16 bytes ([`ObjectId::to_bytes`]) |
+//!
+//! Lengths use LEB128 varints; integers use zig-zag so small negative
+//! numbers stay small. Decoding enforces a nesting-depth budget so hostile
+//! images cannot blow the stack.
+
+use std::collections::BTreeMap;
+
+use crate::error::ValueError;
+use crate::id::ObjectId;
+use crate::value::Value;
+
+/// Two magic bytes ("MR") identifying an MROM wire buffer.
+pub const MAGIC: [u8; 2] = [0x4d, 0x52];
+
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Maximum nesting depth accepted by the decoder.
+pub const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_BOOL: u8 = 0x01;
+const TAG_INT: u8 = 0x02;
+const TAG_FLOAT: u8 = 0x03;
+const TAG_STR: u8 = 0x04;
+const TAG_BYTES: u8 = 0x05;
+const TAG_LIST: u8 = 0x06;
+const TAG_MAP: u8 = 0x07;
+const TAG_OBJREF: u8 = 0x08;
+
+/// Encodes a value into a fresh framed buffer (magic + version + body).
+///
+/// # Example
+///
+/// ```
+/// use mrom_value::{wire, Value};
+///
+/// # fn main() -> Result<(), mrom_value::ValueError> {
+/// let v = Value::list([Value::Int(-1), Value::from("x")]);
+/// let buf = wire::encode(&v);
+/// assert_eq!(wire::decode(&buf)?, v);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode(value: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + value.tree_size() * 8);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    encode_value(value, &mut out);
+    out
+}
+
+/// Appends the *body* encoding of a value (no frame header) to `out`.
+///
+/// Composite formats (migration images, network envelopes) embed many
+/// values in one buffer and frame the whole buffer once.
+pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            write_varint(zigzag(*i), out);
+        }
+        Value::Float(x) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            write_varint(b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            write_varint(items.len() as u64, out);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(m) => {
+            out.push(TAG_MAP);
+            write_varint(m.len() as u64, out);
+            for (k, v) in m {
+                write_varint(k.len() as u64, out);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(v, out);
+            }
+        }
+        Value::ObjectRef(id) => {
+            out.push(TAG_OBJREF);
+            out.extend_from_slice(&id.to_bytes());
+        }
+    }
+}
+
+/// Decodes a framed buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`ValueError`] when the buffer is unframed, truncated, malformed,
+/// from an unknown version, too deep, or has trailing bytes.
+pub fn decode(buf: &[u8]) -> Result<Value, ValueError> {
+    let mut reader = Reader::new(buf);
+    let magic = reader.take(2)?;
+    if magic != MAGIC {
+        return Err(ValueError::Malformed(format!(
+            "bad magic {magic:02x?}, expected {MAGIC:02x?}"
+        )));
+    }
+    let version = reader.take_u8()?;
+    if version != VERSION {
+        return Err(ValueError::UnsupportedVersion(version));
+    }
+    let value = decode_value(&mut reader)?;
+    if reader.remaining() > 0 {
+        return Err(ValueError::TrailingBytes(reader.remaining()));
+    }
+    Ok(value)
+}
+
+/// Decodes one body value from a [`Reader`], advancing it.
+pub fn decode_value(reader: &mut Reader<'_>) -> Result<Value, ValueError> {
+    decode_value_at(reader, 0)
+}
+
+fn decode_value_at(reader: &mut Reader<'_>, depth: usize) -> Result<Value, ValueError> {
+    if depth > MAX_DEPTH {
+        return Err(ValueError::DepthExceeded(MAX_DEPTH));
+    }
+    let tag = reader.take_u8()?;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => match reader.take_u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(ValueError::Malformed(format!("bool byte {other}"))),
+        },
+        TAG_INT => Ok(Value::Int(unzigzag(reader.read_varint()?))),
+        TAG_FLOAT => {
+            let raw = reader.take(8)?;
+            Ok(Value::Float(f64::from_be_bytes(
+                raw.try_into().expect("8 bytes"),
+            )))
+        }
+        TAG_STR => {
+            let len = reader.read_len()?;
+            let raw = reader.take(len)?;
+            let s = std::str::from_utf8(raw).map_err(|_| ValueError::InvalidUtf8)?;
+            Ok(Value::Str(s.to_owned()))
+        }
+        TAG_BYTES => {
+            let len = reader.read_len()?;
+            Ok(Value::Bytes(reader.take(len)?.to_vec()))
+        }
+        TAG_LIST => {
+            let count = reader.read_len()?;
+            // A value needs at least one tag byte: a count beyond the
+            // remaining bytes is malformed and must not pre-allocate.
+            if count > reader.remaining() {
+                return Err(ValueError::Malformed(format!(
+                    "list announces {count} items with {} bytes left",
+                    reader.remaining()
+                )));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(decode_value_at(reader, depth + 1)?);
+            }
+            Ok(Value::List(items))
+        }
+        TAG_MAP => {
+            let count = reader.read_len()?;
+            if count > reader.remaining() {
+                return Err(ValueError::Malformed(format!(
+                    "map announces {count} entries with {} bytes left",
+                    reader.remaining()
+                )));
+            }
+            let mut m = BTreeMap::new();
+            for _ in 0..count {
+                let klen = reader.read_len()?;
+                let kraw = reader.take(klen)?;
+                let k = std::str::from_utf8(kraw)
+                    .map_err(|_| ValueError::InvalidUtf8)?
+                    .to_owned();
+                let v = decode_value_at(reader, depth + 1)?;
+                m.insert(k, v);
+            }
+            Ok(Value::Map(m))
+        }
+        TAG_OBJREF => {
+            let raw = reader.take(16)?;
+            Ok(Value::ObjectRef(ObjectId::from_bytes(
+                raw.try_into().expect("16 bytes"),
+            )))
+        }
+        other => Err(ValueError::UnknownTag(other)),
+    }
+}
+
+/// A cursor over a wire buffer, used by composite decoders (migration
+/// images, protocol envelopes) that interleave their own fields with
+/// embedded values.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer; the cursor starts at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Takes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ValueError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ValueError> {
+        if self.remaining() < n {
+            return Err(ValueError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes a single byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ValueError::Truncated`] at end of buffer.
+    pub fn take_u8(&mut self) -> Result<u8, ValueError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`ValueError::Malformed`] for varints longer than 10 bytes and
+    /// [`ValueError::Truncated`] at end of buffer.
+    pub fn read_varint(&mut self) -> Result<u64, ValueError> {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        loop {
+            let byte = self.take_u8()?;
+            if shift >= 64 {
+                return Err(ValueError::Malformed("varint longer than 10 bytes".into()));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a varint and checks it fits `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Reader::read_varint`] plus [`ValueError::Malformed`] on
+    /// overflow.
+    pub fn read_len(&mut self) -> Result<usize, ValueError> {
+        let raw = self.read_varint()?;
+        usize::try_from(raw)
+            .map_err(|_| ValueError::Malformed(format!("length {raw} exceeds usize")))
+    }
+}
+
+/// Appends a LEB128 varint.
+pub fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Convenience: encode a UTF-8 string field (varint length + bytes) into a
+/// composite buffer.
+pub fn write_str(s: &str, out: &mut Vec<u8>) {
+    write_varint(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Convenience: decode a string field written by [`write_str`].
+///
+/// # Errors
+///
+/// [`ValueError`] on truncation or invalid UTF-8.
+pub fn read_str(reader: &mut Reader<'_>) -> Result<String, ValueError> {
+    let len = reader.read_len()?;
+    let raw = reader.take(len)?;
+    std::str::from_utf8(raw)
+        .map(str::to_owned)
+        .map_err(|_| ValueError::InvalidUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{IdGenerator, NodeId};
+
+    fn round_trip(v: Value) {
+        let buf = encode(&v);
+        assert_eq!(decode(&buf).expect("decode"), v, "value {v}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(Value::Null);
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        round_trip(Value::Int(0));
+        round_trip(Value::Int(-1));
+        round_trip(Value::Int(i64::MAX));
+        round_trip(Value::Int(i64::MIN));
+        round_trip(Value::Float(0.0));
+        round_trip(Value::Float(-2.75));
+        round_trip(Value::Float(f64::INFINITY));
+        round_trip(Value::from(""));
+        round_trip(Value::from("héllo ✨"));
+        round_trip(Value::Bytes(vec![]));
+        round_trip(Value::Bytes((0..=255).collect()));
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let buf = encode(&Value::Float(f64::NAN));
+        match decode(&buf).unwrap() {
+            Value::Float(x) => assert!(x.is_nan()),
+            other => panic!("expected float, got {other}"),
+        }
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let mut gen = IdGenerator::new(NodeId(5));
+        round_trip(Value::list([]));
+        round_trip(Value::list([Value::Int(1), Value::from("x"), Value::Null]));
+        round_trip(Value::map([("a", Value::Int(1)), ("", Value::Null)]));
+        round_trip(Value::ObjectRef(gen.next_id()));
+        round_trip(Value::list([
+            Value::map([("nested", Value::list([Value::Bool(false)]))]),
+            Value::ObjectRef(gen.next_id()),
+        ]));
+    }
+
+    #[test]
+    fn small_negative_ints_are_compact() {
+        // zig-zag: -1 encodes to a single varint byte.
+        let buf = encode(&Value::Int(-1));
+        // magic(2) + version(1) + tag(1) + varint(1)
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut buf = encode(&Value::Int(1));
+        buf[0] = 0xff;
+        assert!(matches!(decode(&buf), Err(ValueError::Malformed(_))));
+        let mut buf = encode(&Value::Int(1));
+        buf[2] = 99;
+        assert_eq!(decode(&buf), Err(ValueError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_point() {
+        let buf = encode(&Value::list([
+            Value::from("hello"),
+            Value::Int(123456),
+            Value::map([("k", Value::Float(1.5))]),
+        ]));
+        for cut in 0..buf.len() {
+            assert!(
+                decode(&buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        assert!(decode(&buf).is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut buf = encode(&Value::Int(7));
+        buf.push(0);
+        assert_eq!(decode(&buf), Err(ValueError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(0x7e);
+        assert_eq!(decode(&buf), Err(ValueError::UnknownTag(0x7e)));
+    }
+
+    #[test]
+    fn rejects_bogus_bool_byte() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(TAG_BOOL);
+        buf.push(7);
+        assert!(matches!(decode(&buf), Err(ValueError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_hostile_list_count() {
+        // Announce 2^40 items in a 10-byte buffer: must fail fast without
+        // allocating.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(TAG_LIST);
+        write_varint(1 << 40, &mut buf);
+        assert!(matches!(decode(&buf), Err(ValueError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_excessive_depth() {
+        let mut v = Value::Int(0);
+        for _ in 0..(MAX_DEPTH + 2) {
+            v = Value::list([v]);
+        }
+        let buf = encode(&v);
+        assert_eq!(decode(&buf), Err(ValueError::DepthExceeded(MAX_DEPTH)));
+    }
+
+    #[test]
+    fn accepts_depth_at_limit() {
+        let mut v = Value::Int(0);
+        for _ in 0..(MAX_DEPTH - 1) {
+            v = Value::list([v]);
+        }
+        let buf = encode(&v);
+        assert_eq!(decode(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_invalid_utf8_in_str() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(TAG_STR);
+        write_varint(1, &mut buf);
+        buf.push(0xff);
+        assert_eq!(decode(&buf), Err(ValueError::InvalidUtf8));
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.read_varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xffu8; 11];
+        let mut r = Reader::new(&buf);
+        assert!(r.read_varint().is_err());
+    }
+
+    #[test]
+    fn zigzag_involution() {
+        for i in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+
+    #[test]
+    fn str_field_helpers_round_trip() {
+        let mut buf = Vec::new();
+        write_str("field", &mut buf);
+        write_str("", &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_str(&mut r).unwrap(), "field");
+        assert_eq!(read_str(&mut r).unwrap(), "");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn encoding_is_canonical_for_maps() {
+        // BTreeMap ordering makes byte output independent of insertion order.
+        let a = Value::map([("x", Value::Int(1)), ("a", Value::Int(2))]);
+        let b = Value::map([("a", Value::Int(2)), ("x", Value::Int(1))]);
+        assert_eq!(encode(&a), encode(&b));
+    }
+}

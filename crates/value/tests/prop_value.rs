@@ -1,0 +1,143 @@
+//! Property-based tests over the value tree, coercion, identity, and wire
+//! format.
+
+use mrom_value::{wire, IdGenerator, NodeId, ObjectId, Value, ValueKind};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary value trees of bounded depth/width.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks PartialEq-based round-trip checks
+        // (the bitwise NaN round-trip is covered by a unit test).
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        Just(Value::Float(0.0)),
+        ".{0,24}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+        (any::<u64>(), any::<u32>(), any::<u32>())
+            .prop_map(|(n, s, e)| Value::ObjectRef(ObjectId::from_parts(NodeId(n), s, e))),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+            prop::collection::btree_map(".{0,12}", inner, 0..8).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    /// Every value round-trips bit-exactly through the wire format.
+    #[test]
+    fn wire_round_trip(v in arb_value()) {
+        let buf = wire::encode(&v);
+        let back = wire::decode(&buf).expect("well-formed buffer decodes");
+        prop_assert_eq!(back, v);
+    }
+
+    /// Encoding is deterministic: same value, same bytes.
+    #[test]
+    fn wire_deterministic(v in arb_value()) {
+        prop_assert_eq!(wire::encode(&v), wire::encode(&v));
+    }
+
+    /// Every prefix truncation of a valid buffer is rejected, never panics.
+    #[test]
+    fn wire_truncations_fail_cleanly(v in arb_value(), frac in 0.0f64..1.0) {
+        let buf = wire::encode(&v);
+        let cut = ((buf.len() as f64) * frac) as usize;
+        if cut < buf.len() {
+            prop_assert!(wire::decode(&buf[..cut]).is_err());
+        }
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn wire_garbage_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&data);
+    }
+
+    /// Single-bit corruption either fails or yields *some* value — never a
+    /// panic or hang.
+    #[test]
+    fn wire_bitflip_never_panics(v in arb_value(), bit in 0usize..64) {
+        let mut buf = wire::encode(&v);
+        let idx = bit % (buf.len() * 8);
+        buf[idx / 8] ^= 1 << (idx % 8);
+        let _ = wire::decode(&buf);
+    }
+
+    /// Coercion to every kind either succeeds or errors — never panics —
+    /// and a successful coercion yields exactly the requested kind.
+    #[test]
+    fn coercion_total_and_kind_correct(v in arb_value(), kind_idx in 0usize..9) {
+        let to = ValueKind::ALL[kind_idx];
+        if let Ok(out) = v.coerce_ref(to) {
+            prop_assert_eq!(out.kind(), to);
+        }
+    }
+
+    /// Coercion to a value's own kind is the identity.
+    #[test]
+    fn coercion_identity(v in arb_value()) {
+        let k = v.kind();
+        prop_assert_eq!(v.clone().coerce(k).expect("identity"), v);
+    }
+
+    /// Int → Str → Int round-trips.
+    #[test]
+    fn int_str_round_trip(i in any::<i64>()) {
+        let s = Value::Int(i).coerce(ValueKind::Str).expect("int to str");
+        prop_assert_eq!(s.coerce(ValueKind::Int).expect("str to int"), Value::Int(i));
+    }
+
+    /// Int → Float → Int round-trips for integers exactly representable in
+    /// an f64 mantissa.
+    #[test]
+    fn int_float_round_trip(i in -(1i64 << 52)..(1i64 << 52)) {
+        let f = Value::Int(i).coerce(ValueKind::Float).expect("int to float");
+        prop_assert_eq!(f.coerce(ValueKind::Int).expect("float to int"), Value::Int(i));
+    }
+
+    /// Map → List → Map round-trips.
+    #[test]
+    fn map_list_round_trip(m in prop::collection::btree_map(".{0,8}", any::<i64>().prop_map(Value::Int), 0..8)) {
+        let v = Value::Map(m.clone());
+        let l = v.clone().coerce(ValueKind::List).expect("map to list");
+        prop_assert_eq!(l.coerce(ValueKind::Map).expect("list to map"), v);
+    }
+
+    /// Display of a value tree never panics and is never empty.
+    #[test]
+    fn display_nonempty(v in arb_value()) {
+        prop_assert!(!v.to_string().is_empty());
+    }
+
+    /// tree_size ≥ depth ≥ 1 for every value.
+    #[test]
+    fn size_depth_relation(v in arb_value()) {
+        prop_assert!(v.tree_size() >= v.depth());
+        prop_assert!(v.depth() >= 1);
+    }
+
+    /// Object ids survive display/parse and byte round-trips.
+    #[test]
+    fn object_id_round_trips(n in any::<u64>(), s in any::<u32>(), e in any::<u32>()) {
+        let id = ObjectId::from_parts(NodeId(n), s, e);
+        prop_assert_eq!(id.to_string().parse::<ObjectId>().expect("parse"), id);
+        prop_assert_eq!(ObjectId::from_bytes(id.to_bytes()), id);
+    }
+
+    /// Generators on different nodes never mint equal ids.
+    #[test]
+    fn generators_disjoint(a in 0u64..1000, b in 1001u64..2000, count in 1usize..64) {
+        let mut ga = IdGenerator::new(NodeId(a));
+        let mut gb = IdGenerator::new(NodeId(b));
+        let ids_a: Vec<_> = (0..count).map(|_| ga.next_id()).collect();
+        let ids_b: Vec<_> = (0..count).map(|_| gb.next_id()).collect();
+        for ia in &ids_a {
+            prop_assert!(!ids_b.contains(ia));
+        }
+    }
+}

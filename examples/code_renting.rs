@@ -1,0 +1,126 @@
+//! Yourdon's "code renting" via meta-mutability (§3 of the paper): a
+//! rented object contacts a charging object before every invocation, by
+//! installing a level-1 meta-invoke whose pre-procedure performs the
+//! charging.
+//!
+//! "Since the pre-procedure is on the invoke method itself, it applies to
+//! the invocation of all methods in the object, as opposed to specific
+//! methods."
+//!
+//! Run with: `cargo run --example code_renting`
+
+use mrom::core::{ClassSpec, DataItem, Method, MethodBody, Runtime};
+use mrom::value::{NodeId, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = Runtime::new(NodeId(9));
+
+    // The billing service: an ordinary object that tallies per-client fees.
+    rt.classes_mut().register(
+        ClassSpec::new("billing")
+            .fixed_data("ledger", DataItem::public(Value::map::<String, _>([])))
+            .fixed_method(
+                "charge",
+                Method::public(MethodBody::script(
+                    r#"
+                    param client;
+                    param fee;
+                    let ledger = self.get("ledger");
+                    let key = str(client);
+                    let owed = 0;
+                    if (contains(ledger, key)) { owed = ledger[key]; }
+                    ledger[key] = owed + fee;
+                    self.set("ledger", ledger);
+                    return ledger[key];
+                    "#,
+                )?),
+            ),
+    )?;
+
+    // The rented component: a text-processing object whose vendor wants
+    // 3 credits per call, whoever the caller and whatever the method.
+    rt.classes_mut().register(
+        ClassSpec::new("rented-text-tools")
+            .fixed_method(
+                "shout",
+                Method::public(MethodBody::script("param s; return upper(s) + \"!\";")?),
+            )
+            .fixed_method(
+                "word_count",
+                Method::public(MethodBody::script(
+                    "param s; return len(split(trim(s), \" \"));",
+                )?),
+            ),
+    )?;
+
+    let billing = rt.create("billing")?;
+    let tools = rt.create("rented-text-tools")?;
+
+    // The vendor attaches the rent collector: a meta_invoke whose
+    // pre-procedure charges the *caller* through the billing object, then
+    // installs it as level 1. From now on every invocation of every method
+    // is metered — no change to any business method.
+    let vendor = rt.object(tools).expect("tools exists").id();
+    let meta_invoke = Method::public(MethodBody::script(
+        "param mname; param margs; return self.invoke(mname, margs);",
+    )?)
+    .with_pre(MethodBody::script(&format!(
+        r#"
+        param mname;
+        param margs;
+        self.send(objectref("{billing}"), "charge", [str(self.caller()), 3]);
+        self.log("charged 3 credits for " + mname);
+        return true;
+        "#
+    ))?);
+    rt.object_mut(tools)
+        .expect("tools exists")
+        .add_method(vendor, "meta_invoke", meta_invoke)?;
+    rt.object_mut(tools)
+        .expect("tools exists")
+        .install_meta_invoke(vendor, "meta_invoke")?;
+
+    println!("== two clients use the rented component ==");
+    let alice = rt.ids_mut().next_id();
+    let bob = rt.ids_mut().next_id();
+    println!(
+        "alice: shout(\"hello\") -> {}",
+        rt.invoke(alice, tools, "shout", &[Value::from("hello")])?
+    );
+    println!(
+        "alice: word_count(...) -> {}",
+        rt.invoke(alice, tools, "word_count", &[Value::from("one two three")])?
+    );
+    println!(
+        "bob:   shout(\"hi\")    -> {}",
+        rt.invoke(bob, tools, "shout", &[Value::from("hi")])?
+    );
+
+    println!("\n== the vendor reads the ledger ==");
+    let ledger = rt
+        .object(billing)
+        .expect("billing exists")
+        .read_data(billing, "ledger")?;
+    println!("ledger: {ledger}");
+    let ledger_map = ledger.as_map().expect("ledger is a map");
+    assert_eq!(ledger_map[&alice.to_string()], Value::Int(6));
+    assert_eq!(ledger_map[&bob.to_string()], Value::Int(3));
+
+    println!("\n== charging trail (node log) ==");
+    for (who, line) in rt.log_entries() {
+        println!("  {who}: {line}");
+    }
+
+    // Lease over: the vendor pops the tower and calls are free again.
+    rt.object_mut(tools)
+        .expect("tools exists")
+        .uninstall_meta_invoke(vendor)?;
+    rt.invoke(alice, tools, "shout", &[Value::from("free")])?;
+    let ledger = rt
+        .object(billing)
+        .expect("billing exists")
+        .read_data(billing, "ledger")?;
+    println!("\nafter uninstall, ledger unchanged: {ledger}");
+
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The paper's §5 running example, end to end: before shutting the
+//! employee database down, its administrator rewrites the invocation
+//! semantics of every deployed Ambassador so that remote users "can have
+//! instant meaningful results for their queries, instead of long waiting
+//! and misunderstood error messages".
+//!
+//! Run with: `cargo run --example db_maintenance`
+
+use mrom::hadas::scenarios::{
+    deploy_employee_db, lift_maintenance_notice, push_maintenance_notice, star_federation,
+};
+use mrom::net::LinkConfig;
+use mrom::value::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (mut fed, nodes) = star_federation(2026, 4, LinkConfig::wan())?;
+    let hub = nodes[0];
+    let spokes = &nodes[1..];
+    let ambassadors = deploy_employee_db(&mut fed, hub, spokes)?;
+    println!(
+        "employee DB at {hub}; ambassadors deployed to {:?}",
+        ambassadors.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+    );
+
+    let query = |fed: &mut mrom::hadas::Federation, label: &str| {
+        println!("\n-- {label} --");
+        for &(spoke, amb) in &ambassadors {
+            let client = fed
+                .runtime_mut(spoke)
+                .expect("spoke exists")
+                .ids_mut()
+                .next_id();
+            match fed.call_through_ambassador(spoke, client, amb, "count", &[]) {
+                Ok(v) => println!("  client at {spoke}: count() = {v}"),
+                Err(e) => println!("  client at {spoke}: ERROR {e}"),
+            }
+            match fed.call_through_ambassador(
+                spoke,
+                client,
+                amb,
+                "salary_of",
+                &[Value::from("bob")],
+            ) {
+                Ok(v) => println!("  client at {spoke}: salary_of(bob) = {v}"),
+                Err(e) => println!("  client at {spoke}: ERROR {e}"),
+            }
+        }
+    };
+
+    query(&mut fed, "normal operation");
+
+    // The administrator announces maintenance: ONE push per ambassador, no
+    // client-side change, no APO method touched.
+    let updated = push_maintenance_notice(&mut fed, hub)?;
+    println!("\nadministrator pushed maintenance notice to {updated} ambassadors");
+
+    // Simulate the database being unreachable: partition the hub away.
+    for &spoke in spokes {
+        fed.net_config_mut().partition(hub, spoke);
+    }
+    println!("hub partitioned (database is now really down)");
+
+    // Clients keep getting instant, meaningful answers — the ambassador's
+    // rewritten invoke answers locally; nothing waits on the dead link.
+    query(&mut fed, "during maintenance (hub unreachable)");
+
+    // Maintenance over: heal and lift the notice.
+    for &spoke in spokes {
+        fed.net_config_mut().heal(hub, spoke);
+    }
+    let restored = lift_maintenance_notice(&mut fed, hub)?;
+    println!("\nnotice lifted on {restored} ambassadors");
+    query(&mut fed, "after maintenance");
+
+    println!(
+        "\ntotal protocol traffic: {} messages, {} bytes",
+        fed.net_stats().messages_sent,
+        fed.net_stats().bytes_sent
+    );
+    Ok(())
+}

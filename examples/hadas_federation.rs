@@ -1,0 +1,92 @@
+//! The Figure 2 topology, live: three HADAS sites, Link agreements,
+//! Import/Export of a database APO's Ambassadors, local vs. relayed
+//! invocation, and dynamic functionality migration.
+//!
+//! Run with: `cargo run --example hadas_federation`
+
+use mrom::hadas::scenarios::{deploy_employee_db, star_federation};
+use mrom::hadas::Federation;
+use mrom::net::LinkConfig;
+use mrom::value::{NodeId, ObjectId, Value};
+
+fn show_traffic(fed: &Federation, label: &str) {
+    let s = fed.net_stats();
+    println!(
+        "  [net] {label}: {} msgs / {} bytes sent, {} delivered, t = {}",
+        s.messages_sent,
+        s.bytes_sent,
+        s.messages_delivered,
+        fed.now()
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hub (the database's home) and two spokes over a WAN-ish profile.
+    let (mut fed, nodes) = star_federation(42, 3, LinkConfig::wan())?;
+    let hub = nodes[0];
+    let spokes = &nodes[1..];
+    println!("federation up: hub {hub}, spokes {:?}", spokes);
+    show_traffic(&fed, "after Link handshakes");
+
+    // The IOO of each site knows its Vicinity now.
+    for &n in &nodes {
+        let ioo = fed.ioo_id(n)?;
+        let desc = fed
+            .runtime_mut(n)?
+            .invoke_as_system(ioo, "describe_site", &[])?;
+        println!("  site {n} IOO: {desc}");
+    }
+
+    // Integrate the employee DB at the hub and import Ambassadors at the
+    // spokes (Import/Export handshake; Ambassadors travel as data).
+    let ambassadors: Vec<(NodeId, ObjectId)> = deploy_employee_db(&mut fed, hub, spokes)?;
+    show_traffic(&fed, "after Import/Export");
+
+    println!("\n== querying through Ambassadors ==");
+    for &(spoke, amb) in &ambassadors {
+        let client = fed.runtime_mut(spoke)?.ids_mut().next_id();
+        // `count` migrated with the ambassador: served locally, no traffic.
+        let before = fed.net_stats().messages_sent;
+        let count = fed.call_through_ambassador(spoke, client, amb, "count", &[])?;
+        let local_msgs = fed.net_stats().messages_sent - before;
+        // `salary_of` stayed home: relayed to the hub.
+        let before = fed.net_stats().messages_sent;
+        let salary =
+            fed.call_through_ambassador(spoke, client, amb, "salary_of", &[Value::from("alice")])?;
+        let relay_msgs = fed.net_stats().messages_sent - before;
+        println!(
+            "  spoke {spoke}: count() = {count} ({local_msgs} msgs), \
+             salary_of(alice) = {salary} ({relay_msgs} msgs)"
+        );
+    }
+
+    println!("\n== dynamic functionality migration ==");
+    // Load on the hub grows; move `department_total` out to the edges.
+    let updated = fed.migrate_method(hub, "employee-db", "department_total")?;
+    println!("  migrated department_total to {updated} ambassadors");
+    for &(spoke, amb) in &ambassadors {
+        let client = fed.runtime_mut(spoke)?.ids_mut().next_id();
+        let before = fed.net_stats().messages_sent;
+        let total = fed.call_through_ambassador(
+            spoke,
+            client,
+            amb,
+            "department_total",
+            &[Value::from("db")],
+        )?;
+        let msgs = fed.net_stats().messages_sent - before;
+        println!("  spoke {spoke}: department_total(db) = {total} ({msgs} msgs — now local)");
+    }
+    show_traffic(&fed, "final");
+
+    println!("\n== security duality ==");
+    // The hosting site cannot mutate its guest; the origin APO can.
+    let (spoke, amb) = ambassadors[0];
+    let hostile_host = fed.runtime_mut(spoke)?.ids_mut().next_id();
+    let result = fed
+        .runtime_mut(spoke)?
+        .invoke(hostile_host, amb, "deleteMethod", &[Value::from("count")]);
+    println!("  host tries deleteMethod on guest -> {}", result.unwrap_err());
+
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! An itinerant agent — the "computational objects known as 'agents',
+//! which exhibit some level of autonomy ... in the form of goals, plans,
+//! itinerary" from the paper's introduction.
+//!
+//! The agent carries its itinerary and findings in its own extensible
+//! data, installs itself at each stop via its `on_arrival` method, surveys
+//! the local site, and tells the driver where it wants to go next. The
+//! same object — same identity, same accumulated state — visits every
+//! site and comes home with a report.
+//!
+//! Run with: `cargo run --example itinerant_agent`
+
+use mrom::core::{Acl, DataItem, Method, MethodBody, ObjectBuilder};
+use mrom::hadas::Federation;
+use mrom::net::{LinkConfig, NetworkConfig};
+use mrom::value::{NodeId, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four sites in a full mesh of links.
+    let nodes: Vec<NodeId> = (1..=4).map(NodeId).collect();
+    let cfg = NetworkConfig::new(11).with_default_link(LinkConfig::wan());
+    let mut fed = Federation::new(cfg);
+    for &n in &nodes {
+        fed.add_site(n)?;
+    }
+    for &a in &nodes {
+        for &b in &nodes {
+            if a < b {
+                fed.link(a, b)?;
+            }
+        }
+    }
+
+    // Give each site some local colour for the agent to survey.
+    for (i, &n) in nodes.iter().enumerate() {
+        let ioo = fed.ioo_id(n)?;
+        fed.runtime_mut(n)?
+            .object_mut(ioo)
+            .expect("ioo exists")
+            .add_method(
+                mrom::value::ObjectId::SYSTEM,
+                "local_speciality",
+                Method::public(MethodBody::script(&format!(
+                    "return \"speciality-of-site-{}\";",
+                    i + 1
+                ))?),
+            )?;
+    }
+
+    // The agent: fixed reporting core, extensible itinerary + findings.
+    let home = nodes[0];
+    let ids_binding = fed.runtime_mut(home)?;
+    let agent = ObjectBuilder::new(ids_binding.ids_mut().next_id())
+        .class("surveyor")
+        .meta_acl(Acl::Public) // it reshapes itself wherever it lands
+        .fixed_method(
+            "report",
+            Method::public(MethodBody::script(
+                "return {\"visited\": self.get(\"visited\"), \"findings\": self.get(\"findings\")};",
+            )?),
+        )
+        .ext_data("itinerary", DataItem::public(Value::list([
+            Value::Int(2), Value::Int(3), Value::Int(4), Value::Int(1),
+        ])))
+        .ext_data("visited", DataItem::public(Value::list([])))
+        .ext_data("findings", DataItem::public(Value::map::<String, _>([])))
+        .ext_method(
+            "on_arrival",
+            Method::public(MethodBody::script(
+                r#"
+                param ctx;
+                let here = ctx["host_site"];
+                self.set("visited", push(self.get("visited"), here));
+                # Survey the host: ask its IOO for the local speciality.
+                let found = self.send(ctx["host_ioo"], "local_speciality", []);
+                let findings = self.get("findings");
+                findings[str(here)] = found;
+                self.set("findings", findings);
+                return true;
+                "#,
+            )?),
+        )
+        .ext_method(
+            "next_stop",
+            Method::public(MethodBody::script(
+                r#"
+                let plan = self.get("itinerary");
+                if (len(plan) == 0) { return null; }
+                let next = plan[0];
+                self.set("itinerary", remove(plan, 0));
+                return next;
+                "#,
+            )?),
+        )
+        .build();
+    let agent_id = agent.id();
+    fed.runtime_mut(home)?.adopt(agent)?;
+    println!("agent {agent_id} created at {home} with itinerary [2, 3, 4, 1]");
+
+    // The travel loop: ask the agent where it wants to go, dispatch it.
+    let mut here = home;
+    loop {
+        let next = fed.runtime_mut(here)?.invoke_as_system(agent_id, "next_stop", &[])?;
+        let Some(next_site) = next.as_int() else {
+            break;
+        };
+        let to = NodeId(next_site as u64);
+        if to == here {
+            println!("agent asked to stay at {here}; itinerary spent");
+            break;
+        }
+        let t0 = fed.now();
+        fed.dispatch_object(here, to, agent_id)?;
+        println!(
+            "agent travelled {here} -> {to} ({} of virtual time)",
+            fed.now().saturating_sub(t0)
+        );
+        here = to;
+    }
+
+    // Back home: the report carries everything it gathered on the way.
+    let report = fed.runtime_mut(here)?.invoke_as_system(agent_id, "report", &[])?;
+    println!("\nagent is at {here}; final report:\n{report}");
+
+    let m = report.as_map().expect("report is a map");
+    assert_eq!(
+        m["visited"],
+        Value::list([Value::Int(2), Value::Int(3), Value::Int(4), Value::Int(1)])
+    );
+    assert_eq!(m["findings"].as_map().expect("map").len(), 4);
+    println!(
+        "\ntotal traffic: {} messages / {} bytes",
+        fed.net_stats().messages_sent,
+        fed.net_stats().bytes_sent
+    );
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! The introduction's motivation, made concrete: "the decision as to how
+//! to split the functionality of an application between components (e.g.,
+//! between a client and a server ...) can be deferred and made
+//! on-the-fly."
+//!
+//! A formatting service starts fully server-side. As a client's call rate
+//! grows and the link is slow, the deployment *measures* the traffic and
+//! migrates the hot method into the client-side Ambassador at runtime — no
+//! redeploy, no recompilation, no client change.
+//!
+//! Run with: `cargo run --example load_split`
+
+use mrom::core::{ClassSpec, DataItem, Method, MethodBody};
+use mrom::hadas::{AmbassadorSpec, Federation};
+use mrom::net::{LinkConfig, NetworkConfig};
+use mrom::value::{NodeId, Value};
+
+fn formatting_service() -> ClassSpec {
+    ClassSpec::new("formatter")
+        .fixed_data("style", DataItem::public(Value::from("title")))
+        .fixed_method(
+            "format_name",
+            Method::public(
+                MethodBody::script(
+                    r#"
+                    param raw;
+                    let s = trim(raw);
+                    let parts = split(s, " ");
+                    let out = [];
+                    for (p in parts) {
+                        if (len(p) > 0) {
+                            out = push(out, upper(substr(p, 0, 1)) + lower(substr(p, 1, len(p))));
+                        }
+                    }
+                    return join(out, " ");
+                    "#,
+                )
+                .expect("script parses"),
+            ),
+        )
+        .fixed_method(
+            "set_style",
+            Method::public(MethodBody::script("param s; self.set(\"style\", s); return s;")
+                .expect("script parses")),
+        )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A slow WAN between the client site and the server site.
+    let server = NodeId(1);
+    let client_site = NodeId(2);
+    let cfg = NetworkConfig::new(7).with_default_link(
+        LinkConfig::new()
+            .latency_us(120_000) // 120 ms RTT/2
+            .bandwidth_bytes_per_sec(32_000),
+    );
+    let mut fed = Federation::new(cfg);
+    fed.add_site(server)?;
+    fed.add_site(client_site)?;
+    fed.link(client_site, server)?;
+
+    // Initial split decision: everything stays on the server; the
+    // ambassador is a pure relay.
+    let apo = formatting_service().instantiate(fed.runtime_mut(server)?.ids_mut());
+    fed.integrate_apo(server, "formatter", apo, AmbassadorSpec::relay_only())?;
+    let amb = fed.import_apo(client_site, server, "formatter")?;
+    let client = fed.runtime_mut(client_site)?.ids_mut().next_id();
+
+    let names = [
+        "ada lovelace",
+        "grace hopper",
+        "barbara liskov",
+        "frances allen",
+        "lynn conway",
+    ];
+
+    println!("== phase 1: thin client (every call crosses the WAN) ==");
+    let t0 = fed.now();
+    let msgs0 = fed.net_stats().messages_sent;
+    for name in &names {
+        let out = fed.call_through_ambassador(
+            client_site,
+            client,
+            amb,
+            "format_name",
+            &[Value::from(*name)],
+        )?;
+        println!("  format_name({name:?}) = {out}");
+    }
+    let relay_time = fed.now().saturating_sub(t0);
+    let relay_msgs = fed.net_stats().messages_sent - msgs0;
+    println!("  {} calls took {relay_time} and {relay_msgs} messages", names.len());
+
+    println!("\n== the deployment re-decides the split at runtime ==");
+    let moved = fed.migrate_method(server, "formatter", "format_name")?;
+    println!("  migrated format_name into {moved} ambassador(s)");
+
+    println!("\n== phase 2: fat client (the hot method runs at the edge) ==");
+    let t1 = fed.now();
+    let msgs1 = fed.net_stats().messages_sent;
+    for name in &names {
+        let out = fed.call_through_ambassador(
+            client_site,
+            client,
+            amb,
+            "format_name",
+            &[Value::from(*name)],
+        )?;
+        println!("  format_name({name:?}) = {out}");
+    }
+    let local_time = fed.now().saturating_sub(t1);
+    let local_msgs = fed.net_stats().messages_sent - msgs1;
+    println!("  {} calls took {local_time} and {local_msgs} messages", names.len());
+
+    println!(
+        "\nsplit decision moved {relay_msgs} messages off the WAN; \
+         virtual time per batch {relay_time} -> {local_time}"
+    );
+
+    // The rarely used admin method still relays — a sensible mixed split.
+    let out = fed.call_through_ambassador(
+        client_site,
+        client,
+        amb,
+        "set_style",
+        &[Value::from("plain")],
+    )?;
+    println!("admin call still relayed to the server: set_style -> {out}");
+
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! # mrom — facade crate
+//!
+//! Re-exports the whole MROM reproduction under one roof: the mutable
+//! reflective object model ([`core`]), its value system ([`value`]), the
+//! mobile scripting language ([`script`]), the network simulator ([`net`]),
+//! the self-contained persistence substrate ([`persist`]), the comparator
+//! object models ([`baselines`]), and the HADAS interoperability framework
+//! ([`hadas`]).
+//!
+//! See the repository `README.md` for a guided tour and `DESIGN.md` for the
+//! paper-to-crate mapping.
+
+#![forbid(unsafe_code)]
+
+pub use hadas;
+pub use mrom_baselines as baselines;
+pub use mrom_core as core;
+pub use mrom_net as net;
+pub use mrom_persist as persist;
+pub use mrom_script as script;
+pub use mrom_value as value;
