@@ -198,7 +198,8 @@ mod tests {
         assert_eq!(obj.call(&iface, bump, &[]).unwrap(), Value::Int(1));
         assert_eq!(obj.call(&iface, bump, &[]).unwrap(), Value::Int(2));
         assert_eq!(
-            obj.call(&iface, add, &[Value::Int(2), Value::Int(3)]).unwrap(),
+            obj.call(&iface, add, &[Value::Int(2), Value::Int(3)])
+                .unwrap(),
             Value::Int(5)
         );
         assert_eq!(obj.state("count"), Some(&Value::Int(2)));

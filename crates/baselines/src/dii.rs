@@ -255,11 +255,9 @@ pub fn counter_setup() -> (InterfaceRepository, Servant) {
     );
     let servant = Servant::new()
         .implements("Counter")
-        .operation("add", |args| {
-            match (args[0].as_int(), args[1].as_int()) {
-                (Some(a), Some(b)) => Ok(Value::Int(a.wrapping_add(b))),
-                _ => Err(BaselineError::Execution("add requires ints".into())),
-            }
+        .operation("add", |args| match (args[0].as_int(), args[1].as_int()) {
+            (Some(a), Some(b)) => Ok(Value::Int(a.wrapping_add(b))),
+            _ => Err(BaselineError::Execution("add requires ints".into())),
         })
         .operation("bump", |_| Ok(Value::Int(1)));
     (repo, servant)
@@ -325,8 +323,8 @@ mod tests {
         // But a pre-built request would still execute: the invocation
         // mechanism itself never changed.
         let (old_repo, _) = counter_setup();
-        let req = Request::build(&old_repo, "Counter", "add", &[Value::Int(1), Value::Int(2)])
-            .unwrap();
+        let req =
+            Request::build(&old_repo, "Counter", "add", &[Value::Int(1), Value::Int(2)]).unwrap();
         assert_eq!(servant.invoke(&req).unwrap(), Value::Int(3));
     }
 

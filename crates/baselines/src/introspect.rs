@@ -62,8 +62,7 @@ impl IntrospectClass {
             + Sync
             + 'static,
     {
-        self.methods
-            .insert(name.to_owned(), (arity, Arc::new(f)));
+        self.methods.insert(name.to_owned(), (arity, Arc::new(f)));
         self
     }
 

@@ -112,7 +112,10 @@ fn bench_ablations(c: &mut Criterion) {
         let small = Value::Int(42);
         let medium = Value::map([
             ("name", Value::from("alice")),
-            ("tags", Value::list([Value::Int(1), Value::Int(2), Value::Int(3)])),
+            (
+                "tags",
+                Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]),
+            ),
         ]);
         group.bench_function("scalar", |b| b.iter(|| black_box(small.clone())));
         group.bench_function("small_map", |b| b.iter(|| black_box(medium.clone())));

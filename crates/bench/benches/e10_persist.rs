@@ -76,7 +76,9 @@ fn bench_persist(c: &mut Criterion) {
                 let blob = vec![0u8; 256];
                 for round in 0..10 {
                     for key in 0..20 {
-                        store.put(&format!("obj-{key}"), &blob[..(round + 1) * 20]).unwrap();
+                        store
+                            .put(&format!("obj-{key}"), &blob[..(round + 1) * 20])
+                            .unwrap();
                     }
                 }
                 store

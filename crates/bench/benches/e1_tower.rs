@@ -40,17 +40,12 @@ fn bench_tower(c: &mut Criterion) {
     for levels in [0usize, 1, 2, 4] {
         let (mut obj, caller) = towered_counter(levels);
         let mut world = NoWorld;
-        group.bench_with_input(
-            BenchmarkId::new("invoke_add", levels),
-            &levels,
-            |b, _| {
-                b.iter(|| {
-                    let out =
-                        invoke(&mut obj, &mut world, caller, black_box("add"), &args).unwrap();
-                    black_box(out)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("invoke_add", levels), &levels, |b, _| {
+            b.iter(|| {
+                let out = invoke(&mut obj, &mut world, caller, black_box("add"), &args).unwrap();
+                black_box(out)
+            })
+        });
     }
     // The reflexive path: invoke through the invoke meta-method.
     let (mut obj, caller) = towered_counter(0);

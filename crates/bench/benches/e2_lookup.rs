@@ -38,18 +38,13 @@ fn bench_lookup(c: &mut Criterion) {
             let mut obj = counter_among(&mut ids, n, extensible);
             let caller = ids.next_id();
             let mut world = NoWorld;
-            group.bench_with_input(
-                BenchmarkId::new(format!("mrom_{label}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(
-                            invoke(&mut obj, &mut world, caller, black_box("m_add"), &args)
-                                .unwrap(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("mrom_{label}"), n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        invoke(&mut obj, &mut world, caller, black_box("m_add"), &args).unwrap(),
+                    )
+                })
+            });
         }
     }
 

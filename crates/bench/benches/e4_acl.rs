@@ -21,7 +21,11 @@ fn bench_acl(c: &mut Criterion) {
         let mut obj = ObjectBuilder::new(ids.next_id())
             .fixed_method("m", method)
             .build();
-        let caller = if label == "origin" { obj.id() } else { ids.next_id() };
+        let caller = if label == "origin" {
+            obj.id()
+        } else {
+            ids.next_id()
+        };
         let mut world = NoWorld;
         group.bench_function(format!("granted_{label}"), |b| {
             b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &[]).unwrap()))
@@ -37,9 +41,7 @@ fn bench_acl(c: &mut Criterion) {
             b.iter(|| black_box(invoke(&mut obj, &mut world, admitted, "gated", &[]).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("denied_list", size), &size, |b, _| {
-            b.iter(|| {
-                black_box(invoke(&mut obj, &mut world, rejected, "gated", &[]).unwrap_err())
-            })
+            b.iter(|| black_box(invoke(&mut obj, &mut world, rejected, "gated", &[]).unwrap_err()))
         });
     }
     group.finish();

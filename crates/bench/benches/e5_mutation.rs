@@ -63,10 +63,16 @@ fn bench_mutation(c: &mut Criterion) {
     let me = obj.id();
     obj.add_data(me, "ext_slot", Value::Int(0)).unwrap();
     group.bench_function("write_fixed_value", |b| {
-        b.iter(|| obj.write_data(me, "count", black_box(Value::Int(5))).unwrap())
+        b.iter(|| {
+            obj.write_data(me, "count", black_box(Value::Int(5)))
+                .unwrap()
+        })
     });
     group.bench_function("write_ext_value", |b| {
-        b.iter(|| obj.write_data(me, "ext_slot", black_box(Value::Int(5))).unwrap())
+        b.iter(|| {
+            obj.write_data(me, "ext_slot", black_box(Value::Int(5)))
+                .unwrap()
+        })
     });
 
     // The guarded error path: attempting to delete fixed structure.

@@ -22,7 +22,8 @@ fn deployed_pair(seed: u64) -> (Federation, mrom_value::ObjectId, mrom_value::Ob
     fed.add_site(server).unwrap();
     fed.link(client_site, server).unwrap();
     let apo = employee_db().instantiate(fed.runtime_mut(server).unwrap().ids_mut());
-    fed.integrate_apo(server, "db", apo, AmbassadorSpec::relay_only()).unwrap();
+    fed.integrate_apo(server, "db", apo, AmbassadorSpec::relay_only())
+        .unwrap();
     let amb = fed.import_apo(client_site, server, "db").unwrap();
     let client = fed.runtime_mut(client_site).unwrap().ids_mut().next_id();
     (fed, amb, client)
@@ -40,14 +41,8 @@ fn bench_crossover(c: &mut Criterion) {
                 |(mut fed, amb, client)| {
                     for _ in 0..k {
                         black_box(
-                            fed.call_through_ambassador(
-                                NodeId(1),
-                                client,
-                                amb,
-                                "salary_of",
-                                &args,
-                            )
-                            .unwrap(),
+                            fed.call_through_ambassador(NodeId(1), client, amb, "salary_of", &args)
+                                .unwrap(),
                         );
                     }
                     black_box(fed)
@@ -76,14 +71,8 @@ fn bench_crossover(c: &mut Criterion) {
                     .unwrap();
                     for _ in 0..k {
                         black_box(
-                            fed.call_through_ambassador(
-                                NodeId(1),
-                                client,
-                                amb,
-                                "salary_of",
-                                &args,
-                            )
-                            .unwrap(),
+                            fed.call_through_ambassador(NodeId(1), client, amb, "salary_of", &args)
+                                .unwrap(),
                         );
                     }
                     black_box(fed)

@@ -78,9 +78,7 @@ fn bench_models(c: &mut Criterion) {
     });
     let meta_args = [Value::from("add"), Value::List(args.to_vec())];
     group.bench_function("mrom_meta_invoke", |b| {
-        b.iter(|| {
-            black_box(invoke(&mut native, &mut world, caller, "invoke", &meta_args).unwrap())
-        })
+        b.iter(|| black_box(invoke(&mut native, &mut world, caller, "invoke", &meta_args).unwrap()))
     });
     group.finish();
 }

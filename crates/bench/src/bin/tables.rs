@@ -56,7 +56,10 @@ fn e1_tower() {
         let ns = time_ns(QUICK, || {
             invoke(&mut obj, &mut world, caller, "add", &args).unwrap();
         });
-        row(&format!("invoke add() through {levels} meta level(s)"), fmt_ns(ns));
+        row(
+            &format!("invoke add() through {levels} meta level(s)"),
+            fmt_ns(ns),
+        );
     }
     let mut ids = bench_ids();
     let mut obj = script_counter(&mut ids);
@@ -90,7 +93,10 @@ fn e2_lookup() {
             let ns = time_ns(QUICK, || {
                 invoke(&mut obj, &mut world, caller, "m_add", &args).unwrap();
             });
-            row(&format!("MROM native body, {label} section, {n} items"), fmt_ns(ns));
+            row(
+                &format!("MROM native body, {label} section, {n} items"),
+                fmt_ns(ns),
+            );
         }
     }
     let mut ids = bench_ids();
@@ -111,7 +117,9 @@ fn e3_wrapping() {
     );
     let body = || {
         MethodBody::native(|_, args| {
-            Ok(Value::Int(args.first().and_then(Value::as_int).unwrap_or(0) * 2))
+            Ok(Value::Int(
+                args.first().and_then(Value::as_int).unwrap_or(0) * 2,
+            ))
         })
     };
     let yes = || MethodBody::native(|_, _| Ok(Value::Bool(true)));
@@ -179,13 +187,20 @@ fn e5_mutation() {
             obj.add_data(me, "probe", Value::Int(1)).unwrap();
             obj.delete_data(me, "probe").unwrap();
         });
-        row(&format!("addDataItem+delete, {population} siblings"), fmt_ns(ns));
+        row(
+            &format!("addDataItem+delete, {population} siblings"),
+            fmt_ns(ns),
+        );
     }
     let mut ids = bench_ids();
     let mut obj = script_counter(&mut ids);
     let me = obj.id();
-    obj.add_method(me, "volatile", Method::public(MethodBody::script("return 1;").unwrap()))
-        .unwrap();
+    obj.add_method(
+        me,
+        "volatile",
+        Method::public(MethodBody::script("return 1;").unwrap()),
+    )
+    .unwrap();
     let desc = Value::map([("body", Value::from("return 2;"))]);
     let ns = time_ns(QUICK / 4, || {
         obj.set_method(me, "volatile", &desc).unwrap();
@@ -207,7 +222,10 @@ fn e6_federation() {
         "Figure 2 on the wire: Link and Import/Export",
         "Link installs an IOO Ambassador; Export verifies, instantiates, ships as data",
     );
-    println!("  {:<24} {:>12} {:>14} {:>12}", "operation", "image bytes", "virtual time", "wall");
+    println!(
+        "  {:<24} {:>12} {:>14} {:>12}",
+        "operation", "image bytes", "virtual time", "wall"
+    );
     // Link.
     let wall = time_ns(SLOW, || {
         let cfg = NetworkConfig::new(1).with_default_link(LinkConfig::lan());
@@ -231,7 +249,11 @@ fn e6_federation() {
     // Import at three cargo sizes over LAN and WAN.
     for profile in ["lan", "wan"] {
         for items in [0usize, 32, 256] {
-            let link = if profile == "lan" { LinkConfig::lan() } else { LinkConfig::wan() };
+            let link = if profile == "lan" {
+                LinkConfig::lan()
+            } else {
+                LinkConfig::wan()
+            };
             let cfg = NetworkConfig::new(2).with_default_link(link);
             let mut fed = Federation::new(cfg);
             fed.add_site(NodeId(1)).unwrap();
@@ -300,8 +322,12 @@ fn e7_crossover() {
                         .read_data(apo_id, "employees")
                         .unwrap();
                     fed.migrate_method(NodeId(2), "db", "salary_of").unwrap();
-                    fed.push_update(NodeId(2), "db", &[UpdateOp::AddData("employees".into(), employees)])
-                        .unwrap();
+                    fed.push_update(
+                        NodeId(2),
+                        "db",
+                        &[UpdateOp::AddData("employees".into(), employees)],
+                    )
+                    .unwrap();
                 }
                 for _ in 0..k {
                     fed.call_through_ambassador(
@@ -345,7 +371,11 @@ fn e7_bandwidth() {
         "  {:<14} {:>14} {:>22}",
         "bandwidth", "latency", "crossover (calls)"
     );
-    for (label, bw) in [("8 kB/s", 8_000u64), ("64 kB/s", 64_000), ("1 MB/s", 1_000_000)] {
+    for (label, bw) in [
+        ("8 kB/s", 8_000u64),
+        ("64 kB/s", 64_000),
+        ("1 MB/s", 1_000_000),
+    ] {
         let time_for = |migrate: bool, k: usize| -> SimTime {
             let link = LinkConfig::new()
                 .latency_us(20_000)
@@ -425,45 +455,69 @@ fn e8_models() {
     println!("\n  dynamic call cost, add(20, 22):");
     let args = [Value::Int(20), Value::Int(22)];
     let statik = StaticCounter::new();
-    row("static Rust", fmt_ns(time_ns(QUICK * 10, || {
-        std::hint::black_box(statik.add(20, 22));
-    })));
+    row(
+        "static Rust",
+        fmt_ns(time_ns(QUICK * 10, || {
+            std::hint::black_box(statik.add(20, 22));
+        })),
+    );
     let class = mrom_baselines::introspect::counter_class();
     let mut obj = class.instantiate();
-    row("introspection (Java-like)", fmt_ns(time_ns(QUICK, || {
-        obj.invoke("add", &args).unwrap();
-    })));
+    row(
+        "introspection (Java-like)",
+        fmt_ns(time_ns(QUICK, || {
+            obj.invoke("add", &args).unwrap();
+        })),
+    );
     let (repo, servant) = mrom_baselines::dii::counter_setup();
-    row("DII: build request + invoke", fmt_ns(time_ns(QUICK, || {
-        let req = mrom_baselines::dii::Request::build(&repo, "Counter", "add", &args).unwrap();
-        servant.invoke(&req).unwrap();
-    })));
+    row(
+        "DII: build request + invoke",
+        fmt_ns(time_ns(QUICK, || {
+            let req = mrom_baselines::dii::Request::build(&repo, "Counter", "add", &args).unwrap();
+            servant.invoke(&req).unwrap();
+        })),
+    );
     let req = mrom_baselines::dii::Request::build(&repo, "Counter", "add", &args).unwrap();
-    row("DII: prebuilt request", fmt_ns(time_ns(QUICK, || {
-        servant.invoke(&req).unwrap();
-    })));
+    row(
+        "DII: prebuilt request",
+        fmt_ns(time_ns(QUICK, || {
+            servant.invoke(&req).unwrap();
+        })),
+    );
     let mut com = mrom_baselines::com::counter_object();
-    row("COM: QueryInterface + call", fmt_ns(time_ns(QUICK, || {
-        let iface = com.query_interface("ICounter").unwrap();
-        let slot = iface.slot_index("add").unwrap();
-        com.call(&iface, slot, &args).unwrap();
-    })));
+    row(
+        "COM: QueryInterface + call",
+        fmt_ns(time_ns(QUICK, || {
+            let iface = com.query_interface("ICounter").unwrap();
+            let slot = iface.slot_index("add").unwrap();
+            com.call(&iface, slot, &args).unwrap();
+        })),
+    );
     let iface = com.query_interface("ICounter").unwrap();
     let slot = iface.slot_index("add").unwrap();
-    row("COM: cached interface", fmt_ns(time_ns(QUICK, || {
-        com.call(&iface, slot, &args).unwrap();
-    })));
+    row(
+        "COM: cached interface",
+        fmt_ns(time_ns(QUICK, || {
+            com.call(&iface, slot, &args).unwrap();
+        })),
+    );
     let mut ids = bench_ids();
     let mut world = NoWorld;
     let caller = ids.next_id();
     let mut native = native_counter(&mut ids);
-    row("MROM: native body", fmt_ns(time_ns(QUICK, || {
-        invoke(&mut native, &mut world, caller, "add", &args).unwrap();
-    })));
+    row(
+        "MROM: native body",
+        fmt_ns(time_ns(QUICK, || {
+            invoke(&mut native, &mut world, caller, "add", &args).unwrap();
+        })),
+    );
     let mut script = script_counter(&mut ids);
-    row("MROM: script body (mobile)", fmt_ns(time_ns(QUICK, || {
-        invoke(&mut script, &mut world, caller, "add", &args).unwrap();
-    })));
+    row(
+        "MROM: script body (mobile)",
+        fmt_ns(time_ns(QUICK, || {
+            invoke(&mut script, &mut world, caller, "add", &args).unwrap();
+        })),
+    );
 }
 
 fn e9_dbshutdown() {
@@ -493,7 +547,11 @@ fn e9_dbshutdown() {
         for &(spoke, amb) in &ambs {
             let client = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
             for method in ["count", "salary_of"] {
-                let args = if method == "count" { vec![] } else { vec![Value::from("bob")] };
+                let args = if method == "count" {
+                    vec![]
+                } else {
+                    vec![Value::from("bob")]
+                };
                 if fed
                     .call_through_ambassador(spoke, client, amb, method, &args)
                     .is_err()
@@ -565,7 +623,9 @@ fn e10_persist() {
 
 fn main() {
     println!("MROM reproduction — experiment report (E1-E10)");
-    println!("paper: Holder & Ben-Shaul, 'A Reflective Model for Mobile Software Objects', ICDCS 1997");
+    println!(
+        "paper: Holder & Ben-Shaul, 'A Reflective Model for Mobile Software Objects', ICDCS 1997"
+    );
     e1_tower();
     e2_lookup();
     e3_wrapping();

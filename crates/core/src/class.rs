@@ -195,11 +195,7 @@ impl ClassRegistry {
     /// # Errors
     ///
     /// [`MromError::Class`] for unknown names.
-    pub fn instantiate(
-        &self,
-        name: &str,
-        ids: &mut IdGenerator,
-    ) -> Result<MromObject, MromError> {
+    pub fn instantiate(&self, name: &str, ids: &mut IdGenerator) -> Result<MromObject, MromError> {
         self.get(name)
             .map(|spec| spec.instantiate(ids))
             .ok_or_else(|| MromError::Class(format!("unknown class {name:?}")))

@@ -33,28 +33,20 @@ impl Section {
     }
 }
 
-/// A sealed name→item table: sorted storage plus a hash index precomputed
-/// at build time.
+/// A sealed name→item table: sorted storage probed by binary search.
 ///
 /// Built through [`FixedContainer::build`]; no mutation of the *structure*
-/// is possible afterwards — which is exactly what lets the lookup table be
-/// computed once and never maintained, the same way a compiler turns a
-/// static layout into fixed offsets. Values themselves stay reachable
+/// is possible afterwards — which is exactly what makes every slot index
+/// stable for the object's lifetime, the same way a compiler turns a
+/// static layout into fixed offsets (callers cache the index from
+/// [`FixedContainer::index_of`] and reuse it via
+/// [`FixedContainer::get_by_index`]). Values themselves stay reachable
 /// mutably — a fixed **data** item's *value* is writable (subject to ACL);
 /// it is the set of names and their properties that is frozen.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixedContainer<T> {
     names: Vec<String>,
     values: Vec<T>,
-    /// name → slot, built once at seal time (the "fixed offset" table).
-    index: std::collections::HashMap<String, usize>,
-}
-
-/// Equality ignores the derived index (it is a function of `names`).
-impl<T: PartialEq> PartialEq for FixedContainer<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.names == other.names && self.values == other.values
-    }
 }
 
 impl<T> FixedContainer<T> {
@@ -73,16 +65,7 @@ impl<T> FixedContainer<T> {
             names.push(name);
             values.push(item);
         }
-        let index = names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), i))
-            .collect();
-        FixedContainer {
-            names,
-            values,
-            index,
-        }
+        FixedContainer { names, values }
     }
 
     /// An empty sealed container.
@@ -90,7 +73,6 @@ impl<T> FixedContainer<T> {
         FixedContainer {
             names: Vec::new(),
             values: Vec::new(),
-            index: std::collections::HashMap::new(),
         }
     }
 
@@ -106,9 +88,12 @@ impl<T> FixedContainer<T> {
 
     /// Index of `name`, if present. The index is stable for the object's
     /// lifetime — the "fixed offset" the paper contrasts with dynamic
-    /// lookup — and the probe is O(1) against the seal-time table.
+    /// lookup — so callers may cache it and skip this probe entirely.
+    #[inline]
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.index.get(name).copied()
+        self.names
+            .binary_search_by(|probe| probe.as_str().cmp(name))
+            .ok()
     }
 
     /// Looks an item up by name.
@@ -213,7 +198,9 @@ impl<T> ExtensibleContainer<T> {
     /// Replaces an existing item, returning the old one; `None` when the
     /// name is absent (nothing inserted).
     pub fn replace(&mut self, name: &str, item: T) -> Option<T> {
-        self.map.get_mut(name).map(|slot| std::mem::replace(slot, item))
+        self.map
+            .get_mut(name)
+            .map(|slot| std::mem::replace(slot, item))
     }
 
     /// Removes an item by name.
@@ -258,10 +245,13 @@ mod tests {
 
     #[test]
     fn fixed_container_lookup() {
-        let c: FixedContainer<i32> =
-            [("b".to_owned(), 2), ("a".to_owned(), 1), ("c".to_owned(), 3)]
-                .into_iter()
-                .collect();
+        let c: FixedContainer<i32> = [
+            ("b".to_owned(), 2),
+            ("a".to_owned(), 1),
+            ("c".to_owned(), 3),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(c.len(), 3);
         assert_eq!(c.get("a"), Some(&1));
         assert_eq!(c.get("c"), Some(&3));

@@ -136,10 +136,9 @@ impl fmt::Display for MromError {
                 f,
                 "pre-procedure of {method:?} on {object} returned false; body skipped"
             ),
-            MromError::PostConditionFailed { object, method } => write!(
-                f,
-                "post-procedure of {method:?} on {object} returned false"
-            ),
+            MromError::PostConditionFailed { object, method } => {
+                write!(f, "post-procedure of {method:?} on {object} returned false")
+            }
             MromError::TypeConstraint { item, detail } => {
                 write!(f, "type constraint on {item:?} rejected write: {detail}")
             }

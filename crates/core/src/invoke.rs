@@ -205,7 +205,14 @@ pub fn invoke(
     method: &str,
     args: &[Value],
 ) -> Result<Value, MromError> {
-    invoke_with_limits(object, world, caller, method, args, &InvokeLimits::default())
+    invoke_with_limits(
+        object,
+        world,
+        caller,
+        method,
+        args,
+        &InvokeLimits::default(),
+    )
 }
 
 /// [`invoke`] with explicit resource limits.
@@ -227,7 +234,9 @@ pub fn invoke_with_limits(
         return Err(MromError::TowerDepthExceeded(limits.max_tower));
     }
     let mut fuel = limits.fuel;
-    dispatch(object, world, caller, method, args, level, 0, &mut fuel, limits)
+    dispatch(
+        object, world, caller, method, args, level, 0, &mut fuel, limits,
+    )
 }
 
 /// Core dispatch: enter at `level`; levels > 0 route through the tower.
@@ -252,11 +261,17 @@ fn dispatch(
     let level = level.min(object.tower().len());
     if level > 0 {
         // Apply the tower method; every body it runs (pre, body, post)
-        // performs nested invokes one level further down.
+        // performs nested invokes one level further down. Tower entries
+        // are interned `Arc<str>`, so pinning the level name is a handle
+        // clone, not a string copy.
         let meta_name = object.tower()[level - 1].clone();
         let meta_args = [Value::Str(method.to_owned()), Value::List(args.to_vec())];
         apply_method(
-            object, world, caller, &meta_name, &meta_args,
+            object,
+            world,
+            caller,
+            &meta_name,
+            &meta_args,
             level - 1,
             depth + 1,
             fuel,
@@ -267,7 +282,15 @@ fn dispatch(
         // so every invocation — external or internal — is wrapped.
         let nested_level = object.tower().len();
         apply_method(
-            object, world, caller, method, args, nested_level, depth + 1, fuel, limits,
+            object,
+            world,
+            caller,
+            method,
+            args,
+            nested_level,
+            depth + 1,
+            fuel,
+            limits,
         )
     }
 }
@@ -285,17 +308,21 @@ fn apply_method(
     fuel: &mut u64,
     limits: &InvokeLimits,
 ) -> Result<Value, MromError> {
-    // Phase 1: Lookup. Clone the handle so the running body may mutate the
-    // object (including replacing this very method) without invalidating
-    // the ongoing application — the paper's "dynamic update ... without
-    // interference with ongoing computations".
-    let method: Method = object
-        .find_method(name)
-        .map(|(m, _)| m.clone())
-        .ok_or_else(|| MromError::NoSuchMethod {
-            object: object.id(),
-            name: name.to_owned(),
-        })?;
+    // Phase 1: Lookup, through the generation-stamped dispatch cache.
+    // The returned handle is an `Arc`-backed clone pinning the method for
+    // the whole application, so the running body may mutate the object
+    // (including replacing this very method) without invalidating the
+    // ongoing application — the paper's "dynamic update ... without
+    // interference with ongoing computations" — at the cost of a refcount
+    // bump, not a deep copy.
+    let method: Method =
+        object
+            .lookup_method(name)
+            .map(|(m, _)| m)
+            .ok_or_else(|| MromError::NoSuchMethod {
+                object: object.id(),
+                name: name.to_owned(),
+            })?;
 
     // Phase 2: Match.
     if !object.acl_allows(method.invoke_acl(), caller) {
@@ -311,7 +338,16 @@ fn apply_method(
     // 3.1 Pre-procedure: falsy return prevents the body from running.
     if let Some(pre) = method.pre() {
         let verdict = run_body(
-            pre, object, world, caller, name, args, nested_level, depth, fuel, limits,
+            pre,
+            object,
+            world,
+            caller,
+            name,
+            args,
+            nested_level,
+            depth,
+            fuel,
+            limits,
         )?;
         if !verdict.truthy() {
             return Err(MromError::PreConditionFailed {
@@ -323,16 +359,36 @@ fn apply_method(
 
     // 3.2 Body.
     let result = run_body(
-        method.body(), object, world, caller, name, args, nested_level, depth, fuel, limits,
+        method.body(),
+        object,
+        world,
+        caller,
+        name,
+        args,
+        nested_level,
+        depth,
+        fuel,
+        limits,
     )?;
 
     // 3.3 Post-procedure: sees [result, ...args]; falsy return raises.
+    // The result is moved into the argument list and moved back out after
+    // the procedure returns, instead of being cloned for it.
     if let Some(post) = method.post() {
         let mut post_args = Vec::with_capacity(args.len() + 1);
-        post_args.push(result.clone());
+        post_args.push(result);
         post_args.extend_from_slice(args);
         let verdict = run_body(
-            post, object, world, caller, name, &post_args, nested_level, depth, fuel, limits,
+            post,
+            object,
+            world,
+            caller,
+            name,
+            &post_args,
+            nested_level,
+            depth,
+            fuel,
+            limits,
         )?;
         if !verdict.truthy() {
             return Err(MromError::PostConditionFailed {
@@ -340,6 +396,7 @@ fn apply_method(
                 method: name.to_owned(),
             });
         }
+        return Ok(post_args.swap_remove(0));
     }
     Ok(result)
 }
@@ -399,7 +456,16 @@ fn run_body(
             outcome.map_err(MromError::from)
         }
         MethodBody::Meta(op) => perform_meta(
-            object, world, caller, *op, method_name, args, level, depth, fuel, limits,
+            object,
+            world,
+            caller,
+            *op,
+            method_name,
+            args,
+            level,
+            depth,
+            fuel,
+            limits,
         ),
     }
 }
@@ -499,9 +565,12 @@ fn perform_meta(
         MetaOp::Invoke => {
             want_arity(op, args, &[1, 2])?;
             let name = want_name(op, args, 0)?;
-            let inner_args: Vec<Value> = match args.get(1) {
-                None => Vec::new(),
-                Some(Value::List(items)) => items.clone(),
+            // Borrow the argument list straight out of the meta-call frame
+            // — rebuilding it per tower level was the dominant allocation
+            // of a descent.
+            let inner_args: &[Value] = match args.get(1) {
+                None => &[],
+                Some(Value::List(items)) => items,
                 Some(other) => {
                     return Err(MromError::BadDescriptor(format!(
                         "invoke arguments must be a list, got {}",
@@ -510,7 +579,15 @@ fn perform_meta(
                 }
             };
             dispatch(
-                object, world, principal, name, &inner_args, level, depth + 1, fuel, limits,
+                object,
+                world,
+                principal,
+                name,
+                inner_args,
+                level,
+                depth + 1,
+                fuel,
+                limits,
             )
         }
     }
@@ -569,14 +646,13 @@ impl HostContext for ScriptHost<'_> {
             // Ordinary value access.
             "get" => match args {
                 [Value::Str(item)] => self.object.read_data(self_id, item),
-                _ => Err(MromError::BadDescriptor(
-                    "self.get expects (name)".into(),
-                )),
+                _ => Err(MromError::BadDescriptor("self.get expects (name)".into())),
             },
             "set" => match args {
-                [Value::Str(item), v] => {
-                    self.object.write_data(self_id, item, v.clone()).map(|()| Value::Null)
-                }
+                [Value::Str(item), v] => self
+                    .object
+                    .write_data(self_id, item, v.clone())
+                    .map(|()| Value::Null),
                 _ => Err(MromError::BadDescriptor(
                     "self.set expects (name, value)".into(),
                 )),
@@ -618,7 +694,9 @@ impl HostContext for ScriptHost<'_> {
             "describe" => Ok(self.object.describe(self_id)),
             "has_data" => match args {
                 [Value::Str(item)] => Ok(Value::Bool(self.object.has_data(self_id, item))),
-                _ => Err(MromError::BadDescriptor("self.has_data expects (name)".into())),
+                _ => Err(MromError::BadDescriptor(
+                    "self.has_data expects (name)".into(),
+                )),
             },
             "has_method" => match args {
                 [Value::Str(m)] => Ok(Value::Bool(self.object.has_method(self_id, m))),
@@ -695,10 +773,7 @@ mod tests {
             invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(),
             Value::Int(2)
         );
-        assert_eq!(
-            obj.read_data(caller, "count").unwrap(),
-            Value::Int(2)
-        );
+        assert_eq!(obj.read_data(caller, "count").unwrap(), Value::Int(2));
     }
 
     #[test]
@@ -792,7 +867,10 @@ mod tests {
         .unwrap();
         assert_eq!(
             invoke(
-                &mut obj, &mut world, me, "checked_add",
+                &mut obj,
+                &mut world,
+                me,
+                "checked_add",
                 &[Value::Int(2), Value::Int(3)]
             )
             .unwrap(),
@@ -809,7 +887,13 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            invoke(&mut obj, &mut world, me, "bad_add", &[Value::Int(2), Value::Int(3)]),
+            invoke(
+                &mut obj,
+                &mut world,
+                me,
+                "bad_add",
+                &[Value::Int(2), Value::Int(3)]
+            ),
             Err(MromError::PostConditionFailed { .. })
         ));
     }
@@ -823,7 +907,10 @@ mod tests {
         let mut world = NoWorld;
         // Stranger can use introspective meta-methods...
         let desc = invoke(
-            &mut obj, &mut world, stranger, "getMethod",
+            &mut obj,
+            &mut world,
+            stranger,
+            "getMethod",
             &[Value::from("bump")],
         )
         .unwrap();
@@ -831,14 +918,20 @@ mod tests {
         // ...but not mutating ones (their invoke ACL is origin-only).
         assert!(matches!(
             invoke(
-                &mut obj, &mut world, stranger, "addDataItem",
+                &mut obj,
+                &mut world,
+                stranger,
+                "addDataItem",
                 &[Value::from("x"), Value::Int(1)],
             ),
             Err(MromError::AccessDenied { .. })
         ));
         // The origin can.
         invoke(
-            &mut obj, &mut world, me, "addDataItem",
+            &mut obj,
+            &mut world,
+            me,
+            "addDataItem",
             &[Value::from("x"), Value::Int(1)],
         )
         .unwrap();
@@ -855,7 +948,10 @@ mod tests {
         let caller = gen.next_id();
         let mut world = NoWorld;
         let out = invoke(
-            &mut obj, &mut world, caller, "invoke",
+            &mut obj,
+            &mut world,
+            caller,
+            "invoke",
             &[
                 Value::from("add"),
                 Value::list([Value::Int(1), Value::Int(2)]),
@@ -865,7 +961,10 @@ mod tests {
         assert_eq!(out, Value::Int(3));
         // Nested twice.
         let out = invoke(
-            &mut obj, &mut world, caller, "invoke",
+            &mut obj,
+            &mut world,
+            caller,
+            "invoke",
             &[
                 Value::from("invoke"),
                 Value::list([
@@ -947,7 +1046,10 @@ mod tests {
 
         let caller = gen.next_id();
         let out = invoke(
-            &mut obj, &mut world, caller, "add",
+            &mut obj,
+            &mut world,
+            caller,
+            "add",
             &[Value::Int(20), Value::Int(22)],
         )
         .unwrap();
@@ -984,7 +1086,14 @@ mod tests {
             .unwrap();
             obj.install_meta_invoke(me, name).unwrap();
         }
-        let out = invoke(&mut obj, &mut world, me, "add", &[Value::Int(1), Value::Int(1)]).unwrap();
+        let out = invoke(
+            &mut obj,
+            &mut world,
+            me,
+            "add",
+            &[Value::Int(1), Value::Int(1)],
+        )
+        .unwrap();
         assert_eq!(out, Value::Int(2));
         // Topmost level (level2, installed last) runs first.
         assert_eq!(
@@ -1030,14 +1139,22 @@ mod tests {
         obj.add_method(
             me,
             "mi",
-            Method::public(MethodBody::script("param m; param a; return self.invoke(m, a);").unwrap()),
+            Method::public(
+                MethodBody::script("param m; param a; return self.invoke(m, a);").unwrap(),
+            ),
         )
         .unwrap();
         for _ in 0..9 {
             obj.install_meta_invoke(me, "mi").unwrap();
         }
         assert!(matches!(
-            invoke(&mut obj, &mut world, me, "add", &[Value::Int(1), Value::Int(1)]),
+            invoke(
+                &mut obj,
+                &mut world,
+                me,
+                "add",
+                &[Value::Int(1), Value::Int(1)]
+            ),
             Err(MromError::TowerDepthExceeded(8))
         ));
     }
@@ -1051,13 +1168,14 @@ mod tests {
         obj.add_method(
             me,
             "loop_forever",
-            Method::public(MethodBody::script("return self.invoke(\"loop_forever\", []);").unwrap()),
+            Method::public(
+                MethodBody::script("return self.invoke(\"loop_forever\", []);").unwrap(),
+            ),
         )
         .unwrap();
         let err = invoke(&mut obj, &mut world, me, "loop_forever", &[]).unwrap_err();
         assert!(
-            matches!(err, MromError::CallDepthExceeded(_))
-                || matches!(err, MromError::Script(_)),
+            matches!(err, MromError::CallDepthExceeded(_)) || matches!(err, MromError::Script(_)),
             "got {err}"
         );
     }
@@ -1202,6 +1320,83 @@ mod tests {
     }
 
     #[test]
+    fn tower_shrink_during_invoke_clamps_to_current_height() {
+        // A tower level that uninstalls *itself* mid-flight: the nested
+        // invoke was issued for one level further down, but the tower has
+        // shrunk under it — dispatch clamps to the current height instead
+        // of erroring, and the target still runs exactly once.
+        let mut gen = ids();
+        let mut obj = counter_object(&mut gen);
+        let me = obj.id();
+        let mut world = NoWorld;
+        obj.add_method(
+            me,
+            "self_removing",
+            Method::public(
+                MethodBody::script(
+                    r#"
+                    param m;
+                    param a;
+                    self.uninstall_meta_invoke();
+                    return self.invoke(m, a);
+                    "#,
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+        obj.install_meta_invoke(me, "self_removing").unwrap();
+        let caller = gen.next_id();
+        assert_eq!(
+            invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(),
+            Value::Int(1)
+        );
+        assert!(obj.tower().is_empty());
+        // The level is gone: subsequent invocations run bare.
+        assert_eq!(
+            invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn deleting_a_tower_level_mid_flight_is_not_served_stale() {
+        // Same clamp, driven through deleteMethod: the level removes its
+        // own method (and thereby its tower entry) before delegating.
+        let mut gen = ids();
+        let mut obj = counter_object(&mut gen);
+        let me = obj.id();
+        let mut world = NoWorld;
+        obj.add_method(
+            me,
+            "one_shot",
+            Method::public(
+                MethodBody::script(
+                    r#"
+                    param m;
+                    param a;
+                    self.delete_method("one_shot");
+                    return self.invoke(m, a);
+                    "#,
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+        obj.install_meta_invoke(me, "one_shot").unwrap();
+        assert_eq!(
+            invoke(&mut obj, &mut world, me, "bump", &[]).unwrap(),
+            Value::Int(1)
+        );
+        assert!(obj.tower().is_empty());
+        assert!(obj.find_method("one_shot").is_none());
+        assert_eq!(
+            invoke(&mut obj, &mut world, me, "bump", &[]).unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
     fn charging_pre_procedure_on_meta_invoke() {
         // The paper's "code renting": a level-1 invoke whose pre-procedure
         // charges for every method invocation on the object.
@@ -1231,8 +1426,14 @@ mod tests {
         .unwrap();
         obj.install_meta_invoke(me, "meta_invoke").unwrap();
         let caller = gen.next_id();
-        assert_eq!(invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(), Value::Int(1));
-        assert_eq!(invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(), Value::Int(2));
+        assert_eq!(
+            invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            invoke(&mut obj, &mut world, caller, "bump", &[]).unwrap(),
+            Value::Int(2)
+        );
         // Credits exhausted: the pre-procedure now vetoes every invocation.
         assert!(matches!(
             invoke(&mut obj, &mut world, caller, "bump", &[]),

@@ -203,11 +203,9 @@ impl PartialEq for MethodBody {
     }
 }
 
-/// A method of an MROM object: body, optional pre-/post-procedures
-/// (*wrapping*), an invoke ACL, and a meta ACL guarding structural changes
-/// to the method itself.
+/// The owned state behind a [`Method`] handle.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Method {
+struct MethodInner {
     body: MethodBody,
     pre: Option<MethodBody>,
     post: Option<MethodBody>,
@@ -215,17 +213,30 @@ pub struct Method {
     meta_acl: Acl,
 }
 
+/// A method of an MROM object: body, optional pre-/post-procedures
+/// (*wrapping*), an invoke ACL, and a meta ACL guarding structural changes
+/// to the method itself.
+///
+/// `Method` is a cheap shared handle (`Arc` internally): cloning one — as
+/// the level-0 invocation path does when it pins the looked-up method
+/// before running it, so a body may replace its own method mid-flight —
+/// costs a refcount bump, not a deep copy of the body and procedures.
+/// Mutation (`setMethod` via [`Method::apply_descriptor`], the builder
+/// methods) goes through copy-on-write and never disturbs other handles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method(Arc<MethodInner>);
+
 impl Method {
     /// Creates a method with the given body, no wrapping, and default
     /// (origin-private) ACLs.
     pub fn new(body: MethodBody) -> Method {
-        Method {
+        Method(Arc::new(MethodInner {
             body,
             pre: None,
             post: None,
             invoke_acl: Acl::default(),
             meta_acl: Acl::default(),
-        }
+        }))
     }
 
     /// Creates a publicly invocable method (meta ACL stays origin-private).
@@ -235,20 +246,20 @@ impl Method {
 
     /// Sets the invoke ACL (builder style).
     pub fn with_invoke_acl(mut self, acl: Acl) -> Method {
-        self.invoke_acl = acl;
+        Arc::make_mut(&mut self.0).invoke_acl = acl;
         self
     }
 
     /// Sets the meta ACL (builder style).
     pub fn with_meta_acl(mut self, acl: Acl) -> Method {
-        self.meta_acl = acl;
+        Arc::make_mut(&mut self.0).meta_acl = acl;
         self
     }
 
     /// Attaches a pre-procedure (builder style). A pre-procedure returning
     /// a falsy value prevents the body from running.
     pub fn with_pre(mut self, pre: MethodBody) -> Method {
-        self.pre = Some(pre);
+        Arc::make_mut(&mut self.0).pre = Some(pre);
         self
     }
 
@@ -256,56 +267,62 @@ impl Method {
     /// returning a falsy value raises
     /// [`MromError::PostConditionFailed`].
     pub fn with_post(mut self, post: MethodBody) -> Method {
-        self.post = Some(post);
+        Arc::make_mut(&mut self.0).post = Some(post);
         self
     }
 
     /// The body.
     pub fn body(&self) -> &MethodBody {
-        &self.body
+        &self.0.body
     }
 
     /// The pre-procedure, if attached.
     pub fn pre(&self) -> Option<&MethodBody> {
-        self.pre.as_ref()
+        self.0.pre.as_ref()
     }
 
     /// The post-procedure, if attached.
     pub fn post(&self) -> Option<&MethodBody> {
-        self.post.as_ref()
+        self.0.post.as_ref()
     }
 
     /// The invoke ACL.
     pub fn invoke_acl(&self) -> &Acl {
-        &self.invoke_acl
+        &self.0.invoke_acl
     }
 
     /// The meta ACL (who may `setMethod`/`deleteMethod` this method).
     pub fn meta_acl(&self) -> &Acl {
-        &self.meta_acl
+        &self.0.meta_acl
     }
 
     /// `true` when the body and both procedures are mobile.
     pub fn is_mobile(&self) -> bool {
-        self.body.is_mobile()
-            && self.pre.as_ref().is_none_or(MethodBody::is_mobile)
-            && self.post.as_ref().is_none_or(MethodBody::is_mobile)
+        self.0.body.is_mobile()
+            && self.0.pre.as_ref().is_none_or(MethodBody::is_mobile)
+            && self.0.post.as_ref().is_none_or(MethodBody::is_mobile)
     }
 
     /// Produces the `getMethod` descriptor.
     pub fn descriptor(&self) -> Value {
         Value::map([
-            ("body", self.body.to_value()),
+            ("body", self.0.body.to_value()),
             (
                 "pre",
-                self.pre.as_ref().map_or(Value::Null, MethodBody::to_value),
+                self.0
+                    .pre
+                    .as_ref()
+                    .map_or(Value::Null, MethodBody::to_value),
             ),
             (
                 "post",
-                self.post.as_ref().map_or(Value::Null, MethodBody::to_value),
+                self.0
+                    .post
+                    .as_ref()
+                    .map_or(Value::Null, MethodBody::to_value),
             ),
-            ("invoke_acl", self.invoke_acl.to_value()),
-            ("meta_acl", self.meta_acl.to_value()),
+            ("invoke_acl", self.0.invoke_acl.to_value()),
+            ("meta_acl", self.0.meta_acl.to_value()),
             ("mobile", Value::Bool(self.is_mobile())),
         ])
     }
@@ -326,7 +343,13 @@ impl Method {
             // produced by descriptors; accepted and ignored on write.
             if !matches!(
                 key.as_str(),
-                "body" | "pre" | "post" | "invoke_acl" | "meta_acl" | "mobile" | "section"
+                "body"
+                    | "pre"
+                    | "post"
+                    | "invoke_acl"
+                    | "meta_acl"
+                    | "mobile"
+                    | "section"
                     | "redacted"
             ) {
                 return Err(MromError::BadDescriptor(format!(
@@ -334,28 +357,53 @@ impl Method {
                 )));
             }
         }
-        if let Some(v) = m.get("body") {
-            self.body = MethodBody::from_value(v)?;
+        // Parse everything before touching `self` so a failing descriptor
+        // leaves the method untouched, then copy-on-write once.
+        let body = m.get("body").map(MethodBody::from_value).transpose()?;
+        let pre = m
+            .get("pre")
+            .map(|v| {
+                if v.is_null() {
+                    Ok(None)
+                } else {
+                    MethodBody::from_value(v).map(Some)
+                }
+            })
+            .transpose()?;
+        let post = m
+            .get("post")
+            .map(|v| {
+                if v.is_null() {
+                    Ok(None)
+                } else {
+                    MethodBody::from_value(v).map(Some)
+                }
+            })
+            .transpose()?;
+        let invoke_acl = m
+            .get("invoke_acl")
+            .map(|v| Acl::from_value(v).map_err(bad_acl))
+            .transpose()?;
+        let meta_acl = m
+            .get("meta_acl")
+            .map(|v| Acl::from_value(v).map_err(bad_acl))
+            .transpose()?;
+
+        let inner = Arc::make_mut(&mut self.0);
+        if let Some(body) = body {
+            inner.body = body;
         }
-        if let Some(v) = m.get("pre") {
-            self.pre = if v.is_null() {
-                None
-            } else {
-                Some(MethodBody::from_value(v)?)
-            };
+        if let Some(pre) = pre {
+            inner.pre = pre;
         }
-        if let Some(v) = m.get("post") {
-            self.post = if v.is_null() {
-                None
-            } else {
-                Some(MethodBody::from_value(v)?)
-            };
+        if let Some(post) = post {
+            inner.post = post;
         }
-        if let Some(v) = m.get("invoke_acl") {
-            self.invoke_acl = Acl::from_value(v).map_err(bad_acl)?;
+        if let Some(acl) = invoke_acl {
+            inner.invoke_acl = acl;
         }
-        if let Some(v) = m.get("meta_acl") {
-            self.meta_acl = Acl::from_value(v).map_err(bad_acl)?;
+        if let Some(acl) = meta_acl {
+            inner.meta_acl = acl;
         }
         Ok(())
     }
@@ -465,7 +513,8 @@ mod tests {
     fn apply_descriptor_detaches_procedures_with_null() {
         let mut m = Method::new(MethodBody::script("return 1;").unwrap())
             .with_pre(MethodBody::script("return true;").unwrap());
-        m.apply_descriptor(&Value::map([("pre", Value::Null)])).unwrap();
+        m.apply_descriptor(&Value::map([("pre", Value::Null)]))
+            .unwrap();
         assert!(m.pre().is_none());
     }
 
@@ -480,11 +529,9 @@ mod tests {
 
     #[test]
     fn from_descriptor_requires_body() {
-        assert!(Method::from_descriptor(&Value::map([(
-            "invoke_acl",
-            Value::from("public")
-        )]))
-        .is_err());
+        assert!(
+            Method::from_descriptor(&Value::map([("invoke_acl", Value::from("public"))])).is_err()
+        );
     }
 
     #[test]

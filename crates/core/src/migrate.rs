@@ -86,7 +86,7 @@ impl MromObject {
                 Value::List(
                     self.tower()
                         .iter()
-                        .map(|n| Value::Str(n.clone()))
+                        .map(|n| Value::Str(n.as_ref().to_owned()))
                         .collect(),
                 ),
             ),
@@ -148,7 +148,7 @@ impl MromObject {
             .iter()
             .map(|n| {
                 n.as_str()
-                    .map(str::to_owned)
+                    .map(std::sync::Arc::<str>::from)
                     .ok_or_else(|| bad("tower entries must be strings".into()))
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -192,7 +192,7 @@ impl MromObject {
 
         // Tower entries must reference existing extensible methods.
         for entry in &tower {
-            if !ext_methods.contains(entry) {
+            if !ext_methods.contains(entry.as_ref()) {
                 return Err(bad(format!(
                     "tower references missing extensible method {entry:?}"
                 )));
@@ -298,7 +298,7 @@ mod tests {
         obj.install_meta_invoke(me, "mi").unwrap();
         let bytes = obj.migration_image(me).unwrap();
         let mut back = MromObject::from_image(&bytes).unwrap();
-        assert_eq!(back.tower(), ["mi".to_owned()]);
+        assert_eq!(back.tower(), [std::sync::Arc::<str>::from("mi")]);
         let mut world = NoWorld;
         assert_eq!(
             invoke(&mut back, &mut world, me, "hop", &[]).unwrap(),

@@ -1,13 +1,42 @@
 //! The MROM object: four item containers, identity, the invocation tower,
 //! and the ACL-checked state/structure operations behind the meta-methods.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use mrom_value::{ObjectId, Value};
 
 use crate::container::{ExtensibleContainer, FixedContainer, Section};
 use crate::error::MromError;
 use crate::item::DataItem;
-use crate::method::{Method, MethodBody, MetaOp};
+use crate::method::{MetaOp, Method, MethodBody};
 use crate::security::Acl;
+
+/// Where a cached method resolution points: a sealed fixed slot (the index
+/// is a "fixed offset" valid for the object's whole lifetime) or a shared
+/// handle into the extensible section (valid only for the generation it
+/// was stamped with).
+#[derive(Debug, Clone)]
+enum CachedSlot {
+    Fixed(usize),
+    Extensible(Method),
+}
+
+/// Per-object memo of name → method resolution used by the level-0
+/// invocation fast path.
+///
+/// Entries for extensible methods carry the structural generation they
+/// were recorded at; any `addMethod`/`setMethod`/`deleteMethod` or tower
+/// change bumps the object's generation and thereby invalidates them
+/// wholesale, with no per-entry bookkeeping on the mutation path. Fixed
+/// entries never go stale — the fixed section is sealed at construction.
+///
+/// The cache is pure acceleration state: it is deliberately ignored by
+/// `PartialEq` and carries no observable behaviour of its own.
+#[derive(Debug, Clone, Default)]
+struct DispatchCache {
+    entries: HashMap<String, (CachedSlot, u64)>,
+}
 
 /// A mutable reflective mobile object.
 ///
@@ -43,7 +72,7 @@ use crate::security::Acl;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MromObject {
     id: ObjectId,
     origin: ObjectId,
@@ -53,11 +82,34 @@ pub struct MromObject {
     ext_data: ExtensibleContainer<DataItem>,
     ext_methods: ExtensibleContainer<Method>,
     /// Names of installed meta-invoke methods; `tower[0]` is level 1, the
-    /// last entry is the topmost level entered first (Figure 1).
-    tower: Vec<String>,
+    /// last entry is the topmost level entered first (Figure 1). Entries
+    /// are interned as `Arc<str>` so descending the tower clones handles,
+    /// not strings.
+    tower: Vec<Arc<str>>,
     /// Object-level policy for structural addition/removal and tower
     /// manipulation.
     meta_acl: Acl,
+    /// Structural generation of the extensible method section and tower;
+    /// bumped by every mutation that can change method resolution.
+    generation: u64,
+    /// Generation-stamped name → method memo for the dispatch fast path.
+    dispatch_cache: DispatchCache,
+}
+
+/// Equality is structural: the dispatch cache and its generation stamp are
+/// derived acceleration state and do not participate.
+impl PartialEq for MromObject {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.origin == other.origin
+            && self.class_name == other.class_name
+            && self.fixed_data == other.fixed_data
+            && self.fixed_methods == other.fixed_methods
+            && self.ext_data == other.ext_data
+            && self.ext_methods == other.ext_methods
+            && self.tower == other.tower
+            && self.meta_acl == other.meta_acl
+    }
 }
 
 impl MromObject {
@@ -114,9 +166,9 @@ impl MromObject {
     /// [`Acl::Nobody`] (self-containment — a deployed Ambassador whose
     /// origin is its remote APO must still reach its own items), and the
     /// origin principal is handled by [`Acl::permits`].
+    #[inline]
     pub fn acl_allows(&self, acl: &Acl, caller: ObjectId) -> bool {
-        (caller == self.id && !matches!(acl, Acl::Nobody))
-            || acl.permits(caller, self.origin)
+        (caller == self.id && !matches!(acl, Acl::Nobody)) || acl.permits(caller, self.origin)
     }
 
     fn denied(&self, item: &str, operation: &'static str, caller: ObjectId) -> MromError {
@@ -129,11 +181,24 @@ impl MromObject {
     }
 
     fn check_meta(&self, caller: ObjectId, item: &str) -> Result<(), MromError> {
-        if self.acl_allows(&self.meta_acl.clone(), caller) {
+        if self.acl_allows(&self.meta_acl, caller) {
             Ok(())
         } else {
             Err(self.denied(item, "meta", caller))
         }
+    }
+
+    /// Marks a structural change to method resolution (extensible method
+    /// set or tower), invalidating every stamped cache entry at once.
+    fn touch_structure(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// The structural generation of the extensible method section and
+    /// tower. Monotonic under mutation; exposed so callers (and tests) can
+    /// observe when cached resolutions become stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     // -- data items ---------------------------------------------------------
@@ -152,10 +217,12 @@ impl MromObject {
         name: &str,
         want_write: bool,
     ) -> Result<(&DataItem, Section), MromError> {
-        let (item, section) = self.find_data(name).ok_or_else(|| MromError::NoSuchDataItem {
-            object: self.id,
-            name: name.to_owned(),
-        })?;
+        let (item, section) = self
+            .find_data(name)
+            .ok_or_else(|| MromError::NoSuchDataItem {
+                object: self.id,
+                name: name.to_owned(),
+            })?;
         let acl = if want_write {
             item.write_acl()
         } else {
@@ -275,7 +342,8 @@ impl MromObject {
         item.apply_descriptor(&desc_rest)
             .map_err(|e| MromError::BadDescriptor(e.to_string()))?;
         if let Some(new_name) = rename {
-            if new_name != name && (self.fixed_data.contains(&new_name) || self.ext_data.contains(&new_name))
+            if new_name != name
+                && (self.fixed_data.contains(&new_name) || self.ext_data.contains(&new_name))
             {
                 return Err(MromError::DuplicateItem {
                     object: self.id,
@@ -297,7 +365,12 @@ impl MromObject {
     ///
     /// ACL errors, [`MromError::DuplicateItem`] on name collisions
     /// (including with fixed items).
-    pub fn add_data(&mut self, caller: ObjectId, name: &str, value: Value) -> Result<(), MromError> {
+    pub fn add_data(
+        &mut self,
+        caller: ObjectId,
+        name: &str,
+        value: Value,
+    ) -> Result<(), MromError> {
         self.add_data_item(caller, name, DataItem::new(value))
     }
 
@@ -380,6 +453,56 @@ impl MromObject {
         self.ext_methods.get(name).map(|m| (m, Section::Extensible))
     }
 
+    /// Resolves a method for dispatch through the generation-stamped
+    /// cache, returning an owned (cheap, `Arc`-backed) handle.
+    ///
+    /// Cache hits for fixed methods go straight to the sealed slot via
+    /// [`FixedContainer::get_by_index`] — the paper's "fixed offset" —
+    /// skipping the name probe entirely; hits for extensible methods are
+    /// honoured only when their stamp matches the current
+    /// [`MromObject::generation`], so no structural mutation can ever be
+    /// served a stale handle. Misses fall back to [`MromObject::find_method`]
+    /// and stamp the result.
+    ///
+    /// This performs *no* ACL check: it is the Lookup phase, and Match
+    /// (ACL) stays with the caller exactly as in the uncached path.
+    pub fn lookup_method(&mut self, name: &str) -> Option<(Method, Section)> {
+        if let Some((slot, stamp)) = self.dispatch_cache.entries.get(name) {
+            match slot {
+                // Fixed slots are sealed at construction; the index can
+                // never go stale, whatever the generation says.
+                CachedSlot::Fixed(i) => {
+                    let m = self.fixed_methods.get_by_index(*i).expect("sealed slot");
+                    return Some((m.clone(), Section::Fixed));
+                }
+                CachedSlot::Extensible(m) if *stamp == self.generation => {
+                    return Some((m.clone(), Section::Extensible));
+                }
+                CachedSlot::Extensible(_) => {} // stale: re-resolve below
+            }
+        }
+        if let Some(i) = self.fixed_methods.index_of(name) {
+            let m = self
+                .fixed_methods
+                .get_by_index(i)
+                .expect("index just probed")
+                .clone();
+            self.dispatch_cache
+                .entries
+                .insert(name.to_owned(), (CachedSlot::Fixed(i), self.generation));
+            return Some((m, Section::Fixed));
+        }
+        if let Some(m) = self.ext_methods.get(name) {
+            let m = m.clone();
+            self.dispatch_cache.entries.insert(
+                name.to_owned(),
+                (CachedSlot::Extensible(m.clone()), self.generation),
+            );
+            return Some((m, Section::Extensible));
+        }
+        None
+    }
+
     /// `true` when `caller` can see (i.e. is allowed to invoke) a method of
     /// this name.
     pub fn has_method(&self, caller: ObjectId, name: &str) -> bool {
@@ -396,10 +519,12 @@ impl MromObject {
     ///
     /// Lookup/ACL errors.
     pub fn method_descriptor(&self, caller: ObjectId, name: &str) -> Result<Value, MromError> {
-        let (method, section) = self.find_method(name).ok_or_else(|| MromError::NoSuchMethod {
-            object: self.id,
-            name: name.to_owned(),
-        })?;
+        let (method, section) = self
+            .find_method(name)
+            .ok_or_else(|| MromError::NoSuchMethod {
+                object: self.id,
+                name: name.to_owned(),
+            })?;
         if !self.acl_allows(method.invoke_acl(), caller) {
             return Err(self.denied(name, "read", caller));
         }
@@ -432,10 +557,12 @@ impl MromObject {
         name: &str,
         desc: &Value,
     ) -> Result<(), MromError> {
-        let (method, section) = self.find_method(name).ok_or_else(|| MromError::NoSuchMethod {
-            object: self.id,
-            name: name.to_owned(),
-        })?;
+        let (method, section) = self
+            .find_method(name)
+            .ok_or_else(|| MromError::NoSuchMethod {
+                object: self.id,
+                name: name.to_owned(),
+            })?;
         if !self.acl_allows(method.meta_acl(), caller) {
             return Err(self.denied(name, "meta", caller));
         }
@@ -478,9 +605,10 @@ impl MromObject {
                 });
             }
             // Keep the tower consistent across renames.
+            let interned: Arc<str> = Arc::from(new_name.as_str());
             for entry in &mut self.tower {
-                if entry == name {
-                    *entry = new_name.clone();
+                if entry.as_ref() == name {
+                    *entry = Arc::clone(&interned);
                 }
             }
             self.ext_methods.remove(name);
@@ -488,6 +616,7 @@ impl MromObject {
         } else {
             self.ext_methods.replace(name, method);
         }
+        self.touch_structure();
         Ok(())
     }
 
@@ -516,6 +645,7 @@ impl MromObject {
                 item: name.to_owned(),
             });
         }
+        self.touch_structure();
         Ok(())
     }
 
@@ -527,10 +657,12 @@ impl MromObject {
     /// Lookup/ACL errors, [`MromError::FixedSectionViolation`] for fixed
     /// methods.
     pub fn delete_method(&mut self, caller: ObjectId, name: &str) -> Result<(), MromError> {
-        let (method, section) = self.find_method(name).ok_or_else(|| MromError::NoSuchMethod {
-            object: self.id,
-            name: name.to_owned(),
-        })?;
+        let (method, section) = self
+            .find_method(name)
+            .ok_or_else(|| MromError::NoSuchMethod {
+                object: self.id,
+                name: name.to_owned(),
+            })?;
         if !self.acl_allows(method.meta_acl(), caller) {
             return Err(self.denied(name, "meta", caller));
         }
@@ -543,7 +675,8 @@ impl MromObject {
         }
         self.ext_methods.remove(name);
         // An uninstalled body cannot serve as a tower level.
-        self.tower.retain(|entry| entry != name);
+        self.tower.retain(|entry| entry.as_ref() != name);
+        self.touch_structure();
         Ok(())
     }
 
@@ -565,8 +698,10 @@ impl MromObject {
 
     // -- invocation tower ----------------------------------------------------
 
-    /// The installed meta-invoke chain, level 1 first.
-    pub fn tower(&self) -> &[String] {
+    /// The installed meta-invoke chain, level 1 first. Entries are interned
+    /// `Arc<str>` handles; descending the tower clones a handle per level,
+    /// never a string.
+    pub fn tower(&self) -> &[Arc<str>] {
         &self.tower
     }
 
@@ -595,7 +730,8 @@ impl MromObject {
                 item: method_name.to_owned(),
             }),
             Some((_, Section::Extensible)) => {
-                self.tower.push(method_name.to_owned());
+                self.tower.push(Arc::from(method_name));
+                self.touch_structure();
                 Ok(())
             }
         }
@@ -607,12 +743,13 @@ impl MromObject {
     /// # Errors
     ///
     /// ACL errors.
-    pub fn uninstall_meta_invoke(
-        &mut self,
-        caller: ObjectId,
-    ) -> Result<Option<String>, MromError> {
+    pub fn uninstall_meta_invoke(&mut self, caller: ObjectId) -> Result<Option<String>, MromError> {
         self.check_meta(caller, "tower")?;
-        Ok(self.tower.pop())
+        let popped = self.tower.pop().map(|entry| entry.to_string());
+        if popped.is_some() {
+            self.touch_structure();
+        }
+        Ok(popped)
     }
 
     // -- introspective summary ----------------------------------------------
@@ -655,14 +792,22 @@ impl MromObject {
             ),
             (
                 "tower",
-                Value::List(self.tower.iter().map(|n| Value::Str(n.clone())).collect()),
+                Value::List(
+                    self.tower
+                        .iter()
+                        .map(|n| Value::Str(n.as_ref().to_owned()))
+                        .collect(),
+                ),
             ),
         ])
     }
 
     /// Counts all items (data + methods, both sections).
     pub fn item_count(&self) -> usize {
-        self.fixed_data.len() + self.fixed_methods.len() + self.ext_data.len() + self.ext_methods.len()
+        self.fixed_data.len()
+            + self.fixed_methods.len()
+            + self.ext_data.len()
+            + self.ext_methods.len()
     }
 
     /// `true` when every method (and procedure) in the object is mobile.
@@ -698,7 +843,7 @@ impl MromObject {
         fixed_methods: FixedContainer<Method>,
         ext_data: ExtensibleContainer<DataItem>,
         ext_methods: ExtensibleContainer<Method>,
-        tower: Vec<String>,
+        tower: Vec<Arc<str>>,
         meta_acl: Acl,
     ) -> MromObject {
         MromObject {
@@ -711,6 +856,8 @@ impl MromObject {
             ext_methods,
             tower,
             meta_acl,
+            generation: 0,
+            dispatch_cache: DispatchCache::default(),
         }
     }
 }
@@ -825,7 +972,11 @@ impl ObjectBuilder {
                 // Introspective + invoke meta-methods are publicly callable
                 // (their per-item checks still apply inside); mutating ones
                 // default to origin-only.
-                let acl = if op.is_mutating() { Acl::Origin } else { Acl::Public };
+                let acl = if op.is_mutating() {
+                    Acl::Origin
+                } else {
+                    Acl::Public
+                };
                 let method = Method::new(MethodBody::Meta(op)).with_invoke_acl(acl);
                 match self.meta_section {
                     Section::Fixed => fixed_methods.push((name, method)),
@@ -843,6 +994,8 @@ impl ObjectBuilder {
             ext_methods: ext_methods.into_iter().collect(),
             tower: Vec::new(),
             meta_acl: self.meta_acl,
+            generation: 0,
+            dispatch_cache: DispatchCache::default(),
         }
     }
 }
@@ -924,7 +1077,11 @@ mod tests {
             Err(MromError::FixedSectionViolation { .. })
         ));
         assert!(matches!(
-            obj.set_data_item(me, "core", &Value::map([("read_acl", Value::from("public"))])),
+            obj.set_data_item(
+                me,
+                "core",
+                &Value::map([("read_acl", Value::from("public"))])
+            ),
             Err(MromError::FixedSectionViolation { .. })
         ));
     }
@@ -973,12 +1130,11 @@ mod tests {
         obj.set_data_item(
             me,
             "soft",
-            &Value::map([
-                ("write_acl", Value::list([Value::Str(friend.to_string())])),
-            ]),
+            &Value::map([("write_acl", Value::list([Value::Str(friend.to_string())]))]),
         )
         .unwrap();
-        obj.write_data(friend, "soft", Value::from("by friend")).unwrap();
+        obj.write_data(friend, "soft", Value::from("by friend"))
+            .unwrap();
         // Rename.
         obj.set_data_item(me, "soft", &Value::map([("rename", Value::from("firm"))]))
             .unwrap();
@@ -1029,15 +1185,27 @@ mod tests {
         assert!(obj.has_method(stranger, "new_m"));
         // setMethod guarded by meta ACL (origin-only by default).
         assert!(matches!(
-            obj.set_method(stranger, "new_m", &Value::map([("invoke_acl", Value::from("origin"))])),
+            obj.set_method(
+                stranger,
+                "new_m",
+                &Value::map([("invoke_acl", Value::from("origin"))])
+            ),
             Err(MromError::AccessDenied { .. })
         ));
-        obj.set_method(me, "new_m", &Value::map([("invoke_acl", Value::from("origin"))]))
-            .unwrap();
+        obj.set_method(
+            me,
+            "new_m",
+            &Value::map([("invoke_acl", Value::from("origin"))]),
+        )
+        .unwrap();
         assert!(!obj.has_method(stranger, "new_m"));
         // Fixed methods cannot be set or deleted.
         assert!(matches!(
-            obj.set_method(me, "m_fixed", &Value::map([("invoke_acl", Value::from("origin"))])),
+            obj.set_method(
+                me,
+                "m_fixed",
+                &Value::map([("invoke_acl", Value::from("origin"))])
+            ),
             Err(MromError::FixedSectionViolation { .. })
         ));
         assert!(matches!(
@@ -1062,7 +1230,7 @@ mod tests {
         obj.install_meta_invoke(me, "mi").unwrap();
         obj.set_method(me, "mi", &Value::map([("rename", Value::from("mi2"))]))
             .unwrap();
-        assert_eq!(obj.tower(), ["mi2".to_owned()]);
+        assert_eq!(obj.tower(), [Arc::<str>::from("mi2")]);
     }
 
     #[test]
@@ -1129,7 +1297,11 @@ mod tests {
         let stranger = gen.next_id();
         obj.add_data_item(me, "secret", DataItem::new(Value::Int(0)))
             .unwrap();
-        let visible: Vec<String> = obj.list_data(stranger).into_iter().map(|(n, _)| n).collect();
+        let visible: Vec<String> = obj
+            .list_data(stranger)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert!(visible.contains(&"core".to_owned()));
         assert!(!visible.contains(&"secret".to_owned()));
         let mine: Vec<String> = obj.list_data(me).into_iter().map(|(n, _)| n).collect();
@@ -1198,6 +1370,111 @@ mod tests {
         )
         .unwrap();
         assert!(!obj.is_mobile());
+    }
+
+    #[test]
+    fn lookup_method_caches_without_changing_resolution() {
+        let mut gen = ids();
+        let mut obj = basic_object(&mut gen);
+        // Cold and warm lookups agree with find_method for both sections,
+        // and pure lookups never bump the structural generation.
+        let g0 = obj.generation();
+        for name in ["m_fixed", "m_ext", "invoke", "ghost"] {
+            let via_find = obj.find_method(name).map(|(m, s)| (m.clone(), s));
+            let cold = obj.lookup_method(name);
+            let warm = obj.lookup_method(name);
+            assert_eq!(cold, via_find, "{name}");
+            assert_eq!(warm, via_find, "{name}");
+        }
+        assert_eq!(obj.generation(), g0);
+    }
+
+    #[test]
+    fn set_method_invalidates_cached_handles() {
+        let mut gen = ids();
+        let mut obj = basic_object(&mut gen);
+        let me = obj.id();
+        let (before, _) = obj.lookup_method("m_ext").unwrap();
+        let g0 = obj.generation();
+        obj.set_method(
+            me,
+            "m_ext",
+            &Value::map([("body", Value::from("return 99;"))]),
+        )
+        .unwrap();
+        assert!(obj.generation() > g0);
+        let (after, _) = obj.lookup_method("m_ext").unwrap();
+        assert_ne!(after, before, "stale handle served after setMethod");
+        assert_eq!(
+            after.descriptor().as_map().unwrap()["body"],
+            obj.find_method("m_ext")
+                .unwrap()
+                .0
+                .descriptor()
+                .as_map()
+                .unwrap()["body"]
+        );
+    }
+
+    #[test]
+    fn delete_and_add_method_invalidate_cached_handles() {
+        let mut gen = ids();
+        let mut obj = basic_object(&mut gen);
+        let me = obj.id();
+        obj.lookup_method("m_ext").unwrap(); // warm the cache
+        obj.delete_method(me, "m_ext").unwrap();
+        assert!(
+            obj.lookup_method("m_ext").is_none(),
+            "stale hit after deleteMethod"
+        );
+        let replacement = Method::public(MethodBody::script("return 7;").unwrap());
+        obj.add_method(me, "m_ext", replacement.clone()).unwrap();
+        let (found, section) = obj.lookup_method("m_ext").unwrap();
+        assert_eq!(section, Section::Extensible);
+        assert_eq!(found, replacement);
+    }
+
+    #[test]
+    fn tower_changes_bump_generation() {
+        let mut gen = ids();
+        let mut obj = basic_object(&mut gen);
+        let me = obj.id();
+        let g0 = obj.generation();
+        obj.install_meta_invoke(me, "m_ext").unwrap();
+        let g1 = obj.generation();
+        assert!(g1 > g0);
+        assert_eq!(obj.uninstall_meta_invoke(me).unwrap(), Some("m_ext".into()));
+        assert!(obj.generation() > g1);
+        // Popping an empty tower is a no-op, not a structural change.
+        let g2 = obj.generation();
+        assert_eq!(obj.uninstall_meta_invoke(me).unwrap(), None);
+        assert_eq!(obj.generation(), g2);
+    }
+
+    #[test]
+    fn cloned_objects_diverge_without_sharing_staleness() {
+        let mut gen = ids();
+        let mut obj = basic_object(&mut gen);
+        let me = obj.id();
+        obj.lookup_method("m_ext").unwrap(); // warm the cache
+        let mut copy = obj.clone();
+        assert_eq!(copy, obj);
+        // Mutating the original must not leak into the copy's resolution
+        // (and vice versa) even though the warm cache was cloned along.
+        obj.delete_method(me, "m_ext").unwrap();
+        assert!(obj.lookup_method("m_ext").is_none());
+        assert!(copy.lookup_method("m_ext").is_some());
+        assert_ne!(copy, obj);
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let mut gen = ids();
+        let mut warm = basic_object(&mut gen);
+        let cold = warm.clone();
+        warm.lookup_method("m_fixed").unwrap();
+        warm.lookup_method("m_ext").unwrap();
+        assert_eq!(warm, cold);
     }
 
     #[test]

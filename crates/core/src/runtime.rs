@@ -192,6 +192,21 @@ impl Runtime {
         method: &str,
         args: &[Value],
     ) -> Result<Value, MromError> {
+        self.invoke_checked_out(caller, target, method, args)
+    }
+
+    /// Shared checkout protocol behind [`Runtime::invoke`] and the `send`
+    /// world operation: remove the target from the table (reporting busy
+    /// for cyclic calls), mark it busy, run the invocation with a world
+    /// hook over the remaining table, then check the object back in
+    /// whatever the outcome.
+    fn invoke_checked_out(
+        &mut self,
+        caller: ObjectId,
+        target: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, MromError> {
         let mut obj = self.objects.remove(&target).ok_or({
             if self.busy.contains(&target) {
                 MromError::ObjectBusy(target)
@@ -257,44 +272,20 @@ impl WorldHook for RuntimeWorld<'_> {
             "send" => match args {
                 [Value::ObjectRef(target), Value::Str(method), Value::List(inner)] => {
                     // An object currently executing has been checked out of
-                    // the table, so a cyclic call finds it absent: report
-                    // busy for the sender itself, NoSuchObject otherwise —
-                    // both also cover genuinely unknown targets upstream.
-                    let mut obj = self.runtime.objects.remove(target).ok_or({
-                        if self.runtime.busy.contains(target) {
-                            MromError::ObjectBusy(*target)
-                        } else {
-                            MromError::NoSuchObject(*target)
-                        }
-                    })?;
-                    self.runtime.busy.insert(*target);
-                    let limits = self.runtime.limits;
-                    let result = crate::invoke::invoke_with_limits(
-                        &mut obj,
-                        &mut RuntimeWorld {
-                            runtime: self.runtime,
-                        },
-                        caller,
-                        method,
-                        inner,
-                        &limits,
-                    );
-                    self.runtime.busy.remove(target);
-                    self.runtime.objects.insert(*target, obj);
-                    result
+                    // the table, so a cyclic call finds it absent: the
+                    // shared checkout protocol reports busy for the sender
+                    // itself, NoSuchObject otherwise — both also cover
+                    // genuinely unknown targets upstream.
+                    self.runtime
+                        .invoke_checked_out(caller, *target, method, inner)
                 }
                 _ => Err(MromError::World(
                     "send expects (object_ref, method_name, args_list)".into(),
                 )),
             },
             "spawn" => match args {
-                [Value::Str(class)] => self
-                    .runtime
-                    .create(class)
-                    .map(Value::ObjectRef),
-                _ => Err(MromError::World(
-                    "spawn expects (class_name)".into(),
-                )),
+                [Value::Str(class)] => self.runtime.create(class).map(Value::ObjectRef),
+                _ => Err(MromError::World("spawn expects (class_name)".into())),
             },
             "log" => {
                 let msg = args
@@ -341,15 +332,17 @@ mod tests {
             )
             .unwrap();
         rt.classes_mut()
-            .register(ClassSpec::new("caller_class").fixed_method(
-                "relay",
-                Method::public(
-                    MethodBody::script(
-                        "param target; param x; return self.send(target, \"add\", [x]);",
-                    )
-                    .unwrap(),
+            .register(
+                ClassSpec::new("caller_class").fixed_method(
+                    "relay",
+                    Method::public(
+                        MethodBody::script(
+                            "param target; param x; return self.send(target, \"add\", [x]);",
+                        )
+                        .unwrap(),
+                    ),
                 ),
-            ))
+            )
             .unwrap();
         rt
     }
@@ -387,16 +380,15 @@ mod tests {
         let calc = rt.create("calc").unwrap();
         let relay = rt.create("caller_class").unwrap();
         let out = rt
-            .invoke_as_system(
-                relay,
-                "relay",
-                &[Value::ObjectRef(calc), Value::Int(40)],
-            )
+            .invoke_as_system(relay, "relay", &[Value::ObjectRef(calc), Value::Int(40)])
             .unwrap();
         assert_eq!(out, Value::Int(40));
         // The calc object kept the state.
         assert_eq!(
-            rt.object(calc).unwrap().read_data(ObjectId::SYSTEM, "acc").unwrap(),
+            rt.object(calc)
+                .unwrap()
+                .read_data(ObjectId::SYSTEM, "acc")
+                .unwrap(),
             Value::Int(40)
         );
     }
@@ -426,13 +418,17 @@ mod tests {
     fn cyclic_cross_object_calls_report_busy() {
         let mut rt = Runtime::new(NodeId(6));
         rt.classes_mut()
-            .register(ClassSpec::new("pingpong").fixed_method(
-                "ping",
-                Method::public(
-                    MethodBody::script("param other; return self.send(other, \"ping\", [self.id()]);")
+            .register(
+                ClassSpec::new("pingpong").fixed_method(
+                    "ping",
+                    Method::public(
+                        MethodBody::script(
+                            "param other; return self.send(other, \"ping\", [self.id()]);",
+                        )
                         .unwrap(),
+                    ),
                 ),
-            ))
+            )
             .unwrap();
         let a = rt.create("pingpong").unwrap();
         let b = rt.create("pingpong").unwrap();
@@ -460,7 +456,10 @@ mod tests {
         );
         // Double adoption rejected.
         let dup = rt.object(id).unwrap().clone();
-        assert!(matches!(rt.adopt(dup), Err(MromError::DuplicateItem { .. })));
+        assert!(matches!(
+            rt.adopt(dup),
+            Err(MromError::DuplicateItem { .. })
+        ));
     }
 
     #[test]
@@ -476,7 +475,10 @@ mod tests {
             .unwrap();
         let id = rt.create("clock").unwrap();
         rt.set_now(1234);
-        assert_eq!(rt.invoke_as_system(id, "stamp", &[]).unwrap(), Value::Int(1234));
+        assert_eq!(
+            rt.invoke_as_system(id, "stamp", &[]).unwrap(),
+            Value::Int(1234)
+        );
         assert_eq!(rt.log_entries().len(), 1);
         assert_eq!(rt.log_entries()[0].1, "tick");
         assert_eq!(rt.log_entries()[0].0, id);
@@ -486,19 +488,21 @@ mod tests {
     fn objects_spawn_other_objects() {
         let mut rt = runtime_with_classes();
         rt.classes_mut()
-            .register(ClassSpec::new("factory").fixed_method(
-                "make_calc",
-                Method::public(
-                    MethodBody::script(
-                        r#"
+            .register(
+                ClassSpec::new("factory").fixed_method(
+                    "make_calc",
+                    Method::public(
+                        MethodBody::script(
+                            r#"
                         let child = self.spawn("calc");
                         self.send(child, "add", [41]);
                         return child;
                         "#,
-                    )
-                    .unwrap(),
+                        )
+                        .unwrap(),
+                    ),
                 ),
-            ))
+            )
             .unwrap();
         let factory = rt.create("factory").unwrap();
         let child_ref = rt.invoke_as_system(factory, "make_calc", &[]).unwrap();
@@ -513,9 +517,7 @@ mod tests {
         rt.classes_mut()
             .register(ClassSpec::new("bad-factory").fixed_method(
                 "make",
-                Method::public(
-                    MethodBody::script(r#"return self.spawn("ghost-class");"#).unwrap(),
-                ),
+                Method::public(MethodBody::script(r#"return self.spawn("ghost-class");"#).unwrap()),
             ))
             .unwrap();
         let bad = rt.create("bad-factory").unwrap();
@@ -569,7 +571,12 @@ mod tests {
         let id = rt.create("calc").unwrap();
         let hostile = rt.ids_mut().next_id();
         let err = rt
-            .invoke(hostile, id, "addDataItem", &[Value::from("evil"), Value::Int(0)])
+            .invoke(
+                hostile,
+                id,
+                "addDataItem",
+                &[Value::from("evil"), Value::Int(0)],
+            )
             .unwrap_err();
         assert!(matches!(err, MromError::AccessDenied { .. }));
     }

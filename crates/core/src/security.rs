@@ -16,8 +16,8 @@
 
 use std::collections::BTreeSet;
 
-use mrom_value::{Value, ValueError, ValueKind};
 use mrom_value::ObjectId;
+use mrom_value::{Value, ValueError, ValueKind};
 
 /// An access-control policy attached to a single item or method.
 ///
@@ -61,6 +61,10 @@ impl Acl {
     /// The origin is implicitly allowed by every policy except
     /// [`Acl::Nobody`] — an object can always reach its own items, which is
     /// what makes self-contained reflection possible.
+    ///
+    /// Inlined so the dominant `Public`/`Origin` policies decide in a
+    /// branch or two on the invocation fast path, with no set probe.
+    #[inline]
     pub fn permits(&self, caller: ObjectId, origin: ObjectId) -> bool {
         match self {
             Acl::Public => true,
@@ -102,11 +106,9 @@ impl Acl {
             Acl::Public => Value::from("public"),
             Acl::Origin => Value::from("origin"),
             Acl::Nobody => Value::from("nobody"),
-            Acl::Only(ids) => Value::List(
-                ids.iter()
-                    .map(|id| Value::Str(id.to_string()))
-                    .collect(),
-            ),
+            Acl::Only(ids) => {
+                Value::List(ids.iter().map(|id| Value::Str(id.to_string())).collect())
+            }
         }
     }
 
@@ -219,14 +221,17 @@ impl TypeConstraint {
     /// [`ValueError::Malformed`] on unknown forms.
     pub fn from_value(v: &Value) -> Result<TypeConstraint, ValueError> {
         let s = v.as_str().ok_or_else(|| {
-            ValueError::Malformed(format!("type constraint must be a string, got {}", v.kind()))
+            ValueError::Malformed(format!(
+                "type constraint must be a string, got {}",
+                v.kind()
+            ))
         })?;
         if s == "any" {
             return Ok(TypeConstraint::Any);
         }
-        let (mode, kind_name) = s.split_once(':').ok_or_else(|| {
-            ValueError::Malformed(format!("bad type constraint {s:?}"))
-        })?;
+        let (mode, kind_name) = s
+            .split_once(':')
+            .ok_or_else(|| ValueError::Malformed(format!("bad type constraint {s:?}")))?;
         let kind = ValueKind::from_name(kind_name)
             .ok_or_else(|| ValueError::Malformed(format!("unknown kind {kind_name:?}")))?;
         match mode {

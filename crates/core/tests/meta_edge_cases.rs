@@ -40,7 +40,14 @@ fn invoke_meta_accepts_one_or_two_args() {
     .unwrap();
     // One-arg form: no argument list.
     assert_eq!(
-        invoke(&mut obj, &mut world, caller, "invoke", &[Value::from("nullary")]).unwrap(),
+        invoke(
+            &mut obj,
+            &mut world,
+            caller,
+            "invoke",
+            &[Value::from("nullary")]
+        )
+        .unwrap(),
         Value::Int(9)
     );
     // Bad shapes are BadDescriptor, not panics.
@@ -82,11 +89,23 @@ fn meta_methods_validate_arity_and_kinds() {
     // Mutating metas validate after the ACL gate: the origin sees the
     // descriptor error, strangers see denial first.
     assert!(matches!(
-        invoke(&mut obj, &mut world, me, "addDataItem", &[Value::from("only-name")]),
+        invoke(
+            &mut obj,
+            &mut world,
+            me,
+            "addDataItem",
+            &[Value::from("only-name")]
+        ),
         Err(MromError::BadDescriptor(_))
     ));
     assert!(matches!(
-        invoke(&mut obj, &mut world, caller, "addDataItem", &[Value::from("only-name")]),
+        invoke(
+            &mut obj,
+            &mut world,
+            caller,
+            "addDataItem",
+            &[Value::from("only-name")]
+        ),
         Err(MromError::AccessDenied { .. })
     ));
 }
@@ -99,7 +118,10 @@ fn add_method_descriptor_vs_bare_body() {
     let mut world = NoWorld;
     // Bare body string: origin-private by default.
     invoke(
-        &mut obj, &mut world, me, "addMethod",
+        &mut obj,
+        &mut world,
+        me,
+        "addMethod",
         &[Value::from("private_m"), Value::from("return 1;")],
     )
     .unwrap();
@@ -107,7 +129,10 @@ fn add_method_descriptor_vs_bare_body() {
     assert!(obj.has_method(me, "private_m"));
     // Full descriptor: public ACL applies immediately.
     invoke(
-        &mut obj, &mut world, me, "addMethod",
+        &mut obj,
+        &mut world,
+        me,
+        "addMethod",
         &[
             Value::from("public_m"),
             Value::map([
@@ -137,7 +162,10 @@ fn set_method_acl_change_is_immediate() {
     .unwrap();
     assert!(invoke(&mut obj, &mut world, caller, "open_then_shut", &[]).is_ok());
     invoke(
-        &mut obj, &mut world, me, "setMethod",
+        &mut obj,
+        &mut world,
+        me,
+        "setMethod",
         &[
             Value::from("open_then_shut"),
             Value::map([("invoke_acl", Value::from("origin"))]),
@@ -158,9 +186,23 @@ fn get_data_item_reports_section_through_invocation() {
     let mut world = NoWorld;
     obj.add_data_item(me, "soft", DataItem::public(Value::Null))
         .unwrap();
-    let fixed = invoke(&mut obj, &mut world, caller, "getDataItem", &[Value::from("x")]).unwrap();
+    let fixed = invoke(
+        &mut obj,
+        &mut world,
+        caller,
+        "getDataItem",
+        &[Value::from("x")],
+    )
+    .unwrap();
     assert_eq!(fixed.as_map().unwrap()["section"], Value::from("fixed"));
-    let ext = invoke(&mut obj, &mut world, caller, "getDataItem", &[Value::from("soft")]).unwrap();
+    let ext = invoke(
+        &mut obj,
+        &mut world,
+        caller,
+        "getDataItem",
+        &[Value::from("soft")],
+    )
+    .unwrap();
     assert_eq!(ext.as_map().unwrap()["section"], Value::from("extensible"));
 }
 
@@ -180,17 +222,28 @@ fn type_constrained_item_coerces_on_every_write_path() {
     .unwrap();
     let caller = gen.next_id();
     // Direct write coerces.
-    obj.write_data(caller, "port", Value::from("<b>8080</b>")).unwrap();
+    obj.write_data(caller, "port", Value::from("<b>8080</b>"))
+        .unwrap();
     assert_eq!(obj.read_data(caller, "port").unwrap(), Value::Int(8080));
     // Script write coerces too.
     obj.add_method(
         me,
         "set_port",
-        Method::public(MethodBody::script("param p; self.set(\"port\", p); return self.get(\"port\");").unwrap()),
+        Method::public(
+            MethodBody::script("param p; self.set(\"port\", p); return self.get(\"port\");")
+                .unwrap(),
+        ),
     )
     .unwrap();
     assert_eq!(
-        invoke(&mut obj, &mut world, caller, "set_port", &[Value::from("443")]).unwrap(),
+        invoke(
+            &mut obj,
+            &mut world,
+            caller,
+            "set_port",
+            &[Value::from("443")]
+        )
+        .unwrap(),
         Value::Int(443)
     );
     // Uncoercible writes fail with TypeConstraint from either path.
@@ -199,7 +252,13 @@ fn type_constrained_item_coerces_on_every_write_path() {
         Err(MromError::TypeConstraint { .. })
     ));
     assert!(matches!(
-        invoke(&mut obj, &mut world, caller, "set_port", &[Value::from("nope")]),
+        invoke(
+            &mut obj,
+            &mut world,
+            caller,
+            "set_port",
+            &[Value::from("nope")]
+        ),
         Err(MromError::Script(ScriptError::Host(_)))
     ));
 }
@@ -223,11 +282,24 @@ fn post_procedure_sees_result_then_args() {
     .unwrap();
     let caller = gen.next_id();
     assert_eq!(
-        invoke(&mut obj, &mut world, caller, "checked", &[Value::Int(6), Value::Int(7)]).unwrap(),
+        invoke(
+            &mut obj,
+            &mut world,
+            caller,
+            "checked",
+            &[Value::Int(6), Value::Int(7)]
+        )
+        .unwrap(),
         Value::Int(42)
     );
     assert!(matches!(
-        invoke(&mut obj, &mut world, caller, "checked", &[Value::Int(1), Value::Int(1)]),
+        invoke(
+            &mut obj,
+            &mut world,
+            caller,
+            "checked",
+            &[Value::Int(1), Value::Int(1)]
+        ),
         Err(MromError::PostConditionFailed { .. })
     ));
 }
@@ -238,7 +310,10 @@ fn native_bodies_route_through_the_tower_via_call_env() {
     // script body would.
     let mut gen = ids();
     let mut obj = ObjectBuilder::new(gen.next_id())
-        .fixed_data("trace", DataItem::public(Value::Int(0)).with_write_acl(Acl::Public))
+        .fixed_data(
+            "trace",
+            DataItem::public(Value::Int(0)).with_write_acl(Acl::Public),
+        )
         .fixed_method(
             "target",
             Method::public(MethodBody::script("return \"reached\";").unwrap()),
@@ -297,7 +372,10 @@ fn meta_mutability_deleting_the_invoke_meta_method() {
     );
     obj.delete_method(me, "invoke").unwrap();
     // Direct invocation is engine-level and survives...
-    assert_eq!(invoke(&mut obj, &mut world, caller, "m", &[]).unwrap(), Value::Int(5));
+    assert_eq!(
+        invoke(&mut obj, &mut world, caller, "m", &[]).unwrap(),
+        Value::Int(5)
+    );
     // ...but the reflective method entry is gone.
     assert!(matches!(
         invoke(&mut obj, &mut world, caller, "invoke", &[Value::from("m")]),

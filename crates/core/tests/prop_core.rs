@@ -262,19 +262,31 @@ fn acl_upgrade_downgrade_cycle() {
     )
     .unwrap();
     assert_eq!(obj.read_data(friend, "shared").unwrap(), Value::Int(5));
-    obj.set_data_item(me, "shared", &Value::map([("read_acl", Value::from("origin"))]))
-        .unwrap();
+    obj.set_data_item(
+        me,
+        "shared",
+        &Value::map([("read_acl", Value::from("origin"))]),
+    )
+    .unwrap();
     assert!(obj.read_data(friend, "shared").is_err());
     // Nobody policy locks out even the origin.
-    obj.set_data_item(me, "shared", &Value::map([("read_acl", Value::from("nobody"))]))
-        .unwrap();
+    obj.set_data_item(
+        me,
+        "shared",
+        &Value::map([("read_acl", Value::from("nobody"))]),
+    )
+    .unwrap();
     assert!(matches!(
         obj.read_data(me, "shared"),
         Err(MromError::AccessDenied { .. })
     ));
     // Write ACL still lets the origin repair the situation.
-    obj.set_data_item(me, "shared", &Value::map([("read_acl", Value::from("public"))]))
-        .unwrap();
+    obj.set_data_item(
+        me,
+        "shared",
+        &Value::map([("read_acl", Value::from("public"))]),
+    )
+    .unwrap();
     assert_eq!(obj.read_data(friend, "shared").unwrap(), Value::Int(5));
 }
 

@@ -151,9 +151,8 @@ pub fn instantiate_ambassador(
 
     // The install method.
     let install_src = spec.install_script.as_deref().unwrap_or(DEFAULT_INSTALL);
-    let install = Method::public(
-        mrom_core::MethodBody::script(install_src).map_err(HadasError::Model)?,
-    );
+    let install =
+        Method::public(mrom_core::MethodBody::script(install_src).map_err(HadasError::Model)?);
     builder = builder.ext_method("install", install);
 
     let ambassador = builder.build();
@@ -233,7 +232,14 @@ mod tests {
         let host = ids.next_id();
         let ctx = Value::map([("host_site", Value::Int(9))]);
         assert_eq!(
-            invoke(&mut amb, &mut world, host, "install", std::slice::from_ref(&ctx)).unwrap(),
+            invoke(
+                &mut amb,
+                &mut world,
+                host,
+                "install",
+                std::slice::from_ref(&ctx)
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(amb.read_data(host, "installed").unwrap(), Value::Bool(true));
@@ -256,7 +262,11 @@ mod tests {
         // Host IOO: no structural access.
         assert!(amb.add_data(host, "spy", Value::Null).is_err());
         assert!(amb
-            .set_method(host, "query", &Value::map([("body", Value::from("return 0;"))]))
+            .set_method(
+                host,
+                "query",
+                &Value::map([("body", Value::from("return 0;"))])
+            )
             .is_err());
         // The origin APO: full control, remotely.
         let origin = apo.id();
@@ -319,8 +329,7 @@ mod tests {
         let apo = sample_apo(&mut ids);
         let spec = AmbassadorSpec::relay_only()
             .with_install("param ctx; self.set(\"installed\", true); return \"custom\";");
-        let (mut amb, _) =
-            instantiate_ambassador(&apo, "db", NodeId(40), &spec, &mut ids).unwrap();
+        let (mut amb, _) = instantiate_ambassador(&apo, "db", NodeId(40), &spec, &mut ids).unwrap();
         let mut world = NoWorld;
         let host = ids.next_id();
         assert_eq!(

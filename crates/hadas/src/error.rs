@@ -65,7 +65,10 @@ impl fmt::Display for HadasError {
                 write!(f, "object {id} is not an ambassador hosted here")
             }
             HadasError::Timeout { operation } => {
-                write!(f, "{operation} did not complete (message lost or peer down)")
+                write!(
+                    f,
+                    "{operation} did not complete (message lost or peer down)"
+                )
             }
             HadasError::Remote(detail) => write!(f, "remote error: {detail}"),
             HadasError::BadMessage(detail) => write!(f, "bad protocol message: {detail}"),
@@ -106,7 +109,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(HadasError::UnknownSite(NodeId(3)).to_string().contains("n3"));
+        assert!(HadasError::UnknownSite(NodeId(3))
+            .to_string()
+            .contains("n3"));
         assert!(HadasError::NotLinked {
             from: NodeId(1),
             to: NodeId(2)

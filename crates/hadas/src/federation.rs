@@ -224,7 +224,8 @@ impl Federation {
         site.runtime.adopt(apo).map_err(HadasError::Model)?;
         site.apos.insert(name.to_owned(), id);
         site.specs.insert(name.to_owned(), spec);
-        site.policies.insert(name.to_owned(), ExportPolicy::default());
+        site.policies
+            .insert(name.to_owned(), ExportPolicy::default());
         let ioo = site.ioo;
         if let Some(ioo_obj) = site.runtime.object_mut(ioo) {
             map_insert(ioo_obj, "home", name, Value::ObjectRef(id));
@@ -266,9 +267,7 @@ impl Federation {
 
     /// Are two sites linked (in either direction)?
     pub fn is_linked(&self, a: NodeId, b: NodeId) -> bool {
-        self.sites
-            .get(&a)
-            .is_some_and(|s| s.links.contains(&b))
+        self.sites.get(&a).is_some_and(|s| s.links.contains(&b))
     }
 
     /// Guest info for a hosted Ambassador.
@@ -553,11 +552,17 @@ impl Federation {
             };
         let amb_id = ambassador.id();
         // Export phase 3: ship it as data.
-        let image = match ambassador.image_value().map(|v| mrom_value::wire::encode(&v)) {
+        let image = match ambassador
+            .image_value()
+            .map(|v| mrom_value::wire::encode(&v))
+        {
             Ok(bytes) => bytes,
             Err(e) => return deny(e.to_string()),
         };
-        site.deployed.entry(apo_id).or_default().push((from, amb_id));
+        site.deployed
+            .entry(apo_id)
+            .or_default()
+            .push((from, amb_id));
         ProtocolMsg::ExportAck {
             req_id,
             ambassador_image: image,
@@ -608,10 +613,7 @@ impl Federation {
         target: ObjectId,
         ops: &[UpdateOp],
     ) -> Result<usize, HadasError> {
-        let site = self
-            .sites
-            .get_mut(&at)
-            .ok_or(HadasError::UnknownSite(at))?;
+        let site = self.sites.get_mut(&at).ok_or(HadasError::UnknownSite(at))?;
         if !site.guests.contains_key(&target) {
             return Err(HadasError::UnknownAmbassador(target));
         }
@@ -626,13 +628,14 @@ impl Federation {
             // forged origin gains nothing it could not do anyway.
             match op {
                 UpdateOp::AddMethod(name, desc) => {
-                    let method = mrom_core::Method::from_descriptor(desc)
-                        .map_err(HadasError::Model)?;
+                    let method =
+                        mrom_core::Method::from_descriptor(desc).map_err(HadasError::Model)?;
                     obj.add_method(origin, name, method)
                         .map_err(HadasError::Model)?;
                 }
                 UpdateOp::SetMethod(name, desc) => {
-                    obj.set_method(origin, name, desc).map_err(HadasError::Model)?;
+                    obj.set_method(origin, name, desc)
+                        .map_err(HadasError::Model)?;
                 }
                 UpdateOp::DeleteMethod(name) => {
                     obj.delete_method(origin, name).map_err(HadasError::Model)?;
@@ -650,7 +653,8 @@ impl Federation {
                         .map_err(HadasError::Model)?;
                 }
                 UpdateOp::UninstallMetaInvoke => {
-                    obj.uninstall_meta_invoke(origin).map_err(HadasError::Model)?;
+                    obj.uninstall_meta_invoke(origin)
+                        .map_err(HadasError::Model)?;
                 }
             }
             applied += 1;
@@ -691,8 +695,7 @@ impl Federation {
             ProtocolMsg::LinkAck {
                 ambassador_image, ..
             } => {
-                let amb =
-                    MromObject::from_image(&ambassador_image).map_err(HadasError::Model)?;
+                let amb = MromObject::from_image(&ambassador_image).map_err(HadasError::Model)?;
                 let amb_id = amb.id();
                 let site = self.site_mut(from)?;
                 site.runtime.adopt(amb).map_err(HadasError::Model)?;
@@ -758,8 +761,7 @@ impl Federation {
                 // "When the Ambassador arrives (as data) the importing IOO
                 // unpacks it, passes to it an installation context and
                 // invokes the Ambassador, which in turn installs itself."
-                let amb = MromObject::from_image(&ambassador_image)
-                    .map_err(HadasError::Model)?;
+                let amb = MromObject::from_image(&ambassador_image).map_err(HadasError::Model)?;
                 let amb_id = amb.id();
                 let now = self.net.now().as_millis();
                 let site = self.site_mut(requester)?;
@@ -864,9 +866,10 @@ impl Federation {
         // serves locally, and if a meta-invoke tower is installed (e.g. the
         // maintenance notice), the tower intercepts *every* invocation —
         // even of methods that normally relay.
-        let try_local = site.runtime.object(ambassador).is_some_and(|obj| {
-            obj.has_method(caller, method) || !obj.tower().is_empty()
-        });
+        let try_local = site
+            .runtime
+            .object(ambassador)
+            .is_some_and(|obj| obj.has_method(caller, method) || !obj.tower().is_empty());
         if try_local {
             let site = self.site_mut(host)?;
             match site.runtime.invoke(caller, ambassador, method, args) {
@@ -927,9 +930,7 @@ impl Federation {
         for req_id in req_ids {
             match self.completed.remove(&req_id) {
                 Some(ProtocolMsg::UpdateAck { .. }) => updated += 1,
-                Some(ProtocolMsg::Error { reason, .. }) => {
-                    return Err(HadasError::Remote(reason))
-                }
+                Some(ProtocolMsg::Error { reason, .. }) => return Err(HadasError::Remote(reason)),
                 other => {
                     return Err(HadasError::BadMessage(format!(
                         "unexpected update reply: {other:?}"
@@ -1215,7 +1216,8 @@ mod tests {
         let (mut fed, a, b) = two_site_federation();
         integrate_db(&mut fed, b, &["count"]);
         fed.link(a, b).unwrap();
-        fed.set_export_policy(b, "db", ExportPolicy::Nobody).unwrap();
+        fed.set_export_policy(b, "db", ExportPolicy::Nobody)
+            .unwrap();
         assert!(matches!(
             fed.import_apo(a, b, "db"),
             Err(HadasError::Remote(reason)) if reason.contains("denied")
@@ -1246,7 +1248,10 @@ mod tests {
         let before_relay = fed.net_stats().messages_sent;
         fed.call_through_ambassador(a, caller, amb, "salary_of", &[Value::from("bob")])
             .unwrap();
-        assert!(fed.net_stats().messages_sent > before_relay, "relayed over the net");
+        assert!(
+            fed.net_stats().messages_sent > before_relay,
+            "relayed over the net"
+        );
 
         // Migrate salary_of into the deployed ambassador.
         assert_eq!(fed.migrate_method(b, "db", "salary_of").unwrap(), 1);
@@ -1280,7 +1285,10 @@ mod tests {
                     UpdateOp::AddMethod(
                         "maintenance_notice".into(),
                         Value::map([
-                            ("body", Value::from("return \"database is down for maintenance\";")),
+                            (
+                                "body",
+                                Value::from("return \"database is down for maintenance\";"),
+                            ),
                             ("invoke_acl", Value::from("public")),
                         ]),
                     ),
@@ -1335,7 +1343,10 @@ mod tests {
                 &[UpdateOp::AddData("evil".into(), Value::Null)],
             )
             .unwrap_err();
-        assert!(matches!(err, HadasError::Model(MromError::AccessDenied { .. })));
+        assert!(matches!(
+            err,
+            HadasError::Model(MromError::AccessDenied { .. })
+        ));
     }
 
     #[test]

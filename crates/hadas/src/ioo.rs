@@ -32,13 +32,11 @@ pub fn build_ioo(ids: &mut IdGenerator, node: NodeId) -> MromObject {
         )
         .fixed_data(
             "home",
-            DataItem::public(Value::map::<String, _>([]))
-                .with_write_acl(system_writable.clone()),
+            DataItem::public(Value::map::<String, _>([])).with_write_acl(system_writable.clone()),
         )
         .fixed_data(
             "vicinity",
-            DataItem::public(Value::map::<String, _>([]))
-                .with_write_acl(system_writable.clone()),
+            DataItem::public(Value::map::<String, _>([])).with_write_acl(system_writable.clone()),
         )
         .fixed_data(
             "guests",

@@ -32,35 +32,25 @@ impl UpdateOp {
     /// Lowers to a tagged list.
     pub fn to_value(&self) -> Value {
         match self {
-            UpdateOp::AddMethod(n, d) => Value::list([
-                Value::from("add_method"),
-                Value::Str(n.clone()),
-                d.clone(),
-            ]),
-            UpdateOp::SetMethod(n, d) => Value::list([
-                Value::from("set_method"),
-                Value::Str(n.clone()),
-                d.clone(),
-            ]),
+            UpdateOp::AddMethod(n, d) => {
+                Value::list([Value::from("add_method"), Value::Str(n.clone()), d.clone()])
+            }
+            UpdateOp::SetMethod(n, d) => {
+                Value::list([Value::from("set_method"), Value::Str(n.clone()), d.clone()])
+            }
             UpdateOp::DeleteMethod(n) => {
                 Value::list([Value::from("delete_method"), Value::Str(n.clone())])
             }
-            UpdateOp::AddData(n, v) => Value::list([
-                Value::from("add_data"),
-                Value::Str(n.clone()),
-                v.clone(),
-            ]),
-            UpdateOp::SetData(n, v) => Value::list([
-                Value::from("set_data"),
-                Value::Str(n.clone()),
-                v.clone(),
-            ]),
+            UpdateOp::AddData(n, v) => {
+                Value::list([Value::from("add_data"), Value::Str(n.clone()), v.clone()])
+            }
+            UpdateOp::SetData(n, v) => {
+                Value::list([Value::from("set_data"), Value::Str(n.clone()), v.clone()])
+            }
             UpdateOp::InstallMetaInvoke(n) => {
                 Value::list([Value::from("install_meta_invoke"), Value::Str(n.clone())])
             }
-            UpdateOp::UninstallMetaInvoke => {
-                Value::list([Value::from("uninstall_meta_invoke")])
-            }
+            UpdateOp::UninstallMetaInvoke => Value::list([Value::from("uninstall_meta_invoke")]),
         }
     }
 
@@ -70,9 +60,7 @@ impl UpdateOp {
     ///
     /// [`HadasError::BadMessage`].
     pub fn from_value(v: &Value) -> Result<UpdateOp, HadasError> {
-        let items = v
-            .as_list()
-            .ok_or_else(|| bad("update op must be a list"))?;
+        let items = v.as_list().ok_or_else(|| bad("update op must be a list"))?;
         let tag = items
             .first()
             .and_then(Value::as_str)
@@ -542,7 +530,10 @@ mod tests {
                 target: a,
                 ops: vec![
                     UpdateOp::AddData("note".into(), Value::from("hi")),
-                    UpdateOp::SetMethod("m".into(), Value::map([("body", Value::from("return 1;"))])),
+                    UpdateOp::SetMethod(
+                        "m".into(),
+                        Value::map([("body", Value::from("return 1;"))]),
+                    ),
                     UpdateOp::DeleteMethod("old".into()),
                     UpdateOp::InstallMetaInvoke("maintenance".into()),
                     UpdateOp::UninstallMetaInvoke,
@@ -576,10 +567,7 @@ mod tests {
         assert!(ProtocolMsg::decode(b"junk").is_err());
         let v = Value::map([("op", Value::from("link_req"))]); // no req_id
         assert!(ProtocolMsg::from_value(&v).is_err());
-        let v = Value::map([
-            ("op", Value::from("who_knows")),
-            ("req_id", Value::Int(1)),
-        ]);
+        let v = Value::map([("op", Value::from("who_knows")), ("req_id", Value::Int(1))]);
         assert!(ProtocolMsg::from_value(&v).is_err());
         let v = Value::Int(7);
         assert!(ProtocolMsg::from_value(&v).is_err());

@@ -17,10 +17,22 @@ pub fn employee_db_class() -> ClassSpec {
         .fixed_data(
             "employees",
             DataItem::public(Value::map([
-                ("alice", Value::map([("salary", Value::Int(120)), ("dept", Value::from("os"))])),
-                ("bob", Value::map([("salary", Value::Int(95)), ("dept", Value::from("db"))])),
-                ("carol", Value::map([("salary", Value::Int(130)), ("dept", Value::from("net"))])),
-                ("dave", Value::map([("salary", Value::Int(88)), ("dept", Value::from("db"))])),
+                (
+                    "alice",
+                    Value::map([("salary", Value::Int(120)), ("dept", Value::from("os"))]),
+                ),
+                (
+                    "bob",
+                    Value::map([("salary", Value::Int(95)), ("dept", Value::from("db"))]),
+                ),
+                (
+                    "carol",
+                    Value::map([("salary", Value::Int(130)), ("dept", Value::from("net"))]),
+                ),
+                (
+                    "dave",
+                    Value::map([("salary", Value::Int(88)), ("dept", Value::from("db"))]),
+                ),
             ])),
         )
         .fixed_method(

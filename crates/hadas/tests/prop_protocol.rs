@@ -45,13 +45,16 @@ fn arb_msg() -> impl Strategy<Value = ProtocolMsg> {
             from: NodeId(n),
             from_ioo: i,
         }),
-        (any::<u64>(), arb_id(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
-            |(r, i, img)| ProtocolMsg::LinkAck {
+        (
+            any::<u64>(),
+            arb_id(),
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(r, i, img)| ProtocolMsg::LinkAck {
                 req_id: r,
                 ioo: i,
                 ambassador_image: img,
-            }
-        ),
+            }),
         (any::<u64>(), any::<u64>(), arb_id(), ".{0,16}").prop_map(|(r, n, i, a)| {
             ProtocolMsg::ImportReq {
                 req_id: r,
@@ -72,10 +75,7 @@ fn arb_msg() -> impl Strategy<Value = ProtocolMsg> {
                 origin_apo: o,
                 remote_methods: ms,
             }),
-        (any::<u64>(), ".{0,40}").prop_map(|(r, reason)| ProtocolMsg::Error {
-            req_id: r,
-            reason,
-        }),
+        (any::<u64>(), ".{0,40}").prop_map(|(r, reason)| ProtocolMsg::Error { req_id: r, reason }),
         (
             any::<u64>(),
             arb_id(),

@@ -105,14 +105,15 @@ impl Soak {
                 if host == hub || self.partitioned(host, hub) {
                     return;
                 }
-                let amb = self.fed.import_apo(host, hub, "db").unwrap_or_else(|e| {
-                    panic!("op {i}: import at {host} failed: {e}")
-                });
+                let amb = self
+                    .fed
+                    .import_apo(host, hub, "db")
+                    .unwrap_or_else(|e| panic!("op {i}: import at {host} failed: {e}"));
                 self.ambassadors.push((host, amb));
                 self.log.push(format!("import {host} {amb}"));
             }
             // Call through a random ambassador.
-            2 | 3 | 4 => {
+            2..=4 => {
                 if self.ambassadors.is_empty() {
                     return;
                 }
@@ -142,7 +143,10 @@ impl Soak {
                 let result = self.fed.push_update(
                     hub,
                     "db",
-                    &[UpdateOp::SetData("employees".into(), Value::map::<String, _>([]))],
+                    &[UpdateOp::SetData(
+                        "employees".into(),
+                        Value::map::<String, _>([]),
+                    )],
                 );
                 match result {
                     Ok(n) => {

@@ -32,7 +32,9 @@ impl LinkConfig {
 
     /// A profile resembling a mid-1990s campus LAN: 2 ms, 1 MB/s.
     pub fn lan() -> LinkConfig {
-        LinkConfig::new().latency_us(2_000).bandwidth_bytes_per_sec(1_000_000)
+        LinkConfig::new()
+            .latency_us(2_000)
+            .bandwidth_bytes_per_sec(1_000_000)
     }
 
     /// A profile resembling a mid-1990s WAN hop: 80 ms, 64 kB/s, jittery.

@@ -1,7 +1,7 @@
 //! The discrete-event simulator core.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use mrom_value::NodeId;
 use rand::rngs::StdRng;
@@ -167,10 +167,7 @@ impl SimNet {
         }
         // FIFO per directed link: never deliver before an earlier send on
         // the same link.
-        let front = self
-            .link_front
-            .entry((src, dst))
-            .or_insert(SimTime::ZERO);
+        let front = self.link_front.entry((src, dst)).or_insert(SimTime::ZERO);
         if arrival < *front {
             arrival = *front;
         }
@@ -325,8 +322,7 @@ mod tests {
 
     #[test]
     fn lossy_links_drop_roughly_the_configured_fraction() {
-        let cfg = NetworkConfig::new(7)
-            .with_default_link(LinkConfig::new().loss_probability(0.3));
+        let cfg = NetworkConfig::new(7).with_default_link(LinkConfig::new().loss_probability(0.3));
         let mut net = SimNet::new(cfg);
         net.add_node(NodeId(1)).unwrap();
         net.add_node(NodeId(2)).unwrap();
@@ -340,9 +336,8 @@ mod tests {
     #[test]
     fn identical_seeds_identical_schedules() {
         let run = |seed| {
-            let cfg = NetworkConfig::new(seed).with_default_link(
-                LinkConfig::new().jitter_us(5_000).loss_probability(0.1),
-            );
+            let cfg = NetworkConfig::new(seed)
+                .with_default_link(LinkConfig::new().jitter_us(5_000).loss_probability(0.1));
             let mut net = SimNet::new(cfg);
             net.add_node(NodeId(1)).unwrap();
             net.add_node(NodeId(2)).unwrap();
@@ -376,7 +371,8 @@ mod tests {
     fn run_until_respects_the_horizon() {
         let mut net = three_node_net(6);
         net.send(NodeId(1), NodeId(2), vec![0u8; 10]).unwrap(); // ~1ms
-        net.send(NodeId(1), NodeId(3), vec![0u8; 3_000_000]).unwrap(); // ~3s
+        net.send(NodeId(1), NodeId(3), vec![0u8; 3_000_000])
+            .unwrap(); // ~3s
         let early = net.run_until(SimTime::from_millis(100));
         assert_eq!(early.len(), 1);
         assert_eq!(net.now(), SimTime::from_millis(100));

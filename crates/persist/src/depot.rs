@@ -54,10 +54,7 @@ impl<S: BlobStore> Depot<S> {
 
     /// `true` when an image for `id` is stored.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.store
-            .keys()
-            .iter()
-            .any(|k| k == &id.to_string())
+        self.store.keys().iter().any(|k| k == &id.to_string())
     }
 
     /// Bootstraps the object stored under `id`.
@@ -93,10 +90,7 @@ impl<S: BlobStore> Depot<S> {
     /// Backend I/O failures abort the checkpoint (already-written objects
     /// remain stored — the log is append-only, so a partial checkpoint is
     /// still a consistent set of images).
-    pub fn checkpoint<'a, I>(
-        &mut self,
-        objects: I,
-    ) -> Result<(usize, Vec<ObjectId>), PersistError>
+    pub fn checkpoint<'a, I>(&mut self, objects: I) -> Result<(usize, Vec<ObjectId>), PersistError>
     where
         I: IntoIterator<Item = &'a MromObject>,
     {
@@ -120,16 +114,13 @@ impl<S: BlobStore> Depot<S> {
         let mut ok = Vec::new();
         let mut failed = Vec::new();
         for key in self.store.keys() {
-            match self
-                .store
-                .get(&key)
-                .and_then(|bytes| match bytes {
-                    Some(b) => MromObject::from_image(&b).map_err(PersistError::from),
-                    None => Err(PersistError::Corrupt {
-                        key: key.clone(),
-                        detail: "key vanished during restore".into(),
-                    }),
-                }) {
+            match self.store.get(&key).and_then(|bytes| match bytes {
+                Some(b) => MromObject::from_image(&b).map_err(PersistError::from),
+                None => Err(PersistError::Corrupt {
+                    key: key.clone(),
+                    detail: "key vanished during restore".into(),
+                }),
+            }) {
                 Ok(obj) => ok.push(obj),
                 Err(e) => failed.push((key, e)),
             }

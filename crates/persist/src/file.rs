@@ -253,10 +253,8 @@ mod tests {
 
     impl TempDir {
         fn new(tag: &str) -> TempDir {
-            let dir = std::env::temp_dir().join(format!(
-                "mrom-persist-test-{tag}-{}",
-                std::process::id()
-            ));
+            let dir = std::env::temp_dir()
+                .join(format!("mrom-persist-test-{tag}-{}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
             std::fs::create_dir_all(&dir).unwrap();
             TempDir(dir)

@@ -99,10 +99,7 @@ mod tests {
         let mut s = MemStore::new();
         s.put("k", b"precious bytes").unwrap();
         assert!(s.corrupt("k", 3));
-        assert!(matches!(
-            s.get("k"),
-            Err(PersistError::Corrupt { .. })
-        ));
+        assert!(matches!(s.get("k"), Err(PersistError::Corrupt { .. })));
         // Other keys unaffected.
         s.put("ok", b"fine").unwrap();
         assert_eq!(s.get("ok").unwrap().unwrap(), b"fine");

@@ -270,12 +270,8 @@ impl Program {
                         + a.iter().map(stmt_nodes).sum::<usize>()
                         + b.iter().map(stmt_nodes).sum::<usize>()
                 }
-                Stmt::While(c, body) => {
-                    expr_nodes(c) + body.iter().map(stmt_nodes).sum::<usize>()
-                }
-                Stmt::For(_, e, body) => {
-                    expr_nodes(e) + body.iter().map(stmt_nodes).sum::<usize>()
-                }
+                Stmt::While(c, body) => expr_nodes(c) + body.iter().map(stmt_nodes).sum::<usize>(),
+                Stmt::For(_, e, body) => expr_nodes(e) + body.iter().map(stmt_nodes).sum::<usize>(),
                 Stmt::Return(Some(e)) => expr_nodes(e),
                 Stmt::Return(None) | Stmt::Break | Stmt::Continue => 0,
             }

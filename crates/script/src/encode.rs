@@ -126,10 +126,7 @@ fn expr_to_value(e: &Expr) -> Value {
     match e {
         Expr::Literal(v) => tagged("lit", [v.clone()]),
         Expr::Var(name) => tagged("var", [Value::Str(name.clone())]),
-        Expr::Unary(op, a) => tagged(
-            "un",
-            [Value::Str(op.name().to_owned()), expr_to_value(a)],
-        ),
+        Expr::Unary(op, a) => tagged("un", [Value::Str(op.name().to_owned()), expr_to_value(a)]),
         Expr::Binary(op, a, b) => tagged(
             "bin",
             [
@@ -438,7 +435,9 @@ mod tests {
         round_trip("param a; param b; return a + b;");
         round_trip("let x = [1, {\"k\": 2.5}, \"s\"]; x[0] = -x[0]; return x;");
         round_trip("if (a > 1) { return 1; } else if (a > 0) { return 0; } else { fail(\"no\"); }");
-        round_trip("while (i < 10) { i = i + 1; if (i == 5) { continue; } if (i == 8) { break; } }");
+        round_trip(
+            "while (i < 10) { i = i + 1; if (i == 5) { continue; } if (i == 8) { break; } }",
+        );
         round_trip("for (x in range(3)) { self.invoke(\"m\", [x]); }");
         round_trip("return {\"nested\": [self.get(\"v\"), !true, 1 % 2]};");
         round_trip("return bytes(\"00ff\") + bytes(\"aa\");");

@@ -428,10 +428,9 @@ fn slot_mut<'a>(container: &'a mut Value, idx: &Value) -> Result<&'a mut Value, 
 
 fn unary(op: UnaryOp, v: Value) -> Result<Value, ScriptError> {
     match (op, v) {
-        (UnaryOp::Neg, Value::Int(i)) => i
-            .checked_neg()
-            .map(Value::Int)
-            .ok_or_else(|| ScriptError::Value(ValueError::NumericRange("negating i64::MIN".into()))),
+        (UnaryOp::Neg, Value::Int(i)) => i.checked_neg().map(Value::Int).ok_or_else(|| {
+            ScriptError::Value(ValueError::NumericRange("negating i64::MIN".into()))
+        }),
         (UnaryOp::Neg, Value::Float(x)) => Ok(Value::Float(-x)),
         (UnaryOp::Not, v) => Ok(Value::Bool(!v.truthy())),
         (op, v) => Err(ScriptError::TypeMismatch {
@@ -591,9 +590,9 @@ fn index(container: &Value, idx: &Value) -> Result<Value, ScriptError> {
         (Value::Bytes(b), Value::Int(i)) => {
             let i = usize::try_from(*i)
                 .map_err(|_| ScriptError::BadIndex(format!("negative index {i}")))?;
-            b.get(i)
-                .map(|x| Value::Int(i64::from(*x)))
-                .ok_or_else(|| ScriptError::BadIndex(format!("index {i} out of bounds ({})", b.len())))
+            b.get(i).map(|x| Value::Int(i64::from(*x))).ok_or_else(|| {
+                ScriptError::BadIndex(format!("index {i} out of bounds ({})", b.len()))
+            })
         }
         (c, i) => Err(ScriptError::BadIndex(format!(
             "cannot index {} with {}",
@@ -715,12 +714,15 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
         "last" => {
             arity(name, &args, 1)?;
             match &args[0] {
-                Value::List(items) => items.last().cloned().ok_or_else(|| {
-                    ScriptError::BuiltinArgs {
-                        name: name.into(),
-                        detail: "empty list has no last element".into(),
-                    }
-                }),
+                Value::List(items) => {
+                    items
+                        .last()
+                        .cloned()
+                        .ok_or_else(|| ScriptError::BuiltinArgs {
+                            name: name.into(),
+                            detail: "empty list has no last element".into(),
+                        })
+                }
                 other => Err(ScriptError::BuiltinArgs {
                     name: name.into(),
                     detail: format!("expected a list, got {}", other.kind()),
@@ -918,13 +920,13 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             arity(name, &args, 2)?;
             let ord = compare(&args[0], &args[1]).ok_or_else(|| ScriptError::BuiltinArgs {
                 name: name.into(),
-                detail: format!(
-                    "cannot compare {} with {}",
-                    args[0].kind(),
-                    args[1].kind()
-                ),
+                detail: format!("cannot compare {} with {}", args[0].kind(), args[1].kind()),
             })?;
-            let pick_first = if name == "min" { ord.is_le() } else { ord.is_ge() };
+            let pick_first = if name == "min" {
+                ord.is_le()
+            } else {
+                ord.is_ge()
+            };
             Ok(if pick_first {
                 args.swap_remove(0)
             } else {
@@ -999,10 +1001,7 @@ mod tests {
 
     #[test]
     fn string_and_list_concat() {
-        assert_eq!(
-            run_ok("return \"a\" + \"b\";", &[]),
-            Value::from("ab")
-        );
+        assert_eq!(run_ok("return \"a\" + \"b\";", &[]), Value::from("ab"));
         assert_eq!(
             run_ok("return [1] + [2, 3];", &[]),
             Value::list([Value::Int(1), Value::Int(2), Value::Int(3)])
@@ -1015,7 +1014,10 @@ mod tests {
         assert_eq!(run("return 1 / 0;", &[]), Err(ScriptError::DivisionByZero));
         assert_eq!(run("return 1 % 0;", &[]), Err(ScriptError::DivisionByZero));
         // Float division by zero is IEEE.
-        assert_eq!(run_ok("return 1.0 / 0.0;", &[]), Value::Float(f64::INFINITY));
+        assert_eq!(
+            run_ok("return 1.0 / 0.0;", &[]),
+            Value::Float(f64::INFINITY)
+        );
     }
 
     #[test]
@@ -1040,8 +1042,14 @@ mod tests {
     #[test]
     fn short_circuit() {
         // Division by zero on the right side must not be evaluated.
-        assert_eq!(run_ok("return false && (1 / 0 == 0);", &[]), Value::Bool(false));
-        assert_eq!(run_ok("return true || (1 / 0 == 0);", &[]), Value::Bool(true));
+        assert_eq!(
+            run_ok("return false && (1 / 0 == 0);", &[]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            run_ok("return true || (1 / 0 == 0);", &[]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -1063,7 +1071,10 @@ mod tests {
     #[test]
     fn params_and_args() {
         assert_eq!(
-            run_ok("param a; param b; return a + b;", &[Value::Int(1), Value::Int(2)]),
+            run_ok(
+                "param a; param b; return a + b;",
+                &[Value::Int(1), Value::Int(2)]
+            ),
             Value::Int(3)
         );
         // Missing params are null; args still reachable.
@@ -1093,11 +1104,17 @@ mod tests {
     #[test]
     fn for_loops_over_everything() {
         assert_eq!(
-            run_ok("let s = 0; for (i in range(5)) { s = s + i; } return s;", &[]),
+            run_ok(
+                "let s = 0; for (i in range(5)) { s = s + i; } return s;",
+                &[]
+            ),
             Value::Int(10)
         );
         assert_eq!(
-            run_ok("let s = 0; for (i in range(2, 5)) { s = s + i; } return s;", &[]),
+            run_ok(
+                "let s = 0; for (i in range(2, 5)) { s = s + i; } return s;",
+                &[]
+            ),
             Value::Int(9)
         );
         assert_eq!(
@@ -1108,11 +1125,17 @@ mod tests {
             Value::from("ab") // map keys in sorted order
         );
         assert_eq!(
-            run_ok("let n = 0; for (c in \"hey\") { n = n + 1; } return n;", &[]),
+            run_ok(
+                "let n = 0; for (c in \"hey\") { n = n + 1; } return n;",
+                &[]
+            ),
             Value::Int(3)
         );
         assert_eq!(
-            run_ok("let s = 0; for (b in bytes(\"0102\")) { s = s + b; } return s;", &[]),
+            run_ok(
+                "let s = 0; for (b in bytes(\"0102\")) { s = s + b; } return s;",
+                &[]
+            ),
             Value::Int(3)
         );
         assert!(run("for (x in 5) { }", &[]).is_err());
@@ -1120,7 +1143,10 @@ mod tests {
 
     #[test]
     fn index_read_and_write() {
-        assert_eq!(run_ok("let xs = [1, 2, 3]; return xs[1];", &[]), Value::Int(2));
+        assert_eq!(
+            run_ok("let xs = [1, 2, 3]; return xs[1];", &[]),
+            Value::Int(2)
+        );
         assert_eq!(
             run_ok("let xs = [1, 2, 3]; xs[1] = 9; return xs;", &[]),
             Value::list([Value::Int(1), Value::Int(9), Value::Int(3)])
@@ -1137,8 +1163,14 @@ mod tests {
             run_ok("let m = {}; m[\"new\"] = 1; return m[\"new\"];", &[]),
             Value::Int(1)
         );
-        assert!(matches!(run("let xs = [1]; return xs[5];", &[]), Err(ScriptError::BadIndex(_))));
-        assert!(matches!(run("let xs = [1]; xs[5] = 0;", &[]), Err(ScriptError::BadIndex(_))));
+        assert!(matches!(
+            run("let xs = [1]; return xs[5];", &[]),
+            Err(ScriptError::BadIndex(_))
+        ));
+        assert!(matches!(
+            run("let xs = [1]; xs[5] = 0;", &[]),
+            Err(ScriptError::BadIndex(_))
+        ));
         assert!(matches!(
             run("let m = {\"a\": 1}; return m[\"b\"];", &[]),
             Err(ScriptError::BadIndex(_))
@@ -1161,9 +1193,15 @@ mod tests {
             run_ok("return push([1], 2);", &[]),
             Value::list([Value::Int(1), Value::Int(2)])
         );
-        assert_eq!(run_ok("return pop([1, 2]);", &[]), Value::list([Value::Int(1)]));
+        assert_eq!(
+            run_ok("return pop([1, 2]);", &[]),
+            Value::list([Value::Int(1)])
+        );
         assert_eq!(run_ok("return last([1, 2]);", &[]), Value::Int(2));
-        assert_eq!(run_ok("return contains([1, 2], 2);", &[]), Value::Bool(true));
+        assert_eq!(
+            run_ok("return contains([1, 2], 2);", &[]),
+            Value::Bool(true)
+        );
         assert_eq!(
             run_ok("return contains({\"k\": 1}, \"k\");", &[]),
             Value::Bool(true)
@@ -1196,7 +1234,10 @@ mod tests {
             run_ok("return remove([1, 2], 0);", &[]),
             Value::list([Value::Int(2)])
         );
-        assert_eq!(run_ok("return substr(\"hello\", 1, 3);", &[]), Value::from("ell"));
+        assert_eq!(
+            run_ok("return substr(\"hello\", 1, 3);", &[]),
+            Value::from("ell")
+        );
         assert_eq!(
             run_ok("return split(\"a,b\", \",\");", &[]),
             Value::list([Value::from("a"), Value::from("b")])
@@ -1244,7 +1285,8 @@ mod tests {
 
     #[test]
     fn fuel_scales_with_work() {
-        let p = Program::parse("let s = 0; for (i in range(100)) { s = s + i; } return s;").unwrap();
+        let p =
+            Program::parse("let s = 0; for (i in range(100)) { s = s + i; } return s;").unwrap();
         let mut host = NullHost;
         let mut ev = Evaluator::new(&mut host);
         ev.run(&p, &[]).unwrap();
@@ -1254,7 +1296,10 @@ mod tests {
         let mut host2 = NullHost;
         let mut ev2 = Evaluator::new(&mut host2);
         ev2.run(&p2, &[]).unwrap();
-        assert!(ev2.fuel_used() > small * 5, "fuel must scale with iterations");
+        assert!(
+            ev2.fuel_used() > small * 5,
+            "fuel must scale with iterations"
+        );
     }
 
     #[test]

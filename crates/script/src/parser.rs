@@ -623,7 +623,10 @@ mod tests {
         );
         // Non-literal elements keep constructor form.
         let p = parse_ok("return [x];");
-        assert!(matches!(&p.body()[0], Stmt::Return(Some(Expr::ListExpr(_)))));
+        assert!(matches!(
+            &p.body()[0],
+            Stmt::Return(Some(Expr::ListExpr(_)))
+        ));
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn float_exponent_literals() {
 
 #[test]
 fn non_finite_floats_via_constructor() {
-    assert_eq!(run("return float(\"inf\");").unwrap(), Value::Float(f64::INFINITY));
+    assert_eq!(
+        run("return float(\"inf\");").unwrap(),
+        Value::Float(f64::INFINITY)
+    );
     assert_eq!(
         run("return float(\"-inf\");").unwrap(),
         Value::Float(f64::NEG_INFINITY)
@@ -45,7 +48,10 @@ fn unicode_identifiers_and_strings() {
         Value::from("naïve ✓")
     );
     assert_eq!(run("return len(\"日本語\");").unwrap(), Value::Int(3));
-    assert_eq!(run("return substr(\"héllo\", 1, 2);").unwrap(), Value::from("él"));
+    assert_eq!(
+        run("return substr(\"héllo\", 1, 2);").unwrap(),
+        Value::from("él")
+    );
 }
 
 #[test]
@@ -151,7 +157,11 @@ fn map_iteration_order_is_sorted() {
     "#;
     assert_eq!(
         run(src).unwrap(),
-        Value::list([Value::from("alpha"), Value::from("mike"), Value::from("zulu")])
+        Value::list([
+            Value::from("alpha"),
+            Value::from("mike"),
+            Value::from("zulu")
+        ])
     );
 }
 
@@ -172,7 +182,9 @@ fn recursion_is_impossible_but_iteration_is_enough() {
     "#;
     let p = Program::parse(src).unwrap();
     let mut host = NullHost;
-    let out = Evaluator::new(&mut host).run(&p, &[Value::Int(30)]).unwrap();
+    let out = Evaluator::new(&mut host)
+        .run(&p, &[Value::Int(30)])
+        .unwrap();
     assert_eq!(out, Value::Int(832_040));
 }
 
@@ -210,11 +222,26 @@ fn comments_everywhere() {
 
 #[test]
 fn empty_containers_and_falsy_conditions() {
-    assert_eq!(run("if ([]) { return 1; } return 0;").unwrap(), Value::Int(0));
-    assert_eq!(run("if ({}) { return 1; } return 0;").unwrap(), Value::Int(0));
-    assert_eq!(run("if (\"\") { return 1; } return 0;").unwrap(), Value::Int(0));
-    assert_eq!(run("if (0.0) { return 1; } return 0;").unwrap(), Value::Int(0));
-    assert_eq!(run("if ([0]) { return 1; } return 0;").unwrap(), Value::Int(1));
+    assert_eq!(
+        run("if ([]) { return 1; } return 0;").unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        run("if ({}) { return 1; } return 0;").unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        run("if (\"\") { return 1; } return 0;").unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        run("if (0.0) { return 1; } return 0;").unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        run("if ([0]) { return 1; } return 0;").unwrap(),
+        Value::Int(1)
+    );
 }
 
 #[test]

@@ -13,8 +13,20 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "let" | "param" | "if" | "else" | "while" | "for" | "in" | "return" | "break"
-                | "continue" | "self" | "true" | "false" | "null"
+            "let"
+                | "param"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
+                | "in"
+                | "return"
+                | "break"
+                | "continue"
+                | "self"
+                | "true"
+                | "false"
+                | "null"
         )
     })
 }
@@ -58,26 +70,27 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         ];
         let unop = prop_oneof![Just(UnaryOp::Not)];
         prop_oneof![
-            (op, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (op, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             // Neg folds numeric literals at parse time, so restrict Neg to
             // non-literal operands; Not never folds.
             (unop, inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
             ident().prop_map(|v| Expr::Unary(UnaryOp::Neg, Box::new(Expr::Var(v)))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Index(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Index(Box::new(a), Box::new(b))),
             (ident(), prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(name, args)| build_call(name, args)),
             (ident(), prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(name, args)| Expr::HostCall(name, args)),
             // List/map constructors with at least one non-literal element
             // (all-literal constructors fold to Literal at parse time).
-            (inner.clone(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(head, rest)| {
-                    let mut items = vec![Expr::Var("seed_var".into()), head];
-                    items.extend(rest);
-                    Expr::ListExpr(items)
-                }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(head, rest)| {
+                let mut items = vec![Expr::Var("seed_var".into()), head];
+                items.extend(rest);
+                Expr::ListExpr(items)
+            }),
         ]
     })
 }

@@ -1,0 +1,904 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A generate-only property-testing harness: strategies produce random
+//! values from a per-test deterministic RNG and the body runs for
+//! `ProptestConfig::cases` iterations. There is **no shrinking** — a
+//! failure reports the case number so it can be replayed (generation is
+//! a pure function of the test name and case index).
+//!
+//! Covered surface: `Strategy` (`prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed`), `BoxedStrategy`, `Just`, `any` for the
+//! primitive types, integer and float ranges, string-literal regex
+//! strategies (`.`, classes with ranges/negation/`&&` intersection, and
+//! `{m,n}` quantifiers), tuples up to arity 8, `prop::collection::{vec,
+//! btree_map, btree_set}`, `prop::num::f64::NORMAL`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert*!` macros.
+
+pub mod test_runner {
+    //! Runner configuration, RNG, and failure type.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic generator handed to every strategy.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one (test, case) pair. `salt` is derived
+        /// from the test name so sibling tests see different streams.
+        pub fn for_case(salt: u64, case: u32) -> TestRng {
+            TestRng {
+                inner: StdRng::seed_from_u64(
+                    salt ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ),
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform draw in `[lo, hi]` (inclusive on both ends).
+        pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            let span = hi.wrapping_sub(lo).wrapping_add(1);
+            if span == 0 {
+                self.next_u64()
+            } else {
+                lo + self.next_u64() % span
+            }
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a over the test name, used as the per-test RNG salt.
+    pub fn name_salt(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Subset of proptest's runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Lower than upstream's 256: generation here is not
+            // size-biased, so large cases dominate; 64 keeps tier-1 fast
+            // while still exercising the properties broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A property failure (from `prop_assert*!`).
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The asserted condition was false.
+        Fail(String),
+        /// The input was rejected (e.g. filter exhaustion).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with the given message.
+        pub fn reject<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred` (retrying up to a
+        /// fixed bound, then panicking with `reason`).
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Builds a recursive strategy: `recurse` is applied `depth`
+        /// times starting from `self` as the leaf level. The
+        /// `_desired_size` / `_expected_branch` hints are accepted for
+        /// API compatibility but unused (depth alone bounds growth).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut level: BoxedStrategy<Self::Value> = self.boxed();
+            for _ in 0..depth {
+                level = recurse(level).boxed();
+            }
+            level
+        }
+
+        /// Type-erases this strategy behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Cloneable, type-erased strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Strategy yielding clones of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let candidate = self.inner.gen_value(rng);
+                if (self.pred)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+        }
+    }
+
+    /// Weighted union of boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if empty or all-zero-weighted.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Two's-complement offset arithmetic handles signed
+                    // ranges as wide as (MIN+1)..MAX without overflow.
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    rng.in_range(lo as u64, hi as u64).wrapping_add(0) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            super::string::gen_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-pattern string generator.
+    //!
+    //! Supports the subset the workspace's strategies use: `.`, literal
+    //! characters, character classes with ranges, leading-`^` negation and
+    //! `&&[...]` intersection, and the `{n}` / `{m,n}` / `?` / `*` / `+`
+    //! quantifiers. Anchors, alternation, and groups are not supported.
+
+    use super::test_runner::TestRng;
+
+    const PRINTABLE: std::ops::RangeInclusive<u8> = 0x20..=0x7e;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Any,
+        Lit(char),
+        Class(Vec<char>),
+    }
+
+    fn printable_set() -> Vec<char> {
+        PRINTABLE.map(|b| b as char).collect()
+    }
+
+    /// Parses a class body starting after `[`, consuming the closing `]`.
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let negated = chars.peek() == Some(&'^');
+        if negated {
+            chars.next();
+        }
+        let mut items: Vec<char> = Vec::new();
+        let mut intersect: Option<Vec<char>> = None;
+        loop {
+            match chars.next() {
+                None => panic!("unterminated character class"),
+                Some(']') => break,
+                Some('\\') => {
+                    let c = chars.next().expect("escape at end of class");
+                    items.push(c);
+                }
+                Some('&') if chars.peek() == Some(&'&') => {
+                    chars.next();
+                    assert_eq!(chars.next(), Some('['), "`&&` must be followed by a class");
+                    let rhs = parse_class(chars);
+                    intersect = Some(match intersect {
+                        None => rhs,
+                        Some(prev) => prev.into_iter().filter(|c| rhs.contains(c)).collect(),
+                    });
+                    // The `]` closing the *outer* class follows the inner one.
+                    assert_eq!(chars.next(), Some(']'), "class must close after `&&[...]`");
+                    break;
+                }
+                Some(lo) => {
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek().is_some() && ahead.peek() != Some(&']') {
+                            chars.next();
+                            let hi = chars.next().expect("range end");
+                            for b in (lo as u32)..=(hi as u32) {
+                                if let Some(c) = char::from_u32(b) {
+                                    items.push(c);
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    items.push(lo);
+                }
+            }
+        }
+        let mut set: Vec<char> = if negated {
+            printable_set()
+                .into_iter()
+                .filter(|c| !items.contains(c))
+                .collect()
+        } else {
+            items
+        };
+        if let Some(mask) = intersect {
+            set.retain(|c| mask.contains(c));
+        }
+        set.sort_unstable();
+        set.dedup();
+        assert!(!set.is_empty(), "character class matches nothing");
+        set
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, u32, u32)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<(Atom, u32, u32)> = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Lit(chars.next().expect("escape at end of pattern")),
+                other => Atom::Lit(other),
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        body.push(c);
+                    }
+                    match body.split_once(',') {
+                        None => {
+                            let n: u32 = body.parse().expect("numeric quantifier");
+                            (n, n)
+                        }
+                        Some((m, "")) => (m.parse().expect("numeric quantifier"), 16),
+                        Some((m, n)) => (
+                            m.parse().expect("numeric quantifier"),
+                            n.parse().expect("numeric quantifier"),
+                        ),
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 16)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 16)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let count = rng.in_range(lo as u64, hi as u64);
+            for _ in 0..count {
+                match &atom {
+                    Atom::Any => {
+                        let b = rng.in_range(*PRINTABLE.start() as u64, *PRINTABLE.end() as u64);
+                        out.push(b as u8 as char);
+                    }
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> char {
+            char::from_u32(rng.in_range(0x20, 0x7e) as u32).expect("printable ascii")
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// Canonical full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections with a size range.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.in_range(self.size.start as u64, self.size.end.max(1) as u64 - 1);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeMap` with distinct generated keys.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let want = rng.in_range(self.size.start as u64, self.size.end.max(1) as u64 - 1);
+            let mut out = BTreeMap::new();
+            // Key collisions shrink the map; bound the retries so tight
+            // key spaces still terminate.
+            for _ in 0..want * 4 {
+                if out.len() as u64 >= want {
+                    break;
+                }
+                out.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            }
+            out
+        }
+    }
+
+    /// Map of `key`→`value` entries with size in `size`.
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// Strategy for `BTreeSet` with distinct generated elements.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let want = rng.in_range(self.size.start as u64, self.size.end.max(1) as u64 - 1);
+            let mut out = BTreeSet::new();
+            for _ in 0..want * 4 {
+                if out.len() as u64 >= want {
+                    break;
+                }
+                out.insert(self.element.gen_value(rng));
+            }
+            out
+        }
+    }
+
+    /// Set of `element` values with size in `size`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod num {
+    //! Numeric special-purpose strategies.
+
+    pub mod f64 {
+        //! `f64` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over normal (finite, non-zero, non-subnormal) doubles.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = f64;
+            fn gen_value(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let f = f64::from_bits(rng.next_u64());
+                    if f.is_normal() {
+                        return f;
+                    }
+                }
+            }
+        }
+
+        /// Normal doubles: finite, non-zero, full exponent range.
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// expands to a zero-argument test running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            let salt = $crate::test_runner::name_salt(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(salt, case);
+                let ($($pat,)+) = $crate::strategy::Strategy::gen_value(&strategies, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err(e) => {
+                        panic!("property failed at case {case}/{}: {e}", config.cases);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "{:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::for_case(1, 0);
+        for case in 0..200u32 {
+            let mut rng2 = crate::test_runner::TestRng::for_case(7, case);
+            let s = crate::string::gen_from_pattern("[a-z][a-z0-9_]{0,6}", &mut rng2);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = crate::string::gen_from_pattern("[ -~&&[^\"\\\\]]{0,12}", &mut rng);
+            assert!(t.len() <= 12);
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'));
+            let u = crate::string::gen_from_pattern(".{1,10}", &mut rng);
+            assert!(!u.is_empty() && u.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(3, 1);
+        for _ in 0..500 {
+            let x = (0usize..7).gen_value(&mut rng);
+            assert!(x < 7);
+            let y = ((i64::MIN + 1)..i64::MAX).gen_value(&mut rng);
+            assert!(y > i64::MIN);
+            let f = (0.0f64..1.0).gen_value(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+            let (a, b) = (0u32..4, 10u32..14).gen_value(&mut rng);
+            assert!(a < 4 && (10..14).contains(&b));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let leaf = prop_oneof![Just(0u32), (1u32..10)];
+        let nested = leaf.prop_recursive(4, 64, 8, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(|v| v.iter().sum::<u32>())
+        });
+        let mut rng = crate::test_runner::TestRng::for_case(9, 0);
+        for _ in 0..100 {
+            let _ = nested.gen_value(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_macro_runs(v in prop::collection::vec(any::<u8>(), 0..16), x in 0u64..100) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container image has no access to crates.io, and nothing in this
+//! workspace actually serializes through serde — the self-contained TLV
+//! codec in `mrom-value` is the only wire format, exactly as the paper's
+//! self-containment argument requires. The `Serialize`/`Deserialize`
+//! derives sprinkled on config and identity types are kept as *markers* so
+//! downstream embedders that do link the real serde see the intent; here
+//! they resolve to empty traits.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `serde::Serialize` / `serde::Deserialize` on a
+//! handful of plain types but never actually serializes through serde (the
+//! wire format is the self-contained TLV codec in `mrom-value`). These
+//! derives therefore only need to produce *marker* impls. Parsing is done
+//! by hand on the token stream — no `syn`/`quote`, so the crate builds with
+//! nothing but the bundled toolchain.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword, skipping
+/// attributes, doc comments, and visibility qualifiers.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive target must be a struct or enum");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive target must be a struct or enum");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

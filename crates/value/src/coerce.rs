@@ -51,13 +51,15 @@ impl Value {
             (Value::Null, ValueKind::Bool) => Ok(Value::Bool(false)),
             (Value::Int(i), ValueKind::Bool) => Ok(Value::Bool(i != 0)),
             (Value::Float(x), ValueKind::Bool) => Ok(Value::Bool(x != 0.0)),
-            (Value::Str(s), ValueKind::Bool) => parse_bool(&s).map(Value::Bool).ok_or_else(|| {
-                ValueError::CoercionFailed {
-                    from,
-                    to,
-                    detail: format!("{s:?} is not a boolean literal"),
-                }
-            }),
+            (Value::Str(s), ValueKind::Bool) => {
+                parse_bool(&s)
+                    .map(Value::Bool)
+                    .ok_or_else(|| ValueError::CoercionFailed {
+                        from,
+                        to,
+                        detail: format!("{s:?} is not a boolean literal"),
+                    })
+            }
 
             // --- to Int.
             (Value::Bool(b), ValueKind::Int) => Ok(Value::Int(i64::from(b))),
@@ -163,22 +165,24 @@ impl Value {
             }
 
             // --- to ObjectRef: parse the display / byte forms back.
-            (Value::Str(s), ValueKind::ObjectRef) => s
-                .parse()
-                .map(Value::ObjectRef)
-                .map_err(|_| ValueError::CoercionFailed {
-                    from,
-                    to,
-                    detail: format!("{s:?} is not an object id"),
-                }),
-            (Value::Bytes(b), ValueKind::ObjectRef) => {
-                let raw: [u8; 16] = b.as_slice().try_into().map_err(|_| {
-                    ValueError::CoercionFailed {
+            (Value::Str(s), ValueKind::ObjectRef) => {
+                s.parse()
+                    .map(Value::ObjectRef)
+                    .map_err(|_| ValueError::CoercionFailed {
                         from,
                         to,
-                        detail: format!("object id needs 16 bytes, got {}", b.len()),
-                    }
-                })?;
+                        detail: format!("{s:?} is not an object id"),
+                    })
+            }
+            (Value::Bytes(b), ValueKind::ObjectRef) => {
+                let raw: [u8; 16] =
+                    b.as_slice()
+                        .try_into()
+                        .map_err(|_| ValueError::CoercionFailed {
+                            from,
+                            to,
+                            detail: format!("object id needs 16 bytes, got {}", b.len()),
+                        })?;
                 Ok(Value::ObjectRef(crate::ObjectId::from_bytes(raw)))
             }
 
@@ -323,16 +327,31 @@ mod tests {
             Value::from(" off ").coerce(ValueKind::Bool).unwrap(),
             Value::Bool(false)
         );
-        assert_eq!(Value::Int(0).coerce(ValueKind::Bool).unwrap(), Value::Bool(false));
-        assert_eq!(Value::Null.coerce(ValueKind::Bool).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Value::Int(0).coerce(ValueKind::Bool).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Value::Null.coerce(ValueKind::Bool).unwrap(),
+            Value::Bool(false)
+        );
         assert!(Value::from("maybe").coerce(ValueKind::Bool).is_err());
     }
 
     #[test]
     fn numeric_coercions() {
-        assert_eq!(Value::Bool(true).coerce(ValueKind::Int).unwrap(), Value::Int(1));
-        assert_eq!(Value::Int(2).coerce(ValueKind::Float).unwrap(), Value::Float(2.0));
-        assert_eq!(Value::Float(3.0).coerce(ValueKind::Int).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Bool(true).coerce(ValueKind::Int).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            Value::Int(2).coerce(ValueKind::Float).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            Value::Float(3.0).coerce(ValueKind::Int).unwrap(),
+            Value::Int(3)
+        );
         assert!(Value::Float(3.5).coerce(ValueKind::Int).is_err());
         assert!(Value::Float(f64::NAN).coerce(ValueKind::Int).is_err());
         assert!(Value::Float(1e300).coerce(ValueKind::Int).is_err());
@@ -416,7 +435,9 @@ mod tests {
             })
         );
         assert!(Value::Null.coerce(ValueKind::Bytes).is_err());
-        assert!(Value::map::<String, _>([]).coerce(ValueKind::Float).is_err());
+        assert!(Value::map::<String, _>([])
+            .coerce(ValueKind::Float)
+            .is_err());
     }
 
     #[test]

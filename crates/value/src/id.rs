@@ -27,8 +27,17 @@ use crate::error::ValueError;
 /// Newtype over `u64` so node ids cannot be confused with sequence numbers
 /// or arbitrary integers.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-    serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct NodeId(pub u64);
 
@@ -59,8 +68,7 @@ impl From<u64> for NodeId {
 /// assert_eq!(a.node(), NodeId(1));
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-    serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct ObjectId {
     node: NodeId,
@@ -118,7 +126,11 @@ impl ObjectId {
 
 impl fmt::Display for ObjectId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:016x}-{:08x}-{:08x}", self.node.0, self.seq, self.entropy)
+        write!(
+            f,
+            "{:016x}-{:08x}-{:08x}",
+            self.node.0, self.seq, self.entropy
+        )
     }
 }
 

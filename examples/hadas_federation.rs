@@ -83,10 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The hosting site cannot mutate its guest; the origin APO can.
     let (spoke, amb) = ambassadors[0];
     let hostile_host = fed.runtime_mut(spoke)?.ids_mut().next_id();
-    let result = fed
-        .runtime_mut(spoke)?
-        .invoke(hostile_host, amb, "deleteMethod", &[Value::from("count")]);
-    println!("  host tries deleteMethod on guest -> {}", result.unwrap_err());
+    let result =
+        fed.runtime_mut(spoke)?
+            .invoke(hostile_host, amb, "deleteMethod", &[Value::from("count")]);
+    println!(
+        "  host tries deleteMethod on guest -> {}",
+        result.unwrap_err()
+    );
 
     Ok(())
 }

@@ -12,7 +12,9 @@
 //!
 //! Run with: `cargo run --example interface_adaptation`
 
-use mrom::core::{invoke, Acl, DataItem, Method, MethodBody, MromObject, NoWorld, ObjectBuilder, Runtime};
+use mrom::core::{
+    invoke, Acl, DataItem, Method, MethodBody, MromObject, NoWorld, ObjectBuilder, Runtime,
+};
 use mrom::value::{NodeId, Value};
 
 /// Builds one of the three host environments, each publishing a different
@@ -104,7 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             make_host(3, "run_batch", "batch-map"),
             "run_batch",
-            Value::map([("batch", Value::list([Value::from("a b c"), Value::from("d")]))]),
+            Value::map([(
+                "batch",
+                Value::list([Value::from("a b c"), Value::from("d")]),
+            )]),
         ),
     ];
 

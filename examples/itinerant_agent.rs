@@ -100,7 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The travel loop: ask the agent where it wants to go, dispatch it.
     let mut here = home;
     loop {
-        let next = fed.runtime_mut(here)?.invoke_as_system(agent_id, "next_stop", &[])?;
+        let next = fed
+            .runtime_mut(here)?
+            .invoke_as_system(agent_id, "next_stop", &[])?;
         let Some(next_site) = next.as_int() else {
             break;
         };
@@ -119,7 +121,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Back home: the report carries everything it gathered on the way.
-    let report = fed.runtime_mut(here)?.invoke_as_system(agent_id, "report", &[])?;
+    let report = fed
+        .runtime_mut(here)?
+        .invoke_as_system(agent_id, "report", &[])?;
     println!("\nagent is at {here}; final report:\n{report}");
 
     let m = report.as_map().expect("report is a map");

@@ -40,8 +40,10 @@ fn formatting_service() -> ClassSpec {
         )
         .fixed_method(
             "set_style",
-            Method::public(MethodBody::script("param s; self.set(\"style\", s); return s;")
-                .expect("script parses")),
+            Method::public(
+                MethodBody::script("param s; self.set(\"style\", s); return s;")
+                    .expect("script parses"),
+            ),
         )
 }
 
@@ -89,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let relay_time = fed.now().saturating_sub(t0);
     let relay_msgs = fed.net_stats().messages_sent - msgs0;
-    println!("  {} calls took {relay_time} and {relay_msgs} messages", names.len());
+    println!(
+        "  {} calls took {relay_time} and {relay_msgs} messages",
+        names.len()
+    );
 
     println!("\n== the deployment re-decides the split at runtime ==");
     let moved = fed.migrate_method(server, "formatter", "format_name")?;
@@ -110,7 +115,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let local_time = fed.now().saturating_sub(t1);
     let local_msgs = fed.net_stats().messages_sent - msgs1;
-    println!("  {} calls took {local_time} and {local_msgs} messages", names.len());
+    println!(
+        "  {} calls took {local_time} and {local_msgs} messages",
+        names.len()
+    );
 
     println!(
         "\nsplit decision moved {relay_msgs} messages off the WAN; \

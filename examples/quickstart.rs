@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use mrom::core::{
-    invoke, DataItem, Method, MethodBody, MromObject, NoWorld, ObjectBuilder,
-};
+use mrom::core::{invoke, DataItem, Method, MethodBody, MromObject, NoWorld, ObjectBuilder};
 use mrom::value::{IdGenerator, NodeId, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,12 +29,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== self-representation ==");
     // A host that has never seen this object asks it about itself.
-    let description = invoke(&mut obj, &mut world, visitor, "getMethod", &[Value::from("greet")])?;
+    let description = invoke(
+        &mut obj,
+        &mut world,
+        visitor,
+        "getMethod",
+        &[Value::from("greet")],
+    )?;
     println!("visitor asks getMethod(\"greet\") -> {description}");
     println!("describe (visitor view): {}", obj.describe(visitor));
 
     println!("\n== invocation ==");
-    let out = invoke(&mut obj, &mut world, visitor, "greet", &[Value::from("world")])?;
+    let out = invoke(
+        &mut obj,
+        &mut world,
+        visitor,
+        "greet",
+        &[Value::from("world")],
+    )?;
     println!("greet(\"world\") -> {out}");
 
     println!("\n== weak typing ==");
@@ -59,13 +69,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mood",
         Method::public(MethodBody::script("return \"cheerful\";")?),
     )?;
-    println!("mood() -> {}", invoke(&mut obj, &mut world, visitor, "mood", &[])?);
+    println!(
+        "mood() -> {}",
+        invoke(&mut obj, &mut world, visitor, "mood", &[])?
+    );
     obj.set_method(
         me,
         "mood",
         &Value::map([("body", Value::from("return \"grumpy\";"))]),
     )?;
-    println!("after setMethod: mood() -> {}", invoke(&mut obj, &mut world, visitor, "mood", &[])?);
+    println!(
+        "after setMethod: mood() -> {}",
+        invoke(&mut obj, &mut world, visitor, "mood", &[])?
+    );
 
     println!("\n== wrapping: pre- and post-procedures ==");
     obj.add_method(
@@ -81,9 +97,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "divide(10, 3) -> {}",
-        invoke(&mut obj, &mut world, me, "divide", &[Value::Int(10), Value::Int(3)])?
+        invoke(
+            &mut obj,
+            &mut world,
+            me,
+            "divide",
+            &[Value::Int(10), Value::Int(3)]
+        )?
     );
-    let veto = invoke(&mut obj, &mut world, me, "divide", &[Value::Int(10), Value::Int(0)]);
+    let veto = invoke(
+        &mut obj,
+        &mut world,
+        me,
+        "divide",
+        &[Value::Int(10), Value::Int(0)],
+    );
     println!("divide(10, 0) -> {}", veto.unwrap_err());
 
     println!("\n== security == encapsulation ==");
@@ -101,14 +129,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let other = ids.next_id();
     println!(
         "item names visible to a third party: {:?}",
-        obj.list_data(other).iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+        obj.list_data(other)
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
     );
 
     println!("\n== self-contained migration ==");
     let image = obj.migration_image(me)?;
     println!("object serialized itself into {} bytes", image.len());
     let mut clone = MromObject::from_image(&image)?;
-    let out = invoke(&mut clone, &mut world, visitor, "greet", &[Value::from("new host")])?;
+    let out = invoke(
+        &mut clone,
+        &mut world,
+        visitor,
+        "greet",
+        &[Value::from("new host")],
+    )?;
     println!("unpacked copy still works: {out}");
     assert_eq!(clone, obj);
     println!("round trip is exact");

@@ -15,16 +15,22 @@ fn agent_class() -> ClassSpec {
         .fixed_data("name", DataItem::public(Value::from("scout")))
         .fixed_method(
             "report",
-            Method::public(MethodBody::script(
-                "return self.get(\"name\") + \" at hop \" + str(self.get(\"hops\"));",
-            ).unwrap()),
+            Method::public(
+                MethodBody::script(
+                    "return self.get(\"name\") + \" at hop \" + str(self.get(\"hops\"));",
+                )
+                .unwrap(),
+            ),
         )
         .ext_data("hops", DataItem::public(Value::Int(0)))
         .ext_method(
             "hop",
-            Method::public(MethodBody::script(
-                "self.set(\"hops\", self.get(\"hops\") + 1); return self.get(\"hops\");",
-            ).unwrap()),
+            Method::public(
+                MethodBody::script(
+                    "self.set(\"hops\", self.get(\"hops\") + 1); return self.get(\"hops\");",
+                )
+                .unwrap(),
+            ),
         )
 }
 
@@ -34,9 +40,7 @@ fn agent_class() -> ClassSpec {
 fn agent_roams_three_nodes_via_the_network() {
     let nodes = [NodeId(1), NodeId(2), NodeId(3)];
     let mut runtimes: Vec<Runtime> = nodes.iter().map(|&n| Runtime::new(n)).collect();
-    let mut net = SimNet::new(
-        NetworkConfig::new(99).with_default_link(LinkConfig::lan()),
-    );
+    let mut net = SimNet::new(NetworkConfig::new(99).with_default_link(LinkConfig::lan()));
     for &n in &nodes {
         net.add_node(n).unwrap();
     }
@@ -86,8 +90,14 @@ fn agent_roams_three_nodes_via_the_network() {
     let obj = final_rt.object(agent_id).unwrap();
     // Self-added items default to origin-private: readable by the agent
     // itself, invisible to the host.
-    assert_eq!(obj.read_data(agent_id, "souvenir_1").unwrap(), Value::Int(1));
-    assert_eq!(obj.read_data(agent_id, "souvenir_2").unwrap(), Value::Int(2));
+    assert_eq!(
+        obj.read_data(agent_id, "souvenir_1").unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        obj.read_data(agent_id, "souvenir_2").unwrap(),
+        Value::Int(2)
+    );
     assert!(obj.read_data(ObjectId::SYSTEM, "souvenir_1").is_err());
     // Exactly the image bytes crossed the network.
     assert_eq!(net.stats().messages_delivered, 2);
@@ -137,8 +147,8 @@ fn file_persistence_survives_restart_and_corruption() {
     let mut raw = store.get(&key).unwrap().unwrap();
     raw[20] ^= 0xFF;
     store.put(&key, &raw).unwrap(); // write damaged bytes back
-    // Damage the *decoded image*, not the record: the record CRC is now
-    // valid for the damaged bytes, so corruption is caught at image level.
+                                    // Damage the *decoded image*, not the record: the record CRC is now
+                                    // valid for the damaged bytes, so corruption is caught at image level.
     let depot = Depot::new(store);
     let (objs, failed) = depot.restore_all();
     assert_eq!(objs.len() + failed.len(), 2);
@@ -159,7 +169,8 @@ fn hostile_host_cannot_break_a_visiting_object() {
 
     let mut obj = agent_class().instantiate(home.ids_mut());
     let me = obj.id();
-    obj.add_data(me, "secret_plan", Value::from("classified")).unwrap();
+    obj.add_data(me, "secret_plan", Value::from("classified"))
+        .unwrap();
     // Lock meta-mutation completely before travelling.
     obj.set_meta_acl(me, Acl::Nobody).unwrap();
     let image = obj.migration_image(me); // Nobody blocks even the origin now
@@ -168,7 +179,8 @@ fn hostile_host_cannot_break_a_visiting_object() {
     // Rebuild with a travel-safe policy: meta stays origin-only.
     let mut obj = agent_class().instantiate(home.ids_mut());
     let me = obj.id();
-    obj.add_data(me, "secret_plan", Value::from("classified")).unwrap();
+    obj.add_data(me, "secret_plan", Value::from("classified"))
+        .unwrap();
     let image = obj.migration_image(me).unwrap();
 
     // The hostile node unpacks the visitor.
@@ -178,7 +190,9 @@ fn hostile_host_cannot_break_a_visiting_object() {
 
     // Public interface works.
     assert_eq!(
-        hostile.invoke(host_admin, visitor_id, "report", &[]).unwrap(),
+        hostile
+            .invoke(host_admin, visitor_id, "report", &[])
+            .unwrap(),
         Value::from("scout at hop 0")
     );
     // Secrets stay secret; structure stays intact; the body stays hidden.
@@ -252,8 +266,10 @@ fn resource_bombs_are_contained() {
             "{method} must die quickly, took {:?}",
             before.elapsed()
         );
-        assert!(matches!(err, MromError::Script(_) | MromError::CallDepthExceeded(_)),
-            "{method}: {err}");
+        assert!(
+            matches!(err, MromError::Script(_) | MromError::CallDepthExceeded(_)),
+            "{method}: {err}"
+        );
     }
     // The host is intact and the object still answers.
     assert_eq!(rt.object_count(), 1);
@@ -272,14 +288,17 @@ fn towered_object_survives_full_round_trip() {
     obj.add_method(
         me,
         "audit",
-        Method::public(MethodBody::script(
-            r#"
+        Method::public(
+            MethodBody::script(
+                r#"
             param m;
             param a;
             self.set("audit_count", self.get("audit_count") + 1);
             return self.invoke(m, a);
             "#,
-        ).unwrap()),
+            )
+            .unwrap(),
+        ),
     )
     .unwrap();
     obj.install_meta_invoke(me, "audit").unwrap();
@@ -294,14 +313,20 @@ fn towered_object_survives_full_round_trip() {
     let mut depot = Depot::new(MemStore::new());
     depot.save(&obj).unwrap();
     let mut back = depot.restore(me).unwrap();
-    assert_eq!(back.tower(), ["audit".to_owned()]);
+    assert_eq!(back.tower(), [std::sync::Arc::<str>::from("audit")]);
     invoke(&mut back, &mut world, caller, "hop", &[]).unwrap();
     assert_eq!(back.read_data(me, "audit_count").unwrap(), Value::Int(3));
     assert_eq!(
-        invoke(&mut back, &mut world, caller, "getDataItem", &[Value::from("hops")])
-            .unwrap()
-            .as_map()
-            .unwrap()["value"],
+        invoke(
+            &mut back,
+            &mut world,
+            caller,
+            "getDataItem",
+            &[Value::from("hops")]
+        )
+        .unwrap()
+        .as_map()
+        .unwrap()["value"],
         Value::Int(2)
     );
     // getDataItem itself went through the tower.

@@ -57,7 +57,11 @@ fn mixed_splits_route_correctly_per_method() {
         .unwrap();
     fed.call_through_ambassador(spoke, client, amb, "salary_of", &[Value::from("dave")])
         .unwrap();
-    assert_eq!(fed.net_stats().messages_sent, base, "local methods cost no traffic");
+    assert_eq!(
+        fed.net_stats().messages_sent,
+        base,
+        "local methods cost no traffic"
+    );
     fed.call_through_ambassador(spoke, client, amb, "department_total", &[Value::from("db")])
         .unwrap();
     assert_eq!(
@@ -108,8 +112,7 @@ fn maintenance_covers_relayed_methods_during_partition() {
 #[test]
 fn lossy_network_eventually_times_out_but_state_stays_consistent() {
     // 100% loss: every synchronous operation times out cleanly.
-    let cfg = NetworkConfig::new(4)
-        .with_default_link(LinkConfig::lan().loss_probability(1.0));
+    let cfg = NetworkConfig::new(4).with_default_link(LinkConfig::lan().loss_probability(1.0));
     let mut fed = Federation::new(cfg);
     fed.add_site(NodeId(1)).unwrap();
     fed.add_site(NodeId(2)).unwrap();
@@ -210,10 +213,22 @@ fn two_apos_coordinate_through_one_site() {
 
     // The coordination: gross from one service, net from the other.
     let gross = fed
-        .call_through_ambassador(client_site, client, db_amb, "salary_of", &[Value::from("carol")])
+        .call_through_ambassador(
+            client_site,
+            client,
+            db_amb,
+            "salary_of",
+            &[Value::from("carol")],
+        )
         .unwrap();
     let net = fed
-        .call_through_ambassador(client_site, client, tax_amb, "net_of", std::slice::from_ref(&gross))
+        .call_through_ambassador(
+            client_site,
+            client,
+            tax_amb,
+            "net_of",
+            std::slice::from_ref(&gross),
+        )
         .unwrap();
     assert_eq!(gross, Value::Int(130));
     assert_eq!(net, Value::Int(98)); // 130 - 32 (integer division of 130*25/100)
@@ -260,9 +275,7 @@ fn interop_program_coordinates_guest_ambassadors() {
     let bonus = mrom::core::ClassSpec::new("bonus")
         .fixed_method(
             "bonus_for",
-            Method::public(
-                MethodBody::script("param salary; return salary / 10;").unwrap(),
-            ),
+            Method::public(MethodBody::script("param salary; return salary / 10;").unwrap()),
         )
         .instantiate(fed.runtime_mut(hub_b).unwrap().ids_mut());
     fed.integrate_apo(
@@ -418,7 +431,7 @@ fn hostile_wire_garbage_does_not_wedge_the_engine() {
     for junk in [
         vec![],
         vec![0xde, 0xad, 0xbe, 0xef],
-        b"MR\x01\x7e".to_vec(),                   // framed, unknown tag
+        b"MR\x01\x7e".to_vec(),                    // framed, unknown tag
         mrom::value::wire::encode(&Value::Int(5)), // valid value, not a protocol message
     ] {
         fed.inject_raw(spoke, hub, junk.clone()).unwrap();
@@ -430,7 +443,8 @@ fn hostile_wire_garbage_does_not_wedge_the_engine() {
     fed.pump_all();
     let client = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
     assert_eq!(
-        fed.call_through_ambassador(spoke, client, amb, "count", &[]).unwrap(),
+        fed.call_through_ambassador(spoke, client, amb, "count", &[])
+            .unwrap(),
         Value::Int(4)
     );
 }

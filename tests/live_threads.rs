@@ -66,18 +66,16 @@ fn object_ping_pongs_between_threads() {
         let d = h1.recv_timeout(Duration::from_secs(5)).expect("final leg");
         let obj = MromObject::from_image(&d.payload).unwrap();
         rt.adopt(obj).unwrap();
-        let log = rt
-            .object(obj_id)
-            .unwrap()
-            .read_data(obj_id, "log")
-            .unwrap();
+        let log = rt.object(obj_id).unwrap().read_data(obj_id, "log").unwrap();
         (obj_id, log)
     });
 
     let t2 = thread::spawn(move || {
         let mut rt = Runtime::new(NodeId(2));
         for _ in 0..ROUNDS {
-            let d = h2.recv_timeout(Duration::from_secs(5)).expect("inbound leg");
+            let d = h2
+                .recv_timeout(Duration::from_secs(5))
+                .expect("inbound leg");
             let obj = MromObject::from_image(&d.payload).unwrap();
             let obj_id = obj.id();
             rt.adopt(obj).unwrap();
@@ -113,7 +111,9 @@ fn fan_out_migration_under_parallel_load() {
                 let mut rt = Runtime::new(h.node());
                 let mut done = 0usize;
                 while done < AGENTS_PER_CONSUMER {
-                    let d = h.recv_timeout(Duration::from_secs(10)).expect("agent arrives");
+                    let d = h
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("agent arrives");
                     let obj = MromObject::from_image(&d.payload).unwrap();
                     let id = obj.id();
                     rt.adopt(obj).unwrap();
@@ -144,6 +144,9 @@ fn fan_out_migration_under_parallel_load() {
     let total: usize = consumers.into_iter().map(|t| t.join().unwrap()).sum();
     assert_eq!(total, CONSUMERS as usize * AGENTS_PER_CONSUMER);
     let stats = producer.stats_snapshot();
-    assert_eq!(stats.messages_delivered, CONSUMERS * AGENTS_PER_CONSUMER as u64);
+    assert_eq!(
+        stats.messages_delivered,
+        CONSUMERS * AGENTS_PER_CONSUMER as u64
+    );
     assert_eq!(stats.messages_dropped, 0);
 }

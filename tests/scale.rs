@@ -27,7 +27,8 @@ fn ten_thousand_objects_on_one_node() {
     // Sampled invocations stay correct across the population.
     for (i, &id) in ids.iter().enumerate().step_by(997) {
         assert_eq!(
-            rt.invoke_as_system(id, "tick", &[Value::Int(i as i64)]).unwrap(),
+            rt.invoke_as_system(id, "tick", &[Value::Int(i as i64)])
+                .unwrap(),
             Value::Int(i as i64 + 1)
         );
     }
@@ -56,7 +57,8 @@ fn thirty_site_federation_brings_up_and_serves() {
     for &(spoke, amb) in &ambs {
         let client = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
         assert_eq!(
-            fed.call_through_ambassador(spoke, client, amb, "count", &[]).unwrap(),
+            fed.call_through_ambassador(spoke, client, amb, "count", &[])
+                .unwrap(),
             Value::Int(4)
         );
     }
@@ -66,7 +68,10 @@ fn thirty_site_federation_brings_up_and_serves() {
         .push_update(
             hub,
             "employee-db",
-            &[mrom::hadas::UpdateOp::AddData("generation".into(), Value::Int(2))],
+            &[mrom::hadas::UpdateOp::AddData(
+                "generation".into(),
+                Value::Int(2),
+            )],
         )
         .unwrap();
     assert_eq!(updated, 29);
@@ -88,7 +93,11 @@ fn big_object_survives_migration_and_persistence() {
         ))
         .unwrap();
     let id = rt.create("warehouse").unwrap();
-    let big_list = Value::List((0..10_000).map(|i| Value::Str(format!("item-{i:06}-{}", "x".repeat(90)))).collect());
+    let big_list = Value::List(
+        (0..10_000)
+            .map(|i| Value::Str(format!("item-{i:06}-{}", "x".repeat(90))))
+            .collect(),
+    );
     rt.object_mut(id)
         .unwrap()
         .add_data(id, "inventory", big_list)
