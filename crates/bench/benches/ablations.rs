@@ -28,7 +28,7 @@ fn bench_ablations(c: &mut Criterion) {
                 let mut ids = bench_ids();
                 let obj = counter_among(&mut ids, n, ext);
                 group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                    b.iter(|| black_box(obj.find_method(black_box("m_add")).is_some()))
+                    b.iter(|| black_box(obj.find_method(black_box("m_add")).is_some()));
                 });
             }
         }
@@ -43,15 +43,15 @@ fn bench_ablations(c: &mut Criterion) {
         let (method, _) = obj.find_method("gated").unwrap();
         let acl = method.invoke_acl().clone();
         group.bench_function("list_128_hit", |b| {
-            b.iter(|| black_box(obj.acl_allows(&acl, black_box(admitted))))
+            b.iter(|| black_box(obj.acl_allows(&acl, black_box(admitted))));
         });
         let public = Acl::Public;
         group.bench_function("public", |b| {
-            b.iter(|| black_box(obj.acl_allows(&public, black_box(admitted))))
+            b.iter(|| black_box(obj.acl_allows(&public, black_box(admitted))));
         });
         let origin = Acl::Origin;
         group.bench_function("origin_miss", |b| {
-            b.iter(|| black_box(obj.acl_allows(&origin, black_box(admitted))))
+            b.iter(|| black_box(obj.acl_allows(&origin, black_box(admitted))));
         });
         group.finish();
     }
@@ -64,7 +64,7 @@ fn bench_ablations(c: &mut Criterion) {
         let obj = mrom_bench::script_counter(&mut ids);
         let (method, _) = obj.find_method("bump").unwrap();
         group.bench_function("clone_script_method", |b| {
-            b.iter(|| black_box(method.clone()))
+            b.iter(|| black_box(method.clone()));
         });
         group.finish();
     }
@@ -78,10 +78,10 @@ fn bench_ablations(c: &mut Criterion) {
         let encoded = wire::encode(&image_value);
         group.throughput(Throughput::Bytes(encoded.len() as u64));
         group.bench_function("encode", |b| {
-            b.iter(|| black_box(wire::encode(black_box(&image_value))))
+            b.iter(|| black_box(wire::encode(black_box(&image_value))));
         });
         group.bench_function("decode", |b| {
-            b.iter(|| black_box(wire::decode(black_box(&encoded)).unwrap()))
+            b.iter(|| black_box(wire::decode(black_box(&encoded)).unwrap()));
         });
         group.finish();
     }
@@ -97,11 +97,11 @@ fn bench_ablations(c: &mut Criterion) {
                 let mut host = NullHost;
                 let out = Evaluator::new(&mut host).run(&program, &[]).unwrap();
                 black_box(out)
-            })
+            });
         });
         let parse_src = "param a; param b; if (a > b) { return a - b; } return b - a;";
         group.bench_function("parse_small_method", |b| {
-            b.iter(|| black_box(Program::parse(black_box(parse_src)).unwrap()))
+            b.iter(|| black_box(Program::parse(black_box(parse_src)).unwrap()));
         });
         group.finish();
     }

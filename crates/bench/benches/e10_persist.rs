@@ -21,12 +21,12 @@ fn bench_persist(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("mem_save", items), &items, |b, _| {
             let mut depot = Depot::new(MemStore::new());
-            b.iter(|| depot.save(black_box(&obj)).unwrap())
+            b.iter(|| depot.save(black_box(&obj)).unwrap());
         });
         let mut depot = Depot::new(MemStore::new());
         depot.save(&obj).unwrap();
         group.bench_with_input(BenchmarkId::new("mem_restore", items), &items, |b, _| {
-            b.iter(|| black_box(depot.restore(id).unwrap()))
+            b.iter(|| black_box(depot.restore(id).unwrap()));
         });
     }
 
@@ -40,12 +40,12 @@ fn bench_persist(c: &mut Criterion) {
 
     group.bench_function("file_save", |b| {
         let mut depot = Depot::new(FileStore::open(dir.join("save.log")).unwrap());
-        b.iter(|| depot.save(black_box(&obj)).unwrap())
+        b.iter(|| depot.save(black_box(&obj)).unwrap());
     });
     let mut depot = Depot::new(FileStore::open(dir.join("restore.log")).unwrap());
     depot.save(&obj).unwrap();
     group.bench_function("file_restore", |b| {
-        b.iter(|| black_box(depot.restore(id).unwrap()))
+        b.iter(|| black_box(depot.restore(id).unwrap()));
     });
 
     // Recovery: reopen a log holding 100 live objects.
@@ -64,7 +64,7 @@ fn bench_persist(c: &mut Criterion) {
             assert_eq!(objs.len(), 100);
             assert!(failed.is_empty());
             black_box(objs)
-        })
+        });
     });
 
     // Compaction of a churned log (90% garbage).
@@ -87,7 +87,7 @@ fn bench_persist(c: &mut Criterion) {
                 store.compact().unwrap();
                 black_box(store.log_bytes())
             },
-        )
+        );
     });
     group.finish();
     let _ = std::fs::remove_dir_all(&dir);

@@ -33,7 +33,7 @@ fn bench_dispatch_cache(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 black_box(invoke(&mut obj, &mut world, caller, black_box("m_add"), &args).unwrap())
-            })
+            });
         });
     }
 
@@ -56,7 +56,7 @@ fn bench_dispatch_cache(c: &mut Criterion) {
             b.iter(|| {
                 obj.set_method(me, "sacrifice", &poke).unwrap();
                 black_box(invoke(&mut obj, &mut world, caller, black_box("m_add"), &args).unwrap())
-            })
+            });
         });
     }
 
@@ -74,7 +74,7 @@ fn bench_dispatch_cache(c: &mut Criterion) {
                 let out = black_box(invoke(&mut obj, &mut world, me, "transient", &[]).unwrap());
                 obj.delete_method(me, "transient").unwrap();
                 out
-            })
+            });
         });
     }
 

@@ -1,0 +1,100 @@
+//! E12 — the price of admission (PR 2).
+//!
+//! Static admission analysis runs on every migration image a strict host
+//! accepts, so its cost is part of the migration latency budget. Rows:
+//! the analyzer alone on small and large method programs, whole-object
+//! analysis as the method count grows, and the end-to-end `from_image`
+//! path under each [`AdmissionPolicy`] — `Off` is the PR-1 baseline,
+//! `Strict` is what a wary host actually pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::bench_ids;
+use mrom_core::{AdmissionPolicy, DataItem, Method, MethodBody, MromObject, ObjectBuilder};
+use mrom_script::analyze::analyze_program;
+use mrom_script::Program;
+use mrom_value::Value;
+
+const SMALL_SRC: &str = "param a; param b; let t = self.get(\"count\"); \
+                         self.set(\"count\", t + a + b); return t;";
+
+/// A loop-free body with many statements and host calls, shaped like a
+/// real installation script rather than a synthetic worst case.
+fn large_src() -> String {
+    let mut src = String::from("param seed; let acc = seed;\n");
+    for i in 0..120 {
+        src.push_str(&format!(
+            "let v{i} = acc + {i}; acc = v{i} * 2 - acc; \
+             self.set(\"slot{}\", acc);\n",
+            i % 8
+        ));
+    }
+    src.push_str("return acc;");
+    src
+}
+
+/// An object with `n` script methods over shared data, as a migration
+/// candidate would carry.
+fn scripted_object(n: usize) -> MromObject {
+    let mut ids = bench_ids();
+    let mut builder = ObjectBuilder::new(ids.next_id()).class("migrant");
+    for s in 0..8 {
+        builder = builder.fixed_data(&format!("slot{s}"), DataItem::public(Value::Int(0)));
+    }
+    builder = builder.fixed_data("count", DataItem::public(Value::Int(0)));
+    for m in 0..n {
+        builder = builder.fixed_method(
+            &format!("m{m}"),
+            Method::public(MethodBody::script(SMALL_SRC).expect("parse")),
+        );
+    }
+    builder.build()
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_admission");
+
+    // Analyzer alone, per program.
+    let small = Program::parse(SMALL_SRC).expect("parse");
+    group.bench_function("analyze_small_program", |b| {
+        b.iter(|| black_box(analyze_program(black_box(&small))));
+    });
+    let large = Program::parse(&large_src()).expect("parse");
+    group.bench_function("analyze_large_program", |b| {
+        b.iter(|| black_box(analyze_program(black_box(&large))));
+    });
+
+    // Whole-object analysis (scope + manifest + cross-check + budgets).
+    for n in [1usize, 8, 32] {
+        let obj = scripted_object(n);
+        group.bench_with_input(BenchmarkId::new("object_analyze", n), &n, |b, _| {
+            b.iter(|| black_box(obj.analyze()));
+        });
+    }
+
+    // End-to-end admission at the migration boundary.
+    let obj = scripted_object(8);
+    let image = obj.migration_image(obj.id()).expect("image");
+    for (label, policy) in [
+        ("off", AdmissionPolicy::Off),
+        ("warn", AdmissionPolicy::Warn),
+        ("strict", AdmissionPolicy::Strict),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("from_image", label),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(
+                        MromObject::from_image_with_policy(black_box(&image), policy).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

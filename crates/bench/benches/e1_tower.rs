@@ -44,7 +44,7 @@ fn bench_tower(c: &mut Criterion) {
             b.iter(|| {
                 let out = invoke(&mut obj, &mut world, caller, black_box("add"), &args).unwrap();
                 black_box(out)
-            })
+            });
         });
     }
     // The reflexive path: invoke through the invoke meta-method.
@@ -58,7 +58,7 @@ fn bench_tower(c: &mut Criterion) {
         b.iter(|| {
             let out = invoke(&mut obj, &mut world, caller, "invoke", &meta_args).unwrap();
             black_box(out)
-        })
+        });
     });
     group.finish();
 }

@@ -25,10 +25,10 @@ fn bench_lookup(c: &mut Criterion) {
     // Baseline: the compiler resolved everything.
     let mut statik = StaticCounter::new();
     group.bench_function("static_direct_call", |b| {
-        b.iter(|| black_box(statik.add(black_box(20), black_box(22))))
+        b.iter(|| black_box(statik.add(black_box(20), black_box(22))));
     });
     group.bench_function("static_uniform_entry", |b| {
-        b.iter(|| black_box(statik.call(black_box("add"), &args).unwrap()))
+        b.iter(|| black_box(statik.call(black_box("add"), &args).unwrap()));
     });
 
     // MROM native-bodied invocation across container sizes and sections.
@@ -43,7 +43,7 @@ fn bench_lookup(c: &mut Criterion) {
                     black_box(
                         invoke(&mut obj, &mut world, caller, black_box("m_add"), &args).unwrap(),
                     )
-                })
+                });
             });
         }
     }
@@ -54,7 +54,7 @@ fn bench_lookup(c: &mut Criterion) {
     let caller = ids.next_id();
     let mut world = NoWorld;
     group.bench_function("mrom_script_body", |b| {
-        b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "add", &args).unwrap()))
+        b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "add", &args).unwrap()));
     });
     group.finish();
 }

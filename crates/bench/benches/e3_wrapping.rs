@@ -53,7 +53,7 @@ fn bench_wrapping(c: &mut Criterion) {
         let caller = ids.next_id();
         let mut world = NoWorld;
         group.bench_function(label, |b| {
-            b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &args).unwrap()))
+            b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &args).unwrap()));
         });
     }
 
@@ -67,7 +67,7 @@ fn bench_wrapping(c: &mut Criterion) {
     let caller = ids.next_id();
     let mut world = NoWorld;
     group.bench_function("vetoing_pre", |b| {
-        b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &args).unwrap_err()))
+        b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &args).unwrap_err()));
     });
     group.finish();
 }

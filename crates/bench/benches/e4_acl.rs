@@ -28,7 +28,7 @@ fn bench_acl(c: &mut Criterion) {
         };
         let mut world = NoWorld;
         group.bench_function(format!("granted_{label}"), |b| {
-            b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &[]).unwrap()))
+            b.iter(|| black_box(invoke(&mut obj, &mut world, caller, "m", &[]).unwrap()));
         });
     }
 
@@ -38,10 +38,10 @@ fn bench_acl(c: &mut Criterion) {
         let (mut obj, admitted, rejected) = acl_gated(&mut ids, size);
         let mut world = NoWorld;
         group.bench_with_input(BenchmarkId::new("granted_list", size), &size, |b, _| {
-            b.iter(|| black_box(invoke(&mut obj, &mut world, admitted, "gated", &[]).unwrap()))
+            b.iter(|| black_box(invoke(&mut obj, &mut world, admitted, "gated", &[]).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("denied_list", size), &size, |b, _| {
-            b.iter(|| black_box(invoke(&mut obj, &mut world, rejected, "gated", &[]).unwrap_err()))
+            b.iter(|| black_box(invoke(&mut obj, &mut world, rejected, "gated", &[]).unwrap_err()));
         });
     }
     group.finish();

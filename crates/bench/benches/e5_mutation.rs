@@ -26,7 +26,7 @@ fn bench_mutation(c: &mut Criterion) {
                 b.iter(|| {
                     obj.add_data(me, "probe", Value::Int(1)).unwrap();
                     obj.delete_data(me, "probe").unwrap();
-                })
+                });
             },
         );
         let method = Method::public(MethodBody::script("return 1;").unwrap());
@@ -37,7 +37,7 @@ fn bench_mutation(c: &mut Criterion) {
                 b.iter(|| {
                     obj.add_method(me, "probe_m", method.clone()).unwrap();
                     obj.delete_method(me, "probe_m").unwrap();
-                })
+                });
             },
         );
     }
@@ -55,7 +55,7 @@ fn bench_mutation(c: &mut Criterion) {
     .unwrap();
     let desc = Value::map([("body", Value::from("return 2;"))]);
     group.bench_function("set_method_body", |b| {
-        b.iter(|| obj.set_method(me, "volatile", black_box(&desc)).unwrap())
+        b.iter(|| obj.set_method(me, "volatile", black_box(&desc)).unwrap());
     });
 
     // Value writes: fixed vs extensible slots.
@@ -65,19 +65,19 @@ fn bench_mutation(c: &mut Criterion) {
     group.bench_function("write_fixed_value", |b| {
         b.iter(|| {
             obj.write_data(me, "count", black_box(Value::Int(5)))
-                .unwrap()
-        })
+                .unwrap();
+        });
     });
     group.bench_function("write_ext_value", |b| {
         b.iter(|| {
             obj.write_data(me, "ext_slot", black_box(Value::Int(5)))
-                .unwrap()
-        })
+                .unwrap();
+        });
     });
 
     // The guarded error path: attempting to delete fixed structure.
     group.bench_function("fixed_violation_error", |b| {
-        b.iter(|| black_box(obj.delete_data(me, "count").unwrap_err()))
+        b.iter(|| black_box(obj.delete_data(me, "count").unwrap_err()));
     });
     group.finish();
 }

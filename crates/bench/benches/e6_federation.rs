@@ -34,7 +34,7 @@ fn bench_federation(c: &mut Criterion) {
                 fed.link(NodeId(1), NodeId(2)).unwrap();
                 black_box(fed)
             },
-        )
+        );
     });
 
     for cargo_items in [0usize, 32, 256] {
@@ -63,7 +63,7 @@ fn bench_federation(c: &mut Criterion) {
                         let amb = fed.import_apo(NodeId(1), NodeId(2), "svc").unwrap();
                         black_box(amb)
                     },
-                )
+                );
             },
         );
     }
@@ -74,11 +74,11 @@ fn bench_federation(c: &mut Criterion) {
         let obj = cargo_object(&mut ids, items, 64);
         let me = obj.id();
         group.bench_with_input(BenchmarkId::new("image_encode", items), &items, |b, _| {
-            b.iter(|| black_box(obj.migration_image(me).unwrap()))
+            b.iter(|| black_box(obj.migration_image(me).unwrap()));
         });
         let image = obj.migration_image(me).unwrap();
         group.bench_with_input(BenchmarkId::new("image_decode", items), &items, |b, _| {
-            b.iter(|| black_box(MromObject::from_image(&image).unwrap()))
+            b.iter(|| black_box(MromObject::from_image(&image).unwrap()));
         });
     }
     group.finish();

@@ -47,7 +47,7 @@ fn bench_crossover(c: &mut Criterion) {
                     }
                     black_box(fed)
                 },
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("migrate_then_local", k), &k, |b, &k| {
             b.iter_with_setup(
@@ -77,7 +77,7 @@ fn bench_crossover(c: &mut Criterion) {
                     }
                     black_box(fed)
                 },
-            )
+            );
         });
     }
     group.finish();

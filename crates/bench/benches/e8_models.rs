@@ -25,14 +25,14 @@ fn bench_models(c: &mut Criterion) {
     // Static Rust.
     let statik = StaticCounter::new();
     group.bench_function("static", |b| {
-        b.iter(|| black_box(statik.add(black_box(20), black_box(22))))
+        b.iter(|| black_box(statik.add(black_box(20), black_box(22))));
     });
 
     // Java-style introspection: invoke by name.
     let class = counter_class();
     let mut obj = class.instantiate();
     group.bench_function("introspect_invoke", |b| {
-        b.iter(|| black_box(obj.invoke(black_box("add"), &args).unwrap()))
+        b.iter(|| black_box(obj.invoke(black_box("add"), &args).unwrap()));
     });
 
     // CORBA DII: repository lookup + request build + invoke, every call.
@@ -41,12 +41,12 @@ fn bench_models(c: &mut Criterion) {
         b.iter(|| {
             let req = Request::build(&repo, "Counter", black_box("add"), &args).unwrap();
             black_box(servant.invoke(&req).unwrap())
-        })
+        });
     });
     // DII with the request built once (the repeated-call pattern).
     let req = Request::build(&repo, "Counter", "add", &args).unwrap();
     group.bench_function("dii_prebuilt_invoke", |b| {
-        b.iter(|| black_box(servant.invoke(black_box(&req)).unwrap()))
+        b.iter(|| black_box(servant.invoke(black_box(&req)).unwrap()));
     });
 
     // DCOM QueryInterface: query + vtable call per call, and cached.
@@ -56,12 +56,12 @@ fn bench_models(c: &mut Criterion) {
             let iface = com.query_interface(black_box("ICounter")).unwrap();
             let slot = iface.slot_index("add").unwrap();
             black_box(com.call(&iface, slot, &args).unwrap())
-        })
+        });
     });
     let iface = com.query_interface("ICounter").unwrap();
     let slot = iface.slot_index("add").unwrap();
     group.bench_function("com_cached_call", |b| {
-        b.iter(|| black_box(com.call(&iface, black_box(slot), &args).unwrap()))
+        b.iter(|| black_box(com.call(&iface, black_box(slot), &args).unwrap()));
     });
 
     // MROM: native body, script body, and the reflexive invoke path.
@@ -70,15 +70,17 @@ fn bench_models(c: &mut Criterion) {
     let caller = ids.next_id();
     let mut native = native_counter(&mut ids);
     group.bench_function("mrom_native", |b| {
-        b.iter(|| black_box(invoke(&mut native, &mut world, caller, "add", &args).unwrap()))
+        b.iter(|| black_box(invoke(&mut native, &mut world, caller, "add", &args).unwrap()));
     });
     let mut script = script_counter(&mut ids);
     group.bench_function("mrom_script", |b| {
-        b.iter(|| black_box(invoke(&mut script, &mut world, caller, "add", &args).unwrap()))
+        b.iter(|| black_box(invoke(&mut script, &mut world, caller, "add", &args).unwrap()));
     });
     let meta_args = [Value::from("add"), Value::List(args.to_vec())];
     group.bench_function("mrom_meta_invoke", |b| {
-        b.iter(|| black_box(invoke(&mut native, &mut world, caller, "invoke", &meta_args).unwrap()))
+        b.iter(|| {
+            black_box(invoke(&mut native, &mut world, caller, "invoke", &meta_args).unwrap())
+        });
     });
     group.finish();
 }

@@ -35,7 +35,7 @@ fn bench_shutdown(c: &mut Criterion) {
                         assert_eq!(n as u64, spokes);
                         black_box(fed)
                     },
-                )
+                );
             },
         );
     }
@@ -53,7 +53,7 @@ fn bench_shutdown(c: &mut Criterion) {
                 fed.call_through_ambassador(spoke, client, amb, "count", &[])
                     .unwrap(),
             )
-        })
+        });
     });
     push_maintenance_notice(&mut fed, hub).unwrap();
     group.bench_function("query_during_maintenance", |b| {
@@ -63,7 +63,7 @@ fn bench_shutdown(c: &mut Criterion) {
                 .unwrap();
             assert_eq!(out, Value::from("database is down for maintenance"));
             black_box(out)
-        })
+        });
     });
     lift_maintenance_notice(&mut fed, hub).unwrap();
     group.finish();

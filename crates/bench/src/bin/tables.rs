@@ -422,8 +422,7 @@ fn e7_bandwidth() {
         };
         let crossover = (1..=64)
             .find(|&k| time_for(true, k) < time_for(false, k))
-            .map(|k| k.to_string())
-            .unwrap_or_else(|| ">64".to_owned());
+            .map_or_else(|| ">64".to_owned(), |k| k.to_string());
         println!("  {:<14} {:>14} {:>22}", label, "20ms", crossover);
     }
 }

@@ -94,6 +94,20 @@ pub enum MromError {
     BadDescriptor(String),
     /// A migration or persistence image failed validation.
     BadImage(String),
+    /// Static admission analysis rejected mobile code at a trust boundary
+    /// (migration image, `addMethod`/`setMethod`, ambassador
+    /// instantiation) under [`AdmissionPolicy::Strict`].
+    ///
+    /// [`AdmissionPolicy::Strict`]: crate::AdmissionPolicy::Strict
+    AdmissionRejected {
+        /// Object whose code failed admission.
+        object: ObjectId,
+        /// The boundary that rejected (`"from_image"`, `"add_method"`, ...).
+        context: String,
+        /// Everything the analyzer found (errors caused the rejection;
+        /// warnings ride along for context).
+        diagnostics: Vec<mrom_script::analyze::Diagnostic>,
+    },
     /// A class-level problem: unknown class, duplicate registration,
     /// missing parent, or a spec that violates model rules.
     Class(String),
@@ -154,6 +168,27 @@ impl fmt::Display for MromError {
             ),
             MromError::BadDescriptor(detail) => write!(f, "bad descriptor: {detail}"),
             MromError::BadImage(detail) => write!(f, "bad object image: {detail}"),
+            MromError::AdmissionRejected {
+                object,
+                context,
+                diagnostics,
+            } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == mrom_script::analyze::Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "admission rejected at {context} for {object}: {errors} error(s)"
+                )?;
+                if let Some(first) = diagnostics
+                    .iter()
+                    .find(|d| d.severity == mrom_script::analyze::Severity::Error)
+                {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
             MromError::Class(detail) => write!(f, "class error: {detail}"),
             MromError::World(detail) => write!(f, "world operation failed: {detail}"),
             MromError::Script(e) => write!(f, "script error: {e}"),

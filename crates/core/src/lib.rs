@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod class;
 mod container;
 mod error;
@@ -78,6 +79,7 @@ mod object;
 mod runtime;
 mod security;
 
+pub use admission::{default_admission_policy, set_default_admission_policy, AdmissionPolicy};
 pub use class::{ClassRegistry, ClassSpec};
 pub use container::{ExtensibleContainer, FixedContainer, Section};
 pub use error::MromError;
@@ -85,6 +87,9 @@ pub use invoke::{invoke, invoke_with_limits, CallEnv, InvokeLimits, NoWorld, Wor
 pub use item::DataItem;
 pub use method::{MetaOp, Method, MethodBody, NativeFn};
 pub use migrate::IMAGE_FORMAT;
+pub use mrom_script::analyze::{
+    AnalysisReport, Diagnostic, DiagnosticKind, HostManifest, ResourceBudget, Severity,
+};
 pub use object::{MromObject, ObjectBuilder};
 pub use runtime::Runtime;
 pub use security::{Acl, TypeConstraint};

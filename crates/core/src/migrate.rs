@@ -97,23 +97,65 @@ impl MromObject {
         ]))
     }
 
-    /// Reconstructs an object from image bytes.
+    /// Reconstructs an object from image bytes under the process-wide
+    /// default [`AdmissionPolicy`].
     ///
     /// # Errors
     ///
-    /// [`MromError::BadImage`] for framing/validation failures.
+    /// [`MromError::BadImage`] for framing/validation failures;
+    /// [`MromError::AdmissionRejected`] under a strict admission policy.
+    ///
+    /// [`AdmissionPolicy`]: crate::AdmissionPolicy
     pub fn from_image(bytes: &[u8]) -> Result<MromObject, MromError> {
-        let v = wire::decode(bytes).map_err(|e| MromError::BadImage(e.to_string()))?;
-        MromObject::from_image_value(&v)
+        MromObject::from_image_with_policy(bytes, crate::admission::default_admission_policy())
     }
 
-    /// Reconstructs an object from an image [`Value`] tree.
+    /// Reconstructs an object from image bytes under an explicit
+    /// [`AdmissionPolicy`], overriding the process-wide default.
+    ///
+    /// # Errors
+    ///
+    /// [`MromError::BadImage`] for framing/validation failures;
+    /// [`MromError::AdmissionRejected`] when `policy` is strict and any
+    /// method body fails static admission analysis.
+    ///
+    /// [`AdmissionPolicy`]: crate::AdmissionPolicy
+    pub fn from_image_with_policy(
+        bytes: &[u8],
+        policy: crate::AdmissionPolicy,
+    ) -> Result<MromObject, MromError> {
+        let v = wire::decode(bytes).map_err(|e| MromError::BadImage(e.to_string()))?;
+        MromObject::from_image_value_with_policy(&v, policy)
+    }
+
+    /// Reconstructs an object from an image [`Value`] tree under the
+    /// process-wide default [`AdmissionPolicy`].
     ///
     /// # Errors
     ///
     /// [`MromError::BadImage`] when the tree does not follow the image
-    /// schema, references unknown fields, or contains invalid descriptors.
+    /// schema, references unknown fields, or contains invalid descriptors;
+    /// [`MromError::AdmissionRejected`] under a strict admission policy.
+    ///
+    /// [`AdmissionPolicy`]: crate::AdmissionPolicy
     pub fn from_image_value(v: &Value) -> Result<MromObject, MromError> {
+        MromObject::from_image_value_with_policy(v, crate::admission::default_admission_policy())
+    }
+
+    /// Reconstructs an object from an image [`Value`] tree under an
+    /// explicit [`AdmissionPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MromObject::from_image_value`], plus
+    /// [`MromError::AdmissionRejected`] when `policy` is strict and any
+    /// method body fails static admission analysis.
+    ///
+    /// [`AdmissionPolicy`]: crate::AdmissionPolicy
+    pub fn from_image_value_with_policy(
+        v: &Value,
+        policy: crate::AdmissionPolicy,
+    ) -> Result<MromObject, MromError> {
         let bad = |detail: String| MromError::BadImage(detail);
         let m = v
             .as_map()
@@ -199,7 +241,7 @@ impl MromObject {
             }
         }
 
-        Ok(MromObject::from_raw_parts(
+        let obj = MromObject::from_raw_parts(
             id,
             origin,
             class,
@@ -209,7 +251,9 @@ impl MromObject {
             ext_methods,
             tower,
             meta_acl,
-        ))
+        );
+        crate::admission::admit_object(policy, &obj, "from_image")?;
+        Ok(obj)
     }
 }
 

@@ -595,6 +595,13 @@ impl MromObject {
             .expect("section checked extensible")
             .clone();
         method.apply_descriptor(&desc_rest)?;
+        crate::admission::admit_method(
+            crate::admission::default_admission_policy(),
+            self,
+            rename.as_deref().unwrap_or(name),
+            &method,
+            "set_method",
+        )?;
         if let Some(new_name) = rename {
             if new_name != name
                 && (self.fixed_methods.contains(&new_name) || self.ext_methods.contains(&new_name))
@@ -633,18 +640,20 @@ impl MromObject {
         method: Method,
     ) -> Result<(), MromError> {
         self.check_meta(caller, name)?;
-        if self.fixed_methods.contains(name) {
+        if self.fixed_methods.contains(name) || self.ext_methods.contains(name) {
             return Err(MromError::DuplicateItem {
                 object: self.id,
                 item: name.to_owned(),
             });
         }
-        if !self.ext_methods.insert(name.to_owned(), method) {
-            return Err(MromError::DuplicateItem {
-                object: self.id,
-                item: name.to_owned(),
-            });
-        }
+        crate::admission::admit_method(
+            crate::admission::default_admission_policy(),
+            self,
+            name,
+            &method,
+            "add_method",
+        )?;
+        self.ext_methods.insert(name.to_owned(), method);
         self.touch_structure();
         Ok(())
     }
@@ -678,6 +687,12 @@ impl MromObject {
         self.tower.retain(|entry| entry.as_ref() != name);
         self.touch_structure();
         Ok(())
+    }
+
+    /// Every method the object carries, fixed section first (admission
+    /// analysis needs the full set regardless of ACLs).
+    pub(crate) fn methods_iter(&self) -> impl Iterator<Item = (&str, &Method)> {
+        self.fixed_methods.iter().chain(self.ext_methods.iter())
     }
 
     /// Names of the methods invocable by `caller`, each with its section.

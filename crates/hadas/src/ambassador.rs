@@ -10,7 +10,9 @@
 //! decisions are data, they can be revisited at runtime — see
 //! [`crate::Federation::migrate_method`].
 
-use mrom_core::{Acl, DataItem, Method, MromError, MromObject, ObjectBuilder};
+use mrom_core::{
+    Acl, AdmissionPolicy, DataItem, Method, MromError, MromObject, ObjectBuilder, Severity,
+};
 use mrom_value::{IdGenerator, NodeId, ObjectId, Value};
 
 use crate::error::HadasError;
@@ -95,13 +97,42 @@ pub struct GuestInfo {
 /// # Errors
 ///
 /// [`HadasError::Model`] when a named method/data item does not exist or
-/// is not mobile.
+/// is not mobile; [`HadasError::AdmissionRefused`] when the process-wide
+/// default admission policy is strict and a copied body fails static
+/// analysis against the ambassador.
 pub fn instantiate_ambassador(
     apo: &MromObject,
     apo_name: &str,
     origin_node: NodeId,
     spec: &AmbassadorSpec,
     ids: &mut IdGenerator,
+) -> Result<(MromObject, Vec<String>), HadasError> {
+    instantiate_ambassador_with_policy(
+        apo,
+        apo_name,
+        origin_node,
+        spec,
+        ids,
+        mrom_core::default_admission_policy(),
+    )
+}
+
+/// [`instantiate_ambassador`] under an explicit [`AdmissionPolicy`]: the
+/// exporting site verifies the ambassador it is about to ship — methods
+/// sliced out of the APO may reference data or peers that did not travel
+/// with them, and `Strict` refuses to ship such an ambassador.
+///
+/// # Errors
+///
+/// As [`instantiate_ambassador`]; admission failures surface as
+/// [`HadasError::AdmissionRefused`] naming `origin_node`.
+pub fn instantiate_ambassador_with_policy(
+    apo: &MromObject,
+    apo_name: &str,
+    origin_node: NodeId,
+    spec: &AmbassadorSpec,
+    ids: &mut IdGenerator,
+    policy: AdmissionPolicy,
 ) -> Result<(MromObject, Vec<String>), HadasError> {
     let apo_id = apo.id();
     let mut builder = ObjectBuilder::new(ids.next_id())
@@ -156,6 +187,26 @@ pub fn instantiate_ambassador(
     builder = builder.ext_method("install", install);
 
     let ambassador = builder.build();
+
+    match policy {
+        AdmissionPolicy::Off => {}
+        AdmissionPolicy::Warn => {
+            let _ = ambassador.analyze();
+        }
+        AdmissionPolicy::Strict => {
+            let diagnostics = ambassador.analyze();
+            if diagnostics.iter().any(|d| d.severity == Severity::Error) {
+                return Err(HadasError::AdmissionRefused {
+                    at: origin_node,
+                    rejection: MromError::AdmissionRejected {
+                        object: ambassador.id(),
+                        context: "instantiate_ambassador".to_owned(),
+                        diagnostics,
+                    },
+                });
+            }
+        }
+    }
 
     // The relay set: the APO's publicly invocable methods that did not
     // migrate (meta-methods excluded — they must never be relayed to the

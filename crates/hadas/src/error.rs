@@ -45,6 +45,16 @@ pub enum HadasError {
         /// The requesting site.
         requester: NodeId,
     },
+    /// Static admission analysis refused mobile code at a federation
+    /// boundary (object arrival, ambassador import, or ambassador
+    /// instantiation) under a strict admission policy.
+    AdmissionRefused {
+        /// The site that refused.
+        at: NodeId,
+        /// The underlying [`MromError::AdmissionRejected`] with the full
+        /// diagnostic list.
+        rejection: MromError,
+    },
     /// An underlying model error.
     Model(MromError),
     /// An underlying network error.
@@ -75,6 +85,9 @@ impl fmt::Display for HadasError {
             HadasError::ExportDenied { apo, requester } => {
                 write!(f, "export of {apo:?} denied to site {requester}")
             }
+            HadasError::AdmissionRefused { at, rejection } => {
+                write!(f, "site {at} refused admission: {rejection}")
+            }
             HadasError::Model(e) => write!(f, "model error: {e}"),
             HadasError::Net(e) => write!(f, "network error: {e}"),
         }
@@ -84,6 +97,7 @@ impl fmt::Display for HadasError {
 impl std::error::Error for HadasError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            HadasError::AdmissionRefused { rejection, .. } => Some(rejection),
             HadasError::Model(e) => Some(e),
             HadasError::Net(e) => Some(e),
             _ => None,

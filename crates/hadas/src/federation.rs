@@ -5,11 +5,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use mrom_core::{MromError, MromObject, Runtime};
+use mrom_core::{AdmissionPolicy, MromError, MromObject, Runtime};
 use mrom_net::{Delivery, NetStats, NetworkConfig, SimNet, SimTime};
 use mrom_value::{NodeId, ObjectId, Value};
 
-use crate::ambassador::{instantiate_ambassador, AmbassadorSpec, GuestInfo};
+use crate::ambassador::{instantiate_ambassador_with_policy, AmbassadorSpec, GuestInfo};
 use crate::error::HadasError;
 use crate::ioo::{build_ioo, map_insert};
 use crate::protocol::{ProtocolMsg, UpdateOp};
@@ -89,10 +89,16 @@ pub struct Federation {
     completed: HashMap<u64, ProtocolMsg>,
     /// Safety bound on deliveries processed while waiting for one reply.
     max_pump: usize,
+    /// Static admission policy every receive path applies to arriving
+    /// mobile code (migrating objects, imported/linked ambassadors) and
+    /// that the export path applies to ambassadors it instantiates.
+    admission: AdmissionPolicy,
 }
 
 impl Federation {
     /// Creates an empty federation over a simulator with `config`.
+    /// Admission starts [`AdmissionPolicy::Off`] — the pre-admission
+    /// behaviour.
     pub fn new(config: NetworkConfig) -> Federation {
         Federation {
             net: SimNet::new(config),
@@ -100,6 +106,31 @@ impl Federation {
             next_req: 0,
             completed: HashMap::new(),
             max_pump: 100_000,
+            admission: AdmissionPolicy::Off,
+        }
+    }
+
+    /// Sets the federation-wide [`AdmissionPolicy`], returning the
+    /// previous one.
+    pub fn set_admission_policy(&mut self, policy: AdmissionPolicy) -> AdmissionPolicy {
+        std::mem::replace(&mut self.admission, policy)
+    }
+
+    /// The federation-wide [`AdmissionPolicy`].
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// Decodes an arriving image under the federation admission policy,
+    /// converting strict rejections into [`HadasError::AdmissionRefused`]
+    /// naming the receiving site.
+    fn admit_image(&self, at: NodeId, image: &[u8]) -> Result<MromObject, HadasError> {
+        match MromObject::from_image_with_policy(image, self.admission) {
+            Ok(obj) => Ok(obj),
+            Err(rejection @ MromError::AdmissionRejected { .. }) => {
+                Err(HadasError::AdmissionRefused { at, rejection })
+            }
+            Err(e) => Err(HadasError::Model(e)),
         }
     }
 
@@ -522,6 +553,7 @@ impl Federation {
         req_id: u64,
     ) -> ProtocolMsg {
         let deny = |reason: String| ProtocolMsg::Error { req_id, reason };
+        let admission = self.admission;
         let Some(site) = self.sites.get_mut(&at) else {
             return deny(format!("no site at {at}"));
         };
@@ -545,11 +577,17 @@ impl Federation {
         };
         let apo_clone = apo.clone();
         let scratch_ids = site.runtime.ids_mut();
-        let (ambassador, remote_methods) =
-            match instantiate_ambassador(&apo_clone, apo_name, at, &spec, scratch_ids) {
-                Ok(pair) => pair,
-                Err(e) => return deny(e.to_string()),
-            };
+        let (ambassador, remote_methods) = match instantiate_ambassador_with_policy(
+            &apo_clone,
+            apo_name,
+            at,
+            &spec,
+            scratch_ids,
+            admission,
+        ) {
+            Ok(pair) => pair,
+            Err(e) => return deny(e.to_string()),
+        };
         let amb_id = ambassador.id();
         // Export phase 3: ship it as data.
         let image = match ambassador
@@ -579,7 +617,7 @@ impl Federation {
         from: NodeId,
         image: &[u8],
     ) -> Result<ObjectId, HadasError> {
-        let obj = MromObject::from_image(image).map_err(HadasError::Model)?;
+        let obj = self.admit_image(at, image)?;
         let id = obj.id();
         let now = self.net.now().as_millis();
         let site = self.sites.get_mut(&at).ok_or(HadasError::UnknownSite(at))?;
@@ -695,7 +733,7 @@ impl Federation {
             ProtocolMsg::LinkAck {
                 ambassador_image, ..
             } => {
-                let amb = MromObject::from_image(&ambassador_image).map_err(HadasError::Model)?;
+                let amb = self.admit_image(from, &ambassador_image)?;
                 let amb_id = amb.id();
                 let site = self.site_mut(from)?;
                 site.runtime.adopt(amb).map_err(HadasError::Model)?;
@@ -761,7 +799,7 @@ impl Federation {
                 // "When the Ambassador arrives (as data) the importing IOO
                 // unpacks it, passes to it an installation context and
                 // invokes the Ambassador, which in turn installs itself."
-                let amb = MromObject::from_image(&ambassador_image).map_err(HadasError::Model)?;
+                let amb = self.admit_image(requester, &ambassador_image)?;
                 let amb_id = amb.id();
                 let now = self.net.now().as_millis();
                 let site = self.site_mut(requester)?;

@@ -49,7 +49,9 @@ mod ioo;
 mod protocol;
 pub mod scenarios;
 
-pub use ambassador::{AmbassadorSpec, GuestInfo};
+pub use ambassador::{
+    instantiate_ambassador, instantiate_ambassador_with_policy, AmbassadorSpec, GuestInfo,
+};
 pub use error::HadasError;
 pub use federation::{Federation, SiteStats};
 pub use ioo::build_ioo;

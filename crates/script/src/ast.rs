@@ -336,7 +336,7 @@ fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // builtin constructor calls that evaluate back to the same value.
         Value::Bytes(b) => {
             let hex: String = b.iter().map(|x| format!("{x:02x}")).collect();
-            write!(f, "bytes({:?})", hex)
+            write!(f, "bytes({hex:?})")
         }
         Value::ObjectRef(id) => write!(f, "objectref({:?})", id.to_string()),
     }

@@ -370,7 +370,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                         // follows; `1.foo` stays Int(1) Dot Ident(foo).
                         let mut lookahead = chars.clone();
                         lookahead.next();
-                        if lookahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                        if lookahead.peek().is_some_and(char::is_ascii_digit) {
                             is_float = true;
                             text.push('.');
                             chars.next();
@@ -388,7 +388,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                             sign = true;
                             lookahead.next();
                         }
-                        if lookahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                        if lookahead.peek().is_some_and(char::is_ascii_digit) {
                             is_float = true;
                             text.push('e');
                             chars.next();

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod ast;
 mod encode;
 mod error;
@@ -67,6 +68,10 @@ mod eval;
 mod lexer;
 mod parser;
 
+pub use analyze::{
+    analyze_program, analyze_with_budget, AnalysisReport, Diagnostic, DiagnosticKind, HostManifest,
+    ResourceBudget, Severity,
+};
 pub use ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
 pub use error::ScriptError;
 pub use eval::{Evaluator, HostContext, NullHost, DEFAULT_FUEL};

@@ -1,7 +1,7 @@
 //! Property tests: pretty-printer/parser round trips, serialization round
 //! trips, and evaluator robustness under arbitrary programs.
 
-use mrom_script::{BinaryOp, Evaluator, Expr, NullHost, Program, Stmt, UnaryOp};
+use mrom_script::{BinaryOp, Evaluator, Expr, NullHost, Program, ScriptError, Stmt, UnaryOp};
 use mrom_value::{wire, Value};
 use proptest::prelude::*;
 
@@ -207,5 +207,98 @@ proptest! {
             ])),
         ]);
         let _ = Program::from_value(&v);
+    }
+
+    /// Hostile tree: truncating any list node of a valid encoding either
+    /// still decodes (body/params lists shrink harmlessly) or fails closed
+    /// with [`ScriptError::MalformedProgram`] — never a panic, never some
+    /// other error class.
+    #[test]
+    fn truncated_encodings_fail_closed(p in arb_program(), pick in 0usize..4096) {
+        let mut v = p.to_value();
+        let lists = count_lists(&v);
+        prop_assume!(lists > 0);
+        let mut target = pick % lists;
+        mutate_nth_list(&mut v, &mut target, &mut |items| { items.pop(); });
+        assert_decodes_or_malformed(&v);
+    }
+
+    /// Hostile tree: rewriting any node tag of a valid encoding fails
+    /// closed (or, for a tag that happens to be valid at the same arity,
+    /// still decodes) — never a panic.
+    #[test]
+    fn swapped_tags_fail_closed(
+        p in arb_program(),
+        pick in 0usize..4096,
+        tag in "[a-z]{1,8}",
+    ) {
+        let mut v = p.to_value();
+        let lists = count_lists(&v);
+        prop_assume!(lists > 0);
+        let mut target = pick % lists;
+        mutate_nth_list(&mut v, &mut target, &mut |items| {
+            if let Some(Value::Str(t)) = items.first_mut() {
+                *t = tag.clone();
+            } else {
+                items.insert(0, Value::Str(tag.clone()));
+            }
+        });
+        assert_decodes_or_malformed(&v);
+    }
+
+    /// Hostile tree: expression nests deeper than [`MAX_EXPR_DEPTH`] are
+    /// rejected with [`ScriptError::MalformedProgram`] before they can
+    /// exhaust the decoder's stack.
+    #[test]
+    fn overdeep_encodings_fail_closed(extra in 1usize..64) {
+        let mut e = Value::List(vec![Value::Str("lit".into()), Value::Int(1)]);
+        for _ in 0..(mrom_script::MAX_EXPR_DEPTH + extra) {
+            e = Value::List(vec![
+                Value::Str("un".into()),
+                Value::Str("not".into()),
+                e,
+            ]);
+        }
+        let v = Value::map([
+            ("params", Value::list([])),
+            ("body", Value::List(vec![Value::List(vec![Value::Str("return".into()), e])])),
+        ]);
+        let err = Program::from_value(&v).expect_err("overdeep tree must be rejected");
+        prop_assert!(matches!(err, ScriptError::MalformedProgram(_)), "got {err}");
+    }
+}
+
+/// Counts every `Value::List` in the tree (including lists inside maps),
+/// so a proptest index can address one uniformly.
+fn count_lists(v: &Value) -> usize {
+    match v {
+        Value::List(items) => 1 + items.iter().map(count_lists).sum::<usize>(),
+        Value::Map(entries) => entries.values().map(count_lists).sum(),
+        _ => 0,
+    }
+}
+
+/// Applies `f` to the `n`-th list (pre-order), counting down in place.
+fn mutate_nth_list(v: &mut Value, n: &mut usize, f: &mut impl FnMut(&mut Vec<Value>)) -> bool {
+    match v {
+        Value::List(items) => {
+            if *n == 0 {
+                f(items);
+                return true;
+            }
+            *n -= 1;
+            items.iter_mut().any(|item| mutate_nth_list(item, n, f))
+        }
+        Value::Map(entries) => entries.values_mut().any(|item| mutate_nth_list(item, n, f)),
+        _ => false,
+    }
+}
+
+/// A mutated encoding must either decode (the mutation was harmless) or
+/// report `MalformedProgram`; any other error class or a panic is a bug.
+fn assert_decodes_or_malformed(v: &Value) {
+    match Program::from_value(v) {
+        Ok(_) | Err(ScriptError::MalformedProgram(_)) => {}
+        Err(other) => panic!("hostile tree leaked non-malformed error: {other}"),
     }
 }

@@ -139,13 +139,12 @@ impl FromStr for ObjectId {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut parts = s.split('-');
-        let (a, b, c) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some(a), Some(b), Some(c), None) => (a, b, c),
-            _ => {
-                return Err(ValueError::Malformed(format!(
-                    "object id must have three dash-separated fields, got {s:?}"
-                )))
-            }
+        let (Some(a), Some(b), Some(c), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ValueError::Malformed(format!(
+                "object id must have three dash-separated fields, got {s:?}"
+            )));
         };
         let node = u64::from_str_radix(a, 16)
             .map_err(|e| ValueError::Malformed(format!("bad node field {a:?}: {e}")))?;

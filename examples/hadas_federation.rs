@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut fed, nodes) = star_federation(42, 3, LinkConfig::wan())?;
     let hub = nodes[0];
     let spokes = &nodes[1..];
-    println!("federation up: hub {hub}, spokes {:?}", spokes);
+    println!("federation up: hub {hub}, spokes {spokes:?}");
     show_traffic(&fed, "after Link handshakes");
 
     // The IOO of each site knows its Vicinity now.

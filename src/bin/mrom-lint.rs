@@ -1,0 +1,152 @@
+//! `mrom-lint` — the admission analyzer as a standalone tool.
+//!
+//! Runs the same multi-pass static analysis the runtime applies at trust
+//! boundaries (scope/def-use, host-call manifest, object cross-check,
+//! resource shape) over script files or whole object images, and prints
+//! every diagnostic:
+//!
+//! ```text
+//! mrom-lint <file>...     analyze script sources (.mrs) and/or object images
+//! ```
+//!
+//! A file that decodes as a wire buffer is analyzed as a migration image
+//! (every method body cross-checked against the object that carries it);
+//! anything else is treated as script source and analyzed in isolation.
+//!
+//! Exit code 0 when everything is clean or carries only warnings, 1 when
+//! any file is unreadable/unparsable or any error-severity diagnostic
+//! fires, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use mrom::core::{Diagnostic, MromObject, Severity};
+use mrom::script::analyze::analyze_program;
+use mrom::script::Program;
+use mrom::value::wire;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: mrom-lint <file>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                let (report, errors) = lint_bytes(&bytes);
+                for line in &report {
+                    println!("{path}: {line}");
+                }
+                match errors {
+                    Ok(0) => println!("{path}: clean"),
+                    Ok(_) => failed = true,
+                    Err(msg) => {
+                        eprintln!("mrom-lint: {path}: {msg}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("mrom-lint: cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Analyzes one input. Returns the printable diagnostic lines plus either
+/// the number of error-severity findings or an explanation of why the
+/// input could not be analyzed at all.
+fn lint_bytes(bytes: &[u8]) -> (Vec<String>, Result<usize, String>) {
+    // A framed wire buffer is an object image; anything else is script.
+    if let Ok(v) = wire::decode(bytes) {
+        return match MromObject::from_image_value(&v) {
+            Ok(obj) => render(obj.analyze()),
+            Err(e) => (Vec::new(), Err(format!("not a valid object image: {e}"))),
+        };
+    }
+    let Ok(source) = std::str::from_utf8(bytes) else {
+        return (
+            Vec::new(),
+            Err("neither a wire buffer nor UTF-8 script source".to_owned()),
+        );
+    };
+    match Program::parse(source) {
+        Ok(p) => render(analyze_program(&p).diagnostics),
+        Err(e) => (Vec::new(), Err(format!("parse failed: {e}"))),
+    }
+}
+
+fn render(diagnostics: Vec<Diagnostic>) -> (Vec<String>, Result<usize, String>) {
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let lines = diagnostics.iter().map(Diagnostic::to_string).collect();
+    (lines, Ok(errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrom::core::{Acl, DataItem, Method, MethodBody, ObjectBuilder};
+    use mrom::value::{IdGenerator, NodeId, Value};
+
+    #[test]
+    fn clean_script_is_clean() {
+        let (lines, errors) = lint_bytes(b"param a; return a + 1;");
+        assert!(lines.is_empty());
+        assert_eq!(errors, Ok(0));
+    }
+
+    #[test]
+    fn script_defects_are_reported() {
+        let (lines, errors) = lint_bytes(b"return ghost;");
+        assert_eq!(errors, Ok(1));
+        assert!(lines[0].contains("undefined-variable"));
+        // Warnings do not count as errors.
+        let (lines, errors) = lint_bytes(b"param spare; return 1;");
+        assert_eq!(errors, Ok(0));
+        assert!(lines[0].contains("unused-param"));
+    }
+
+    #[test]
+    fn unparsable_input_is_an_error() {
+        assert!(lint_bytes(b"return (;").1.is_err());
+        assert!(lint_bytes(&[0xff, 0xfe, 0x00]).1.is_err());
+    }
+
+    #[test]
+    fn images_are_cross_checked() {
+        let mut ids = IdGenerator::new(NodeId(5));
+        let mut obj = ObjectBuilder::new(ids.next_id())
+            .class("shady")
+            .fixed_data("present", DataItem::public(Value::Int(1)))
+            .fixed_data(
+                "sealed",
+                DataItem::public(Value::Int(2)).with_read_acl(Acl::Nobody),
+            )
+            .build();
+        let me = obj.id();
+        obj.add_method(
+            me,
+            "bad",
+            Method::public(
+                MethodBody::script("return self.get(\"absent\") + self.get(\"sealed\");").unwrap(),
+            ),
+        )
+        .unwrap();
+        let image = obj.migration_image(me).unwrap();
+        let (lines, errors) = lint_bytes(&image);
+        assert_eq!(errors, Ok(2));
+        assert!(lines.iter().any(|l| l.contains("dangling-data-item")));
+        assert!(lines.iter().any(|l| l.contains("acl-unsatisfiable")));
+        assert!(lines.iter().all(|l| l.contains("bad.body")));
+    }
+}

@@ -104,8 +104,7 @@ fn inspect_image(bytes: &[u8]) -> Result<String, String> {
     for (name, section) in obj.list_data(me) {
         let value = obj
             .read_data(me, &name)
-            .map(|v| v.to_string())
-            .unwrap_or_else(|_| "<unreadable>".to_owned());
+            .map_or_else(|_| "<unreadable>".to_owned(), |v| v.to_string());
         let shown: String = value.chars().take(48).collect();
         out.push_str(&format!("  [{}] {name} = {shown}\n", section.name()));
     }
