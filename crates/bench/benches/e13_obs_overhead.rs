@@ -1,0 +1,55 @@
+//! E13 — observability overhead on the level-0 fast path.
+//!
+//! The same repeated dispatch as E2/E11's cache-hit regime, A/B/C'd over
+//! the three observability modes:
+//!
+//! * **disabled** — the zero-cost claim: one thread-local byte read per
+//!   instrumentation point, no events, no counters, no clocks.
+//! * **ring** — events into the bounded flight recorder plus counter
+//!   updates, but no wall-clock reads.
+//! * **full** — everything in ring, plus `Instant`-based latency
+//!   histograms per invocation.
+//!
+//! The disabled numbers are the ones the <3% regression gate (vs the
+//! pre-observability E2/E11 baselines) is checked against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::{bench_ids, counter_among};
+use mrom_core::{invoke, NoWorld};
+use mrom_obs::ObsMode;
+use mrom_value::Value;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_obs_overhead");
+    let args = [Value::Int(20), Value::Int(22)];
+
+    for (label, mode) in [
+        ("disabled", ObsMode::Disabled),
+        ("ring", ObsMode::Ring),
+        ("full", ObsMode::Full),
+    ] {
+        for (section, extensible) in [("fixed", false), ("extensible", true)] {
+            let mut ids = bench_ids();
+            let mut obj = counter_among(&mut ids, 64, extensible);
+            let caller = ids.next_id();
+            let mut world = NoWorld;
+            mrom_obs::reset();
+            mrom_obs::set_mode(mode);
+            group.bench_function(format!("{label}_{section}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        invoke(&mut obj, &mut world, caller, black_box("m_add"), &args).unwrap(),
+                    )
+                });
+            });
+            mrom_obs::set_mode(ObsMode::Disabled);
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -331,15 +331,17 @@ fn enforce(
     match policy {
         AdmissionPolicy::Off => Ok(()),
         AdmissionPolicy::Warn => {
-            let _ = analyze(obj);
+            let diagnostics = analyze(obj);
+            mrom_obs::admission_verdict(boundary, true, diagnostics.len());
             Ok(())
         }
         AdmissionPolicy::Strict => {
             let diagnostics = analyze(obj);
-            if diagnostics
+            let rejected = diagnostics
                 .iter()
-                .any(|d| d.severity == mrom_script::analyze::Severity::Error)
-            {
+                .any(|d| d.severity == mrom_script::analyze::Severity::Error);
+            mrom_obs::admission_verdict(boundary, !rejected, diagnostics.len());
+            if rejected {
                 Err(MromError::AdmissionRejected {
                     object: obj.id(),
                     context: boundary.to_owned(),

@@ -119,6 +119,37 @@ pub enum MromError {
     Value(ValueError),
 }
 
+impl MromError {
+    /// Stable snake_case label for the error class, used as the trace
+    /// outcome tag by the observability layer and by tools that bucket
+    /// failures without parsing display strings.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            MromError::NoSuchObject(_) => "no_such_object",
+            MromError::ObjectBusy(_) => "object_busy",
+            MromError::NoSuchMethod { .. } => "no_such_method",
+            MromError::NoSuchDataItem { .. } => "no_such_data_item",
+            MromError::AccessDenied { .. } => "access_denied",
+            MromError::FixedSectionViolation { .. } => "fixed_section_violation",
+            MromError::DuplicateItem { .. } => "duplicate_item",
+            MromError::PreConditionFailed { .. } => "pre_condition_failed",
+            MromError::PostConditionFailed { .. } => "post_condition_failed",
+            MromError::TypeConstraint { .. } => "type_constraint",
+            MromError::TowerDepthExceeded(_) => "tower_depth_exceeded",
+            MromError::CallDepthExceeded(_) => "call_depth_exceeded",
+            MromError::NotMobile { .. } => "not_mobile",
+            MromError::BadDescriptor(_) => "bad_descriptor",
+            MromError::BadImage(_) => "bad_image",
+            MromError::AdmissionRejected { .. } => "admission_rejected",
+            MromError::Class(_) => "class",
+            MromError::World(_) => "world",
+            MromError::Script(_) => "script",
+            MromError::Value(_) => "value",
+        }
+    }
+}
+
 impl fmt::Display for MromError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -265,6 +265,11 @@ fn dispatch(
         // are interned `Arc<str>`, so pinning the level name is a handle
         // clone, not a string copy.
         let meta_name = object.tower()[level - 1].clone();
+        mrom_obs::tower_descend(
+            object.id(),
+            u32::try_from(level).unwrap_or(u32::MAX),
+            &meta_name,
+        );
         let meta_args = [Value::Str(method.to_owned()), Value::List(args.to_vec())];
         apply_method(
             object,
@@ -272,7 +277,7 @@ fn dispatch(
             caller,
             &meta_name,
             &meta_args,
-            level - 1,
+            pack_levels(level - 1, level),
             depth + 1,
             fuel,
             limits,
@@ -287,7 +292,7 @@ fn dispatch(
             caller,
             method,
             args,
-            nested_level,
+            pack_levels(nested_level, 0),
             depth + 1,
             fuel,
             limits,
@@ -295,9 +300,114 @@ fn dispatch(
     }
 }
 
+/// Pack the level pair into one argument. `apply_method` already passes
+/// more arguments than fit in registers; an eleventh spills to the stack
+/// on every application and costs a measurable fraction of the ~45 ns
+/// invocation, so the two small levels share one slot. Low half: the
+/// level nested invokes enter at; high half: the tower level this
+/// application conceptually runs at (0 = base).
+#[inline]
+const fn pack_levels(nested: usize, tower: usize) -> u64 {
+    (nested as u64) | ((tower as u64) << 32)
+}
+
 /// Phases 1-3 of the base mechanism on a single method.
+///
+/// When observability is on this opens one span per application — tower
+/// descents therefore produce one *nested* span per level — and reports
+/// the outcome and fuel delta on close. When off, the single
+/// [`mrom_obs::enabled`] byte-check is the entire overhead.
 #[allow(clippy::too_many_arguments)]
 fn apply_method(
+    object: &mut MromObject,
+    world: &mut dyn WorldHook,
+    caller: ObjectId,
+    name: &str,
+    args: &[Value],
+    levels: u64,
+    depth: usize,
+    fuel: &mut u64,
+    limits: &InvokeLimits,
+) -> Result<Value, MromError> {
+    // One thread-local byte-read per application; `obs: false` then
+    // short-circuits every instrumentation point inside the phases, so
+    // this check is the entire disabled-path overhead. The traced variant
+    // is outlined to keep the hot function small.
+    if !mrom_obs::enabled() {
+        return apply_phases(
+            object,
+            world,
+            caller,
+            name,
+            args,
+            (levels & 0xFFFF_FFFF) as usize,
+            depth,
+            fuel,
+            limits,
+            false,
+        );
+    }
+    apply_method_traced(
+        object, world, caller, name, args, levels, depth, fuel, limits,
+    )
+}
+
+/// [`apply_method`] with the recorder on: wraps the phases in an
+/// invocation span and reports outcome and fuel on close. `cold` keeps
+/// the disabled path the straight-line fall-through.
+#[allow(clippy::too_many_arguments)]
+#[cold]
+#[inline(never)]
+fn apply_method_traced(
+    object: &mut MromObject,
+    world: &mut dyn WorldHook,
+    caller: ObjectId,
+    name: &str,
+    args: &[Value],
+    levels: u64,
+    depth: usize,
+    fuel: &mut u64,
+    limits: &InvokeLimits,
+) -> Result<Value, MromError> {
+    let nested_level = (levels & 0xFFFF_FFFF) as usize;
+    let tower_level = (levels >> 32) as u32;
+    let span = mrom_obs::invoke_start(object.id(), name, caller, tower_level);
+    let fuel_entry = *fuel;
+    let result = apply_phases(
+        object,
+        world,
+        caller,
+        name,
+        args,
+        nested_level,
+        depth,
+        fuel,
+        limits,
+        true,
+    );
+    let outcome = match &result {
+        Ok(_) => "ok",
+        Err(e) => e.label(),
+    };
+    mrom_obs::invoke_end(
+        span,
+        object.id(),
+        name,
+        outcome,
+        fuel_entry.saturating_sub(*fuel),
+    );
+    result
+}
+
+/// The three phases themselves. `obs` is the observability gate read
+/// once per application by [`apply_method`]; the phase-level
+/// instrumentation points test that register instead of re-reading the
+/// thread-local mode byte. Inlined into both the traced and untraced
+/// callers so the disabled path stays one straight-line function, as it
+/// was before instrumentation.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn apply_phases(
     object: &mut MromObject,
     world: &mut dyn WorldHook,
     caller: ObjectId,
@@ -307,6 +417,7 @@ fn apply_method(
     depth: usize,
     fuel: &mut u64,
     limits: &InvokeLimits,
+    obs: bool,
 ) -> Result<Value, MromError> {
     // Phase 1: Lookup, through the generation-stamped dispatch cache.
     // The returned handle is an `Arc`-backed clone pinning the method for
@@ -315,17 +426,20 @@ fn apply_method(
     // ongoing application — the paper's "dynamic update ... without
     // interference with ongoing computations" — at the cost of a refcount
     // bump, not a deep copy.
-    let method: Method =
-        object
-            .lookup_method(name)
-            .map(|(m, _)| m)
-            .ok_or_else(|| MromError::NoSuchMethod {
-                object: object.id(),
-                name: name.to_owned(),
-            })?;
+    let method: Method = object
+        .lookup_method_traced(name, obs)
+        .map(|(m, _)| m)
+        .ok_or_else(|| MromError::NoSuchMethod {
+            object: object.id(),
+            name: name.to_owned(),
+        })?;
 
     // Phase 2: Match.
-    if !object.acl_allows(method.invoke_acl(), caller) {
+    let allowed = object.acl_allows(method.invoke_acl(), caller);
+    if obs {
+        mrom_obs::acl_decision(object.id(), name, caller, allowed);
+    }
+    if !allowed {
         return Err(MromError::AccessDenied {
             object: object.id(),
             item: name.to_owned(),
@@ -349,7 +463,11 @@ fn apply_method(
             fuel,
             limits,
         )?;
-        if !verdict.truthy() {
+        let passed = verdict.truthy();
+        if obs {
+            mrom_obs::wrap_verdict(object.id(), name, mrom_obs::WrapStage::Pre, passed);
+        }
+        if !passed {
             return Err(MromError::PreConditionFailed {
                 object: object.id(),
                 method: name.to_owned(),
@@ -390,7 +508,11 @@ fn apply_method(
             fuel,
             limits,
         )?;
-        if !verdict.truthy() {
+        let passed = verdict.truthy();
+        if obs {
+            mrom_obs::wrap_verdict(object.id(), name, mrom_obs::WrapStage::Post, passed);
+        }
+        if !passed {
             return Err(MromError::PostConditionFailed {
                 object: object.id(),
                 method: name.to_owned(),
@@ -444,15 +566,17 @@ fn run_body(
                 fuel,
                 limits,
             };
-            let (outcome, used) = {
+            let (outcome, used, host_calls) = {
                 let mut evaluator = Evaluator::with_fuel(&mut host, entry_budget);
                 let outcome = evaluator.run(program, args);
                 let used = evaluator.fuel_used();
-                (outcome, used)
+                let host_calls = evaluator.host_calls();
+                (outcome, used, host_calls)
             };
             // Nested dispatches already deducted their share from the
             // ledger during the run; deduct the evaluator's own steps now.
             *host.fuel = host.fuel.saturating_sub(used);
+            mrom_obs::script_run(used, host_calls);
             outcome.map_err(MromError::from)
         }
         MethodBody::Meta(op) => perform_meta(
@@ -511,6 +635,7 @@ fn perform_meta(
     fuel: &mut u64,
     limits: &InvokeLimits,
 ) -> Result<Value, MromError> {
+    mrom_obs::meta_op(object.id(), op.method_name());
     match op {
         MetaOp::GetDataItem => {
             want_arity(op, args, &[1])?;
@@ -590,6 +715,10 @@ fn perform_meta(
                 limits,
             )
         }
+        MetaOp::GetStats => {
+            want_arity(op, args, &[0])?;
+            Ok(crate::stats::stats_value(object.id()))
+        }
     }
 }
 
@@ -667,6 +796,7 @@ impl HostContext for ScriptHost<'_> {
             "add_method" => self.meta(MetaOp::AddMethod, args),
             "delete_method" => self.meta(MetaOp::DeleteMethod, args),
             "invoke" => self.meta(MetaOp::Invoke, args),
+            "get_stats" => self.meta(MetaOp::GetStats, args),
             // Tower manipulation.
             "install_meta_invoke" => match args {
                 [Value::Str(m)] => self

@@ -41,11 +41,18 @@ pub enum MetaOp {
     DeleteMethod,
     /// `invoke(name, args)` — the most important meta-method.
     Invoke,
+    /// `getStats()` → live behavioural counters for this object from the
+    /// observability layer. A reproduction extension (not in the paper's
+    /// nine): self-representation applied to *behaviour*, answering "what
+    /// did my invocations do" with the same machinery that answers
+    /// structural questions.
+    GetStats,
 }
 
 impl MetaOp {
-    /// All meta-operations in declaration order.
-    pub const ALL: [MetaOp; 9] = [
+    /// All meta-operations in declaration order: the paper's nine plus
+    /// the `getStats` observability extension.
+    pub const ALL: [MetaOp; 10] = [
         MetaOp::GetDataItem,
         MetaOp::SetDataItem,
         MetaOp::AddDataItem,
@@ -55,6 +62,7 @@ impl MetaOp {
         MetaOp::AddMethod,
         MetaOp::DeleteMethod,
         MetaOp::Invoke,
+        MetaOp::GetStats,
     ];
 
     /// The method name under which the operation is registered in the
@@ -70,6 +78,7 @@ impl MetaOp {
             MetaOp::AddMethod => "addMethod",
             MetaOp::DeleteMethod => "deleteMethod",
             MetaOp::Invoke => "invoke",
+            MetaOp::GetStats => "getStats",
         }
     }
 

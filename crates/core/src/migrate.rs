@@ -41,7 +41,9 @@ impl MromObject {
                 caller,
             });
         }
-        Ok(wire::encode(&self.image_value()?))
+        let bytes = wire::encode(&self.image_value()?);
+        mrom_obs::migrate_encode(self.id(), bytes.len());
+        Ok(bytes)
     }
 
     /// The image as a [`Value`] tree (before byte encoding). Unchecked by
@@ -124,8 +126,16 @@ impl MromObject {
         bytes: &[u8],
         policy: crate::AdmissionPolicy,
     ) -> Result<MromObject, MromError> {
-        let v = wire::decode(bytes).map_err(|e| MromError::BadImage(e.to_string()))?;
-        MromObject::from_image_value_with_policy(&v, policy)
+        let v = match wire::decode(bytes) {
+            Ok(v) => v,
+            Err(e) => {
+                mrom_obs::migrate_decode(bytes.len(), false);
+                return Err(MromError::BadImage(e.to_string()));
+            }
+        };
+        let result = MromObject::from_image_value_with_policy(&v, policy);
+        mrom_obs::migrate_decode(bytes.len(), result.is_ok());
+        result
     }
 
     /// Reconstructs an object from an image [`Value`] tree under the

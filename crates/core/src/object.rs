@@ -467,16 +467,35 @@ impl MromObject {
     /// This performs *no* ACL check: it is the Lookup phase, and Match
     /// (ACL) stays with the caller exactly as in the uncached path.
     pub fn lookup_method(&mut self, name: &str) -> Option<(Method, Section)> {
+        self.lookup_method_traced(name, mrom_obs::enabled())
+    }
+
+    /// [`MromObject::lookup_method`] with the observability gate already
+    /// read: the invocation machinery checks the thread-local mode byte
+    /// once per application and passes the verdict down, so a disabled
+    /// recorder costs nothing on the cache-hit path.
+    pub(crate) fn lookup_method_traced(
+        &mut self,
+        name: &str,
+        obs: bool,
+    ) -> Option<(Method, Section)> {
         if let Some((slot, stamp)) = self.dispatch_cache.entries.get(name) {
             match slot {
                 // Fixed slots are sealed at construction; the index can
                 // never go stale, whatever the generation says.
                 CachedSlot::Fixed(i) => {
                     let m = self.fixed_methods.get_by_index(*i).expect("sealed slot");
+                    if obs {
+                        mrom_obs::lookup(self.id, name, true, true);
+                    }
                     return Some((m.clone(), Section::Fixed));
                 }
                 CachedSlot::Extensible(m) if *stamp == self.generation => {
-                    return Some((m.clone(), Section::Extensible));
+                    let m = m.clone();
+                    if obs {
+                        mrom_obs::lookup(self.id, name, true, true);
+                    }
+                    return Some((m, Section::Extensible));
                 }
                 CachedSlot::Extensible(_) => {} // stale: re-resolve below
             }
@@ -490,6 +509,9 @@ impl MromObject {
             self.dispatch_cache
                 .entries
                 .insert(name.to_owned(), (CachedSlot::Fixed(i), self.generation));
+            if obs {
+                mrom_obs::lookup(self.id, name, false, true);
+            }
             return Some((m, Section::Fixed));
         }
         if let Some(m) = self.ext_methods.get(name) {
@@ -498,7 +520,13 @@ impl MromObject {
                 name.to_owned(),
                 (CachedSlot::Extensible(m.clone()), self.generation),
             );
+            if obs {
+                mrom_obs::lookup(self.id, name, false, true);
+            }
             return Some((m, Section::Extensible));
+        }
+        if obs {
+            mrom_obs::lookup(self.id, name, false, false);
         }
         None
     }
@@ -1496,7 +1524,8 @@ mod tests {
     fn item_count_counts_everything() {
         let mut gen = ids();
         let obj = basic_object(&mut gen);
-        // 2 data + 2 own methods + 9 meta-methods.
-        assert_eq!(obj.item_count(), 13);
+        // 2 data + 2 own methods + 10 meta-methods (the paper's nine
+        // plus the getStats reproduction extension).
+        assert_eq!(obj.item_count(), 14);
     }
 }

@@ -45,7 +45,6 @@ pub struct Runtime {
     objects: HashMap<ObjectId, MromObject>,
     classes: ClassRegistry,
     limits: InvokeLimits,
-    log: Vec<(ObjectId, String)>,
     /// Objects currently executing (checked out of the table); used to
     /// report [`MromError::ObjectBusy`] for cyclic cross-object calls.
     busy: std::collections::HashSet<ObjectId>,
@@ -63,7 +62,6 @@ impl Runtime {
             objects: HashMap::new(),
             classes: ClassRegistry::new(),
             limits: InvokeLimits::default(),
-            log: Vec::new(),
             busy: std::collections::HashSet::new(),
             now: 0,
         }
@@ -110,8 +108,16 @@ impl Runtime {
     }
 
     /// Messages logged by objects via `self.log(...)`, in order.
-    pub fn log_entries(&self) -> &[(ObjectId, String)] {
-        &self.log
+    ///
+    /// Compatibility shim over the observability log channel
+    /// ([`mrom_obs::log_lines_for`]), which also attributes entries to the
+    /// node, bounds retention, and threads them into active traces.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use mrom_obs::log_lines_for(runtime.node()) — the log now lives in the observability layer"
+    )]
+    pub fn log_entries(&self) -> Vec<(ObjectId, String)> {
+        mrom_obs::log_lines_for(self.node)
     }
 
     /// Instantiates a registered class, adopting the object into the node.
@@ -207,6 +213,7 @@ impl Runtime {
         method: &str,
         args: &[Value],
     ) -> Result<Value, MromError> {
+        mrom_obs::runtime_invoke(self.node, target, method);
         let mut obj = self.objects.remove(&target).ok_or({
             if self.busy.contains(&target) {
                 MromError::ObjectBusy(target)
@@ -295,7 +302,7 @@ impl WorldHook for RuntimeWorld<'_> {
                         other => other.to_string(),
                     })
                     .unwrap_or_default();
-                self.runtime.log.push((caller, msg));
+                mrom_obs::log_line(self.runtime.node, caller, &msg);
                 Ok(Value::Null)
             }
             "time" => Ok(Value::Int(self.runtime.now as i64)),
@@ -479,9 +486,15 @@ mod tests {
             rt.invoke_as_system(id, "stamp", &[]).unwrap(),
             Value::Int(1234)
         );
-        assert_eq!(rt.log_entries().len(), 1);
-        assert_eq!(rt.log_entries()[0].1, "tick");
-        assert_eq!(rt.log_entries()[0].0, id);
+        let lines = mrom_obs::log_lines_for(rt.node());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].1, "tick");
+        assert_eq!(lines[0].0, id);
+        // The deprecated accessor reads the same channel.
+        #[allow(deprecated)]
+        {
+            assert_eq!(rt.log_entries(), lines);
+        }
     }
 
     #[test]

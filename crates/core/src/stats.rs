@@ -1,0 +1,121 @@
+//! The reflective stats surface: behaviour introspected *through the
+//! model itself*.
+//!
+//! The paper's self-representation principle says an object answers
+//! questions about its own structure with ordinary invocations. This
+//! module extends the answerable questions to behaviour:
+//!
+//! * the `getStats` meta-method (auto-registered by
+//!   [`crate::ObjectBuilder::build`] alongside the paper's nine) returns
+//!   the object's live counters from the observability layer as a value
+//!   map, and
+//! * [`stats_object`] materializes those counters as a *read-only MROM
+//!   object* — fixed section carries the schema, extensible section the
+//!   live values — so stats are introspected with the same `getDataItem`
+//!   machinery as everything else.
+//!
+//! Counters are only collected while [`mrom_obs`] is recording
+//! ([`mrom_obs::set_mode`]); with observability disabled both surfaces
+//! exist but report zeros.
+
+use mrom_obs::ObjectStats;
+use mrom_value::{ObjectId, Value};
+
+use crate::item::DataItem;
+use crate::object::{MromObject, ObjectBuilder};
+use crate::security::Acl;
+
+/// The payload of the `getStats` meta-method: the subject's live
+/// counters, plus its identity and the current observability mode.
+#[must_use]
+pub fn stats_value(subject: ObjectId) -> Value {
+    let mut v = mrom_obs::object_stats_value(subject);
+    if let Some(m) = v.as_map_mut() {
+        m.insert("object".to_owned(), Value::ObjectRef(subject));
+        m.insert("obs_mode".to_owned(), Value::from(mrom_obs::mode().name()));
+    }
+    v
+}
+
+/// Materializes `subject`'s counters as a read-only MROM object.
+///
+/// Layout, per the self-representation discipline:
+///
+/// * **fixed section** (sealed): `subject` — who the stats describe —
+///   and `schema`, a map from counter name to human description;
+/// * **extensible section**: one data item per counter, holding the
+///   value sampled at construction time.
+///
+/// Every item is world-readable but write-guarded by [`Acl::Nobody`],
+/// and the object's meta ACL is `Nobody` too: the snapshot is immutable
+/// by construction, yet fully introspectable via `getDataItem`,
+/// `describe`, and plain reads.
+#[must_use]
+pub fn stats_object(stats_id: ObjectId, subject: ObjectId) -> MromObject {
+    let stats = mrom_obs::object_stats(subject);
+    let schema = Value::map(
+        ObjectStats::schema()
+            .iter()
+            .map(|(name, doc)| (*name, Value::from(*doc))),
+    );
+    let mut builder = ObjectBuilder::new(stats_id)
+        .class("mrom/stats")
+        .meta_acl(Acl::Nobody)
+        .fixed_data(
+            "subject",
+            DataItem::public(Value::ObjectRef(subject)).with_write_acl(Acl::Nobody),
+        )
+        .fixed_data(
+            "schema",
+            DataItem::public(schema).with_write_acl(Acl::Nobody),
+        );
+    if let Value::Map(entries) = stats.to_value() {
+        for (name, value) in entries {
+            builder = builder.ext_data(&name, DataItem::public(value).with_write_acl(Acl::Nobody));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrom_value::{IdGenerator, NodeId};
+
+    #[test]
+    fn stats_value_names_the_subject_and_mode() {
+        let mut ids = IdGenerator::new(NodeId(4));
+        let subject = ids.next_id();
+        let v = stats_value(subject);
+        let m = v.as_map().expect("stats are a map");
+        assert_eq!(m.get("object"), Some(&Value::ObjectRef(subject)));
+        assert!(m.contains_key("obs_mode"));
+        assert!(m.contains_key("invocations"));
+    }
+
+    #[test]
+    fn stats_object_is_introspectable_and_sealed() {
+        let mut ids = IdGenerator::new(NodeId(4));
+        let subject = ids.next_id();
+        let snap = stats_object(ids.next_id(), subject);
+        let reader = ids.next_id();
+        // Schema in the fixed section, live values in the extensible one.
+        assert_eq!(
+            snap.read_data(reader, "subject").unwrap(),
+            Value::ObjectRef(subject)
+        );
+        let listed = snap.list_data(reader);
+        assert!(listed
+            .iter()
+            .any(|(n, s)| n == "schema" && *s == crate::container::Section::Fixed));
+        assert!(listed
+            .iter()
+            .any(|(n, s)| n == "invocations" && *s == crate::container::Section::Extensible));
+        // Read-only: even the origin may not write.
+        let mut snap = snap;
+        let origin = snap.origin();
+        assert!(snap
+            .write_data(origin, "invocations", Value::Int(99))
+            .is_err());
+    }
+}

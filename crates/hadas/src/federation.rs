@@ -339,7 +339,9 @@ impl Federation {
     }
 
     fn post(&mut self, from: NodeId, to: NodeId, msg: &ProtocolMsg) -> Result<(), HadasError> {
-        self.net.send(from, to, msg.encode())?;
+        let bytes = msg.encode();
+        mrom_obs::fed_send(from, to, msg.kind(), bytes.len());
+        self.net.send(from, to, bytes)?;
         Ok(())
     }
 
@@ -411,6 +413,7 @@ impl Federation {
         let Ok(msg) = ProtocolMsg::decode(&delivery.payload) else {
             return;
         };
+        mrom_obs::fed_recv(delivery.src, delivery.dst, msg.kind());
         // Keep every site's virtual clock in step with the network.
         if let Some(site) = self.sites.get_mut(&delivery.dst) {
             site.runtime.set_now(delivery.at.as_millis());
@@ -439,7 +442,13 @@ impl Federation {
                 target,
                 method,
                 args,
+                trace,
+                parent_span,
             } => {
+                // Continue the sender's trace for the duration of the
+                // remote invocation: both halves of the cross-site call
+                // share one causally-linked timeline.
+                let _scope = mrom_obs::continue_trace(trace, parent_span);
                 let reply = match self
                     .sites
                     .get_mut(&delivery.dst)
@@ -472,7 +481,15 @@ impl Federation {
                 };
                 let _ = self.post(delivery.dst, delivery.src, &reply);
             }
-            ProtocolMsg::MoveObject { req_id, image } => {
+            ProtocolMsg::MoveObject {
+                req_id,
+                image,
+                trace,
+                parent_span,
+            } => {
+                // The migrating object's trace context travelled with it:
+                // adoption and the arrival hook stay on the origin's trace.
+                let _scope = mrom_obs::continue_trace(trace, parent_span);
                 let reply = match self.handle_move(delivery.dst, delivery.src, &image) {
                     Ok(adopted) => ProtocolMsg::MoveAck { req_id, adopted },
                     Err(e) => ProtocolMsg::Error {
@@ -623,6 +640,7 @@ impl Federation {
         let site = self.sites.get_mut(&at).ok_or(HadasError::UnknownSite(at))?;
         let host_ioo = site.ioo;
         site.runtime.adopt(obj).map_err(HadasError::Model)?;
+        mrom_obs::object_adopted(id, at);
         let has_hook = site
             .runtime
             .object(id)
@@ -854,9 +872,25 @@ impl Federation {
         method: &str,
         args: &[Value],
     ) -> Result<Value, HadasError> {
+        let span = mrom_obs::fed_op_start(from, "remote_invoke");
+        let result = self.remote_invoke_inner(from, to, caller, target, method, args);
+        mrom_obs::fed_op_end(span, "remote_invoke", result.is_ok());
+        result
+    }
+
+    fn remote_invoke_inner(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        caller: ObjectId,
+        target: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, HadasError> {
         self.site(from)?;
         self.site(to)?;
         let req_id = self.fresh_req_id();
+        let (trace, parent_span) = mrom_obs::current_trace_context();
         let reply = self.request(
             from,
             to,
@@ -866,6 +900,8 @@ impl Federation {
                 target,
                 method: method.to_owned(),
                 args: args.to_vec(),
+                trace,
+                parent_span,
             },
         )?;
         match reply {
@@ -919,6 +955,7 @@ impl Federation {
             }
         }
         if info.remote_methods.iter().any(|m| m == method) {
+            mrom_obs::ambassador_relay(host, ambassador, method);
             return self.remote_invoke(
                 host,
                 info.origin_node,
@@ -998,6 +1035,18 @@ impl Federation {
         to: NodeId,
         object: ObjectId,
     ) -> Result<(), HadasError> {
+        let span = mrom_obs::fed_op_start(from, "dispatch_object");
+        let result = self.dispatch_object_inner(from, to, object);
+        mrom_obs::fed_op_end(span, "dispatch_object", result.is_ok());
+        result
+    }
+
+    fn dispatch_object_inner(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        object: ObjectId,
+    ) -> Result<(), HadasError> {
         if !self.is_linked(from, to) {
             return Err(HadasError::NotLinked { from, to });
         }
@@ -1012,7 +1061,18 @@ impl Federation {
             }
         };
         let req_id = self.fresh_req_id();
-        let outcome = self.request(from, to, ProtocolMsg::MoveObject { req_id, image });
+        mrom_obs::object_dispatched(object, from, to);
+        let (trace, parent_span) = mrom_obs::current_trace_context();
+        let outcome = self.request(
+            from,
+            to,
+            ProtocolMsg::MoveObject {
+                req_id,
+                image,
+                trace,
+                parent_span,
+            },
+        );
         match outcome {
             Ok(ProtocolMsg::MoveAck { adopted, .. }) if adopted == object => Ok(()),
             Ok(ProtocolMsg::Error { reason, .. }) => {

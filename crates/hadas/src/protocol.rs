@@ -155,6 +155,12 @@ pub enum ProtocolMsg {
         method: String,
         /// Arguments.
         args: Vec<Value>,
+        /// Originating trace id (0 = no active trace): lets the receiving
+        /// site continue the sender's trace so a cross-site call is one
+        /// causally-linked timeline.
+        trace: u64,
+        /// Span at the sender under which remote work nests (0 = none).
+        parent_span: u64,
     },
     /// Remote invocation response.
     InvokeResp {
@@ -188,6 +194,12 @@ pub enum ProtocolMsg {
         req_id: u64,
         /// The object's migration image.
         image: Vec<u8>,
+        /// Originating trace id (0 = no active trace); travels with the
+        /// object so the migration hop and everything the object does on
+        /// arrival stay on one causally-linked trace.
+        trace: u64,
+        /// Span at the sender under which the hop nests (0 = none).
+        parent_span: u64,
     },
     /// Migration acknowledgement.
     MoveAck {
@@ -217,6 +229,23 @@ impl ProtocolMsg {
             | ProtocolMsg::UpdateAck { req_id, .. }
             | ProtocolMsg::MoveObject { req_id, .. }
             | ProtocolMsg::MoveAck { req_id, .. } => *req_id,
+        }
+    }
+
+    /// The wire tag of the message (stable, for traffic accounting).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolMsg::LinkReq { .. } => "link_req",
+            ProtocolMsg::LinkAck { .. } => "link_ack",
+            ProtocolMsg::ImportReq { .. } => "import_req",
+            ProtocolMsg::ExportAck { .. } => "export_ack",
+            ProtocolMsg::Error { .. } => "error",
+            ProtocolMsg::InvokeReq { .. } => "invoke_req",
+            ProtocolMsg::InvokeResp { .. } => "invoke_resp",
+            ProtocolMsg::UpdateReq { .. } => "update_req",
+            ProtocolMsg::UpdateAck { .. } => "update_ack",
+            ProtocolMsg::MoveObject { .. } => "move_object",
+            ProtocolMsg::MoveAck { .. } => "move_ack",
         }
     }
 
@@ -286,6 +315,8 @@ impl ProtocolMsg {
                 target,
                 method,
                 args,
+                trace,
+                parent_span,
             } => Value::map([
                 ("op", Value::from("invoke_req")),
                 ("req_id", Value::Int(*req_id as i64)),
@@ -293,6 +324,8 @@ impl ProtocolMsg {
                 ("target", Value::ObjectRef(*target)),
                 ("method", Value::Str(method.clone())),
                 ("args", Value::List(args.clone())),
+                ("trace", Value::Int(*trace as i64)),
+                ("parent_span", Value::Int(*parent_span as i64)),
             ]),
             ProtocolMsg::InvokeResp { req_id, result } => Value::map([
                 ("op", Value::from("invoke_resp")),
@@ -319,10 +352,17 @@ impl ProtocolMsg {
                 ("req_id", Value::Int(*req_id as i64)),
                 ("applied", Value::Int(*applied as i64)),
             ]),
-            ProtocolMsg::MoveObject { req_id, image } => Value::map([
+            ProtocolMsg::MoveObject {
+                req_id,
+                image,
+                trace,
+                parent_span,
+            } => Value::map([
                 ("op", Value::from("move_object")),
                 ("req_id", Value::Int(*req_id as i64)),
                 ("image", Value::Bytes(image.clone())),
+                ("trace", Value::Int(*trace as i64)),
+                ("parent_span", Value::Int(*parent_span as i64)),
             ]),
             ProtocolMsg::MoveAck { req_id, adopted } => Value::map([
                 ("op", Value::from("move_ack")),
@@ -385,6 +425,10 @@ impl ProtocolMsg {
                 .map(|n| NodeId(n as u64))
                 .ok_or_else(|| bad(&format!("missing node {key:?}")))
         };
+        // Trace fields are carried by newer peers only; absent means "no
+        // active trace", so pre-trace buffers still decode.
+        let get_u64_or_zero =
+            |key: &str| -> u64 { m.get(key).and_then(Value::as_int).unwrap_or(0) as u64 };
         Ok(match op {
             "link_req" => ProtocolMsg::LinkReq {
                 req_id,
@@ -432,6 +476,8 @@ impl ProtocolMsg {
                     .and_then(Value::as_list)
                     .ok_or_else(|| bad("missing args"))?
                     .to_vec(),
+                trace: get_u64_or_zero("trace"),
+                parent_span: get_u64_or_zero("parent_span"),
             },
             "invoke_resp" => ProtocolMsg::InvokeResp {
                 req_id,
@@ -462,6 +508,8 @@ impl ProtocolMsg {
             "move_object" => ProtocolMsg::MoveObject {
                 req_id,
                 image: get_bytes("image")?,
+                trace: get_u64_or_zero("trace"),
+                parent_span: get_u64_or_zero("parent_span"),
             },
             "move_ack" => ProtocolMsg::MoveAck {
                 req_id,
@@ -519,6 +567,8 @@ mod tests {
                 target: b,
                 method: "query".into(),
                 args: vec![Value::Int(1), Value::from("x")],
+                trace: 17,
+                parent_span: 3,
             },
             ProtocolMsg::InvokeResp {
                 req_id: 4,
@@ -548,6 +598,8 @@ mod tests {
             ProtocolMsg::MoveObject {
                 req_id: 6,
                 image: vec![0xAB; 32],
+                trace: 9,
+                parent_span: 0,
             },
             ProtocolMsg::MoveAck {
                 req_id: 6,
@@ -559,6 +611,27 @@ mod tests {
             let back = ProtocolMsg::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
             assert_eq!(back, msg);
             assert_eq!(back.req_id(), msg.req_id());
+            assert_eq!(back.kind(), msg.kind());
+        }
+    }
+
+    #[test]
+    fn pre_trace_buffers_decode_with_no_active_trace() {
+        // A message encoded without the trace fields (an older peer) must
+        // still decode; the trace context defaults to "none".
+        let v = Value::map([
+            ("op", Value::from("move_object")),
+            ("req_id", Value::Int(6)),
+            ("image", Value::Bytes(vec![1, 2, 3])),
+        ]);
+        match ProtocolMsg::from_value(&v).unwrap() {
+            ProtocolMsg::MoveObject {
+                trace, parent_span, ..
+            } => {
+                assert_eq!(trace, 0);
+                assert_eq!(parent_span, 0);
+            }
+            other => panic!("wrong decode: {other:?}"),
         }
     }
 

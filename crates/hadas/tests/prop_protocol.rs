@@ -81,15 +81,35 @@ fn arb_msg() -> impl Strategy<Value = ProtocolMsg> {
             arb_id(),
             arb_id(),
             ".{0,12}",
-            prop::collection::vec(arb_value(), 0..3)
+            prop::collection::vec(arb_value(), 0..3),
+            any::<u64>(),
+            any::<u64>()
         )
-            .prop_map(|(r, c, t, m, a)| ProtocolMsg::InvokeReq {
+            .prop_map(|(r, c, t, m, a, tr, ps)| ProtocolMsg::InvokeReq {
                 req_id: r,
                 caller: c,
                 target: t,
                 method: m,
                 args: a,
+                trace: tr,
+                parent_span: ps,
             }),
+        (
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..64),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(r, img, tr, ps)| ProtocolMsg::MoveObject {
+                req_id: r,
+                image: img,
+                trace: tr,
+                parent_span: ps,
+            }),
+        (any::<u64>(), arb_id()).prop_map(|(r, a)| ProtocolMsg::MoveAck {
+            req_id: r,
+            adopted: a,
+        }),
         (any::<u64>(), arb_value()).prop_map(|(r, v)| ProtocolMsg::InvokeResp {
             req_id: r,
             result: v,

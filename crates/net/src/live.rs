@@ -69,7 +69,7 @@ impl LiveNode {
         if tx.send(msg).is_ok() {
             stats.record_delivery(self.node, dst, bytes);
         } else {
-            stats.record_drop();
+            stats.record_drop(self.node, dst);
         }
         Ok(())
     }

@@ -150,14 +150,17 @@ impl SimNet {
             return Err(NetError::SelfSend(src));
         }
         self.stats.record_send(payload.len());
+        mrom_obs::net_send();
 
         if self.config.is_partitioned(src, dst) {
-            self.stats.record_drop();
+            self.stats.record_drop(src, dst);
+            mrom_obs::net_drop();
             return Ok(None);
         }
         let link = self.config.link(src, dst);
         if link.loss() > 0.0 && self.rng.random::<f64>() < link.loss() {
-            self.stats.record_drop();
+            self.stats.record_drop(src, dst);
+            mrom_obs::net_drop();
             return Ok(None);
         }
 
@@ -192,6 +195,7 @@ impl SimNet {
         self.now = msg.at;
         self.stats
             .record_delivery(msg.src, msg.dst, msg.payload.len());
+        mrom_obs::net_deliver(msg.payload.len());
         Some(Delivery {
             at: msg.at,
             src: msg.src,

@@ -20,6 +20,11 @@ pub struct NetStats {
     pub bytes_delivered: u64,
     /// Per directed link `(src, dst)`: (messages, bytes) delivered.
     pub per_link: BTreeMap<(NodeId, NodeId), (u64, u64)>,
+    /// Per directed link `(src, dst)`: messages dropped by loss or
+    /// partitions. Without this the aggregate [`NetStats::messages_dropped`]
+    /// could not be attributed to a link, so per-link delivery ratios
+    /// silently read as perfect.
+    pub per_link_dropped: BTreeMap<(NodeId, NodeId), u64>,
 }
 
 impl NetStats {
@@ -38,8 +43,23 @@ impl NetStats {
         self.bytes_sent += bytes as u64;
     }
 
-    pub(crate) fn record_drop(&mut self) {
+    /// Fraction of messages on the directed link `(src, dst)` that were
+    /// delivered, counting drops attributed to that link (1.0 when the
+    /// link never carried traffic).
+    pub fn delivery_ratio_for(&self, src: NodeId, dst: NodeId) -> f64 {
+        let delivered = self.per_link.get(&(src, dst)).map_or(0, |(n, _)| *n);
+        let dropped = self.per_link_dropped.get(&(src, dst)).copied().unwrap_or(0);
+        let total = delivered + dropped;
+        if total == 0 {
+            1.0
+        } else {
+            delivered as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn record_drop(&mut self, src: NodeId, dst: NodeId) {
         self.messages_dropped += 1;
+        *self.per_link_dropped.entry((src, dst)).or_insert(0) += 1;
     }
 
     pub(crate) fn record_delivery(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
@@ -60,7 +80,7 @@ mod tests {
         let mut s = NetStats::default();
         s.record_send(10);
         s.record_send(20);
-        s.record_drop();
+        s.record_drop(NodeId(1), NodeId(3));
         s.record_delivery(NodeId(1), NodeId(2), 10);
         assert_eq!(s.messages_sent, 2);
         assert_eq!(s.messages_dropped, 1);
@@ -68,11 +88,36 @@ mod tests {
         assert_eq!(s.bytes_sent, 30);
         assert_eq!(s.bytes_delivered, 10);
         assert_eq!(s.per_link[&(NodeId(1), NodeId(2))], (1, 10));
+        assert_eq!(s.per_link_dropped[&(NodeId(1), NodeId(3))], 1);
         assert!((s.delivery_ratio() - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn empty_ratio_is_one() {
         assert_eq!(NetStats::default().delivery_ratio(), 1.0);
+        assert_eq!(
+            NetStats::default().delivery_ratio_for(NodeId(1), NodeId(2)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn per_link_ratio_attributes_drops_to_their_link() {
+        let mut s = NetStats::default();
+        // Link 1→2: three delivered, one dropped. Link 1→3: clean.
+        for _ in 0..4 {
+            s.record_send(8);
+        }
+        s.record_delivery(NodeId(1), NodeId(2), 8);
+        s.record_delivery(NodeId(1), NodeId(2), 8);
+        s.record_delivery(NodeId(1), NodeId(2), 8);
+        s.record_drop(NodeId(1), NodeId(2));
+        s.record_send(8);
+        s.record_delivery(NodeId(1), NodeId(3), 8);
+        assert!((s.delivery_ratio_for(NodeId(1), NodeId(2)) - 0.75).abs() < 1e-9);
+        assert_eq!(s.delivery_ratio_for(NodeId(1), NodeId(3)), 1.0);
+        // The lossy link's drops do not bleed into the untouched reverse
+        // direction.
+        assert_eq!(s.delivery_ratio_for(NodeId(2), NodeId(1)), 1.0);
     }
 }

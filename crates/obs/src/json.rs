@@ -1,0 +1,174 @@
+//! Minimal JSON rendering for [`Value`] trees.
+//!
+//! The offline `serde` stub cannot serialize arbitrary trees, so the
+//! snapshot exporter renders JSON by hand. Output is deterministic
+//! (`Value::Map` is a `BTreeMap`) and standard-conformant: strings are
+//! escaped, non-finite floats become `null`, bytes become a hex string,
+//! and object references render as their display form.
+
+use mrom_value::Value;
+
+/// Renders a value tree as compact JSON.
+#[must_use]
+pub fn to_json(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+/// Renders a value tree as indented JSON (two-space indent).
+#[must_use]
+pub fn to_json_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Bytes(b) => write_string(out, &hex(b)),
+        Value::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+        Value::ObjectRef(id) => write_string(out, &id.to_string()),
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, depth: usize) {
+    match value {
+        Value::List(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_pretty(out, val, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let rendered = format!("{f}");
+        // `{}` on an integral f64 omits the point; keep JSON number-ness.
+        out.push_str(&rendered);
+        if !rendered.contains('.') && !rendered.contains('e') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(to_json(&Value::Null), "null");
+        assert_eq!(to_json(&Value::Bool(true)), "true");
+        assert_eq!(to_json(&Value::Int(-42)), "-42");
+        assert_eq!(to_json(&Value::Float(1.5)), "1.5");
+        assert_eq!(to_json(&Value::Float(2.0)), "2.0");
+        assert_eq!(to_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(to_json(&Value::from("a\"b\nc")), "\"a\\\"b\\nc\"");
+        assert_eq!(to_json(&Value::Bytes(vec![0xde, 0xad])), "\"dead\"");
+    }
+
+    #[test]
+    fn containers_render_deterministically() {
+        let v = Value::map([
+            ("b", Value::list([Value::Int(1), Value::Null])),
+            ("a", Value::Int(2)),
+        ]);
+        // BTreeMap sorts keys.
+        assert_eq!(to_json(&v), "{\"a\":2,\"b\":[1,null]}");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_equivalent() {
+        let v = Value::map([("k", Value::list([Value::Int(1)]))]);
+        let pretty = to_json_pretty(&v);
+        assert!(pretty.contains("\n  \"k\": [\n"));
+        let compact: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(compact, to_json(&v).replace(": ", ":"));
+    }
+}

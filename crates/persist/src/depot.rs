@@ -49,6 +49,7 @@ impl<S: BlobStore> Depot<S> {
     pub fn save(&mut self, obj: &MromObject) -> Result<(), PersistError> {
         // The object acts with its own authority when persisting itself.
         let image = obj.migration_image(obj.id())?;
+        mrom_obs::depot_save(obj.id(), image.len());
         self.store.put(&obj.id().to_string(), &image)
     }
 
@@ -64,6 +65,13 @@ impl<S: BlobStore> Depot<S> {
     /// [`PersistError::NotFound`], [`PersistError::Corrupt`], or image
     /// validation failures.
     pub fn restore(&self, id: ObjectId) -> Result<MromObject, PersistError> {
+        let result = self.restore_inner(id);
+        let corrupt = matches!(result, Err(PersistError::Corrupt { .. }));
+        mrom_obs::depot_restore(result.is_ok(), corrupt);
+        result
+    }
+
+    fn restore_inner(&self, id: ObjectId) -> Result<MromObject, PersistError> {
         let bytes = self
             .store
             .get(&id.to_string())?
@@ -121,8 +129,14 @@ impl<S: BlobStore> Depot<S> {
                     detail: "key vanished during restore".into(),
                 }),
             }) {
-                Ok(obj) => ok.push(obj),
-                Err(e) => failed.push((key, e)),
+                Ok(obj) => {
+                    mrom_obs::depot_restore(true, false);
+                    ok.push(obj);
+                }
+                Err(e) => {
+                    mrom_obs::depot_restore(false, matches!(e, PersistError::Corrupt { .. }));
+                    failed.push((key, e));
+                }
             }
         }
         (ok, failed)

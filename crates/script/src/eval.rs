@@ -75,6 +75,7 @@ pub struct Evaluator<'h, H: HostContext + ?Sized> {
     host: &'h mut H,
     budget: u64,
     fuel: u64,
+    host_calls: u64,
 }
 
 impl<'h, H: HostContext + ?Sized> Evaluator<'h, H> {
@@ -89,12 +90,19 @@ impl<'h, H: HostContext + ?Sized> Evaluator<'h, H> {
             host,
             budget: fuel,
             fuel,
+            host_calls: 0,
         }
     }
 
     /// Fuel consumed by runs so far.
     pub fn fuel_used(&self) -> u64 {
         self.budget - self.fuel
+    }
+
+    /// Host calls (`self.…` / world operations) performed by runs so far.
+    /// Feeds the observability layer's per-script host-call counters.
+    pub fn host_calls(&self) -> u64 {
+        self.host_calls
     }
 
     /// Runs `program` with the given argument list.
@@ -311,6 +319,7 @@ impl<'h, H: HostContext + ?Sized> Evaluator<'h, H> {
                     vals.push(self.eval(a, scopes)?);
                 }
                 self.burn(8)?;
+                self.host_calls += 1;
                 self.host.host_call(name, &vals)
             }
             Expr::ListExpr(items) => {

@@ -107,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(ledger_map[&bob.to_string()], Value::Int(3));
 
     println!("\n== charging trail (node log) ==");
-    for (who, line) in rt.log_entries() {
+    for (who, line) in mrom::obs::log_lines_for(rt.node()) {
         println!("  {who}: {line}");
     }
 

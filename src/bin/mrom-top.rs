@@ -1,0 +1,249 @@
+//! `mrom-top` — the observability console for the MROM reproduction.
+//!
+//! The runtime is a library, not a daemon, so there is no live process to
+//! attach to: `mrom-top` instead drives a representative workload — a
+//! two-site federation round trip with a metered (tower-wrapped) object,
+//! a whole-object migration, and a persistence checkpoint — with the
+//! [`mrom::obs`] recorder on, then renders what the recorder saw.
+//!
+//! ```text
+//! mrom-top --snapshot          run the workload, print the metrics table
+//! mrom-top --snapshot --json   same, as pretty-printed JSON
+//! mrom-top trace dump          run the workload, dump the flight recorder
+//! ```
+//!
+//! The same counters are reachable *from inside the model*: every object
+//! answers the `getStats` meta-method, and `mrom::core::stats_object`
+//! materializes a snapshot as an introspectable read-only object (see
+//! `docs/OBSERVABILITY.md`).
+//!
+//! Exit code 0 on success, 1 on workload failure, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use hadas::{AmbassadorSpec, Federation};
+use mrom::core::{ClassSpec, DataItem, Method, MethodBody};
+use mrom::net::{LinkConfig, NetworkConfig};
+use mrom::obs::ObsMode;
+use mrom::value::{NodeId, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let run = match strs.as_slice() {
+        ["--snapshot"] => cmd_snapshot(false),
+        ["--snapshot", "--json"] | ["--json", "--snapshot"] => cmd_snapshot(true),
+        ["trace", "dump"] => cmd_trace_dump(),
+        _ => {
+            eprintln!("usage: mrom-top <--snapshot [--json] | trace dump>");
+            return ExitCode::from(2);
+        }
+    };
+    match run {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("mrom-top: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Runs the demo workload under `Full` recording and renders the metrics
+/// snapshot (split out for testing).
+fn cmd_snapshot(json: bool) -> Result<String, String> {
+    mrom::obs::reset();
+    mrom::obs::set_mode(ObsMode::Full);
+    let workload = run_workload();
+    let out = if json {
+        mrom::obs::snapshot_json_pretty()
+    } else {
+        render_table(&mrom::obs::snapshot_value())
+    };
+    mrom::obs::set_mode(ObsMode::Disabled);
+    workload?;
+    Ok(out)
+}
+
+/// Runs the demo workload under `Full` recording and dumps the flight
+/// recorder (split out for testing).
+fn cmd_trace_dump() -> Result<String, String> {
+    mrom::obs::reset();
+    mrom::obs::set_mode(ObsMode::Full);
+    let workload = run_workload();
+    let events = mrom::obs::ring_snapshot();
+    let overwritten = mrom::obs::ring_overwritten();
+    mrom::obs::set_mode(ObsMode::Disabled);
+    workload?;
+    let mut out = format!(
+        "flight recorder: {} event(s), {} overwritten\n",
+        events.len(),
+        overwritten
+    );
+    for ev in &events {
+        out.push_str(&format!("{ev}\n"));
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// A workload touching every instrumented layer: level-0 dispatch, a
+/// meta-invoke tower, migration, federation traffic, and an ambassador
+/// relay.
+fn run_workload() -> Result<(), String> {
+    let fail = |e: hadas::HadasError| e.to_string();
+    let cfg = NetworkConfig::new(42).with_default_link(LinkConfig::lan());
+    let mut fed = Federation::new(cfg);
+    let home = NodeId(1);
+    let away = NodeId(2);
+    fed.add_site(home).map_err(fail)?;
+    fed.add_site(away).map_err(fail)?;
+    fed.link(home, away).map_err(fail)?;
+
+    // A database APO at `away` exporting one method; the other relays.
+    let apo_class = ClassSpec::new("demo-db")
+        .fixed_data("rows", DataItem::public(Value::Int(3)))
+        .fixed_method(
+            "count",
+            Method::public(
+                MethodBody::script("return self.get(\"rows\");").map_err(|e| e.to_string())?,
+            ),
+        )
+        .fixed_method(
+            "sum",
+            Method::public(
+                MethodBody::script("param a; param b; return a + b;").map_err(|e| e.to_string())?,
+            ),
+        );
+    let apo = apo_class.instantiate(fed.runtime_mut(away).map_err(fail)?.ids_mut());
+    let spec = AmbassadorSpec::relay_only()
+        .with_methods(["count"])
+        .with_data(["rows"]);
+    fed.integrate_apo(away, "db", apo, spec).map_err(fail)?;
+    let amb = fed.import_apo(home, away, "db").map_err(fail)?;
+    let caller = fed.runtime_mut(home).map_err(fail)?.ids_mut().next_id();
+    // Local (migrated) call, then a relayed call over the wire.
+    fed.call_through_ambassador(home, caller, amb, "count", &[])
+        .map_err(fail)?;
+    fed.call_through_ambassador(home, caller, amb, "sum", &[Value::Int(20), Value::Int(22)])
+        .map_err(fail)?;
+
+    // A metered agent: tower-wrapped dispatch, then a whole-object hop.
+    let agent_class = ClassSpec::new("agent")
+        .fixed_data("trips", DataItem::public(Value::Int(0)))
+        .fixed_method(
+            "work",
+            Method::public(MethodBody::script("return 7 * 6;").map_err(|e| e.to_string())?),
+        );
+    let rt = fed.runtime_mut(home).map_err(fail)?;
+    let agent = agent_class.instantiate(rt.ids_mut());
+    let agent_id = agent.id();
+    rt.adopt(agent).map_err(|e| e.to_string())?;
+    rt.object_mut(agent_id)
+        .ok_or("agent vanished")?
+        .add_method(
+            agent_id,
+            "meter",
+            Method::public(
+                MethodBody::script("param m; param a; return self.invoke(m, a);")
+                    .map_err(|e| e.to_string())?,
+            ),
+        )
+        .map_err(|e| e.to_string())?;
+    rt.object_mut(agent_id)
+        .ok_or("agent vanished")?
+        .install_meta_invoke(agent_id, "meter")
+        .map_err(|e| e.to_string())?;
+    rt.invoke_as_system(agent_id, "work", &[])
+        .map_err(|e| e.to_string())?;
+    fed.dispatch_object(home, away, agent_id).map_err(fail)?;
+
+    // Persistence: the travelled agent checkpoints itself at `away`.
+    let mut depot = mrom::persist::Depot::new(mrom::persist::MemStore::new());
+    let rt = fed.runtime(away).map_err(fail)?;
+    let obj = rt.object(agent_id).ok_or("agent did not arrive")?;
+    depot.save(obj).map_err(|e| e.to_string())?;
+    depot.restore(agent_id).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Renders a metrics snapshot value tree as an indented table, eliding
+/// histogram bucket arrays (split out for testing).
+fn render_table(snapshot: &Value) -> String {
+    let mut out = String::from("mrom-top metrics snapshot\n");
+    render_into(&mut out, snapshot, 0);
+    out.trim_end().to_owned()
+}
+
+fn render_into(out: &mut String, v: &Value, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match v {
+        Value::Map(entries) => {
+            for (key, val) in entries {
+                match val {
+                    Value::Map(_) => {
+                        out.push_str(&format!("{pad}{key}:\n"));
+                        render_into(out, val, depth + 1);
+                    }
+                    Value::List(items) if key == "buckets" => {
+                        let populated =
+                            items.iter().filter(|b| !matches!(b, Value::Int(0))).count();
+                        out.push_str(&format!("{pad}{key}: {populated} populated\n"));
+                    }
+                    other => out.push_str(&format!("{pad}{key}: {other}\n")),
+                }
+            }
+        }
+        other => out.push_str(&format!("{pad}{other}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_runs_the_workload_and_reports_counters() {
+        let out = cmd_snapshot(false).unwrap();
+        assert!(out.contains("invoke:"), "{out}");
+        assert!(out.contains("federation:"), "{out}");
+        assert!(out.contains("invocations:"), "{out}");
+        // The workload performed real work, so counters are nonzero.
+        assert!(!out.contains("invocations: 0\n"), "{out}");
+    }
+
+    #[test]
+    fn snapshot_json_is_machine_readable() {
+        let out = cmd_snapshot(true).unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"metrics\""), "{out}");
+        assert!(out.contains("\"federation\""), "{out}");
+    }
+
+    #[test]
+    fn trace_dump_shows_federation_and_tower_events() {
+        let out = cmd_trace_dump().unwrap();
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(out.contains("fed_send"), "{out}");
+        assert!(out.contains("invoke_start"), "{out}");
+        assert!(out.contains("tower_descend"), "{out}");
+        assert!(out.contains("object_dispatched"), "{out}");
+    }
+
+    #[test]
+    fn render_table_elides_buckets() {
+        let v = Value::map([(
+            "invoke",
+            Value::map([(
+                "latency_ns",
+                Value::map([(
+                    "buckets",
+                    Value::list([Value::Int(0), Value::Int(3), Value::Int(0)]),
+                )]),
+            )]),
+        )]);
+        let out = render_table(&v);
+        assert!(out.contains("buckets: 1 populated"), "{out}");
+    }
+}

@@ -4,8 +4,8 @@
 //! reflective object model ([`core`]), its value system ([`value`]), the
 //! mobile scripting language ([`script`]), the network simulator ([`net`]),
 //! the self-contained persistence substrate ([`persist`]), the comparator
-//! object models ([`baselines`]), and the HADAS interoperability framework
-//! ([`hadas`]).
+//! object models ([`baselines`]), the HADAS interoperability framework
+//! ([`hadas`]), and the observability layer ([`obs`]).
 //!
 //! See the repository `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-crate mapping.
@@ -16,6 +16,7 @@ pub use hadas;
 pub use mrom_baselines as baselines;
 pub use mrom_core as core;
 pub use mrom_net as net;
+pub use mrom_obs as obs;
 pub use mrom_persist as persist;
 pub use mrom_script as script;
 pub use mrom_value as value;
