@@ -3,7 +3,7 @@
 use std::fmt;
 
 use mrom_core::MromError;
-use mrom_net::NetError;
+use mrom_net::{NetError, SimTime};
 use mrom_value::{NodeId, ObjectId};
 
 /// Errors raised by the interoperability framework.
@@ -28,10 +28,14 @@ pub enum HadasError {
     /// The referenced object is not a hosted ambassador here.
     UnknownAmbassador(ObjectId),
     /// A synchronous protocol exchange did not complete (partition, loss,
-    /// or a dead peer).
+    /// or a dead peer), even after every retry the active policy allowed.
     Timeout {
         /// The operation that timed out.
         operation: String,
+        /// Attempts made before giving up (1 = no retry policy).
+        attempts: u32,
+        /// Virtual time spent on the operation, first post to give-up.
+        elapsed: SimTime,
     },
     /// The peer answered with an error.
     Remote(String),
@@ -55,6 +59,9 @@ pub enum HadasError {
         /// diagnostic list.
         rejection: MromError,
     },
+    /// A depot (persistence) operation failed during checkpoint or
+    /// crash recovery.
+    Persist(String),
     /// An underlying model error.
     Model(MromError),
     /// An underlying network error.
@@ -74,10 +81,15 @@ impl fmt::Display for HadasError {
             HadasError::UnknownAmbassador(id) => {
                 write!(f, "object {id} is not an ambassador hosted here")
             }
-            HadasError::Timeout { operation } => {
+            HadasError::Timeout {
+                operation,
+                attempts,
+                elapsed,
+            } => {
                 write!(
                     f,
-                    "{operation} did not complete (message lost or peer down)"
+                    "{operation} did not complete after {attempts} attempt(s) over {elapsed} \
+                     (message lost or peer down)"
                 )
             }
             HadasError::Remote(detail) => write!(f, "remote error: {detail}"),
@@ -88,6 +100,7 @@ impl fmt::Display for HadasError {
             HadasError::AdmissionRefused { at, rejection } => {
                 write!(f, "site {at} refused admission: {rejection}")
             }
+            HadasError::Persist(detail) => write!(f, "persistence error: {detail}"),
             HadasError::Model(e) => write!(f, "model error: {e}"),
             HadasError::Net(e) => write!(f, "network error: {e}"),
         }
@@ -132,6 +145,19 @@ mod tests {
         }
         .to_string()
         .contains("link"));
+    }
+
+    #[test]
+    fn timeout_reports_attempts_and_elapsed_time() {
+        let e = HadasError::Timeout {
+            operation: "request ImportReq".into(),
+            attempts: 4,
+            elapsed: SimTime::from_millis(350),
+        };
+        let text = e.to_string();
+        assert!(text.contains("request ImportReq"));
+        assert!(text.contains("4 attempt(s)"));
+        assert!(text.contains("350"), "elapsed sim-time shown: {text}");
     }
 
     #[test]

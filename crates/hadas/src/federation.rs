@@ -3,16 +3,25 @@
 //! functionality migration, update push) running over the simulated
 //! network.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mrom_core::{AdmissionPolicy, MromError, MromObject, Runtime};
 use mrom_net::{Delivery, NetStats, NetworkConfig, SimNet, SimTime};
+use mrom_persist::{BlobStore, Depot, MemStore};
 use mrom_value::{NodeId, ObjectId, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::ambassador::{instantiate_ambassador_with_policy, AmbassadorSpec, GuestInfo};
 use crate::error::HadasError;
 use crate::ioo::{build_ioo, map_insert};
 use crate::protocol::{ProtocolMsg, UpdateOp};
+use crate::retry::RetryPolicy;
+
+/// Entries kept in a site's reply cache before the oldest are evicted.
+/// Request ids are globally monotonic, so evicting the smallest ids drops
+/// the replies least likely to be retried.
+const REPLY_CACHE_CAP: usize = 1024;
 
 /// Who may import an APO — the access check the paper's Export performs
 /// ("Export verifies that the requested APO is accessible to the
@@ -47,6 +56,31 @@ struct Site {
     /// Ambassadors deployed *from* this site's APOs: APO id → (host node,
     /// ambassador id) pairs.
     deployed: BTreeMap<ObjectId, Vec<(NodeId, ObjectId)>>,
+    /// The site's self-contained persistence depot (paper §9): objects
+    /// write themselves here and bootstrap themselves back after a crash.
+    depot: Depot<MemStore>,
+    /// Receiver-side request dedup: req id → the reply already produced.
+    /// A retried or duplicated request is answered from here instead of
+    /// being re-executed, which is what makes delivery exactly-once.
+    /// Volatile — wiped by a crash (the depot, not this cache, is the
+    /// durable layer).
+    replies: BTreeMap<u64, ProtocolMsg>,
+    /// Migrations whose acknowledgement never arrived: object → intended
+    /// destination. The object's image stays in the depot until
+    /// [`Federation::resolve_in_doubt`] learns which side owns it.
+    in_doubt: BTreeMap<ObjectId, NodeId>,
+}
+
+impl Site {
+    /// Caches `reply` for its request id, evicting the oldest entries
+    /// beyond the cache bound.
+    fn remember_reply(&mut self, req_id: u64, reply: &ProtocolMsg) {
+        self.replies.insert(req_id, reply.clone());
+        while self.replies.len() > REPLY_CACHE_CAP {
+            let oldest = *self.replies.keys().next().expect("cache is non-empty");
+            self.replies.remove(&oldest);
+        }
+    }
 }
 
 /// A point-in-time summary of one site, used by reports and tests.
@@ -87,12 +121,33 @@ pub struct Federation {
     sites: BTreeMap<NodeId, Site>,
     next_req: u64,
     completed: HashMap<u64, ProtocolMsg>,
+    /// Request ids currently awaiting a reply. A reply whose id is not
+    /// here is stale — a duplicate of one already consumed — and is
+    /// dropped instead of polluting `completed`.
+    pending: HashSet<u64>,
     /// Safety bound on deliveries processed while waiting for one reply.
     max_pump: usize,
     /// Static admission policy every receive path applies to arriving
     /// mobile code (migrating objects, imported/linked ambassadors) and
     /// that the export path applies to ambassadors it instantiates.
     admission: AdmissionPolicy,
+    /// Retry policy for synchronous operations ([`RetryPolicy::Off`] by
+    /// default — the historical fail-on-first-loss behaviour).
+    retry: RetryPolicy,
+    /// Dedicated generator for backoff jitter, seeded from the network
+    /// seed so retry schedules reproduce per seed without perturbing the
+    /// simulator's own stream.
+    retry_rng: StdRng,
+}
+
+/// How one pass of the protocol pump ended.
+enum PumpOutcome {
+    /// Every awaited reply arrived.
+    Done,
+    /// The network went idle with replies still missing (lost traffic).
+    Dry,
+    /// The per-operation delivery bound was exceeded (a protocol storm).
+    BoundExceeded,
 }
 
 impl Federation {
@@ -100,13 +155,19 @@ impl Federation {
     /// Admission starts [`AdmissionPolicy::Off`] — the pre-admission
     /// behaviour.
     pub fn new(config: NetworkConfig) -> Federation {
+        // Decorrelate from the simulator's stream while staying a pure
+        // function of the configured seed.
+        let retry_rng = StdRng::seed_from_u64(config.seed() ^ 0x9E37_79B9_7F4A_7C15);
         Federation {
             net: SimNet::new(config),
             sites: BTreeMap::new(),
             next_req: 0,
             completed: HashMap::new(),
+            pending: HashSet::new(),
             max_pump: 100_000,
             admission: AdmissionPolicy::Off,
+            retry: RetryPolicy::Off,
+            retry_rng,
         }
     }
 
@@ -119,6 +180,18 @@ impl Federation {
     /// The federation-wide [`AdmissionPolicy`].
     pub fn admission_policy(&self) -> AdmissionPolicy {
         self.admission
+    }
+
+    /// Sets the federation-wide [`RetryPolicy`], returning the previous
+    /// one. With [`RetryPolicy::Off`] (the default) every synchronous
+    /// operation behaves exactly as it did before retries existed.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) -> RetryPolicy {
+        std::mem::replace(&mut self.retry, policy)
+    }
+
+    /// The federation-wide [`RetryPolicy`].
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Decodes an arriving image under the federation admission policy,
@@ -148,6 +221,11 @@ impl Federation {
         let mut runtime = Runtime::new(node);
         let ioo_obj = build_ioo(runtime.ids_mut(), node);
         let ioo = ioo_obj.id();
+        let mut depot = Depot::new(MemStore::new());
+        // Write-ahead bootstrap image: a crashed site restores its IOO
+        // (and everything else in the depot) from here. Best-effort — an
+        // IOO with native bodies simply is not persistable.
+        let _ = depot.save(&ioo_obj);
         runtime.adopt(ioo_obj).map_err(HadasError::Model)?;
         self.sites.insert(
             node,
@@ -160,6 +238,9 @@ impl Federation {
                 links: BTreeSet::new(),
                 guests: BTreeMap::new(),
                 deployed: BTreeMap::new(),
+                depot,
+                replies: BTreeMap::new(),
+                in_doubt: BTreeMap::new(),
             },
         );
         Ok(ioo)
@@ -217,6 +298,11 @@ impl Federation {
         self.net.config_mut()
     }
 
+    /// The nodes that have a site in this federation.
+    pub fn site_nodes(&self) -> Vec<NodeId> {
+        self.sites.keys().copied().collect()
+    }
+
     /// Per-site summary.
     ///
     /// # Errors
@@ -252,6 +338,9 @@ impl Federation {
             return Err(HadasError::DuplicateApo(name.to_owned()));
         }
         let id = apo.id();
+        // Best-effort write-ahead: a mobile APO survives a site crash;
+        // one with native bodies simply is not persistable.
+        let _ = site.depot.save(&apo);
         site.runtime.adopt(apo).map_err(HadasError::Model)?;
         site.apos.insert(name.to_owned(), id);
         site.specs.insert(name.to_owned(), spec);
@@ -345,7 +434,10 @@ impl Federation {
         Ok(())
     }
 
-    /// Sends a request and pumps the network until its reply arrives.
+    /// Sends a request and pumps the network until its reply arrives,
+    /// re-posting it under the active [`RetryPolicy`] when the network
+    /// goes quiet with the reply still missing. Every attempt reuses the
+    /// request id, so the receiver's reply cache makes retries idempotent.
     fn request(
         &mut self,
         from: NodeId,
@@ -353,33 +445,101 @@ impl Federation {
         msg: ProtocolMsg,
     ) -> Result<ProtocolMsg, HadasError> {
         let req_id = msg.req_id();
-        let operation = format!("request {msg:?}");
-        self.post(from, to, &msg)?;
-        self.pump_until(&[req_id], &operation)?;
-        Ok(self
-            .completed
-            .remove(&req_id)
-            .expect("pump_until guarantees presence"))
+        let started = self.net.now();
+        let max_attempts = self.retry.max_attempts();
+        self.pending.insert(req_id);
+        let mut attempt = 1u32;
+        let finish = |fed: &mut Federation, reply| {
+            fed.pending.remove(&req_id);
+            reply
+        };
+        loop {
+            if let Err(e) = self.post(from, to, &msg) {
+                return finish(self, Err(e));
+            }
+            match self.pump(&[req_id]) {
+                PumpOutcome::Done => {
+                    let reply = self
+                        .completed
+                        .remove(&req_id)
+                        .expect("pump guarantees presence");
+                    return finish(self, Ok(reply));
+                }
+                PumpOutcome::BoundExceeded => {
+                    return finish(
+                        self,
+                        Err(HadasError::Timeout {
+                            operation: format!("request {} (pump bound exceeded)", msg.kind()),
+                            attempts: attempt,
+                            elapsed: self.net.now().saturating_sub(started),
+                        }),
+                    );
+                }
+                PumpOutcome::Dry if attempt < max_attempts => {
+                    attempt += 1;
+                    mrom_obs::fed_retry(from, msg.kind(), attempt);
+                    let delay = self.retry.backoff_delay(attempt, &mut self.retry_rng);
+                    // Wait out the backoff in virtual time; anything that
+                    // arrives meanwhile (a slow reply racing the retry) is
+                    // handled before the re-post.
+                    let deliveries = self.net.run_until(self.net.now() + delay);
+                    for d in deliveries {
+                        self.handle(d);
+                    }
+                    if let Some(reply) = self.completed.remove(&req_id) {
+                        return finish(self, Ok(reply));
+                    }
+                }
+                PumpOutcome::Dry => {
+                    return finish(
+                        self,
+                        Err(HadasError::Timeout {
+                            operation: format!("request {msg:?}"),
+                            attempts: attempt,
+                            elapsed: self.net.now().saturating_sub(started),
+                        }),
+                    );
+                }
+            }
+        }
     }
 
-    /// Processes deliveries until every listed reply has arrived.
-    fn pump_until(&mut self, req_ids: &[u64], operation: &str) -> Result<(), HadasError> {
+    /// One pass of the protocol pump: processes deliveries until every
+    /// listed reply is present, the network goes dry, or the safety bound
+    /// trips.
+    fn pump(&mut self, req_ids: &[u64]) -> PumpOutcome {
         let mut steps = 0;
         while !req_ids.iter().all(|id| self.completed.contains_key(id)) {
             let Some(delivery) = self.net.step() else {
-                return Err(HadasError::Timeout {
-                    operation: operation.to_owned(),
-                });
+                return PumpOutcome::Dry;
             };
             self.handle(delivery);
             steps += 1;
             if steps > self.max_pump {
-                return Err(HadasError::Timeout {
-                    operation: format!("{operation} (pump bound exceeded)"),
-                });
+                return PumpOutcome::BoundExceeded;
             }
         }
-        Ok(())
+        PumpOutcome::Done
+    }
+
+    /// Processes deliveries until every listed reply has arrived,
+    /// converting a dry network into a single-attempt timeout (used by
+    /// multi-target operations that manage their own request ids).
+    fn pump_until(&mut self, req_ids: &[u64], operation: &str) -> Result<(), HadasError> {
+        let started = self.net.now();
+        match self.pump(req_ids) {
+            PumpOutcome::Done => Ok(()),
+            PumpOutcome::Dry => Err(HadasError::Timeout {
+                operation: operation.to_owned(),
+                attempts: 1,
+                elapsed: self.net.now().saturating_sub(started),
+            }),
+            PumpOutcome::BoundExceeded => Err(HadasError::Timeout {
+                operation: format!("{operation} (pump bound exceeded)"),
+                attempts: 1,
+                elapsed: self.net.now().saturating_sub(started),
+            }),
+        }
     }
 
     /// Drains every in-flight message (fire-and-forget flows, tests).
@@ -418,6 +578,22 @@ impl Federation {
         if let Some(site) = self.sites.get_mut(&delivery.dst) {
             site.runtime.set_now(delivery.at.as_millis());
         }
+        // Receiver-side dedup: a request whose id was already served —
+        // a network duplicate or a sender retry racing a slow reply — is
+        // answered from the reply cache, never re-executed. This is what
+        // makes a retried `dispatch_object` unable to double-adopt and a
+        // retried invoke of a non-idempotent method exactly-once.
+        if Self::is_request(&msg) {
+            let cached = self
+                .sites
+                .get(&delivery.dst)
+                .and_then(|site| site.replies.get(&msg.req_id()).cloned());
+            if let Some(reply) = cached {
+                mrom_obs::fed_dedup(delivery.dst, msg.kind());
+                let _ = self.post(delivery.dst, delivery.src, &reply);
+                return;
+            }
+        }
         match msg {
             ProtocolMsg::LinkReq {
                 req_id,
@@ -425,7 +601,7 @@ impl Federation {
                 from_ioo,
             } => {
                 let reply = self.handle_link_req(delivery.dst, from, from_ioo, req_id);
-                let _ = self.post(delivery.dst, delivery.src, &reply);
+                self.reply_to(delivery.dst, delivery.src, req_id, &reply);
             }
             ProtocolMsg::ImportReq {
                 req_id,
@@ -434,7 +610,7 @@ impl Federation {
                 apo_name,
             } => {
                 let reply = self.handle_import_req(delivery.dst, from, from_ioo, &apo_name, req_id);
-                let _ = self.post(delivery.dst, delivery.src, &reply);
+                self.reply_to(delivery.dst, delivery.src, req_id, &reply);
             }
             ProtocolMsg::InvokeReq {
                 req_id,
@@ -464,7 +640,7 @@ impl Federation {
                         reason: e.to_string(),
                     },
                 };
-                let _ = self.post(delivery.dst, delivery.src, &reply);
+                self.reply_to(delivery.dst, delivery.src, req_id, &reply);
             }
             ProtocolMsg::UpdateReq {
                 req_id,
@@ -479,7 +655,7 @@ impl Federation {
                         reason: e.to_string(),
                     },
                 };
-                let _ = self.post(delivery.dst, delivery.src, &reply);
+                self.reply_to(delivery.dst, delivery.src, req_id, &reply);
             }
             ProtocolMsg::MoveObject {
                 req_id,
@@ -497,17 +673,53 @@ impl Federation {
                         reason: e.to_string(),
                     },
                 };
-                let _ = self.post(delivery.dst, delivery.src, &reply);
+                self.reply_to(delivery.dst, delivery.src, req_id, &reply);
+            }
+            ProtocolMsg::QueryObject { req_id, object } => {
+                let hosted = self
+                    .sites
+                    .get(&delivery.dst)
+                    .is_some_and(|site| site.runtime.object(object).is_some());
+                let reply = ProtocolMsg::QueryAck { req_id, hosted };
+                self.reply_to(delivery.dst, delivery.src, req_id, &reply);
             }
             reply @ (ProtocolMsg::LinkAck { .. }
             | ProtocolMsg::ExportAck { .. }
             | ProtocolMsg::InvokeResp { .. }
             | ProtocolMsg::UpdateAck { .. }
             | ProtocolMsg::MoveAck { .. }
+            | ProtocolMsg::QueryAck { .. }
             | ProtocolMsg::Error { .. }) => {
-                self.completed.insert(reply.req_id(), reply);
+                // Only replies someone is still waiting for complete an
+                // operation; a duplicate of an already-consumed reply is
+                // dropped here instead of leaking into `completed`.
+                if self.pending.contains(&reply.req_id()) {
+                    self.completed.insert(reply.req_id(), reply);
+                }
             }
         }
+    }
+
+    /// Is this message a request (something that produces a reply)?
+    fn is_request(msg: &ProtocolMsg) -> bool {
+        matches!(
+            msg,
+            ProtocolMsg::LinkReq { .. }
+                | ProtocolMsg::ImportReq { .. }
+                | ProtocolMsg::InvokeReq { .. }
+                | ProtocolMsg::UpdateReq { .. }
+                | ProtocolMsg::MoveObject { .. }
+                | ProtocolMsg::QueryObject { .. }
+        )
+    }
+
+    /// Posts `reply` and remembers it in the replying site's dedup cache
+    /// so a retransmitted request is answered without re-execution.
+    fn reply_to(&mut self, at: NodeId, to: NodeId, req_id: u64, reply: &ProtocolMsg) {
+        if let Some(site) = self.sites.get_mut(&at) {
+            site.remember_reply(req_id, reply);
+        }
+        let _ = self.post(at, to, reply);
     }
 
     fn handle_link_req(
@@ -639,6 +851,10 @@ impl Federation {
         let now = self.net.now().as_millis();
         let site = self.sites.get_mut(&at).ok_or(HadasError::UnknownSite(at))?;
         let host_ioo = site.ioo;
+        // Write-ahead: the arriving image goes to the depot before the
+        // object runs, so a crash immediately after adoption still
+        // restores it. The raw bytes are exactly the migration image.
+        let _ = site.depot.store_mut().put(&id.to_string(), image);
         site.runtime.adopt(obj).map_err(HadasError::Model)?;
         mrom_obs::object_adopted(id, at);
         let has_hook = site
@@ -840,6 +1056,11 @@ impl Federation {
                         remote_methods,
                     },
                 );
+                // Persist the installed guest so a crash here does not
+                // silently lose it (best-effort, like any depot save).
+                if let Some(guest) = site.runtime.object(amb_id) {
+                    let _ = site.depot.save(guest);
+                }
                 let ioo = site.ioo;
                 if let Some(ioo_obj) = site.runtime.object_mut(ioo) {
                     map_insert(
@@ -989,6 +1210,7 @@ impl Federation {
         let apo_id = self.apo_id(origin, apo_name)?;
         let targets = self.deployed_ambassadors(origin, apo_name)?;
         let mut req_ids = Vec::with_capacity(targets.len());
+        let mut posted = Ok(());
         for (host, amb) in &targets {
             let req_id = self.fresh_req_id();
             let msg = ProtocolMsg::UpdateReq {
@@ -997,10 +1219,19 @@ impl Federation {
                 target: *amb,
                 ops: ops.to_vec(),
             };
-            self.post(origin, *host, &msg)?;
+            // Replies only count while their id is pending.
+            self.pending.insert(req_id);
             req_ids.push(req_id);
+            if let Err(e) = self.post(origin, *host, &msg) {
+                posted = Err(e);
+                break;
+            }
         }
-        self.pump_until(&req_ids, "push_update")?;
+        let pumped = posted.and_then(|()| self.pump_until(&req_ids, "push_update"));
+        for req_id in &req_ids {
+            self.pending.remove(req_id);
+        }
+        pumped?;
         let mut updated = 0;
         for req_id in req_ids {
             match self.completed.remove(&req_id) {
@@ -1060,6 +1291,10 @@ impl Federation {
                 return Err(HadasError::Model(e));
             }
         };
+        // Write-ahead: the departing image is parked in the origin depot
+        // until the move is acknowledged, so neither a local crash nor a
+        // lost acknowledgement can lose the object.
+        let _ = site.depot.store_mut().put(&object.to_string(), &image);
         let req_id = self.fresh_req_id();
         mrom_obs::object_dispatched(object, from, to);
         let (trace, parent_span) = mrom_obs::current_trace_context();
@@ -1074,31 +1309,218 @@ impl Federation {
             },
         );
         match outcome {
-            Ok(ProtocolMsg::MoveAck { adopted, .. }) if adopted == object => Ok(()),
+            Ok(ProtocolMsg::MoveAck { adopted, .. }) if adopted == object => {
+                // The destination owns it now: drop the parked image so a
+                // later restart here cannot resurrect a second copy.
+                let _ = self.site_mut(from)?.depot.remove(object);
+                Ok(())
+            }
             Ok(ProtocolMsg::Error { reason, .. }) => {
-                self.site_mut(from)?
-                    .runtime
-                    .adopt(obj)
-                    .expect("identity unused after failed move");
+                self.restore_after_failed_move(from, obj)?;
                 Err(HadasError::Remote(reason))
             }
             Ok(other) => {
-                self.site_mut(from)?
-                    .runtime
-                    .adopt(obj)
-                    .expect("identity unused after failed move");
+                self.restore_after_failed_move(from, obj)?;
                 Err(HadasError::BadMessage(format!(
                     "unexpected reply to move: {other:?}"
                 )))
             }
+            Err(e @ HadasError::Timeout { .. }) if !self.retry.is_off() => {
+                // Every retry was exhausted and we still do not know
+                // whether the destination adopted the object. Re-adopting
+                // locally could *duplicate* it, so the object is parked
+                // in-doubt: its image stays in the depot and
+                // [`Federation::resolve_in_doubt`] settles ownership once
+                // the network heals.
+                self.site_mut(from)?.in_doubt.insert(object, to);
+                Err(e)
+            }
             Err(e) => {
-                self.site_mut(from)?
-                    .runtime
-                    .adopt(obj)
-                    .expect("identity unused after failed move");
+                self.restore_after_failed_move(from, obj)?;
                 Err(e)
             }
         }
+    }
+
+    /// Re-adopts an object whose move definitively failed (the peer
+    /// refused it, so it cannot exist remotely) and keeps its depot image
+    /// in step with the live copy.
+    fn restore_after_failed_move(
+        &mut self,
+        from: NodeId,
+        obj: MromObject,
+    ) -> Result<(), HadasError> {
+        self.site_mut(from)?
+            .runtime
+            .adopt(obj)
+            .expect("identity unused after failed move");
+        Ok(())
+    }
+
+    // -- crash and recovery --------------------------------------------------
+
+    /// Simulates a fail-stop crash of a site: the network drops all of
+    /// its traffic, every live object vanishes from its runtime, and the
+    /// volatile reply cache is wiped. The depot — the site's
+    /// self-contained persistent store (paper §9) — survives and is what
+    /// [`Federation::restart_site`] bootstraps from.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`] / network errors.
+    pub fn crash_site(&mut self, node: NodeId) -> Result<(), HadasError> {
+        self.site(node)?;
+        self.net.crash_node(node)?;
+        let site = self.sites.get_mut(&node).expect("checked above");
+        for id in site.runtime.object_ids() {
+            let _ = site.runtime.evict(id);
+        }
+        site.replies.clear();
+        mrom_obs::site_crash(node);
+        Ok(())
+    }
+
+    /// Restarts a crashed site: reconnects it to the network and
+    /// bootstraps every object in its depot back into the runtime — the
+    /// paper's "objects write themselves to and bootstrap themselves
+    /// back from persistent store" recovery model. Corrupt depot entries
+    /// are quarantined rather than aborting the restart, and a lost IOO
+    /// image degrades to a fresh (empty) IOO so the site stays operable.
+    /// Returns `(restored, quarantined)` counts.
+    ///
+    /// Objects parked in-doubt by a failed migration are deliberately
+    /// *not* re-adopted — their ownership is unknown until
+    /// [`Federation::resolve_in_doubt`] settles it.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`] / network errors.
+    pub fn restart_site(&mut self, node: NodeId) -> Result<(u64, u64), HadasError> {
+        self.site(node)?;
+        self.net.restart_node(node)?;
+        let now = self.net.now().as_millis();
+        let site = self.sites.get_mut(&node).expect("checked above");
+        let (objects, failures) = site.depot.restore_all();
+        let quarantined = failures.len() as u64;
+        let mut restored = 0u64;
+        for obj in objects {
+            let id = obj.id();
+            if site.in_doubt.contains_key(&id) || site.runtime.object(id).is_some() {
+                continue;
+            }
+            if site.runtime.adopt(obj).is_ok() {
+                restored += 1;
+            }
+        }
+        if site.runtime.object(site.ioo).is_none() {
+            let ioo_obj = build_ioo(site.runtime.ids_mut(), node);
+            let ioo = ioo_obj.id();
+            let _ = site.depot.save(&ioo_obj);
+            site.runtime.adopt(ioo_obj).map_err(HadasError::Model)?;
+            site.ioo = ioo;
+        }
+        site.runtime.set_now(now);
+        mrom_obs::site_restart(node, restored, quarantined);
+        Ok((restored, quarantined))
+    }
+
+    /// Checkpoints every live *mobile* object at a site into its depot,
+    /// refreshing any stale write-ahead images. Objects with native
+    /// bodies cannot serialise and are skipped. Returns the number
+    /// saved.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`]; [`HadasError::Persist`] on backend
+    /// failures.
+    pub fn checkpoint_site(&mut self, node: NodeId) -> Result<usize, HadasError> {
+        let site = self.site_mut(node)?;
+        let ids = site.runtime.object_ids();
+        let objects = ids.iter().filter_map(|id| site.runtime.object(*id));
+        let (saved, _pinned) = site
+            .depot
+            .checkpoint(objects)
+            .map_err(|e| HadasError::Persist(e.to_string()))?;
+        Ok(saved)
+    }
+
+    /// Settles every in-doubt migration parked at `node` by asking each
+    /// intended destination whether the object landed: if it did, the
+    /// local depot image is dropped (the destination owns it); if not,
+    /// the object is bootstrapped back from the depot (we own it). A
+    /// destination that is still unreachable leaves its entry parked for
+    /// a later call. Returns the number of migrations resolved.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors, [`HadasError::Persist`] when a parked image cannot
+    /// be restored, protocol errors.
+    pub fn resolve_in_doubt(&mut self, node: NodeId) -> Result<usize, HadasError> {
+        let parked: Vec<(ObjectId, NodeId)> = self
+            .site(node)?
+            .in_doubt
+            .iter()
+            .map(|(object, dest)| (*object, *dest))
+            .collect();
+        let mut resolved = 0;
+        for (object, dest) in parked {
+            let req_id = self.fresh_req_id();
+            let reply = match self.request(node, dest, ProtocolMsg::QueryObject { req_id, object })
+            {
+                Ok(r) => r,
+                Err(HadasError::Timeout { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            match reply {
+                ProtocolMsg::QueryAck { hosted: true, .. } => {
+                    let site = self.site_mut(node)?;
+                    let _ = site.depot.remove(object);
+                    site.in_doubt.remove(&object);
+                    resolved += 1;
+                }
+                ProtocolMsg::QueryAck { hosted: false, .. } => {
+                    let site = self.site_mut(node)?;
+                    let obj = site
+                        .depot
+                        .restore(object)
+                        .map_err(|e| HadasError::Persist(e.to_string()))?;
+                    site.runtime.adopt(obj).map_err(HadasError::Model)?;
+                    site.in_doubt.remove(&object);
+                    resolved += 1;
+                }
+                other => {
+                    return Err(HadasError::BadMessage(format!(
+                        "unexpected reply to query: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// The migrations parked in-doubt at a site, as `(object, intended
+    /// destination)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`].
+    pub fn in_doubt(&self, node: NodeId) -> Result<Vec<(ObjectId, NodeId)>, HadasError> {
+        Ok(self
+            .site(node)?
+            .in_doubt
+            .iter()
+            .map(|(object, dest)| (*object, *dest))
+            .collect())
+    }
+
+    /// Is the site currently crashed?
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.net.is_down(node)
+    }
+
+    /// Messages currently on the wire (chaos invariant checks).
+    pub fn in_flight(&self) -> usize {
+        self.net.in_flight()
     }
 
     /// Installs an *interoperability program* — a coordination-level
@@ -1469,5 +1891,219 @@ mod tests {
         assert_eq!(fed.now(), SimTime::ZERO);
         fed.link(a, b).unwrap();
         assert!(fed.now() > SimTime::ZERO);
+    }
+
+    /// A mobile object with a non-idempotent method: double-application
+    /// is directly visible in its counter.
+    fn counter_object(fed: &mut Federation, at: NodeId) -> ObjectId {
+        let obj = ClassSpec::new("counter")
+            .fixed_data("n", DataItem::public(Value::Int(0)))
+            .fixed_method(
+                "bump",
+                Method::public(
+                    MethodBody::script(
+                        "self.set(\"n\", self.get(\"n\") + 1); return self.get(\"n\");",
+                    )
+                    .unwrap(),
+                ),
+            )
+            .instantiate(fed.runtime_mut(at).unwrap().ids_mut());
+        let id = obj.id();
+        fed.runtime_mut(at).unwrap().adopt(obj).unwrap();
+        id
+    }
+
+    #[test]
+    fn retry_recovers_operations_loss_would_fail() {
+        // Same seed, same lossy link; the only variable is the policy.
+        let run = |policy: crate::RetryPolicy| {
+            let cfg = NetworkConfig::new(2).with_default_link(LinkConfig::lan());
+            let mut fed = Federation::new(cfg);
+            let (a, b) = (NodeId(1), NodeId(2));
+            fed.add_site(a).unwrap();
+            fed.add_site(b).unwrap();
+            fed.link(a, b).unwrap();
+            let id = counter_object(&mut fed, b);
+            fed.set_retry_policy(policy);
+            fed.net_config_mut()
+                .set_symmetric_link(a, b, LinkConfig::lan().loss_probability(0.35));
+            let caller = fed.ioo_id(a).unwrap();
+            let mut ok = 0;
+            for _ in 0..6 {
+                if fed.remote_invoke(a, b, caller, id, "bump", &[]).is_ok() {
+                    ok += 1;
+                }
+            }
+            let n = fed
+                .runtime(b)
+                .unwrap()
+                .object(id)
+                .unwrap()
+                .read_data(ObjectId::SYSTEM, "n")
+                .unwrap()
+                .as_int()
+                .unwrap();
+            (ok, n, fed.net_stats().messages_dropped)
+        };
+        let (ok_off, n_off, dropped_off) = run(crate::RetryPolicy::Off);
+        let (ok_retry, n_retry, dropped_retry) = run(crate::RetryPolicy::standard());
+        assert!(
+            dropped_off > 0 && dropped_retry > 0,
+            "the loss actually bit"
+        );
+        assert_eq!(ok_off, 2, "without retries most calls fail on this seed");
+        assert_eq!(ok_retry, 6, "retries recover every call");
+        // Exactly-once under retries: every acknowledged call applied
+        // exactly once, no retransmission applied twice.
+        assert_eq!(n_retry, 6);
+        assert!(n_off >= i64::from(ok_off));
+    }
+
+    #[test]
+    fn duplicated_delivery_cannot_double_adopt_or_double_apply() {
+        let cfg = NetworkConfig::new(5).with_default_link(LinkConfig::lan());
+        let mut fed = Federation::new(cfg);
+        let (a, b) = (NodeId(1), NodeId(2));
+        fed.add_site(a).unwrap();
+        fed.add_site(b).unwrap();
+        fed.link(a, b).unwrap();
+        let id = counter_object(&mut fed, a);
+        fed.net_config_mut()
+            .set_symmetric_link(a, b, LinkConfig::lan().duplicate_probability(1.0));
+        // Every MoveObject arrives twice; the second must hit the reply
+        // cache, not adopt a second copy.
+        fed.dispatch_object(a, b, id).unwrap();
+        fed.pump_all();
+        assert!(fed.runtime(a).unwrap().object(id).is_none());
+        assert!(fed.runtime(b).unwrap().object(id).is_some());
+        // Every InvokeReq arrives twice; bump must apply exactly once.
+        let caller = fed.ioo_id(a).unwrap();
+        let first = fed.remote_invoke(a, b, caller, id, "bump", &[]).unwrap();
+        let second = fed.remote_invoke(a, b, caller, id, "bump", &[]).unwrap();
+        assert_eq!(first, Value::Int(1));
+        assert_eq!(second, Value::Int(2));
+        fed.pump_all();
+        assert!(fed.net_stats().messages_duplicated > 0);
+        assert!(fed.net_stats().accounts_for_every_send(fed.in_flight()));
+    }
+
+    #[test]
+    fn lost_acks_park_the_move_in_doubt_and_resolution_finds_it_landed() {
+        let cfg = NetworkConfig::new(9).with_default_link(LinkConfig::lan());
+        let mut fed = Federation::new(cfg);
+        let (a, b) = (NodeId(1), NodeId(2));
+        fed.add_site(a).unwrap();
+        fed.add_site(b).unwrap();
+        fed.link(a, b).unwrap();
+        let id = counter_object(&mut fed, a);
+        fed.set_retry_policy(crate::RetryPolicy::standard());
+        // Forward path intact, every acknowledgement lost.
+        fed.net_config_mut()
+            .set_link(b, a, LinkConfig::lan().loss_probability(1.0));
+        let err = fed.dispatch_object(a, b, id).unwrap_err();
+        assert!(matches!(err, HadasError::Timeout { attempts: 5, .. }));
+        // The move actually landed; the origin parked it instead of
+        // re-adopting a duplicate.
+        assert!(fed.runtime(b).unwrap().object(id).is_some());
+        assert!(fed.runtime(a).unwrap().object(id).is_none());
+        assert_eq!(fed.in_doubt(a).unwrap(), vec![(id, b)]);
+        // After the heal, resolution discovers the destination owns it.
+        fed.net_config_mut().set_link(b, a, LinkConfig::lan());
+        assert_eq!(fed.resolve_in_doubt(a).unwrap(), 1);
+        assert!(fed.in_doubt(a).unwrap().is_empty());
+        assert!(fed.runtime(a).unwrap().object(id).is_none());
+        assert!(fed.runtime(b).unwrap().object(id).is_some());
+    }
+
+    #[test]
+    fn partitioned_dispatch_parks_in_doubt_and_resolution_restores_it() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        let id = counter_object(&mut fed, a);
+        fed.set_retry_policy(crate::RetryPolicy::standard());
+        fed.net_config_mut().partition(a, b);
+        assert!(fed.dispatch_object(a, b, id).is_err());
+        // Nobody hosts it, but the depot still does.
+        assert!(fed.runtime(a).unwrap().object(id).is_none());
+        assert!(fed.runtime(b).unwrap().object(id).is_none());
+        assert_eq!(fed.in_doubt(a).unwrap(), vec![(id, b)]);
+        fed.net_config_mut().heal(a, b);
+        assert_eq!(fed.resolve_in_doubt(a).unwrap(), 1);
+        assert!(fed.runtime(a).unwrap().object(id).is_some());
+        // The resumed move completes normally.
+        fed.dispatch_object(a, b, id).unwrap();
+        assert!(fed.runtime(b).unwrap().object(id).is_some());
+    }
+
+    #[test]
+    fn off_policy_failed_dispatch_restores_the_object_locally() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        let id = counter_object(&mut fed, a);
+        assert!(fed.retry_policy().is_off(), "Off is the default");
+        fed.net_config_mut().partition(a, b);
+        let err = fed.dispatch_object(a, b, id).unwrap_err();
+        // Single attempt, historical restore-locally behaviour.
+        assert!(matches!(err, HadasError::Timeout { attempts: 1, .. }));
+        assert!(fed.runtime(a).unwrap().object(id).is_some());
+        assert!(fed.in_doubt(a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_and_restart_bootstrap_objects_from_the_depot() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        let id = counter_object(&mut fed, a);
+        fed.dispatch_object(a, b, id).unwrap();
+        fed.crash_site(b).unwrap();
+        assert!(fed.is_down(b));
+        assert!(fed.runtime(b).unwrap().object(id).is_none());
+        // Traffic to the crashed site fails cleanly.
+        let caller = fed.ioo_id(a).unwrap();
+        assert!(matches!(
+            fed.remote_invoke(a, b, caller, id, "bump", &[]),
+            Err(HadasError::Timeout { .. })
+        ));
+        let (restored, quarantined) = fed.restart_site(b).unwrap();
+        assert!(!fed.is_down(b));
+        assert_eq!(quarantined, 0);
+        assert!(restored >= 1, "the migrated object came back");
+        assert!(fed.runtime(b).unwrap().object(id).is_some());
+        // And it serves again.
+        let out = fed.remote_invoke(a, b, caller, id, "bump", &[]).unwrap();
+        assert_eq!(out, Value::Int(1));
+    }
+
+    #[test]
+    fn checkpoint_preserves_state_across_a_crash() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        let id = counter_object(&mut fed, a);
+        fed.dispatch_object(a, b, id).unwrap();
+        let caller = fed.ioo_id(a).unwrap();
+        fed.remote_invoke(a, b, caller, id, "bump", &[]).unwrap();
+        fed.remote_invoke(a, b, caller, id, "bump", &[]).unwrap();
+        // Without a checkpoint the depot still holds the arrival image;
+        // checkpointing refreshes it to n = 2.
+        assert!(fed.checkpoint_site(b).unwrap() >= 1);
+        fed.crash_site(b).unwrap();
+        fed.restart_site(b).unwrap();
+        let n = fed
+            .runtime(b)
+            .unwrap()
+            .object(id)
+            .unwrap()
+            .read_data(ObjectId::SYSTEM, "n")
+            .unwrap();
+        assert_eq!(n, Value::Int(2), "checkpointed state survived the crash");
+    }
+
+    #[test]
+    fn retry_policy_off_by_default_and_swappable() {
+        let (mut fed, _a, _b) = two_site_federation();
+        assert!(fed.retry_policy().is_off());
+        let prev = fed.set_retry_policy(crate::RetryPolicy::standard());
+        assert!(prev.is_off());
+        assert!(!fed.retry_policy().is_off());
     }
 }

@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 
 mod ambassador;
+pub mod chaos;
 mod error;
 mod federation;
 mod ioo;
 mod protocol;
+mod retry;
 pub mod scenarios;
 
 pub use ambassador::{
@@ -56,6 +58,7 @@ pub use error::HadasError;
 pub use federation::{Federation, SiteStats};
 pub use ioo::build_ioo;
 pub use protocol::{ProtocolMsg, UpdateOp};
+pub use retry::RetryPolicy;
 
 /// Crate-local result alias over [`HadasError`].
 pub type Result<T> = std::result::Result<T, HadasError>;

@@ -208,6 +208,22 @@ pub enum ProtocolMsg {
         /// Identity the receiving site adopted.
         adopted: ObjectId,
     },
+    /// Asks whether the receiving site currently hosts `object`. Used to
+    /// reconcile in-doubt migrations: a dispatch whose acknowledgement was
+    /// lost leaves the origin unsure whether the destination adopted.
+    QueryObject {
+        /// Correlation id.
+        req_id: u64,
+        /// The identity in question.
+        object: ObjectId,
+    },
+    /// Reply to [`ProtocolMsg::QueryObject`].
+    QueryAck {
+        /// Correlation id.
+        req_id: u64,
+        /// Whether the replying site hosts the object.
+        hosted: bool,
+    },
 }
 
 fn bad(detail: &str) -> HadasError {
@@ -228,7 +244,9 @@ impl ProtocolMsg {
             | ProtocolMsg::UpdateReq { req_id, .. }
             | ProtocolMsg::UpdateAck { req_id, .. }
             | ProtocolMsg::MoveObject { req_id, .. }
-            | ProtocolMsg::MoveAck { req_id, .. } => *req_id,
+            | ProtocolMsg::MoveAck { req_id, .. }
+            | ProtocolMsg::QueryObject { req_id, .. }
+            | ProtocolMsg::QueryAck { req_id, .. } => *req_id,
         }
     }
 
@@ -246,6 +264,8 @@ impl ProtocolMsg {
             ProtocolMsg::UpdateAck { .. } => "update_ack",
             ProtocolMsg::MoveObject { .. } => "move_object",
             ProtocolMsg::MoveAck { .. } => "move_ack",
+            ProtocolMsg::QueryObject { .. } => "query_object",
+            ProtocolMsg::QueryAck { .. } => "query_ack",
         }
     }
 
@@ -368,6 +388,16 @@ impl ProtocolMsg {
                 ("op", Value::from("move_ack")),
                 ("req_id", Value::Int(*req_id as i64)),
                 ("adopted", Value::ObjectRef(*adopted)),
+            ]),
+            ProtocolMsg::QueryObject { req_id, object } => Value::map([
+                ("op", Value::from("query_object")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("object", Value::ObjectRef(*object)),
+            ]),
+            ProtocolMsg::QueryAck { req_id, hosted } => Value::map([
+                ("op", Value::from("query_ack")),
+                ("req_id", Value::Int(*req_id as i64)),
+                ("hosted", Value::Bool(*hosted)),
             ]),
         }
     }
@@ -515,6 +545,17 @@ impl ProtocolMsg {
                 req_id,
                 adopted: get_ref("adopted")?,
             },
+            "query_object" => ProtocolMsg::QueryObject {
+                req_id,
+                object: get_ref("object")?,
+            },
+            "query_ack" => ProtocolMsg::QueryAck {
+                req_id,
+                hosted: m
+                    .get("hosted")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| bad("missing hosted"))?,
+            },
             other => return Err(bad(&format!("unknown op {other:?}"))),
         })
     }
@@ -604,6 +645,14 @@ mod tests {
             ProtocolMsg::MoveAck {
                 req_id: 6,
                 adopted: a,
+            },
+            ProtocolMsg::QueryObject {
+                req_id: 7,
+                object: b,
+            },
+            ProtocolMsg::QueryAck {
+                req_id: 7,
+                hosted: true,
             },
         ];
         for msg in msgs {

@@ -1,0 +1,140 @@
+//! Seed-swept chaos tests: every scenario must uphold the global
+//! invariants under every seed, and the same seed must reproduce the
+//! identical run.
+//!
+//! The sweep width defaults to a fast smoke value; CI raises it via the
+//! `MROM_CHAOS_SEEDS` environment variable.
+
+use hadas::chaos::{run_scenario, ChaosScenario};
+use mrom_obs::{EventKind, ObsMode};
+
+/// Seeds to sweep: `MROM_CHAOS_SEEDS` (a count) or a fast default.
+fn sweep_seeds() -> Vec<u64> {
+    let count = std::env::var("MROM_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(3);
+    (1..=count.max(1)).collect()
+}
+
+#[test]
+fn every_scenario_upholds_invariants_across_the_seed_sweep() {
+    for seed in sweep_seeds() {
+        for scenario in ChaosScenario::ALL {
+            let report = run_scenario(scenario, seed)
+                .unwrap_or_else(|e| panic!("{} seed {seed} errored: {e}", scenario.name()));
+            report.assert_invariants();
+        }
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_identical_run() {
+    for seed in sweep_seeds() {
+        for scenario in ChaosScenario::ALL {
+            let first = run_scenario(scenario, seed).unwrap();
+            let second = run_scenario(scenario, seed).unwrap();
+            // Full-report equality covers NetStats field for field:
+            // sends, deliveries, drops, duplicates, bytes, per-link maps.
+            assert_eq!(
+                first,
+                second,
+                "{} seed {seed} must replay identically",
+                scenario.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_explore_different_schedules() {
+    // Not an invariant, a sanity check on the harness itself: a faulty
+    // scenario that ignored its seed would silently shrink the sweep to
+    // one schedule.
+    let a = run_scenario(ChaosScenario::LossAndRetry, 1).unwrap();
+    let b = run_scenario(ChaosScenario::LossAndRetry, 2).unwrap();
+    assert_ne!(a.stats, b.stats, "seeds drive the fault schedule");
+}
+
+#[test]
+fn retries_stay_causally_linked_to_their_operation() {
+    // Under lost acknowledgements the dispatch retries several times;
+    // every retry event and the eventual adoption must sit on the same
+    // trace as the operation span that started the dispatch.
+    mrom_obs::reset();
+    mrom_obs::set_mode(ObsMode::Ring);
+    let report = run_scenario(ChaosScenario::LostAcks, 5).unwrap();
+    mrom_obs::set_mode(ObsMode::Disabled);
+    report.assert_invariants();
+
+    let events = mrom_obs::ring_snapshot();
+    let op = events
+        .iter()
+        .find(|e| {
+            matches!(
+                e.kind,
+                EventKind::FedOpStart {
+                    op: "dispatch_object",
+                    ..
+                }
+            )
+        })
+        .expect("dispatch opens an operation span");
+    let trace = op.event.trace;
+    assert_ne!(trace, 0);
+
+    let retries: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FedRetry { .. }))
+        .collect();
+    assert!(!retries.is_empty(), "lost acks force retries");
+    for retry in &retries {
+        assert_eq!(
+            retry.event.trace, trace,
+            "retries belong to the operation that issued them"
+        );
+    }
+    let adopted = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::ObjectAdopted { .. }))
+        .expect("the move landed");
+    assert_eq!(adopted.event.trace, trace, "adoption joins the same trace");
+
+    let dedups = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FedDedup { .. }))
+        .count();
+    assert!(
+        dedups > 0,
+        "retransmitted MoveObject hits the receiver dedup cache"
+    );
+}
+
+#[test]
+fn crash_and_restart_are_observable() {
+    mrom_obs::reset();
+    mrom_obs::set_mode(ObsMode::Ring);
+    let report = run_scenario(ChaosScenario::CrashMidMigration, 3).unwrap();
+    let metrics = mrom_obs::metrics_snapshot();
+    mrom_obs::set_mode(ObsMode::Disabled);
+    report.assert_invariants();
+
+    let events = mrom_obs::ring_snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SiteCrash { .. })),
+        "crashes are recorded"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SiteRestart { restored, .. } if restored > 0)),
+        "restarts report what the depot brought back"
+    );
+    assert!(metrics.federation.site_crashes >= 2);
+    assert_eq!(
+        metrics.federation.site_crashes,
+        metrics.federation.site_restarts
+    );
+}

@@ -17,6 +17,8 @@ pub struct LinkConfig {
     bandwidth_bytes_per_sec: u64,
     jitter_us: u64,
     loss_probability: f64,
+    duplicate_probability: f64,
+    reorder_probability: f64,
 }
 
 impl LinkConfig {
@@ -27,6 +29,8 @@ impl LinkConfig {
             bandwidth_bytes_per_sec: 100_000_000,
             jitter_us: 0,
             loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
         }
     }
 
@@ -70,6 +74,23 @@ impl LinkConfig {
         self
     }
 
+    /// Sets the independent per-message duplication probability (clamped
+    /// to `[0, 1]`): the network delivers a second copy of the message, as
+    /// a retransmitting or misbehaving transport would.
+    pub fn duplicate_probability(mut self, p: f64) -> LinkConfig {
+        self.duplicate_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the independent per-message reorder probability (clamped to
+    /// `[0, 1]`): an affected message is held back by the network and may
+    /// be overtaken by later traffic on the same link, breaking the
+    /// default FIFO (TCP-like) ordering.
+    pub fn reorder_probability(mut self, p: f64) -> LinkConfig {
+        self.reorder_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
     /// The propagation latency.
     pub fn latency(&self) -> SimTime {
         SimTime::from_micros(self.latency_us)
@@ -83,6 +104,16 @@ impl LinkConfig {
     /// The configured jitter bound in microseconds.
     pub fn jitter_bound_us(&self) -> u64 {
         self.jitter_us
+    }
+
+    /// The configured duplication probability.
+    pub fn duplication(&self) -> f64 {
+        self.duplicate_probability
+    }
+
+    /// The configured reorder probability.
+    pub fn reorder(&self) -> f64 {
+        self.reorder_probability
     }
 
     /// Deterministic part of the transfer time for `bytes`.
@@ -150,6 +181,19 @@ impl NetworkConfig {
             .unwrap_or(self.default_link)
     }
 
+    /// Replaces the directed link `src → dst` in place (mid-run fault
+    /// injection: degrade or heal a link while messages are in flight; new
+    /// sends observe the change, in-flight messages do not).
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, link: LinkConfig) {
+        self.overrides.insert((src, dst), link);
+    }
+
+    /// Replaces both directions between `a` and `b` in place.
+    pub fn set_symmetric_link(&mut self, a: NodeId, b: NodeId, link: LinkConfig) {
+        self.set_link(a, b, link);
+        self.set_link(b, a, link);
+    }
+
     /// Severs both directions between `a` and `b` (messages sent while
     /// partitioned are dropped and counted).
     pub fn partition(&mut self, a: NodeId, b: NodeId) {
@@ -206,6 +250,36 @@ mod tests {
     fn loss_probability_is_clamped() {
         assert_eq!(LinkConfig::new().loss_probability(7.0).loss(), 1.0);
         assert_eq!(LinkConfig::new().loss_probability(-1.0).loss(), 0.0);
+    }
+
+    #[test]
+    fn duplication_and_reorder_are_clamped_and_default_off() {
+        let link = LinkConfig::new();
+        assert_eq!(link.duplication(), 0.0);
+        assert_eq!(link.reorder(), 0.0);
+        assert_eq!(
+            LinkConfig::new().duplicate_probability(2.0).duplication(),
+            1.0
+        );
+        assert_eq!(LinkConfig::new().reorder_probability(-0.5).reorder(), 0.0);
+        let link = LinkConfig::new()
+            .duplicate_probability(0.25)
+            .reorder_probability(0.5);
+        assert_eq!(link.duplication(), 0.25);
+        assert_eq!(link.reorder(), 0.5);
+    }
+
+    #[test]
+    fn set_link_replaces_overrides_in_place() {
+        let a = NodeId(1);
+        let b = NodeId(2);
+        let mut cfg = NetworkConfig::new(1).with_symmetric_link(a, b, LinkConfig::wan());
+        cfg.set_symmetric_link(a, b, LinkConfig::lan());
+        assert_eq!(cfg.link(a, b), LinkConfig::lan());
+        assert_eq!(cfg.link(b, a), LinkConfig::lan());
+        cfg.set_link(a, b, LinkConfig::new());
+        assert_eq!(cfg.link(a, b), LinkConfig::new());
+        assert_eq!(cfg.link(b, a), LinkConfig::lan());
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct SimNet {
     /// Earliest legal next-arrival per directed link, enforcing FIFO
     /// (TCP-like) ordering even under jitter.
     link_front: BTreeMap<(NodeId, NodeId), SimTime>,
+    /// Crashed nodes: sends to or from them are dropped, as are in-flight
+    /// deliveries that arrive while the destination is down.
+    down: BTreeSet<NodeId>,
     now: SimTime,
     seq: u64,
     rng: StdRng,
@@ -76,6 +79,7 @@ impl SimNet {
             nodes: BTreeSet::new(),
             queue: BinaryHeap::new(),
             link_front: BTreeMap::new(),
+            down: BTreeSet::new(),
             now: SimTime::ZERO,
             seq: 0,
             rng,
@@ -126,6 +130,42 @@ impl SimNet {
         self.queue.len()
     }
 
+    /// Marks `node` as crashed. From now on messages sent to or from it
+    /// are dropped (and counted), and in-flight messages arriving at it
+    /// while it is down are dropped at delivery time. The node's queue of
+    /// past deliveries is untouched — a crash loses volatile state at the
+    /// *site* layer, not history at the network layer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`].
+    pub fn crash_node(&mut self, node: NodeId) -> Result<(), NetError> {
+        if !self.nodes.contains(&node) {
+            return Err(NetError::UnknownNode(node));
+        }
+        self.down.insert(node);
+        Ok(())
+    }
+
+    /// Brings a crashed node back. Messages sent after the restart flow
+    /// normally; anything dropped during the outage stays dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`].
+    pub fn restart_node(&mut self, node: NodeId) -> Result<(), NetError> {
+        if !self.nodes.contains(&node) {
+            return Err(NetError::UnknownNode(node));
+        }
+        self.down.remove(&node);
+        Ok(())
+    }
+
+    /// Is `node` currently crashed?
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.contains(&node)
+    }
+
     /// Sends `payload` from `src` to `dst`. Returns the scheduled arrival
     /// time, or `None` when the message was dropped (loss or partition) —
     /// the sender cannot tell, just like on a real network; the return
@@ -152,6 +192,11 @@ impl SimNet {
         self.stats.record_send(payload.len());
         mrom_obs::net_send();
 
+        if self.down.contains(&src) || self.down.contains(&dst) {
+            self.stats.record_drop(src, dst);
+            mrom_obs::net_drop();
+            return Ok(None);
+        }
         if self.config.is_partitioned(src, dst) {
             self.stats.record_drop(src, dst);
             mrom_obs::net_drop();
@@ -168,13 +213,24 @@ impl SimNet {
         if link.jitter_bound_us() > 0 {
             arrival += SimTime::from_micros(self.rng.random_range(0..=link.jitter_bound_us()));
         }
-        // FIFO per directed link: never deliver before an earlier send on
-        // the same link.
-        let front = self.link_front.entry((src, dst)).or_insert(SimTime::ZERO);
-        if arrival < *front {
-            arrival = *front;
+        // All fault draws are gated on a non-zero probability so that a
+        // fault-free configuration consumes exactly the RNG stream it did
+        // before these knobs existed (seeded runs stay reproducible).
+        let hold_us = link.transfer_time(payload.len()).as_micros().max(1);
+        if link.reorder() > 0.0 && self.rng.random::<f64>() < link.reorder() {
+            // A reordered message is held back by the network and exempted
+            // from the FIFO clamp below, so later sends on the same link
+            // can overtake it.
+            arrival += SimTime::from_micros(self.rng.random_range(1..=3 * hold_us));
+        } else {
+            // FIFO per directed link: never deliver before an earlier send
+            // on the same link.
+            let front = self.link_front.entry((src, dst)).or_insert(SimTime::ZERO);
+            if arrival < *front {
+                arrival = *front;
+            }
+            *front = arrival;
         }
-        *front = arrival;
 
         self.seq += 1;
         self.queue.push(Reverse(InFlight {
@@ -182,17 +238,49 @@ impl SimNet {
             seq: self.seq,
             src,
             dst,
-            payload,
+            payload: payload.clone(),
         }));
+
+        if link.duplication() > 0.0 && self.rng.random::<f64>() < link.duplication() {
+            // A retransmitting transport delivers a second copy slightly
+            // later; the copy does not advance the FIFO front.
+            self.stats.record_duplicate();
+            mrom_obs::net_duplicate();
+            let lag = SimTime::from_micros(self.rng.random_range(1..=hold_us));
+            self.seq += 1;
+            self.queue.push(Reverse(InFlight {
+                at: arrival + lag,
+                seq: self.seq,
+                src,
+                dst,
+                payload,
+            }));
+        }
         Ok(Some(arrival))
     }
 
     /// Delivers the next in-flight message, advancing the clock to its
     /// arrival time. Returns `None` when the network is idle.
     pub fn step(&mut self) -> Option<Delivery> {
-        let Reverse(msg) = self.queue.pop()?;
+        loop {
+            let Reverse(msg) = self.queue.pop()?;
+            if let Some(d) = self.arrive(msg) {
+                return Some(d);
+            }
+        }
+    }
+
+    /// Advances the clock to `msg.at` and either delivers it or, when the
+    /// destination has crashed while it was on the wire, drops it at the
+    /// dead socket.
+    fn arrive(&mut self, msg: InFlight) -> Option<Delivery> {
         debug_assert!(msg.at >= self.now, "time cannot run backwards");
         self.now = msg.at;
+        if self.down.contains(&msg.dst) {
+            self.stats.record_drop(msg.src, msg.dst);
+            mrom_obs::net_drop();
+            return None;
+        }
         self.stats
             .record_delivery(msg.src, msg.dst, msg.payload.len());
         mrom_obs::net_deliver(msg.payload.len());
@@ -227,7 +315,12 @@ impl SimNet {
             if head.at > t {
                 break;
             }
-            out.push(self.step().expect("peeked"));
+            let Reverse(msg) = self.queue.pop().expect("peeked");
+            // `arrive` returns `None` for messages swallowed by a crashed
+            // destination; they consume queue slots but produce nothing.
+            if let Some(d) = self.arrive(msg) {
+                out.push(d);
+            }
         }
         if self.now < t {
             self.now = t;
@@ -383,6 +476,124 @@ mod tests {
         assert_eq!(net.in_flight(), 1);
         let late = net.run_until(SimTime::from_secs(10));
         assert_eq!(late.len(), 1);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let cfg =
+            NetworkConfig::new(21).with_default_link(LinkConfig::new().duplicate_probability(1.0));
+        let mut net = SimNet::new(cfg);
+        net.add_node(NodeId(1)).unwrap();
+        net.add_node(NodeId(2)).unwrap();
+        for i in 0..10u8 {
+            net.send(NodeId(1), NodeId(2), vec![i]).unwrap();
+        }
+        let mut delivered = 0;
+        while net.step().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 20, "every message arrives twice");
+        assert_eq!(net.stats().messages_duplicated, 10);
+        assert_eq!(net.stats().messages_sent, 10);
+        assert!(net.stats().accounts_for_every_send(net.in_flight()));
+    }
+
+    #[test]
+    fn reordering_breaks_fifo() {
+        let cfg =
+            NetworkConfig::new(22).with_default_link(LinkConfig::new().reorder_probability(0.5));
+        let mut net = SimNet::new(cfg);
+        net.add_node(NodeId(1)).unwrap();
+        net.add_node(NodeId(2)).unwrap();
+        for i in 0..50u8 {
+            net.send(NodeId(1), NodeId(2), vec![i]).unwrap();
+        }
+        let mut order = Vec::new();
+        while let Some(d) = net.step() {
+            order.push(d.payload[0]);
+        }
+        assert_eq!(order.len(), 50, "reordering never loses messages");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_ne!(order, sorted, "half the traffic held back must shuffle");
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crashed_nodes_drop_traffic_until_restart() {
+        let mut net = three_node_net(23);
+        // One message already on the wire when the destination crashes.
+        net.send(NodeId(1), NodeId(2), vec![1]).unwrap();
+        net.crash_node(NodeId(2)).unwrap();
+        assert!(net.is_down(NodeId(2)));
+        // Sends to and from a crashed node are dropped at the source.
+        assert_eq!(net.send(NodeId(1), NodeId(2), vec![2]).unwrap(), None);
+        assert_eq!(net.send(NodeId(2), NodeId(3), vec![3]).unwrap(), None);
+        // Unrelated links are unaffected.
+        assert!(net.send(NodeId(1), NodeId(3), vec![4]).unwrap().is_some());
+        // Pumping delivers only the 1→3 message: the in-flight 1→2 message
+        // arrives at a dead socket and is dropped there.
+        let mut delivered = Vec::new();
+        while let Some(d) = net.step() {
+            delivered.push(d.dst);
+        }
+        assert_eq!(delivered, vec![NodeId(3)]);
+        assert_eq!(net.stats().messages_dropped, 3);
+        assert!(net.stats().accounts_for_every_send(net.in_flight()));
+        // After restart the link works again.
+        net.restart_node(NodeId(2)).unwrap();
+        assert!(!net.is_down(NodeId(2)));
+        assert!(net.send(NodeId(1), NodeId(2), vec![5]).unwrap().is_some());
+        assert_eq!(net.step().unwrap().dst, NodeId(2));
+        assert!(matches!(
+            net.crash_node(NodeId(9)),
+            Err(NetError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            net.restart_node(NodeId(9)),
+            Err(NetError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn run_until_skips_crashed_destinations_within_horizon() {
+        let mut net = three_node_net(24);
+        net.send(NodeId(1), NodeId(2), vec![1]).unwrap();
+        net.send(NodeId(1), NodeId(3), vec![2]).unwrap();
+        net.crash_node(NodeId(2)).unwrap();
+        let out = net.run_until(SimTime::from_secs(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, NodeId(3));
+        assert_eq!(net.stats().messages_dropped, 1);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let run = |seed| {
+            let cfg = NetworkConfig::new(seed).with_default_link(
+                LinkConfig::new()
+                    .jitter_us(2_000)
+                    .loss_probability(0.1)
+                    .duplicate_probability(0.2)
+                    .reorder_probability(0.3),
+            );
+            let mut net = SimNet::new(cfg);
+            net.add_node(NodeId(1)).unwrap();
+            net.add_node(NodeId(2)).unwrap();
+            for i in 0..100u8 {
+                net.send(NodeId(1), NodeId(2), vec![i]).unwrap();
+            }
+            let mut arrivals = Vec::new();
+            while let Some(d) = net.step() {
+                arrivals.push((d.at, d.payload));
+            }
+            (arrivals, net.stats().clone())
+        };
+        assert_eq!(run(31), run(31));
+        assert_ne!(run(31), run(32));
+        let (_, stats) = run(31);
+        assert!(stats.accounts_for_every_send(0));
     }
 
     #[test]

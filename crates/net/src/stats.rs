@@ -12,8 +12,13 @@ pub struct NetStats {
     pub messages_sent: u64,
     /// Messages handed to their destination.
     pub messages_delivered: u64,
-    /// Messages dropped by loss or partitions.
+    /// Messages dropped by loss, partitions, or a crashed destination.
     pub messages_dropped: u64,
+    /// Extra copies injected by per-link duplication faults. Each
+    /// duplicate is delivered (or dropped) *in addition to* the original,
+    /// so full accounting is `delivered + dropped = sent + duplicated`
+    /// once nothing is in flight.
+    pub messages_duplicated: u64,
     /// Payload bytes accepted by `send`.
     pub bytes_sent: u64,
     /// Payload bytes delivered.
@@ -62,6 +67,19 @@ impl NetStats {
         *self.per_link_dropped.entry((src, dst)).or_insert(0) += 1;
     }
 
+    pub(crate) fn record_duplicate(&mut self) {
+        self.messages_duplicated += 1;
+    }
+
+    /// `true` when every send is accounted for: messages delivered plus
+    /// messages dropped plus messages still in flight equals messages sent
+    /// plus injected duplicates. The chaos harness asserts this after
+    /// every run.
+    pub fn accounts_for_every_send(&self, in_flight: usize) -> bool {
+        self.messages_delivered + self.messages_dropped + in_flight as u64
+            == self.messages_sent + self.messages_duplicated
+    }
+
     pub(crate) fn record_delivery(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
         self.messages_delivered += 1;
         self.bytes_delivered += bytes as u64;
@@ -94,11 +112,39 @@ mod tests {
 
     #[test]
     fn empty_ratio_is_one() {
+        // Zero sends must not divide by zero: both ratios answer an
+        // explicit 1.0 for untouched networks and untouched links.
         assert_eq!(NetStats::default().delivery_ratio(), 1.0);
         assert_eq!(
             NetStats::default().delivery_ratio_for(NodeId(1), NodeId(2)),
             1.0
         );
+        // A link that only ever saw traffic elsewhere is still 1.0.
+        let mut s = NetStats::default();
+        s.record_send(4);
+        s.record_delivery(NodeId(3), NodeId(4), 4);
+        assert_eq!(s.delivery_ratio_for(NodeId(1), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn duplicates_balance_the_accounting() {
+        let mut s = NetStats::default();
+        // One send, duplicated once: both copies delivered.
+        s.record_send(8);
+        s.record_duplicate();
+        s.record_delivery(NodeId(1), NodeId(2), 8);
+        s.record_delivery(NodeId(1), NodeId(2), 8);
+        assert_eq!(s.messages_duplicated, 1);
+        assert!(s.accounts_for_every_send(0));
+        // A second send still in flight keeps the books balanced only
+        // when counted.
+        s.record_send(8);
+        assert!(!s.accounts_for_every_send(0));
+        assert!(s.accounts_for_every_send(1));
+        // Duplicate dropped at a crashed destination: drop + delivery
+        // still cover send + duplicate.
+        s.record_drop(NodeId(1), NodeId(2));
+        assert!(s.accounts_for_every_send(0));
     }
 
     #[test]

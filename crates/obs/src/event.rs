@@ -233,6 +233,37 @@ pub enum EventKind {
         /// The adopting site.
         at: NodeId,
     },
+    /// A federation operation re-posted its request after a timeout.
+    FedRetry {
+        /// The retrying site.
+        node: NodeId,
+        /// The operation being retried (`"move_object"`, `"invoke_req"`, …).
+        op: &'static str,
+        /// Attempt number about to be made (2 = first retry).
+        attempt: u32,
+    },
+    /// A receiver recognised a request id it had already served and
+    /// answered from its reply cache instead of re-executing.
+    FedDedup {
+        /// The deduplicating site.
+        node: NodeId,
+        /// The duplicate message's wire tag.
+        kind: &'static str,
+    },
+    /// A site crashed, losing all volatile state.
+    SiteCrash {
+        /// The crashed site.
+        node: NodeId,
+    },
+    /// A crashed site restarted and bootstrapped from its depot.
+    SiteRestart {
+        /// The restarting site.
+        node: NodeId,
+        /// Objects successfully restored from the depot.
+        restored: u64,
+        /// Depot images that failed to restore (quarantined).
+        quarantined: u64,
+    },
 }
 
 impl EventKind {
@@ -262,6 +293,10 @@ impl EventKind {
             EventKind::AmbassadorRelay { .. } => "ambassador_relay",
             EventKind::ObjectDispatched { .. } => "object_dispatched",
             EventKind::ObjectAdopted { .. } => "object_adopted",
+            EventKind::FedRetry { .. } => "fed_retry",
+            EventKind::FedDedup { .. } => "fed_dedup",
+            EventKind::SiteCrash { .. } => "site_crash",
+            EventKind::SiteRestart { .. } => "site_restart",
         }
     }
 }
@@ -388,6 +423,16 @@ impl fmt::Display for TraceEvent {
                 write!(f, "{object} {from}->{to}")
             }
             EventKind::ObjectAdopted { object, at } => write!(f, "{object} at={at}"),
+            EventKind::FedRetry { node, op, attempt } => {
+                write!(f, "{node} op={op} attempt={attempt}")
+            }
+            EventKind::FedDedup { node, kind } => write!(f, "{node} {kind}"),
+            EventKind::SiteCrash { node } => write!(f, "{node}"),
+            EventKind::SiteRestart {
+                node,
+                restored,
+                quarantined,
+            } => write!(f, "{node} restored={restored} quarantined={quarantined}"),
         }
     }
 }

@@ -624,6 +624,58 @@ pub fn object_adopted(object: ObjectId, at: NodeId) {
     });
 }
 
+/// Records a federation request being re-posted after a timeout.
+#[inline]
+pub fn fed_retry(node: NodeId, op: &'static str, attempt: u32) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        r.metrics_mut().federation.retries += 1;
+        r.record(EventKind::FedRetry { node, op, attempt });
+    });
+}
+
+/// Records a duplicate request answered from a receiver's reply cache.
+#[inline]
+pub fn fed_dedup(node: NodeId, kind: &'static str) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        r.metrics_mut().federation.dedup_hits += 1;
+        r.record(EventKind::FedDedup { node, kind });
+    });
+}
+
+/// Records a site crash (volatile state lost).
+#[inline]
+pub fn site_crash(node: NodeId) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        r.metrics_mut().federation.site_crashes += 1;
+        r.record(EventKind::SiteCrash { node });
+    });
+}
+
+/// Records a site restart bootstrapped from its depot.
+#[inline]
+pub fn site_restart(node: NodeId, restored: u64, quarantined: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        r.metrics_mut().federation.site_restarts += 1;
+        r.record(EventKind::SiteRestart {
+            node,
+            restored,
+            quarantined,
+        });
+    });
+}
+
 /// Bumps the network send counter (metrics only; no trace event — one
 /// per message would drown the ring).
 #[inline]
@@ -641,6 +693,15 @@ pub fn net_drop() {
         return;
     }
     with_recorder(|r| r.metrics_mut().net.drops += 1);
+}
+
+/// Bumps the network duplication counter (metrics only).
+#[inline]
+pub fn net_duplicate() {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.metrics_mut().net.duplicates += 1);
 }
 
 /// Bumps the network delivery counters (metrics only).

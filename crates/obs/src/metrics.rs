@@ -272,6 +272,14 @@ pub struct FederationMetrics {
     pub objects_dispatched: u64,
     /// Whole-object migrations adopted.
     pub objects_adopted: u64,
+    /// Requests re-posted after a timeout.
+    pub retries: u64,
+    /// Duplicate requests answered from a receiver's reply cache.
+    pub dedup_hits: u64,
+    /// Sites crashed (volatile state lost).
+    pub site_crashes: u64,
+    /// Sites restarted from their depot.
+    pub site_restarts: u64,
 }
 
 impl FederationMetrics {
@@ -283,6 +291,10 @@ impl FederationMetrics {
             ("ambassador_relays", int(self.ambassador_relays)),
             ("objects_dispatched", int(self.objects_dispatched)),
             ("objects_adopted", int(self.objects_adopted)),
+            ("retries", int(self.retries)),
+            ("dedup_hits", int(self.dedup_hits)),
+            ("site_crashes", int(self.site_crashes)),
+            ("site_restarts", int(self.site_restarts)),
         ])
     }
 }
@@ -292,10 +304,12 @@ impl FederationMetrics {
 pub struct NetMetrics {
     /// Messages accepted by `SimNet::send`.
     pub sends: u64,
-    /// Messages dropped (loss or partition).
+    /// Messages dropped (loss, partition, or crashed node).
     pub drops: u64,
     /// Messages delivered to a handler.
     pub deliveries: u64,
+    /// Extra copies injected by link duplication faults.
+    pub duplicates: u64,
     /// Payload bytes delivered.
     pub bytes_delivered: u64,
 }
@@ -306,6 +320,7 @@ impl NetMetrics {
             ("sends", int(self.sends)),
             ("drops", int(self.drops)),
             ("deliveries", int(self.deliveries)),
+            ("duplicates", int(self.duplicates)),
             ("bytes_delivered", int(self.bytes_delivered)),
         ])
     }

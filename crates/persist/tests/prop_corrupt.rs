@@ -1,0 +1,128 @@
+//! Depot corruption properties: a damaged image must surface as a
+//! structured error and never panic, and `restore_all` must quarantine
+//! the damaged entries while every healthy object still bootstraps —
+//! the graceful-degradation contract crash recovery relies on.
+
+use mrom_core::{DataItem, Method, MethodBody, MromObject, ObjectBuilder};
+use mrom_persist::{BlobStore, Depot, MemStore, PersistError};
+use mrom_value::{IdGenerator, NodeId, Value};
+use proptest::prelude::*;
+
+fn persistent_object(gen: &mut IdGenerator, marker: i64) -> MromObject {
+    ObjectBuilder::new(gen.next_id())
+        .class("persistent")
+        .fixed_data("marker", DataItem::public(Value::Int(marker)))
+        .fixed_method(
+            "marker",
+            Method::public(MethodBody::script("return self.get(\"marker\");").unwrap()),
+        )
+        .build()
+}
+
+/// A depot holding `count` healthy objects; returns the objects too.
+fn seeded_depot(count: i64) -> (Depot<MemStore>, Vec<MromObject>) {
+    let mut gen = IdGenerator::new(NodeId(31));
+    let mut depot = Depot::new(MemStore::new());
+    let objects: Vec<MromObject> = (0..count)
+        .map(|marker| {
+            let obj = persistent_object(&mut gen, marker);
+            depot.save(&obj).expect("mobile object saves");
+            obj
+        })
+        .collect();
+    (depot, objects)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict truncation of a stored image cuts mid-structure: the
+    /// restore must fail with a structured error, never panic.
+    #[test]
+    fn truncated_images_fail_structurally(keep_fraction in 0.0f64..1.0) {
+        let (mut depot, objects) = seeded_depot(1);
+        let victim = objects[0].id();
+        let key = victim.to_string();
+        let bytes = depot.store().get(&key).unwrap().expect("stored");
+        prop_assume!(!bytes.is_empty());
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let keep = ((bytes.len() as f64) * keep_fraction) as usize;
+        let keep = keep.min(bytes.len() - 1);
+        depot.store_mut().put(&key, &bytes[..keep]).unwrap();
+
+        match depot.restore(victim) {
+            Err(PersistError::Model(_) | PersistError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+            Ok(_) => prop_assert!(false, "a truncated image must not decode"),
+        }
+    }
+
+    /// Flipping one bit anywhere in a stored image never panics: the
+    /// restore either fails structurally or decodes to *some* object,
+    /// and `restore_all` still bootstraps every untouched object.
+    #[test]
+    fn bit_flips_degrade_gracefully(byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let (mut depot, objects) = seeded_depot(4);
+        let victim = objects[0].id();
+        let key = victim.to_string();
+        let mut bytes = depot.store().get(&key).unwrap().expect("stored");
+        prop_assume!(!bytes.is_empty());
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = (((bytes.len() - 1) as f64) * byte_frac) as usize;
+        bytes[idx] ^= 1 << bit;
+        depot.store_mut().put(&key, &bytes).unwrap();
+
+        // Point restore: structured outcome either way.
+        let single = depot.restore(victim);
+        if let Err(e) = &single {
+            prop_assert!(
+                matches!(e, PersistError::Model(_) | PersistError::Corrupt { .. }),
+                "unexpected error class: {e}"
+            );
+        }
+
+        // Bulk bootstrap: accounts for every key, healthy objects intact.
+        let (restored, quarantined) = depot.restore_all();
+        prop_assert_eq!(restored.len() + quarantined.len(), 4);
+        for healthy in &objects[1..] {
+            prop_assert!(
+                restored.iter().any(|o| o == healthy),
+                "untouched object {} must survive a neighbour's corruption",
+                healthy.id()
+            );
+        }
+        match single {
+            Ok(_) => prop_assert!(quarantined.is_empty()),
+            Err(_) => {
+                prop_assert_eq!(quarantined.len(), 1);
+                prop_assert_eq!(quarantined[0].0.clone(), key);
+            }
+        }
+    }
+
+    /// Rewriting the image's leading wire tag (a "tag swap") must fail
+    /// structurally: whatever the bytes now claim to be, they cannot
+    /// validate as an object image.
+    #[test]
+    fn tag_swaps_fail_structurally(tag in any::<u8>()) {
+        let (mut depot, objects) = seeded_depot(2);
+        let victim = objects[0].id();
+        let key = victim.to_string();
+        let mut bytes = depot.store().get(&key).unwrap().expect("stored");
+        prop_assume!(!bytes.is_empty());
+        prop_assume!(bytes[0] != tag);
+        bytes[0] = tag;
+        depot.store_mut().put(&key, &bytes).unwrap();
+
+        match depot.restore(victim) {
+            Err(PersistError::Model(_) | PersistError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+            Ok(_) => prop_assert!(false, "a retagged image must not validate"),
+        }
+        // The undamaged neighbour still bootstraps.
+        let (restored, quarantined) = depot.restore_all();
+        prop_assert_eq!(restored.len(), 1);
+        prop_assert_eq!(quarantined.len(), 1);
+        prop_assert!(restored[0] == objects[1]);
+    }
+}

@@ -8,8 +8,26 @@ use std::thread;
 use std::time::Duration;
 
 use mrom::core::{ClassSpec, DataItem, Method, MethodBody, MromObject, Runtime};
-use mrom::net::live_cluster;
+use mrom::net::{live_cluster, LiveDelivery, LiveNode};
 use mrom::value::{NodeId, Value};
+
+/// One generous deadline for any single cross-thread hop. The receive
+/// itself is event-driven (a blocking channel wait, no polling); the
+/// deadline exists only so a genuinely wedged transport fails the test
+/// instead of hanging it, and is sized for heavily loaded CI machines
+/// rather than the expected microseconds.
+const HOP_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Event-driven receive: parks the thread until the message arrives and
+/// fails loudly (with context) if the transport wedges.
+fn recv_or_die(h: &LiveNode, what: &str) -> LiveDelivery {
+    h.recv_timeout(HOP_DEADLINE).unwrap_or_else(|| {
+        panic!(
+            "{what}: nothing arrived at {} within {HOP_DEADLINE:?}",
+            h.node()
+        )
+    })
+}
 
 fn worker_class() -> ClassSpec {
     ClassSpec::new("worker")
@@ -55,15 +73,15 @@ fn object_ping_pongs_between_threads() {
         let image = hop(&mut rt, obj_id, NodeId(1));
         h1.send(NodeId(2), image).unwrap();
         // Keep volleying.
-        for _ in 0..ROUNDS - 1 {
-            let d = h1.recv_timeout(Duration::from_secs(5)).expect("return leg");
+        for round in 0..ROUNDS - 1 {
+            let d = recv_or_die(&h1, &format!("return leg {round}"));
             let obj = MromObject::from_image(&d.payload).unwrap();
             rt.adopt(obj).unwrap();
             let image = hop(&mut rt, obj_id, NodeId(1));
             h1.send(NodeId(2), image).unwrap();
         }
         // Final receive: the object retires at node 1.
-        let d = h1.recv_timeout(Duration::from_secs(5)).expect("final leg");
+        let d = recv_or_die(&h1, "final leg");
         let obj = MromObject::from_image(&d.payload).unwrap();
         rt.adopt(obj).unwrap();
         let log = rt.object(obj_id).unwrap().read_data(obj_id, "log").unwrap();
@@ -72,10 +90,8 @@ fn object_ping_pongs_between_threads() {
 
     let t2 = thread::spawn(move || {
         let mut rt = Runtime::new(NodeId(2));
-        for _ in 0..ROUNDS {
-            let d = h2
-                .recv_timeout(Duration::from_secs(5))
-                .expect("inbound leg");
+        for round in 0..ROUNDS {
+            let d = recv_or_die(&h2, &format!("inbound leg {round}"));
             let obj = MromObject::from_image(&d.payload).unwrap();
             let obj_id = obj.id();
             rt.adopt(obj).unwrap();
@@ -111,9 +127,7 @@ fn fan_out_migration_under_parallel_load() {
                 let mut rt = Runtime::new(h.node());
                 let mut done = 0usize;
                 while done < AGENTS_PER_CONSUMER {
-                    let d = h
-                        .recv_timeout(Duration::from_secs(10))
-                        .expect("agent arrives");
+                    let d = recv_or_die(&h, &format!("agent {done}"));
                     let obj = MromObject::from_image(&d.payload).unwrap();
                     let id = obj.id();
                     rt.adopt(obj).unwrap();
@@ -129,7 +143,7 @@ fn fan_out_migration_under_parallel_load() {
         .collect();
 
     let mut rt = Runtime::new(NodeId(0));
-    for round in 0..AGENTS_PER_CONSUMER {
+    for _round in 0..AGENTS_PER_CONSUMER {
         for target in 1..=CONSUMERS {
             let obj = worker_class().instantiate(rt.ids_mut());
             let id = obj.id();
@@ -138,11 +152,13 @@ fn fan_out_migration_under_parallel_load() {
             let image = obj.migration_image(id).unwrap();
             producer.send(NodeId(target), image).unwrap();
         }
-        let _ = round;
     }
 
     let total: usize = consumers.into_iter().map(|t| t.join().unwrap()).sum();
     assert_eq!(total, CONSUMERS as usize * AGENTS_PER_CONSUMER);
+    // Safe to read only after every consumer joined: the live transport
+    // records the delivery at send time, and all sends happen-before the
+    // joins above.
     let stats = producer.stats_snapshot();
     assert_eq!(
         stats.messages_delivered,
