@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use hadas::{AmbassadorSpec, Federation};
-use mrom_bench::{bench_ids, cargo_names, cargo_object};
+use mrom_bench::{bench_ids, cargo_names, cargo_object, cargo_object_as};
 use mrom_core::MromObject;
 use mrom_net::{LinkConfig, NetworkConfig};
 use mrom_value::NodeId;
@@ -45,8 +45,11 @@ fn bench_federation(c: &mut Criterion) {
                 b.iter_with_setup(
                     || {
                         let mut fed = fresh_pair(2);
-                        let apo =
-                            cargo_object(fed.runtime_mut(NodeId(2)).unwrap().ids_mut(), items, 64);
+                        let apo = cargo_object_as(
+                            fed.runtime_mut(NodeId(2)).unwrap().ids_mut().next_id(),
+                            items,
+                            64,
+                        );
                         fed.integrate_apo(
                             NodeId(2),
                             "svc",

@@ -21,7 +21,8 @@ fn deployed_pair(seed: u64) -> (Federation, mrom_value::ObjectId, mrom_value::Ob
     fed.add_site(client_site).unwrap();
     fed.add_site(server).unwrap();
     fed.link(client_site, server).unwrap();
-    let apo = employee_db().instantiate(fed.runtime_mut(server).unwrap().ids_mut());
+    let apo =
+        employee_db().instantiate_as(fed.runtime_mut(server).unwrap().ids_mut().next_id(), None);
     fed.integrate_apo(server, "db", apo, AmbassadorSpec::relay_only())
         .unwrap();
     let amb = fed.import_apo(client_site, server, "db").unwrap();
@@ -55,18 +56,18 @@ fn bench_crossover(c: &mut Criterion) {
                 |(mut fed, amb, client)| {
                     fed.migrate_method(NodeId(2), "db", "salary_of").unwrap();
                     // The ambassador needs the data its method reads.
+                    let apo_id = fed.apo_id(NodeId(2), "db").unwrap();
+                    let employees = fed
+                        .runtime(NodeId(2))
+                        .unwrap()
+                        .object(apo_id)
+                        .unwrap()
+                        .read_data(apo_id, "employees")
+                        .unwrap();
                     fed.push_update(
                         NodeId(2),
                         "db",
-                        &[hadas::UpdateOp::AddData(
-                            "employees".into(),
-                            fed.runtime(NodeId(2))
-                                .unwrap()
-                                .object(fed.apo_id(NodeId(2), "db").unwrap())
-                                .unwrap()
-                                .read_data(fed.apo_id(NodeId(2), "db").unwrap(), "employees")
-                                .unwrap(),
-                        )],
+                        &[hadas::UpdateOp::AddData("employees".into(), employees)],
                     )
                     .unwrap();
                     for _ in 0..k {

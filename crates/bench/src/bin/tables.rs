@@ -258,7 +258,11 @@ fn e6_federation() {
             let mut fed = Federation::new(cfg);
             fed.add_site(NodeId(1)).unwrap();
             fed.add_site(NodeId(2)).unwrap();
-            let apo = cargo_object(fed.runtime_mut(NodeId(2)).unwrap().ids_mut(), items, 64);
+            let apo = cargo_object_as(
+                fed.runtime_mut(NodeId(2)).unwrap().ids_mut().next_id(),
+                items,
+                64,
+            );
             fed.integrate_apo(
                 NodeId(2),
                 "svc",
@@ -306,7 +310,10 @@ fn e7_crossover() {
                 fed.add_site(NodeId(1)).unwrap();
                 fed.add_site(NodeId(2)).unwrap();
                 fed.link(NodeId(1), NodeId(2)).unwrap();
-                let apo = employee_db().instantiate(fed.runtime_mut(NodeId(2)).unwrap().ids_mut());
+                let apo = employee_db().instantiate_as(
+                    fed.runtime_mut(NodeId(2)).unwrap().ids_mut().next_id(),
+                    None,
+                );
                 fed.integrate_apo(NodeId(2), "db", apo, AmbassadorSpec::relay_only())
                     .unwrap();
                 let amb = fed.import_apo(NodeId(1), NodeId(2), "db").unwrap();
@@ -385,7 +392,10 @@ fn e7_bandwidth() {
             fed.add_site(NodeId(1)).unwrap();
             fed.add_site(NodeId(2)).unwrap();
             fed.link(NodeId(1), NodeId(2)).unwrap();
-            let apo = employee_db().instantiate(fed.runtime_mut(NodeId(2)).unwrap().ids_mut());
+            let apo = employee_db().instantiate_as(
+                fed.runtime_mut(NodeId(2)).unwrap().ids_mut().next_id(),
+                None,
+            );
             fed.integrate_apo(NodeId(2), "db", apo, AmbassadorSpec::relay_only())
                 .unwrap();
             let amb = fed.import_apo(NodeId(1), NodeId(2), "db").unwrap();

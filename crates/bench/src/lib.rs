@@ -119,7 +119,13 @@ pub fn acl_gated(ids: &mut IdGenerator, list_size: usize) -> (MromObject, Object
 /// A mobile object carrying `items` extensible data items of ~`item_bytes`
 /// each — the payload knob for migration/persistence size sweeps (E6/E10).
 pub fn cargo_object(ids: &mut IdGenerator, items: usize, item_bytes: usize) -> MromObject {
-    let mut obj = ObjectBuilder::new(ids.next_id())
+    cargo_object_as(ids.next_id(), items, item_bytes)
+}
+
+/// [`cargo_object`] with a pre-minted identity (for ids drawn from a
+/// runtime's shared generator).
+pub fn cargo_object_as(id: mrom_value::ObjectId, items: usize, item_bytes: usize) -> MromObject {
+    let mut obj = ObjectBuilder::new(id)
         .class("cargo")
         .fixed_method(
             "ping",

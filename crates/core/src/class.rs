@@ -130,7 +130,12 @@ impl ClassSpec {
         ids: &mut IdGenerator,
         origin: Option<ObjectId>,
     ) -> MromObject {
-        let id = ids.next_id();
+        self.instantiate_as(ids.next_id(), origin)
+    }
+
+    /// Stamps an instance with a pre-minted identity (the shared-runtime
+    /// path, where ids come from an [`mrom_value::AtomicIdGenerator`]).
+    pub fn instantiate_as(&self, id: ObjectId, origin: Option<ObjectId>) -> MromObject {
         let mut b = ObjectBuilder::new(id)
             .class(&self.name)
             .origin(origin.unwrap_or(id))
@@ -196,8 +201,21 @@ impl ClassRegistry {
     ///
     /// [`MromError::Class`] for unknown names.
     pub fn instantiate(&self, name: &str, ids: &mut IdGenerator) -> Result<MromObject, MromError> {
+        // Look the class up before minting, so a failed create does not
+        // consume an identity.
         self.get(name)
-            .map(|spec| spec.instantiate(ids))
+            .ok_or_else(|| MromError::Class(format!("unknown class {name:?}")))?;
+        self.instantiate_with_id(name, ids.next_id())
+    }
+
+    /// Instantiates a registered class with a pre-minted identity.
+    ///
+    /// # Errors
+    ///
+    /// [`MromError::Class`] for unknown names.
+    pub fn instantiate_with_id(&self, name: &str, id: ObjectId) -> Result<MromObject, MromError> {
+        self.get(name)
+            .map(|spec| spec.instantiate_as(id, None))
             .ok_or_else(|| MromError::Class(format!("unknown class {name:?}")))
     }
 

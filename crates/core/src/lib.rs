@@ -78,6 +78,7 @@ mod migrate;
 mod object;
 mod runtime;
 mod security;
+mod shared;
 mod stats;
 
 pub use admission::{default_admission_policy, set_default_admission_policy, AdmissionPolicy};
@@ -94,6 +95,7 @@ pub use mrom_script::analyze::{
 pub use object::{MromObject, ObjectBuilder};
 pub use runtime::Runtime;
 pub use security::{Acl, TypeConstraint};
+pub use shared::{ClassesGuard, ObjectGuard, PoisonCause, SharedRuntime, SHARD_COUNT};
 pub use stats::{stats_object, stats_value};
 
 /// Crate-local result alias over [`MromError`].

@@ -1,20 +1,25 @@
-//! Node runtime: the per-node object table and the world hook that lets
-//! co-located objects invoke each other.
+//! Node runtime: the single-threaded view of the per-node object table.
 //!
 //! A [`Runtime`] owns every object hosted on one logical node, mints
-//! identities through the node's [`IdGenerator`], and implements the
-//! `send`/`log`/`time` world operations for method bodies. Cross-node
-//! communication is *not* here — it belongs to the network substrate and
-//! HADAS, which wrap a runtime per simulated node.
+//! identities through the node's generator, and implements the
+//! `send`/`log`/`time` world operations for method bodies. Since PR 5 it
+//! is a thin `&mut self` wrapper over the concurrent
+//! [`SharedRuntime`](crate::SharedRuntime) — same semantics, same error
+//! surface, exclusive access enforced by the borrow checker instead of
+//! locks. Callers that want intra-node parallelism use
+//! [`Runtime::shared`] (or construct a `SharedRuntime` directly) and
+//! drive it from multiple threads.
+//!
+//! Cross-node communication is *not* here — it belongs to the network
+//! substrate and HADAS, which wrap a runtime per simulated node.
 
-use std::collections::HashMap;
-
-use mrom_value::{IdGenerator, NodeId, ObjectId, Value};
+use mrom_value::{AtomicIdGenerator, NodeId, ObjectId, Value};
 
 use crate::class::ClassRegistry;
 use crate::error::MromError;
-use crate::invoke::{InvokeLimits, WorldHook};
+use crate::invoke::InvokeLimits;
 use crate::object::MromObject;
+use crate::shared::{ObjectGuard, SharedRuntime};
 
 /// The per-node object host.
 ///
@@ -40,71 +45,80 @@ use crate::object::MromObject;
 /// ```
 #[derive(Debug)]
 pub struct Runtime {
-    node: NodeId,
-    ids: IdGenerator,
-    objects: HashMap<ObjectId, MromObject>,
-    classes: ClassRegistry,
-    limits: InvokeLimits,
-    /// Objects currently executing (checked out of the table); used to
-    /// report [`MromError::ObjectBusy`] for cyclic cross-object calls.
-    busy: std::collections::HashSet<ObjectId>,
-    /// Virtual time surfaced to scripts via `self.time()`; substrates (the
-    /// network simulator) advance it.
-    now: u64,
+    shared: SharedRuntime,
 }
 
 impl Runtime {
     /// Creates an empty runtime for `node`.
     pub fn new(node: NodeId) -> Runtime {
         Runtime {
-            node,
-            ids: IdGenerator::new(node),
-            objects: HashMap::new(),
-            classes: ClassRegistry::new(),
-            limits: InvokeLimits::default(),
-            busy: std::collections::HashSet::new(),
-            now: 0,
+            shared: SharedRuntime::new(node),
         }
+    }
+
+    /// The concurrent runtime underneath: hand this to worker threads for
+    /// parallel invocations (see `DESIGN.md` §12). All state is shared —
+    /// an object created through the wrapper is visible through the
+    /// shared view and vice versa.
+    pub fn shared(&self) -> &SharedRuntime {
+        &self.shared
+    }
+
+    /// Unwraps into the concurrent runtime.
+    #[must_use]
+    pub fn into_shared(self) -> SharedRuntime {
+        self.shared
+    }
+
+    /// Wraps an existing concurrent runtime in the single-threaded view.
+    #[must_use]
+    pub fn from_shared(shared: SharedRuntime) -> Runtime {
+        Runtime { shared }
     }
 
     /// The node this runtime represents.
     pub fn node(&self) -> NodeId {
-        self.node
+        self.shared.node()
     }
 
     /// The node's identity generator.
-    pub fn ids_mut(&mut self) -> &mut IdGenerator {
-        &mut self.ids
+    ///
+    /// The generator mints through `&self` nowadays; the historical name
+    /// and receiver are kept so existing `rt.ids_mut().next_id()` call
+    /// sites compile unchanged.
+    pub fn ids_mut(&mut self) -> &AtomicIdGenerator {
+        self.shared.ids()
     }
 
     /// The class registry.
-    pub fn classes(&self) -> &ClassRegistry {
-        &self.classes
+    pub fn classes(&self) -> crate::shared::ClassesGuard<'_> {
+        self.shared.classes()
     }
 
-    /// Mutable class registry access.
+    /// Mutable class registry access (lock-free: exclusivity comes from
+    /// `&mut self`).
     pub fn classes_mut(&mut self) -> &mut ClassRegistry {
-        &mut self.classes
+        self.shared.classes_mut()
     }
 
     /// Replaces the invocation limits applied to every call on this node.
     pub fn set_limits(&mut self, limits: InvokeLimits) {
-        self.limits = limits;
+        self.shared.set_limits(limits);
     }
 
     /// The current invocation limits.
     pub fn limits(&self) -> InvokeLimits {
-        self.limits
+        self.shared.limits()
     }
 
     /// Current virtual time (milliseconds by convention).
     pub fn now(&self) -> u64 {
-        self.now
+        self.shared.now()
     }
 
     /// Advances virtual time (driven by the simulation substrate).
     pub fn set_now(&mut self, now: u64) {
-        self.now = now;
+        self.shared.set_now(now);
     }
 
     /// Messages logged by objects via `self.log(...)`, in order.
@@ -117,7 +131,7 @@ impl Runtime {
         note = "use mrom_obs::log_lines_for(runtime.node()) — the log now lives in the observability layer"
     )]
     pub fn log_entries(&self) -> Vec<(ObjectId, String)> {
-        mrom_obs::log_lines_for(self.node)
+        mrom_obs::log_lines_for(self.node())
     }
 
     /// Instantiates a registered class, adopting the object into the node.
@@ -126,10 +140,7 @@ impl Runtime {
     ///
     /// [`MromError::Class`] for unknown class names.
     pub fn create(&mut self, class: &str) -> Result<ObjectId, MromError> {
-        let obj = self.classes.instantiate(class, &mut self.ids)?;
-        let id = obj.id();
-        self.objects.insert(id, obj);
-        Ok(id)
+        self.shared.create(class)
     }
 
     /// Adopts an externally constructed object (builder output, or an
@@ -140,15 +151,7 @@ impl Runtime {
     /// [`MromError::DuplicateItem`] if an object with this identity is
     /// already hosted here.
     pub fn adopt(&mut self, obj: MromObject) -> Result<ObjectId, MromError> {
-        let id = obj.id();
-        if self.objects.contains_key(&id) {
-            return Err(MromError::DuplicateItem {
-                object: id,
-                item: "object identity".to_owned(),
-            });
-        }
-        self.objects.insert(id, obj);
-        Ok(id)
+        self.shared.adopt(obj)
     }
 
     /// Removes an object from the node (the local half of migration),
@@ -156,29 +159,38 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`MromError::NoSuchObject`].
+    /// [`MromError::NoSuchObject`]; [`MromError::ObjectBusy`] for objects
+    /// checked out by an in-flight invocation or poisoned by a panicked
+    /// one (impossible to hit through `&mut self` alone, but the shared
+    /// view underneath may be driven by workers).
     pub fn evict(&mut self, id: ObjectId) -> Result<MromObject, MromError> {
-        self.objects.remove(&id).ok_or(MromError::NoSuchObject(id))
+        self.shared.evict(id)
     }
 
     /// Shared access to a hosted object.
-    pub fn object(&self, id: ObjectId) -> Option<&MromObject> {
-        self.objects.get(&id)
+    ///
+    /// Returns a guard that dereferences to [`MromObject`]; existing
+    /// `rt.object(id).unwrap().read_data(..)`-style call sites compile
+    /// unchanged. `None` for unknown (and, through the shared view,
+    /// checked-out or poisoned) identities.
+    pub fn object(&self, id: ObjectId) -> Option<ObjectGuard<'_>> {
+        self.shared.object(id)
     }
 
-    /// Mutable access to a hosted object (host-side administration).
+    /// Mutable access to a hosted object (host-side administration;
+    /// lock-free through `&mut self`).
     pub fn object_mut(&mut self, id: ObjectId) -> Option<&mut MromObject> {
-        self.objects.get_mut(&id)
+        self.shared.object_mut(id)
     }
 
     /// Identities of all hosted objects (unordered).
     pub fn object_ids(&self) -> Vec<ObjectId> {
-        self.objects.keys().copied().collect()
+        self.shared.object_ids()
     }
 
     /// Number of hosted objects.
     pub fn object_count(&self) -> usize {
-        self.objects.len()
+        self.shared.object_count()
     }
 
     /// Invokes a method on a hosted object as `caller`.
@@ -186,7 +198,9 @@ impl Runtime {
     /// The target is checked out of the table for the duration of the call
     /// so its body can invoke *other* objects on this node through the
     /// world hook; a cyclic call back into the executing object reports
-    /// [`MromError::ObjectBusy`].
+    /// [`MromError::ObjectBusy`]. See
+    /// [`SharedRuntime::invoke`](crate::SharedRuntime::invoke) for the
+    /// full checkout protocol (including panic poisoning).
     ///
     /// # Errors
     ///
@@ -198,42 +212,7 @@ impl Runtime {
         method: &str,
         args: &[Value],
     ) -> Result<Value, MromError> {
-        self.invoke_checked_out(caller, target, method, args)
-    }
-
-    /// Shared checkout protocol behind [`Runtime::invoke`] and the `send`
-    /// world operation: remove the target from the table (reporting busy
-    /// for cyclic calls), mark it busy, run the invocation with a world
-    /// hook over the remaining table, then check the object back in
-    /// whatever the outcome.
-    fn invoke_checked_out(
-        &mut self,
-        caller: ObjectId,
-        target: ObjectId,
-        method: &str,
-        args: &[Value],
-    ) -> Result<Value, MromError> {
-        mrom_obs::runtime_invoke(self.node, target, method);
-        let mut obj = self.objects.remove(&target).ok_or({
-            if self.busy.contains(&target) {
-                MromError::ObjectBusy(target)
-            } else {
-                MromError::NoSuchObject(target)
-            }
-        })?;
-        self.busy.insert(target);
-        let limits = self.limits;
-        let result = crate::invoke::invoke_with_limits(
-            &mut obj,
-            &mut RuntimeWorld { runtime: self },
-            caller,
-            method,
-            args,
-            &limits,
-        );
-        self.busy.remove(&target);
-        self.objects.insert(target, obj);
-        result
+        self.shared.invoke(caller, target, method, args)
     }
 
     /// [`Runtime::invoke`] with the system principal — host-initiated
@@ -248,69 +227,7 @@ impl Runtime {
         method: &str,
         args: &[Value],
     ) -> Result<Value, MromError> {
-        self.invoke(ObjectId::SYSTEM, target, method, args)
-    }
-}
-
-/// World hook giving method bodies mediated access to node services.
-///
-/// Supported operations:
-///
-/// * `send(target_ref, method, args_list)` — invoke a method on another
-///   object hosted on this node (caller principal = the sending object).
-/// * `spawn(class_name)` — instantiate a registered class, adopting the
-///   new object into this node; returns its reference. This is how an
-///   object creates other objects (an APO instantiating its Ambassador).
-/// * `log(message)` — append to the node log.
-/// * `time()` — current virtual time.
-/// * `node()` — the node id as an integer.
-struct RuntimeWorld<'r> {
-    runtime: &'r mut Runtime,
-}
-
-impl WorldHook for RuntimeWorld<'_> {
-    fn world_call(
-        &mut self,
-        caller: ObjectId,
-        op: &str,
-        args: &[Value],
-    ) -> Result<Value, MromError> {
-        match op {
-            "send" => match args {
-                [Value::ObjectRef(target), Value::Str(method), Value::List(inner)] => {
-                    // An object currently executing has been checked out of
-                    // the table, so a cyclic call finds it absent: the
-                    // shared checkout protocol reports busy for the sender
-                    // itself, NoSuchObject otherwise — both also cover
-                    // genuinely unknown targets upstream.
-                    self.runtime
-                        .invoke_checked_out(caller, *target, method, inner)
-                }
-                _ => Err(MromError::World(
-                    "send expects (object_ref, method_name, args_list)".into(),
-                )),
-            },
-            "spawn" => match args {
-                [Value::Str(class)] => self.runtime.create(class).map(Value::ObjectRef),
-                _ => Err(MromError::World("spawn expects (class_name)".into())),
-            },
-            "log" => {
-                let msg = args
-                    .first()
-                    .map(|v| match v {
-                        Value::Str(s) => s.clone(),
-                        other => other.to_string(),
-                    })
-                    .unwrap_or_default();
-                mrom_obs::log_line(self.runtime.node, caller, &msg);
-                Ok(Value::Null)
-            }
-            "time" => Ok(Value::Int(self.runtime.now as i64)),
-            "node" => Ok(Value::Int(self.runtime.node.0 as i64)),
-            other => Err(MromError::World(format!(
-                "unknown world operation {other:?}"
-            ))),
-        }
+        self.shared.invoke_as_system(target, method, args)
     }
 }
 
@@ -318,6 +235,7 @@ impl WorldHook for RuntimeWorld<'_> {
 mod tests {
     use super::*;
     use crate::class::ClassSpec;
+    use crate::invoke::InvokeLimits;
     use crate::item::DataItem;
     use crate::method::{Method, MethodBody};
 
@@ -592,5 +510,27 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, MromError::AccessDenied { .. }));
+    }
+
+    #[test]
+    fn wrapper_and_shared_view_see_one_table() {
+        let mut rt = runtime_with_classes();
+        let id = rt.create("calc").unwrap();
+        // Invoke through the shared view; read through the wrapper.
+        rt.shared()
+            .invoke_as_system(id, "add", &[Value::Int(7)])
+            .unwrap();
+        assert_eq!(
+            rt.object(id)
+                .unwrap()
+                .read_data(ObjectId::SYSTEM, "acc")
+                .unwrap(),
+            Value::Int(7)
+        );
+        // Round trip through into_shared/from_shared keeps everything.
+        let shared = rt.into_shared();
+        assert_eq!(shared.object_count(), 1);
+        let rt = Runtime::from_shared(shared);
+        assert_eq!(rt.object_count(), 1);
     }
 }

@@ -134,8 +134,25 @@ pub fn instantiate_ambassador_with_policy(
     ids: &mut IdGenerator,
     policy: AdmissionPolicy,
 ) -> Result<(MromObject, Vec<String>), HadasError> {
+    instantiate_ambassador_as(apo, apo_name, origin_node, spec, ids.next_id(), policy)
+}
+
+/// [`instantiate_ambassador_with_policy`] with a pre-minted identity (the
+/// shared-runtime path, where ids are minted through `&self`).
+///
+/// # Errors
+///
+/// As [`instantiate_ambassador`].
+pub fn instantiate_ambassador_as(
+    apo: &MromObject,
+    apo_name: &str,
+    origin_node: NodeId,
+    spec: &AmbassadorSpec,
+    id: ObjectId,
+    policy: AdmissionPolicy,
+) -> Result<(MromObject, Vec<String>), HadasError> {
     let apo_id = apo.id();
-    let mut builder = ObjectBuilder::new(ids.next_id())
+    let mut builder = ObjectBuilder::new(id)
         .class(&format!("ambassador:{}", apo.class_name()))
         .origin(apo_id)
         // Structural mutation is reserved for the origin APO.
@@ -212,8 +229,12 @@ pub fn instantiate_ambassador_with_policy(
     // migrate (meta-methods excluded — they must never be relayed to the
     // origin on a stranger's behalf).
     let exported: Vec<&str> = spec.exported_methods.iter().map(String::as_str).collect();
+    // An arbitrary stranger principal for the public view: derived from the
+    // ambassador's identity with flipped entropy, so it can collide with no
+    // real object (every hosted object has a distinct (node, seq) pair).
+    let stranger = ObjectId::from_parts(id.node(), id.seq(), !id.entropy());
     let remote_methods: Vec<String> = apo
-        .list_methods(ids.next_id()) // an arbitrary stranger principal: public view
+        .list_methods(stranger)
         .into_iter()
         .map(|(n, _)| n)
         .filter(|n| {

@@ -22,8 +22,14 @@ use mrom_value::{IdGenerator, NodeId, ObjectId, Value};
 ///
 /// Interop programs (coordination level) are added later via `addMethod`.
 pub fn build_ioo(ids: &mut IdGenerator, node: NodeId) -> MromObject {
+    build_ioo_as(ids.next_id(), node)
+}
+
+/// [`build_ioo`] with a pre-minted identity (the shared-runtime path,
+/// where ids are minted through `&self`).
+pub fn build_ioo_as(id: ObjectId, node: NodeId) -> MromObject {
     let system_writable = Acl::only([ObjectId::SYSTEM]);
-    ObjectBuilder::new(ids.next_id())
+    ObjectBuilder::new(id)
         .class("ioo")
         .meta_acl(Acl::only([ObjectId::SYSTEM]))
         .fixed_data(

@@ -55,7 +55,7 @@ pub use ambassador::{
     instantiate_ambassador, instantiate_ambassador_with_policy, AmbassadorSpec, GuestInfo,
 };
 pub use error::HadasError;
-pub use federation::{Federation, SiteStats};
+pub use federation::{ExportPolicy, Federation, InvokeCall, SiteStats};
 pub use ioo::build_ioo;
 pub use protocol::{ProtocolMsg, UpdateOp};
 pub use retry::RetryPolicy;

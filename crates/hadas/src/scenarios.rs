@@ -109,7 +109,7 @@ pub fn deploy_employee_db(
     hub: NodeId,
     spokes: &[NodeId],
 ) -> Result<Vec<(NodeId, ObjectId)>, HadasError> {
-    let apo = employee_db_class().instantiate(fed.runtime_mut(hub)?.ids_mut());
+    let apo = employee_db_class().instantiate_as(fed.runtime_mut(hub)?.ids_mut().next_id(), None);
     // `count` is served at the edge, so the employee table snapshot rides
     // along; the heavier queries stay home and are relayed.
     let spec = AmbassadorSpec::relay_only()

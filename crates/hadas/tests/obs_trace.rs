@@ -28,7 +28,7 @@ fn object_hop_is_one_causally_linked_trace() {
     let rt = fed.runtime_mut(home).unwrap();
     let agent = ClassSpec::new("agent")
         .fixed_data("x", DataItem::public(Value::Int(1)))
-        .instantiate(rt.ids_mut());
+        .instantiate_as(rt.ids_mut().next_id(), None);
     let id = agent.id();
     rt.adopt(agent).unwrap();
     fed.dispatch_object(home, away, id).unwrap();
@@ -82,7 +82,7 @@ fn remote_invocation_joins_the_senders_trace() {
             "ping",
             Method::public(MethodBody::script("return 7;").unwrap()),
         )
-        .instantiate(rt.ids_mut());
+        .instantiate_as(rt.ids_mut().next_id(), None);
     let target = svc.id();
     rt.adopt(svc).unwrap();
     let caller = fed.runtime_mut(home).unwrap().ids_mut().next_id();

@@ -44,7 +44,8 @@ impl Soak {
             }
         }
         // One DB APO at site 1.
-        let apo = employee_db_class().instantiate(fed.runtime_mut(nodes[0]).unwrap().ids_mut());
+        let apo = employee_db_class()
+            .instantiate_as(fed.runtime_mut(nodes[0]).unwrap().ids_mut().next_id(), None);
         fed.integrate_apo(
             nodes[0],
             "db",

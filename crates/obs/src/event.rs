@@ -315,6 +315,10 @@ pub struct Event {
     /// Parent span id (0 = root). For a migrated trace's first remote
     /// span this is the dispatching site's span — the causal link.
     pub parent: u64,
+    /// Label of the thread that recorded the event (`None` = unlabeled,
+    /// the single-threaded default). Worker pools label their threads so
+    /// interleaved traces from one site stay attributable.
+    pub thread: Option<std::sync::Arc<str>>,
 }
 
 impl Event {
@@ -324,7 +328,11 @@ impl Event {
             f,
             "#{:<5} t{:<3} s{:<3} p{:<3}",
             self.seq, self.trace, self.span, self.parent
-        )
+        )?;
+        if let Some(thread) = &self.thread {
+            write!(f, " [{thread}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -466,6 +474,7 @@ mod tests {
                 trace: 1,
                 span: 2,
                 parent: 0,
+                thread: None,
             },
             kind: EventKind::InvokeStart {
                 object: ObjectId::SYSTEM,

@@ -125,6 +125,11 @@ pub struct Recorder {
     log: VecDeque<(NodeId, ObjectId, String)>,
     /// Log lines evicted from the channel since last reset.
     log_evicted: u64,
+    /// Label stamped on every event this recorder emits (`None` =
+    /// unlabeled). Worker-pool threads set this so a site's interleaved
+    /// trace stays attributable per thread. Survives `reset` — it is an
+    /// identity, like the mode, not recorded state.
+    thread_label: Option<std::sync::Arc<str>>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -163,7 +168,20 @@ impl Recorder {
             forced_parent: 0,
             log: VecDeque::new(),
             log_evicted: 0,
+            thread_label: None,
         }
+    }
+
+    /// Labels this recorder's thread: every subsequent event carries the
+    /// label. `None` returns to the unlabeled (single-threaded) default.
+    pub fn set_thread_label(&mut self, label: Option<&str>) {
+        self.thread_label = label.map(std::sync::Arc::from);
+    }
+
+    /// The current thread label, if any.
+    #[must_use]
+    pub fn thread_label(&self) -> Option<&str> {
+        self.thread_label.as_deref()
     }
 
     /// Current mode.
@@ -276,6 +294,7 @@ impl Recorder {
                 trace,
                 span,
                 parent,
+                thread: self.thread_label.clone(),
             },
             kind,
         };

@@ -92,6 +92,7 @@ mod tests {
                 trace: 1,
                 span: 0,
                 parent: 0,
+                thread: None,
             },
             kind: EventKind::ScriptRun {
                 fuel_used: seq,

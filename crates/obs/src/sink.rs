@@ -46,6 +46,7 @@ mod tests {
                     trace: 0,
                     span: 0,
                     parent: 0,
+                    thread: None,
                 },
                 kind: EventKind::ScriptRun {
                     fuel_used: 0,

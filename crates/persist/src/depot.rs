@@ -98,9 +98,10 @@ impl<S: BlobStore> Depot<S> {
     /// Backend I/O failures abort the checkpoint (already-written objects
     /// remain stored — the log is append-only, so a partial checkpoint is
     /// still a consistent set of images).
-    pub fn checkpoint<'a, I>(&mut self, objects: I) -> Result<(usize, Vec<ObjectId>), PersistError>
+    pub fn checkpoint<I>(&mut self, objects: I) -> Result<(usize, Vec<ObjectId>), PersistError>
     where
-        I: IntoIterator<Item = &'a MromObject>,
+        I: IntoIterator,
+        I::Item: std::ops::Deref<Target = MromObject>,
     {
         let mut saved = 0;
         let mut pinned = Vec::new();
@@ -109,7 +110,7 @@ impl<S: BlobStore> Depot<S> {
                 pinned.push(obj.id());
                 continue;
             }
-            self.save(obj)?;
+            self.save(&obj)?;
             saved += 1;
         }
         Ok((saved, pinned))

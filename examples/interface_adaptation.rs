@@ -122,7 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let host_obj_id = rt
             .object_ids()
             .into_iter()
-            .find(|&id| rt.object(id).map(MromObject::class_name) == Some("host-environment"))
+            .find(|&id| {
+                rt.object(id)
+                    .is_some_and(|o| o.class_name() == "host-environment")
+            })
             .expect("host object exists");
         let contract = rt
             .object(host_obj_id)

@@ -63,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Initial split decision: everything stays on the server; the
     // ambassador is a pure relay.
-    let apo = formatting_service().instantiate(fed.runtime_mut(server)?.ids_mut());
+    let apo =
+        formatting_service().instantiate_as(fed.runtime_mut(server)?.ids_mut().next_id(), None);
     fed.integrate_apo(server, "formatter", apo, AmbassadorSpec::relay_only())?;
     let amb = fed.import_apo(client_site, server, "formatter")?;
     let client = fed.runtime_mut(client_site)?.ids_mut().next_id();

@@ -116,7 +116,10 @@ fn run_workload() -> Result<(), String> {
                 MethodBody::script("param a; param b; return a + b;").map_err(|e| e.to_string())?,
             ),
         );
-    let apo = apo_class.instantiate(fed.runtime_mut(away).map_err(fail)?.ids_mut());
+    let apo = apo_class.instantiate_as(
+        fed.runtime_mut(away).map_err(fail)?.ids_mut().next_id(),
+        None,
+    );
     let spec = AmbassadorSpec::relay_only()
         .with_methods(["count"])
         .with_data(["rows"]);
@@ -137,7 +140,7 @@ fn run_workload() -> Result<(), String> {
             Method::public(MethodBody::script("return 7 * 6;").map_err(|e| e.to_string())?),
         );
     let rt = fed.runtime_mut(home).map_err(fail)?;
-    let agent = agent_class.instantiate(rt.ids_mut());
+    let agent = agent_class.instantiate_as(rt.ids_mut().next_id(), None);
     let agent_id = agent.id();
     rt.adopt(agent).map_err(|e| e.to_string())?;
     rt.object_mut(agent_id)
@@ -163,7 +166,7 @@ fn run_workload() -> Result<(), String> {
     let mut depot = mrom::persist::Depot::new(mrom::persist::MemStore::new());
     let rt = fed.runtime(away).map_err(fail)?;
     let obj = rt.object(agent_id).ok_or("agent did not arrive")?;
-    depot.save(obj).map_err(|e| e.to_string())?;
+    depot.save(&obj).map_err(|e| e.to_string())?;
     depot.restore(agent_id).map_err(|e| e.to_string())?;
     Ok(())
 }

@@ -46,7 +46,7 @@ fn agent_roams_three_nodes_via_the_network() {
     }
 
     // Born at node 1.
-    let agent = agent_class().instantiate(runtimes[0].ids_mut());
+    let agent = agent_class().instantiate_as(runtimes[0].ids_mut().next_id(), None);
     let agent_id = agent.id();
     runtimes[0].adopt(agent).unwrap();
 
@@ -122,11 +122,11 @@ fn file_persistence_survives_restart_and_corruption() {
 
     {
         let mut depot = Depot::new(FileStore::open(&log).unwrap());
-        depot.save(rt.object(a).unwrap()).unwrap();
-        depot.save(rt.object(b).unwrap()).unwrap();
+        depot.save(&rt.object(a).unwrap()).unwrap();
+        depot.save(&rt.object(b).unwrap()).unwrap();
         // Object a hops once more; re-save (log-structured replace).
         rt.invoke_as_system(a, "hop", &[]).unwrap();
-        depot.save(rt.object(a).unwrap()).unwrap();
+        depot.save(&rt.object(a).unwrap()).unwrap();
     } // "crash": depot dropped, file closed
 
     // Restart: bootstrap everything back.
@@ -167,7 +167,7 @@ fn hostile_host_cannot_break_a_visiting_object() {
     let mut home = Runtime::new(NodeId(1));
     let mut hostile = Runtime::new(NodeId(666));
 
-    let mut obj = agent_class().instantiate(home.ids_mut());
+    let mut obj = agent_class().instantiate_as(home.ids_mut().next_id(), None);
     let me = obj.id();
     obj.add_data(me, "secret_plan", Value::from("classified"))
         .unwrap();
@@ -177,7 +177,7 @@ fn hostile_host_cannot_break_a_visiting_object() {
     assert!(matches!(image, Err(MromError::AccessDenied { .. })));
 
     // Rebuild with a travel-safe policy: meta stays origin-only.
-    let mut obj = agent_class().instantiate(home.ids_mut());
+    let mut obj = agent_class().instantiate_as(home.ids_mut().next_id(), None);
     let me = obj.id();
     obj.add_data(me, "secret_plan", Value::from("classified"))
         .unwrap();
@@ -196,15 +196,16 @@ fn hostile_host_cannot_break_a_visiting_object() {
         Value::from("scout at hop 0")
     );
     // Secrets stay secret; structure stays intact; the body stays hidden.
-    let obj_ref = hostile.object(visitor_id).unwrap();
-    assert!(obj_ref.read_data(host_admin, "secret_plan").is_err());
-    assert!(!obj_ref
-        .list_data(host_admin)
-        .iter()
-        .any(|(n, _)| n == "secret_plan"));
-    let desc = obj_ref.method_descriptor(host_admin, "report").unwrap();
-    assert!(desc.as_map().unwrap()["body"].is_null());
-    let _ = obj_ref;
+    {
+        let obj_ref = hostile.object(visitor_id).unwrap();
+        assert!(obj_ref.read_data(host_admin, "secret_plan").is_err());
+        assert!(!obj_ref
+            .list_data(host_admin)
+            .iter()
+            .any(|(n, _)| n == "secret_plan"));
+        let desc = obj_ref.method_descriptor(host_admin, "report").unwrap();
+        assert!(desc.as_map().unwrap()["body"].is_null());
+    }
     assert!(hostile
         .invoke(
             host_admin,
@@ -281,7 +282,7 @@ fn resource_bombs_are_contained() {
 #[test]
 fn towered_object_survives_full_round_trip() {
     let mut rt = Runtime::new(NodeId(4));
-    let mut obj = agent_class().instantiate(rt.ids_mut());
+    let mut obj = agent_class().instantiate_as(rt.ids_mut().next_id(), None);
     let me = obj.id();
     // An audit level that counts invocations.
     obj.add_data(me, "audit_count", Value::Int(0)).unwrap();
@@ -355,7 +356,7 @@ fn runtime_checkpoint_and_restore() {
     let objects: Vec<_> = rt
         .object_ids()
         .into_iter()
-        .filter_map(|id| rt.object(id).cloned())
+        .filter_map(|id| rt.object(id).map(|o| o.clone()))
         .collect();
     let (saved, pinned) = depot.checkpoint(objects.iter()).unwrap();
     assert_eq!(saved, 2);

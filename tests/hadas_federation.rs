@@ -38,7 +38,8 @@ fn ten_site_star_brings_up_and_queries() {
 fn mixed_splits_route_correctly_per_method() {
     let (mut fed, nodes) = star_federation(2, 2, LinkConfig::lan()).unwrap();
     let (hub, spoke) = (nodes[0], nodes[1]);
-    let apo = employee_db_class().instantiate(fed.runtime_mut(hub).unwrap().ids_mut());
+    let apo =
+        employee_db_class().instantiate_as(fed.runtime_mut(hub).unwrap().ids_mut().next_id(), None);
     fed.integrate_apo(
         hub,
         "employee-db",
@@ -173,7 +174,8 @@ fn two_apos_coordinate_through_one_site() {
 
     // Service 1 at hub_a: the employee db (already linked to hub_a via the
     // star topology: every spoke linked to nodes[0]).
-    let db = employee_db_class().instantiate(fed.runtime_mut(hub_a).unwrap().ids_mut());
+    let db = employee_db_class()
+        .instantiate_as(fed.runtime_mut(hub_a).unwrap().ids_mut().next_id(), None);
     fed.integrate_apo(
         hub_a,
         "db",
@@ -196,7 +198,7 @@ fn two_apos_coordinate_through_one_site() {
                 .unwrap(),
             ),
         )
-        .instantiate(fed.runtime_mut(hub_b).unwrap().ids_mut());
+        .instantiate_as(fed.runtime_mut(hub_b).unwrap().ids_mut().next_id(), None);
     fed.integrate_apo(
         hub_b,
         "tax",
@@ -262,7 +264,8 @@ fn interop_program_coordinates_guest_ambassadors() {
     let (hub_a, hub_b, client_site) = (nodes[0], nodes[1], nodes[2]);
     fed.link(client_site, hub_b).unwrap();
 
-    let db = employee_db_class().instantiate(fed.runtime_mut(hub_a).unwrap().ids_mut());
+    let db = employee_db_class()
+        .instantiate_as(fed.runtime_mut(hub_a).unwrap().ids_mut().next_id(), None);
     fed.integrate_apo(
         hub_a,
         "db",
@@ -277,7 +280,7 @@ fn interop_program_coordinates_guest_ambassadors() {
             "bonus_for",
             Method::public(MethodBody::script("param salary; return salary / 10;").unwrap()),
         )
-        .instantiate(fed.runtime_mut(hub_b).unwrap().ids_mut());
+        .instantiate_as(fed.runtime_mut(hub_b).unwrap().ids_mut().next_id(), None);
     fed.integrate_apo(
         hub_b,
         "bonus",
@@ -450,7 +453,8 @@ fn hostile_wire_garbage_does_not_wedge_the_engine() {
 }
 
 fn integrate_db_like(fed: &mut Federation, at: NodeId) {
-    let apo = employee_db_class().instantiate(fed.runtime_mut(at).unwrap().ids_mut());
+    let apo =
+        employee_db_class().instantiate_as(fed.runtime_mut(at).unwrap().ids_mut().next_id(), None);
     fed.integrate_apo(
         at,
         "db",

@@ -66,7 +66,7 @@ fn object_ping_pongs_between_threads() {
 
     let t1 = thread::spawn(move || {
         let mut rt = Runtime::new(NodeId(1));
-        let obj = worker_class().instantiate(rt.ids_mut());
+        let obj = worker_class().instantiate_as(rt.ids_mut().next_id(), None);
         let obj_id = obj.id();
         rt.adopt(obj).unwrap();
         // First leg.
@@ -145,7 +145,7 @@ fn fan_out_migration_under_parallel_load() {
     let mut rt = Runtime::new(NodeId(0));
     for _round in 0..AGENTS_PER_CONSUMER {
         for target in 1..=CONSUMERS {
-            let obj = worker_class().instantiate(rt.ids_mut());
+            let obj = worker_class().instantiate_as(rt.ids_mut().next_id(), None);
             let id = obj.id();
             rt.adopt(obj).unwrap();
             let obj = rt.evict(id).unwrap();
