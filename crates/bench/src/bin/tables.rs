@@ -1,4 +1,4 @@
-//! Prints the full experiment report (E1-E10): one table per experiment,
+//! Prints the full experiment report (E1-E10, E15): one table per experiment,
 //! mixing measured wall-clock costs (quick non-criterion timing) with the
 //! simulator's deterministic virtual-time results. `EXPERIMENTS.md`
 //! records a run of this binary next to the paper's qualitative claims.
@@ -9,9 +9,12 @@ use hadas::scenarios::{deploy_employee_db, push_maintenance_notice, star_federat
 use hadas::{AmbassadorSpec, Federation, UpdateOp};
 use mrom_baselines::{capability_matrix, StaticCounter};
 use mrom_bench::*;
-use mrom_core::{invoke, Method, MethodBody, NoWorld};
+use mrom_core::{
+    invoke, set_script_engine, DataItem, Method, MethodBody, NoWorld, ObjectBuilder, ScriptEngine,
+};
 use mrom_net::{LinkConfig, NetworkConfig, SimTime};
 use mrom_persist::{Depot, FileStore, MemStore};
+use mrom_script::{Evaluator, NullHost, Program, Vm};
 use mrom_value::{NodeId, Value};
 
 const QUICK: u64 = 20_000;
@@ -630,8 +633,114 @@ fn e10_persist() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn e15_script_vm() {
+    header(
+        "E15",
+        "register bytecode VM for script bodies (PR 6)",
+        "admitted bodies compile once to register bytecode; the tree-walker stays selectable and equivalent",
+    );
+    println!(
+        "  {:<36} {:>10} {:>10} {:>8}",
+        "body", "interp", "VM", "speedup"
+    );
+    const LOOP_SRC: &str = "param n; let acc = 0; let i = 0; \
+                            while (i < n) { \
+                                acc = acc + i * 2 - acc / 3; \
+                                if (acc > 1000) { acc = acc - 997; } \
+                                i = i + 1; \
+                            } \
+                            return acc;";
+    const STRAIGHT_SRC: &str = "param a; param b; return (a + b) * (a - b) + a % 7;";
+    let fuel = 10_000_000u64;
+    let speedup_row = |label: &str, interp: f64, vm: f64| {
+        println!(
+            "  {:<36} {:>10} {:>10} {:>7.2}x",
+            label,
+            fmt_ns(interp),
+            fmt_ns(vm),
+            interp / vm
+        );
+    };
+    let cases: [(&str, &str, Vec<Value>, u64); 2] = [
+        (
+            "loop-heavy, 200 iterations",
+            LOOP_SRC,
+            vec![Value::Int(200)],
+            SLOW * 10,
+        ),
+        (
+            "straight-line (per-call floor)",
+            STRAIGHT_SRC,
+            vec![Value::Int(17), Value::Int(5)],
+            QUICK,
+        ),
+    ];
+    for (label, src, args, reps) in cases {
+        let p = Program::parse(src).unwrap();
+        let interp = time_ns(reps, || {
+            let mut host = NullHost;
+            let mut ev = Evaluator::with_fuel(&mut host, fuel);
+            std::hint::black_box(ev.run(&p, &args).unwrap());
+        });
+        let compiled = p.compiled();
+        let vm = time_ns(reps, || {
+            let mut host = NullHost;
+            let mut vm = Vm::with_fuel(&mut host, fuel);
+            std::hint::black_box(vm.run(&compiled, &args).unwrap());
+        });
+        speedup_row(label, interp, vm);
+    }
+    // Full invoke round-trip whose hot loop is `self` data traffic — the
+    // inline-cache target shape. Fresh object per iteration so `count`
+    // growth never changes the arithmetic between engines.
+    const IC_SRC: &str = "param n; let i = 0; \
+                          while (i < n) { \
+                              self.set(\"count\", self.get(\"count\") + 1); \
+                              i = i + 1; \
+                          } \
+                          return self.get(\"count\");";
+    let mut by_engine = [0.0f64; 2];
+    for (slot, engine) in [ScriptEngine::Interp, ScriptEngine::Vm]
+        .into_iter()
+        .enumerate()
+    {
+        set_script_engine(engine);
+        let mut ids = bench_ids();
+        let caller = ids.next_id();
+        by_engine[slot] = time_ns(SLOW * 10, || {
+            let mut ids = bench_ids();
+            let mut obj = ObjectBuilder::new(ids.next_id())
+                .class("e15-counter")
+                .fixed_data("count", DataItem::public(Value::Int(0)))
+                .fixed_method("tally", Method::public(MethodBody::script(IC_SRC).unwrap()))
+                .build();
+            invoke(&mut obj, &mut NoWorld, caller, "tally", &[Value::Int(100)]).unwrap();
+        });
+    }
+    set_script_engine(ScriptEngine::Vm);
+    speedup_row(
+        "invoke: 100x self.get/self.set loop",
+        by_engine[0],
+        by_engine[1],
+    );
+    // What admission pays once per admitted body.
+    row(
+        "admission: parse only (loop body)",
+        fmt_ns(time_ns(QUICK, || {
+            std::hint::black_box(Program::parse(LOOP_SRC).unwrap());
+        })),
+    );
+    row(
+        "admission: parse + compile",
+        fmt_ns(time_ns(QUICK, || {
+            let p = Program::parse(LOOP_SRC).unwrap();
+            std::hint::black_box(p.compiled());
+        })),
+    );
+}
+
 fn main() {
-    println!("MROM reproduction — experiment report (E1-E10)");
+    println!("MROM reproduction — experiment report (E1-E10, E15)");
     println!(
         "paper: Holder & Ben-Shaul, 'A Reflective Model for Mobile Software Objects', ICDCS 1997"
     );
@@ -646,5 +755,6 @@ fn main() {
     e8_models();
     e9_dbshutdown();
     e10_persist();
+    e15_script_vm();
     println!("\ndone.");
 }

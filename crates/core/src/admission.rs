@@ -18,6 +18,13 @@
 //!   principal, the executing object included —
 //!   [`DiagnosticKind::AclUnsatisfiable`].
 //!
+//! Admission is also where script bodies are **compiled**: the
+//! script-level pass (pass 1) lowers every error-free body to register
+//! bytecode as a side effect, caching the result on the [`Program`]
+//! itself — "analyze" means *verify + compile*, so the invocation path
+//! never pays compilation. The cache never serializes; a migrated body
+//! is recompiled here, on the admitting host, where it is re-verified.
+//!
 //! An [`AdmissionPolicy`] decides what happens at each boundary:
 //! `Off` skips analysis entirely (byte-for-byte today's behaviour),
 //! `Warn` pays the analysis cost but always admits, and `Strict` rejects

@@ -31,12 +31,62 @@
 //! value at its entry, and cross-object nesting is bounded by
 //! [`InvokeLimits::max_call_depth`].
 
-use mrom_script::{Evaluator, HostContext, ScriptError};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use mrom_script::{Evaluator, HostContext, ScriptError, Vm};
 use mrom_value::{ObjectId, Value};
 
 use crate::error::MromError;
 use crate::method::{MetaOp, Method, MethodBody};
 use crate::object::MromObject;
+
+/// Which engine executes mobile (script) method bodies.
+///
+/// Both engines are observationally identical — same results, same
+/// errors, same fuel accounting, same host-call sequences — so this is a
+/// pure performance switch. The default is [`ScriptEngine::Vm`]; set the
+/// `MROM_SCRIPT_ENGINE` environment variable to `interp` (or call
+/// [`set_script_engine`]) to fall back to the tree-walking interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptEngine {
+    /// The original fuel-metered AST-walking interpreter.
+    Interp,
+    /// The register-bytecode VM, running bodies compiled at admission
+    /// time (or lazily on first invocation) and cached on the `Program`.
+    Vm,
+}
+
+/// 0 = undecided, 1 = interpreter, 2 = VM.
+static SCRIPT_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// The engine currently executing script bodies. Resolved once from
+/// `MROM_SCRIPT_ENGINE` (`interp`/`vm`) on first use; defaults to
+/// [`ScriptEngine::Vm`].
+pub fn script_engine() -> ScriptEngine {
+    match SCRIPT_ENGINE.load(Ordering::Relaxed) {
+        1 => ScriptEngine::Interp,
+        2 => ScriptEngine::Vm,
+        _ => {
+            let engine = match std::env::var("MROM_SCRIPT_ENGINE").as_deref() {
+                Ok("interp") | Ok("interpreter") => ScriptEngine::Interp,
+                _ => ScriptEngine::Vm,
+            };
+            set_script_engine(engine);
+            engine
+        }
+    }
+}
+
+/// Selects the script engine for the whole process, overriding the
+/// environment. Safe to call at any time; running invocations finish on
+/// the engine they started with.
+pub fn set_script_engine(engine: ScriptEngine) {
+    let code = match engine {
+        ScriptEngine::Interp => 1,
+        ScriptEngine::Vm => 2,
+    };
+    SCRIPT_ENGINE.store(code, Ordering::Relaxed);
+}
 
 /// Resource bounds applied to an invocation and everything nested in it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -565,18 +615,37 @@ fn run_body(
                 depth,
                 fuel,
                 limits,
+                ics: Vec::new(),
+                ic_hits: 0,
+                ic_misses: 0,
             };
-            let (outcome, used, host_calls) = {
-                let mut evaluator = Evaluator::with_fuel(&mut host, entry_budget);
-                let outcome = evaluator.run(program, args);
-                let used = evaluator.fuel_used();
-                let host_calls = evaluator.host_calls();
-                (outcome, used, host_calls)
+            let (outcome, used, host_calls) = match script_engine() {
+                ScriptEngine::Interp => {
+                    let mut evaluator = Evaluator::with_fuel(&mut host, entry_budget);
+                    let outcome = evaluator.run(program, args);
+                    let used = evaluator.fuel_used();
+                    let host_calls = evaluator.host_calls();
+                    (outcome, used, host_calls)
+                }
+                ScriptEngine::Vm => {
+                    // Admission normally precompiles; `compiled()` is then
+                    // a cache read. Bodies that skipped admission compile
+                    // here once and reuse the cache thereafter.
+                    let compiled = program.compiled();
+                    let mut vm = Vm::with_fuel(&mut host, entry_budget);
+                    let outcome = vm.run(&compiled, args);
+                    let used = vm.fuel_used();
+                    let host_calls = vm.host_calls();
+                    (outcome, used, host_calls)
+                }
             };
             // Nested dispatches already deducted their share from the
             // ledger during the run; deduct the evaluator's own steps now.
             *host.fuel = host.fuel.saturating_sub(used);
             mrom_obs::script_run(used, host_calls);
+            if host.ic_hits + host.ic_misses > 0 {
+                mrom_obs::script_ic(host.ic_hits, host.ic_misses);
+            }
             outcome.map_err(MromError::from)
         }
         MethodBody::Meta(op) => perform_meta(
@@ -738,6 +807,29 @@ fn method_from_arg(v: &Value) -> Result<Method, MromError> {
 // Script bridge
 // ---------------------------------------------------------------------------
 
+/// One `self.*` call site's inline-cache state.
+///
+/// Only data accesses that resolved to a **fixed-section** item are
+/// cached: fixed indices, ACLs, and type constraints are immutable for
+/// the object's lifetime (`setDataItem` refuses the fixed section), so a
+/// slow-path success proves the access verdict for every later hit at
+/// the same generation. Everything else — extensible items, denials,
+/// meta-methods, world calls — stays on the slow path, which produces
+/// the exact errors and events of the interpreter.
+enum IcEntry {
+    /// Site never resolved yet.
+    Empty,
+    /// Site resolved to fixed-section data item `index` named `item`,
+    /// stamped with the object generation at resolution time.
+    FixedData {
+        gen: u64,
+        index: usize,
+        item: Box<str>,
+    },
+    /// Site resolved to something the cache cannot speed up.
+    Bypass,
+}
+
 /// Bridges `self.*` host calls from a running script body into the object
 /// model. All calls execute with the authority of the object itself.
 struct ScriptHost<'a> {
@@ -748,6 +840,11 @@ struct ScriptHost<'a> {
     depth: usize,
     fuel: &'a mut u64,
     limits: &'a InvokeLimits,
+    /// Per-site inline caches, indexed by the compiler's static call-site
+    /// numbering; grown on demand, alive for one script run.
+    ics: Vec<IcEntry>,
+    ic_hits: u64,
+    ic_misses: u64,
 }
 
 impl ScriptHost<'_> {
@@ -852,6 +949,76 @@ impl HostContext for ScriptHost<'_> {
             other => self.world.world_call(self_id, other, args),
         };
         result.map_err(ScriptError::from)
+    }
+
+    fn host_call_site(
+        &mut self,
+        site: u32,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, ScriptError> {
+        // Only the data fast paths are worth caching; every other call is
+        // dominated by its own work.
+        let item_name = match (name, args) {
+            ("get" | "get_data_item", [Value::Str(item)]) => item,
+            ("set", [Value::Str(item), _]) => item,
+            _ => return self.host_call(name, args),
+        };
+        let site = site as usize;
+        if self.ics.len() <= site {
+            self.ics.resize_with(site + 1, || IcEntry::Empty);
+        }
+
+        if let IcEntry::FixedData { gen, index, item } = &self.ics[site] {
+            if *gen == self.object.generation() && item.as_ref() == item_name.as_str() {
+                let index = *index;
+                self.ic_hits += 1;
+                match name {
+                    "get" => {
+                        if let Some(v) = self.object.fixed_data_value(index) {
+                            return Ok(v);
+                        }
+                    }
+                    "set" => {
+                        // Re-runs the value-dependent half (type
+                        // constraint) so a bad write errs exactly as the
+                        // slow path would.
+                        return self
+                            .object
+                            .fixed_data_write(index, item_name, args[1].clone())
+                            .map(|()| Value::Null)
+                            .map_err(ScriptError::from);
+                    }
+                    _ => {
+                        // `getDataItem` is observable as a meta-op even on
+                        // the fast path.
+                        mrom_obs::meta_op(self.object.id(), "getDataItem");
+                        if let Some(desc) = self.object.fixed_data_descriptor(index) {
+                            return Ok(desc);
+                        }
+                    }
+                }
+                // A cached index out of range cannot happen (fixed section
+                // never shrinks); if it somehow does, fall back safely.
+                self.ic_hits -= 1;
+            }
+        }
+
+        self.ic_misses += 1;
+        let result = self.host_call(name, args);
+        if result.is_ok() {
+            // The slow path just proved the verdict; remember where the
+            // item lives if it is cacheable (fixed section only).
+            self.ics[site] = match self.object.fixed_data_index(item_name) {
+                Some(index) => IcEntry::FixedData {
+                    gen: self.object.generation(),
+                    index,
+                    item: item_name.as_str().into(),
+                },
+                None => IcEntry::Bypass,
+            };
+        }
+        result
     }
 }
 

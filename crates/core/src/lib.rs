@@ -85,7 +85,10 @@ pub use admission::{default_admission_policy, set_default_admission_policy, Admi
 pub use class::{ClassRegistry, ClassSpec};
 pub use container::{ExtensibleContainer, FixedContainer, Section};
 pub use error::MromError;
-pub use invoke::{invoke, invoke_with_limits, CallEnv, InvokeLimits, NoWorld, WorldHook};
+pub use invoke::{
+    invoke, invoke_with_limits, script_engine, set_script_engine, CallEnv, InvokeLimits, NoWorld,
+    ScriptEngine, WorldHook,
+};
 pub use item::DataItem;
 pub use method::{MetaOp, Method, MethodBody, NativeFn};
 pub use migrate::IMAGE_FORMAT;

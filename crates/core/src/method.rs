@@ -125,6 +125,12 @@ impl MethodBody {
 
     /// Parses source text into a script body.
     ///
+    /// The [`Program`]'s register-bytecode form is compiled lazily and
+    /// cached on the program itself (admission forces it), so the body
+    /// compiles at most once. `setMethod`/`addMethod` install a fresh
+    /// `Program`, which carries a fresh cache — bytecode invalidation is
+    /// by wholesale replacement, never in place.
+    ///
     /// # Errors
     ///
     /// Propagates script parse errors.

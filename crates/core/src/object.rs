@@ -188,8 +188,11 @@ impl MromObject {
         }
     }
 
-    /// Marks a structural change to method resolution (extensible method
-    /// set or tower), invalidating every stamped cache entry at once.
+    /// Marks a structural change — method resolution (extensible method
+    /// set or tower) or the extensible data section's shape (item set,
+    /// ACLs, constraints) — invalidating every stamped cache entry at
+    /// once: the dispatch cache and the script inline caches. Plain value
+    /// writes are *not* structural and never bump the generation.
     fn touch_structure(&mut self) {
         self.generation = self.generation.wrapping_add(1);
     }
@@ -292,6 +295,57 @@ impl MromObject {
         Ok(desc)
     }
 
+    // -- inline-cache fast paths (crate-internal) ---------------------------
+    //
+    // The script bridge caches `self.get`/`self.set`/`getDataItem` sites
+    // that resolved to *fixed-section* items. Fixed indices and ACLs are
+    // immutable for the object's lifetime (`set_data_item` refuses the
+    // fixed section), so a slow-path success proves the access verdict for
+    // every later hit; only the value-dependent work (clone, type
+    // constraint) re-runs per hit.
+
+    /// Fixed-section index of a data item, for inline caches.
+    pub(crate) fn fixed_data_index(&self, name: &str) -> Option<usize> {
+        self.fixed_data.index_of(name)
+    }
+
+    /// Reads a fixed data item's value by index (IC hit path of `self.get`).
+    pub(crate) fn fixed_data_value(&self, index: usize) -> Option<Value> {
+        self.fixed_data
+            .get_by_index(index)
+            .map(|item| item.value().clone())
+    }
+
+    /// Writes a fixed data item's value by index (IC hit path of
+    /// `self.set`), with the same type-constraint mapping as `write_data`.
+    pub(crate) fn fixed_data_write(
+        &mut self,
+        index: usize,
+        name: &str,
+        value: Value,
+    ) -> Result<(), MromError> {
+        let item = self
+            .fixed_data
+            .get_by_index_mut(index)
+            .expect("inline-cached fixed index in range");
+        item.write(value).map_err(|e| MromError::TypeConstraint {
+            item: name.to_owned(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// A fixed data item's descriptor by index (IC hit path of
+    /// `getDataItem`), identical in shape to [`MromObject::data_descriptor`].
+    pub(crate) fn fixed_data_descriptor(&self, index: usize) -> Option<Value> {
+        self.fixed_data.get_by_index(index).map(|item| {
+            let mut desc = item.descriptor();
+            if let Some(m) = desc.as_map_mut() {
+                m.insert("section".to_owned(), Value::from(Section::Fixed.name()));
+            }
+            desc
+        })
+    }
+
     /// The `setDataItem` meta-operation: changes an item's properties
     /// (ACLs, dynamic type, value, or — with the `rename` key — its name).
     /// Structural property changes are only legal on extensible items;
@@ -355,6 +409,7 @@ impl MromObject {
         } else {
             self.ext_data.replace(name, item);
         }
+        self.touch_structure();
         Ok(())
     }
 
@@ -398,6 +453,7 @@ impl MromObject {
                 item: name.to_owned(),
             });
         }
+        self.touch_structure();
         Ok(())
     }
 
@@ -416,13 +472,16 @@ impl MromObject {
                 item: name.to_owned(),
             });
         }
-        self.ext_data
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| MromError::NoSuchDataItem {
+        match self.ext_data.remove(name) {
+            Some(_) => {
+                self.touch_structure();
+                Ok(())
+            }
+            None => Err(MromError::NoSuchDataItem {
                 object: self.id,
                 name: name.to_owned(),
-            })
+            }),
+        }
     }
 
     /// Names of the data items visible to `caller` (readable under their
@@ -721,6 +780,13 @@ impl MromObject {
     /// analysis needs the full set regardless of ACLs).
     pub(crate) fn methods_iter(&self) -> impl Iterator<Item = (&str, &Method)> {
         self.fixed_methods.iter().chain(self.ext_methods.iter())
+    }
+
+    /// Every method the object carries, fixed section first, ignoring
+    /// ACLs. For host-side tooling (admission reports, bytecode dumps) —
+    /// in-language code sees only the ACL-filtered [`Self::list_methods`].
+    pub fn all_methods(&self) -> impl Iterator<Item = (&str, &Method)> {
+        self.methods_iter()
     }
 
     /// Names of the methods invocable by `caller`, each with its section.

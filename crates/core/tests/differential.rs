@@ -1,0 +1,214 @@
+//! Engine-differential battery at the *object* level: the same method
+//! invocation on identically-built objects must produce byte-identical
+//! results, errors, and post-state under the tree-walking interpreter and
+//! the bytecode VM — including at every fuel-exhaustion point.
+//!
+//! The process-wide engine selector is an atomic, so every test in this
+//! file funnels through [`with_engine`], which serializes on a mutex and
+//! restores the VM default before releasing it.
+
+use std::sync::Mutex;
+
+use mrom_core::{
+    invoke, invoke_with_limits, set_script_engine, Acl, DataItem, InvokeLimits, Method, MethodBody,
+    MromError, MromObject, NoWorld, ObjectBuilder, ScriptEngine,
+};
+use mrom_value::{IdGenerator, NodeId, Value};
+
+static ENGINE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the process-wide script engine pinned to `engine`,
+/// restoring the VM default afterwards even on panic.
+fn with_engine<R>(engine: ScriptEngine, f: impl FnOnce() -> R) -> R {
+    let _guard = ENGINE.lock().unwrap();
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_script_engine(ScriptEngine::Vm);
+        }
+    }
+    let _restore = Restore;
+    set_script_engine(engine);
+    f()
+}
+
+fn ids() -> IdGenerator {
+    IdGenerator::new(NodeId(42))
+}
+
+/// A specimen with fixed + extensible state and a spread of method shapes.
+fn specimen(gen: &mut IdGenerator) -> MromObject {
+    ObjectBuilder::new(gen.next_id())
+        .class("diff-specimen")
+        .fixed_data("count", DataItem::public(Value::Int(0)))
+        .fixed_data("label", DataItem::public(Value::from("spec")))
+        .fixed_data(
+            "secret",
+            DataItem::new(Value::Int(7)).with_read_acl(Acl::Nobody),
+        )
+        .fixed_method(
+            "bump",
+            Method::public(
+                MethodBody::script("self.set(\"count\", self.get(\"count\") + 1); return true;")
+                    .unwrap(),
+            ),
+        )
+        .fixed_method(
+            "spin",
+            Method::public(
+                MethodBody::script(
+                    "param n; let i = 0; while (i < n) { \
+                     self.set(\"count\", self.get(\"count\") + 1); i = i + 1; } \
+                     return self.get(\"count\");",
+                )
+                .unwrap(),
+            ),
+        )
+        .fixed_method(
+            "describe_count",
+            Method::public(
+                MethodBody::script("return self.invoke(\"getDataItem\", [\"count\"]);").unwrap(),
+            ),
+        )
+        .build()
+}
+
+/// One observation of a call: its outcome plus the object's full post-state
+/// (captured as the canonical migration image, so *any* state divergence —
+/// data values, methods, generation-visible structure — shows up).
+fn observe(
+    engine: ScriptEngine,
+    method: &str,
+    args: &[Value],
+    fuel: u64,
+    extra: impl Fn(&mut MromObject),
+) -> (Result<Value, MromError>, Vec<u8>) {
+    with_engine(engine, || {
+        let mut gen = ids();
+        let mut obj = specimen(&mut gen);
+        extra(&mut obj);
+        let caller = gen.next_id();
+        let mut world = NoWorld;
+        let limits = InvokeLimits {
+            fuel,
+            ..InvokeLimits::default()
+        };
+        let out = invoke_with_limits(&mut obj, &mut world, caller, method, args, &limits);
+        let me = obj.id();
+        let image = obj
+            .migration_image(me)
+            .expect("self can always image itself");
+        (out, image)
+    })
+}
+
+/// Asserts both engines agree on outcome and post-state for one call shape,
+/// at a generous budget and across a fuel sweep up to that call's real cost.
+fn agree(method: &str, args: &[Value], extra: impl Fn(&mut MromObject) + Copy) {
+    let generous = 200_000;
+    let (out_i, img_i) = observe(ScriptEngine::Interp, method, args, generous, extra);
+    let (out_v, img_v) = observe(ScriptEngine::Vm, method, args, generous, extra);
+    assert_eq!(out_i, out_v, "[{method}] outcome drift at full budget");
+    assert_eq!(img_i, img_v, "[{method}] post-state drift at full budget");
+
+    // Exhaustion sweep: sampled budgets below the generous one must fail
+    // (or succeed) identically, with identical partial side effects.
+    for fuel in (0..400).step_by(7).chain([500, 1000, 5000, 20_000]) {
+        let (a, ia) = observe(ScriptEngine::Interp, method, args, fuel, extra);
+        let (b, ib) = observe(ScriptEngine::Vm, method, args, fuel, extra);
+        assert_eq!(a, b, "[{method}] outcome drift at fuel {fuel}");
+        assert_eq!(ia, ib, "[{method}] post-state drift at fuel {fuel}");
+    }
+}
+
+fn add(obj: &mut MromObject, name: &str, src: &str) {
+    let me = obj.id();
+    obj.add_method(me, name, Method::public(MethodBody::script(src).unwrap()))
+        .unwrap();
+}
+
+#[test]
+fn clean_methods_agree() {
+    agree("bump", &[], |_| {});
+    agree("spin", &[Value::Int(25)], |_| {});
+    agree("describe_count", &[], |_| {});
+}
+
+#[test]
+fn defect_corpus_bodies_agree() {
+    // Runtime-failing bodies from the admission defect corpus: both
+    // engines must surface the identical error with identical partial
+    // effects on the object.
+    let corpus: &[(&str, &str)] = &[
+        ("ghost", "return ghost;"),
+        ("escaped", "if (true) { let x = 1; } return x;"),
+        ("absent", "return self.get(\"absent\");"),
+        ("vanished", "return self.invoke(\"vanished\", []);"),
+        ("locked", "return self.get(\"secret\");"),
+        ("divzero", "let d = 0; return 1 / d;"),
+        (
+            "hot",
+            "let s = \"\"; while (true) { s = s + \"x\"; } return s;",
+        ),
+        (
+            "mutate_then_fail",
+            "self.set(\"count\", 41); self.set(\"count\", self.get(\"count\") + 1); \
+             return self.get(\"missing\");",
+        ),
+    ];
+    for (name, src) in corpus {
+        agree(name, &[], |obj| add(obj, name, src));
+    }
+}
+
+#[test]
+fn ic_sites_survive_structural_mutation() {
+    // A body that caches `self.get("count")` sites, then mutates object
+    // structure (extensible adds/deletes bump the generation) and reads
+    // again — the cache must revalidate, never serve stale values.
+    let src = "let a = self.get(\"count\"); \
+               self.add_data_item(\"tmp\", a + 1); \
+               self.set(\"count\", self.get(\"count\") + 10); \
+               self.delete_data_item(\"tmp\"); \
+               return [self.get(\"count\"), a];";
+    agree("churn", &[], |obj| add(obj, "churn", src));
+}
+
+#[test]
+fn self_modifying_methods_agree() {
+    // addMethod installs a fresh Program (fresh, empty bytecode cache);
+    // invoking it afterwards must behave identically across engines.
+    let src = "self.add_method(\"doubler\", \"param x; return x * 2;\"); \
+               return self.invoke(\"doubler\", [21]);";
+    agree("grow", &[], |obj| add(obj, "grow", src));
+
+    // setMethod replaces an existing body: the old compiled form must not
+    // be reachable from the new Program.
+    let replace = "self.set_method(\"helper\", \"return \\\"new\\\";\"); \
+                   return self.invoke(\"helper\", []);";
+    agree("swap", &[], |obj| {
+        add(obj, "helper", "return \"old\";");
+        add(obj, "swap", replace);
+    });
+}
+
+#[test]
+fn nested_invocations_share_the_fuel_ledger_identically() {
+    // spin(8) through the meta `invoke` — the nested call draws on the
+    // same ledger, so exhaustion points depend on cross-call accounting.
+    let src = "return self.invoke(\"spin\", [8]) + self.invoke(\"spin\", [4]);";
+    agree("nested", &[], |obj| add(obj, "nested", src));
+}
+
+#[test]
+fn interp_engine_is_selectable_and_equivalent() {
+    // Plain `invoke` (default limits) under an explicit Interp pin — the
+    // switch itself must not change behaviour.
+    let out = with_engine(ScriptEngine::Interp, || {
+        let mut gen = ids();
+        let mut obj = specimen(&mut gen);
+        let caller = gen.next_id();
+        invoke(&mut obj, &mut NoWorld, caller, "spin", &[Value::Int(5)])
+    });
+    assert_eq!(out, Ok(Value::Int(5)));
+}

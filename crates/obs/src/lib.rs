@@ -418,6 +418,20 @@ pub fn script_run(fuel_used: u64, host_calls: u64) {
     });
 }
 
+/// Records inline-cache traffic from one script-body execution
+/// (metrics-only: IC hit rates are an aggregate, not an event stream).
+#[inline]
+pub fn script_ic(hits: u64, misses: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        let m = r.metrics_mut();
+        m.script.ic_hits += hits;
+        m.script.ic_misses += misses;
+    });
+}
+
 /// Records a `Runtime::invoke` dispatch.
 #[inline]
 pub fn runtime_invoke(node: NodeId, target: ObjectId, method: &str) {

@@ -290,6 +290,11 @@ pub struct AnalysisReport {
     /// builtin data-size surcharges are priced at literal argument sizes,
     /// so container-valued runtime arguments may exceed it.
     pub static_fuel: Option<u64>,
+    /// True when this pass also compiled the body to bytecode ("verify +
+    /// compile", like a classloader). Set whenever no error-severity
+    /// diagnostic was found; the compiled form is cached on the
+    /// [`Program`] itself and reused by every subsequent VM execution.
+    pub precompiled: bool,
 }
 
 impl AnalysisReport {
@@ -362,12 +367,24 @@ pub fn analyze_with_budget(program: &Program, budget: &ResourceBudget) -> Analys
         }
     }
 
+    // Admission doubles as the compile pass: a body that verified clean
+    // (warnings allowed) is lowered to bytecode here, so the first
+    // invocation already finds the cache on the `Program` hot.
+    let has_errors = diagnostics.iter().any(|d| d.severity == Severity::Error);
+    let precompiled = if has_errors {
+        false
+    } else {
+        let _ = program.compiled();
+        true
+    };
+
     AnalysisReport {
         diagnostics,
         manifest,
         node_count,
         max_depth,
         static_fuel,
+        precompiled,
     }
 }
 
@@ -880,22 +897,50 @@ pub fn static_fuel_bound(program: &Program) -> Option<u64> {
         }
     }
     fn expr(e: &Expr) -> u64 {
+        use crate::eval::{alloc_surcharge, arg_cost, out_surcharge, BuiltinId};
         1u64.saturating_add(match e {
             Expr::Literal(_) | Expr::Var(_) => 0,
             Expr::Unary(_, a) => expr(a),
-            Expr::Binary(_, a, b) | Expr::Index(a, b) => expr(a).saturating_add(expr(b)),
+            Expr::Binary(op, a, b) => {
+                // Literal operands price the evaluator's allocation
+                // surcharge exactly; non-literal operand sizes are unknown
+                // statically (see the caveat on `static_fuel`).
+                let alloc = match (&**a, &**b) {
+                    (Expr::Literal(va), Expr::Literal(vb)) => alloc_surcharge(*op, va, vb),
+                    _ => 0,
+                };
+                expr(a).saturating_add(expr(b)).saturating_add(alloc)
+            }
+            Expr::Index(a, b) => expr(a).saturating_add(expr(b)),
             Expr::HostCall(_, args) => args.iter().fold(8u64, |acc, a| acc.saturating_add(expr(a))),
-            Expr::Call(_, args) => {
+            Expr::Call(name, args) => {
                 let eval: u64 = args.iter().fold(0u64, |acc, a| acc.saturating_add(expr(a)));
+                // Price the evaluator's argument surcharge: exact for
+                // literal arguments, scalar-minimum for computed ones.
                 let surcharge: u64 = args
                     .iter()
                     .map(|a| match a {
-                        Expr::Literal(v) => v.tree_size() as u64,
+                        Expr::Literal(v) => arg_cost(v),
                         _ => 1,
                     })
                     .sum::<u64>()
                     / 4;
-                eval.saturating_add(surcharge)
+                // Output-sized surcharge (`range`) is exact when every
+                // argument is literal.
+                let out: u64 = match BuiltinId::from_name(name) {
+                    Some(id) if args.iter().all(|a| matches!(a, Expr::Literal(_))) => {
+                        let vals: Vec<_> = args
+                            .iter()
+                            .filter_map(|a| match a {
+                                Expr::Literal(v) => Some(v.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        out_surcharge(id, &vals)
+                    }
+                    _ => 0,
+                };
+                eval.saturating_add(surcharge).saturating_add(out)
             }
             Expr::ListExpr(args) => args.iter().fold(0u64, |acc, a| acc.saturating_add(expr(a))),
             Expr::MapExpr(entries) => entries

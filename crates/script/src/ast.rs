@@ -5,9 +5,11 @@
 //! re-parses to the same tree (round-trip tested by property tests).
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use mrom_value::Value;
 
+use crate::compile::{self, CompiledProgram};
 use crate::error::ScriptError;
 use crate::parser;
 
@@ -214,10 +216,24 @@ pub enum Stmt {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Program {
     params: Vec<String>,
     body: Vec<Stmt>,
+    /// Site-local bytecode cache, filled lazily (or eagerly by the
+    /// admission pass). Never serialized: the AST stays the single mobile
+    /// representation, and a program rebuilt from the wire starts with an
+    /// empty cache. Cloning shares nothing mutable — the compiled form is
+    /// immutable behind an `Arc`.
+    compiled: OnceLock<Arc<CompiledProgram>>,
+}
+
+/// Equality ignores the bytecode cache: two programs are the same mobile
+/// body when their parameter lists and statement trees agree.
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params && self.body == other.body
+    }
 }
 
 impl Program {
@@ -234,7 +250,28 @@ impl Program {
     /// Builds a program directly from parts (used by deserialization and
     /// programmatic construction).
     pub fn from_parts(params: Vec<String>, body: Vec<Stmt>) -> Program {
-        Program { params, body }
+        Program {
+            params,
+            body,
+            compiled: OnceLock::new(),
+        }
+    }
+
+    /// The bytecode form of this program, compiling (and caching) it on
+    /// first use. Compilation is total for any well-formed tree, so this
+    /// never fails; the admission pass calls it eagerly so admitted
+    /// methods pay the cost once, classloader-style.
+    pub fn compiled(&self) -> Arc<CompiledProgram> {
+        Arc::clone(
+            self.compiled
+                .get_or_init(|| Arc::new(compile::compile(self))),
+        )
+    }
+
+    /// True when the bytecode cache is already populated (admission ran,
+    /// or the program executed at least once under the VM engine).
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.get().is_some()
     }
 
     /// Declared named parameters, bound positionally from the argument list.

@@ -1,0 +1,958 @@
+//! AST → bytecode compiler.
+//!
+//! Compiles a [`Program`] into a flat instruction array executed by
+//! [`crate::vm::Vm`]. The compiled form is a **site-local cache** — it is
+//! never serialized; the AST remains the single mobile representation —
+//! and is designed for *exact* observational equivalence with the
+//! tree-walking interpreter: same results, same errors, same host-call
+//! sequences, and the same `fuel_used()` at every exhaustion point.
+//!
+//! ## Fuel model
+//!
+//! The interpreter burns 1 fuel at every statement and expression entry,
+//! 8 per host call, plus data-size surcharges at builtins and
+//! concatenations. The compiler attaches each static burn to the **first
+//! instruction** of the construct's compiled form (preorder), so the
+//! per-instruction cost sequence along any execution path equals the
+//! interpreter's burn sequence. At runtime the VM does not burn per
+//! instruction: each basic block begins with a [`Instr::Charge`] that
+//! pre-pays the block's total static cost in one subtraction. Exactness
+//! is restored at the edges:
+//!
+//! * leaving a block early (taken jump, `return`, or a non-fuel error)
+//!   refunds the unexecuted suffix (`refunds[pc]`);
+//! * a `Charge` that cannot be paid switches the block to **lockstep**
+//!   mode, burning `costs[pc]` before each instruction so the run
+//!   exhausts at exactly the interpreter's instruction — having performed
+//!   exactly the interpreter's side-effect prefix;
+//! * dynamic (value-dependent) surcharges that cannot be paid refund the
+//!   suffix first and retry in lockstep, so a pre-charge can never cause
+//!   an early exhaustion the interpreter would not have hit.
+//!
+//! ## Variables
+//!
+//! Locals live in numbered slots resolved at compile time by replaying
+//! the interpreter's scope discipline (one frame per block, a fresh slot
+//! per `let`). Declarations within a frame are straight-line in this
+//! language, so lexical resolution is exact: a name that resolves to a
+//! slot is always defined when the instruction runs, and a name that does
+//! not resolve is *never* defined — it compiles to [`Instr::LoadUndef`] /
+//! [`Instr::StoreUndef`], which raise the interpreter's
+//! `UndefinedVariable` error at the same point.
+
+use std::collections::HashMap;
+
+use mrom_value::Value;
+
+use crate::ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+use crate::eval::BuiltinId;
+
+/// One bytecode instruction. Jump operands are instruction indices; pool
+/// operands index [`CompiledProgram`]'s constant / name tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Instr {
+    /// Basic-block header: pre-pays the block's static fuel total.
+    Charge(u32),
+    /// No effect; exists to carry an attached fuel cost (e.g. a `while`
+    /// statement's entry burn, which must land *before* the loop head).
+    Nop,
+    /// Push a clone of `consts[i]`.
+    LoadConst(u32),
+    /// Push a clone of local slot `i`.
+    LoadLocal(u32),
+    /// Pop into local slot `i`.
+    StoreLocal(u32),
+    /// Raise `UndefinedVariable(names[i])` — lexically unresolved read.
+    LoadUndef(u32),
+    /// Raise `UndefinedVariable(names[i])` — lexically unresolved write
+    /// (after the right-hand side was evaluated, as the interpreter does).
+    StoreUndef(u32),
+    /// Discard the top of stack (expression statement).
+    Pop,
+    /// Apply a unary operator to the top of stack.
+    Unary(UnaryOp),
+    /// Pop rhs then lhs, push the binary result (non-short-circuit ops).
+    Binary(BinaryOp),
+    /// Fused `LoadLocal a; LoadLocal b; Binary op` (peephole). Fuel cost
+    /// is the sum of the fused parts; safe because loads are effect-free
+    /// and every jump target is a `Charge`, never a fused interior pc.
+    BinaryLL {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
+    /// Fused `LoadLocal a; LoadConst c; Binary op` (peephole).
+    BinaryLC {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand constant index.
+        c: u32,
+    },
+    /// Fused `LoadLocal b; Binary op`: lhs from the stack, rhs a local.
+    BinaryTL {
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand slot.
+        b: u32,
+    },
+    /// Fused `LoadConst c; Binary op`: lhs from the stack, rhs a constant.
+    BinaryTC {
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand constant index.
+        c: u32,
+    },
+    /// Replace the top of stack with `Bool(truthy)`.
+    Truthy,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when falsy.
+    JumpIfFalse(u32),
+    /// `&&`: pop; when falsy push `Bool(false)` and jump past the rhs.
+    AndCheck(u32),
+    /// `||`: pop; when truthy push `Bool(true)` and jump past the rhs.
+    OrCheck(u32),
+    /// Pop index then container, push the element.
+    Index,
+    /// Pop `argc` arguments, dispatch a known builtin.
+    Call {
+        /// Which builtin.
+        builtin: BuiltinId,
+        /// Argument count.
+        argc: u32,
+    },
+    /// Pop `argc` arguments, burn the argument surcharge, then raise
+    /// `UnknownBuiltin(names[name])` — exactly the interpreter's order.
+    CallUnknown {
+        /// Name-pool index of the unknown builtin.
+        name: u32,
+        /// Argument count.
+        argc: u32,
+    },
+    /// Pop `argc` arguments and perform `self.names[name](...)` through
+    /// the host, identified by its static call-site index for inline
+    /// caching. The 8-fuel host-call burn is attached to this pc.
+    HostCall {
+        /// Name-pool index of the host method.
+        name: u32,
+        /// Argument count.
+        argc: u32,
+        /// Static call-site index (dense, per program).
+        site: u32,
+    },
+    /// Pop `n` values, push a list of them (in evaluation order).
+    MakeList(u32),
+    /// Pop `n` values, push a map pairing them with
+    /// `names[keys..keys + n]` in entry order (later duplicates win).
+    MakeMap {
+        /// Name-pool index of the first key.
+        keys: u32,
+        /// Entry count.
+        n: u32,
+    },
+    /// Indexed assignment `root[i1][i2]… = v`: pop `n_idx` index values
+    /// and the right-hand side, write through the path into local `root`.
+    AssignPath {
+        /// Root local slot.
+        root: u32,
+        /// Number of index values on the stack.
+        n_idx: u32,
+    },
+    /// As [`Instr::AssignPath`] but the root name did not resolve: pop
+    /// the operands, then raise `UndefinedVariable(names[name])`.
+    AssignPathUndef {
+        /// Name-pool index of the unresolved root.
+        name: u32,
+        /// Number of index values on the stack.
+        n_idx: u32,
+    },
+    /// Raise the interpreter's "assignment target must be a variable or
+    /// index chain" error (after evaluating the right-hand side).
+    AssignErrBadTarget,
+    /// Raise the interpreter's "assignment target must be rooted at a
+    /// variable" error (after evaluating the index expressions).
+    AssignErrBadRoot,
+    /// Pop a value, convert it to a `for` item sequence, push it on the
+    /// iterator stack.
+    IterNew,
+    /// Advance the top iterator: store the next item into local `slot`,
+    /// or jump to `end` when exhausted.
+    IterNext {
+        /// Loop-variable slot.
+        slot: u32,
+        /// Jump target on exhaustion (the loop's end label).
+        end: u32,
+    },
+    /// Pop the top iterator (loop exited normally or via `break`).
+    IterPop,
+    /// Raise `StrayLoopControl` (`break`/`continue` outside any loop).
+    LoopControlErr,
+    /// Pop and return the top of stack.
+    Return,
+    /// Return `null` (explicit bare `return;` or falling off the end).
+    ReturnNull,
+}
+
+/// A compiled program: flat bytecode plus its pools and fuel tables.
+///
+/// Produced by [`Program::compiled`]; executed by [`crate::vm::Vm`].
+/// Immutable once built — sharing is by `Arc`.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    pub(crate) instrs: Vec<Instr>,
+    /// Static fuel attached at each pc (burned via block pre-charge, or
+    /// per instruction in lockstep mode).
+    pub(crate) costs: Vec<u32>,
+    /// Unexecuted-suffix cost from each pc to its block's end; refunded
+    /// when control leaves the block early in pre-charged mode.
+    pub(crate) refunds: Vec<u32>,
+    /// Literal pool.
+    pub(crate) consts: Vec<Value>,
+    /// Interned strings: variable/builtin/host names and map keys.
+    pub(crate) names: Vec<String>,
+    /// Total local slots (slot 0 is `args`).
+    pub(crate) n_locals: u32,
+    /// Slot for each declared parameter, bound positionally at entry.
+    pub(crate) param_slots: Vec<u32>,
+    /// Number of `self.*` call sites (sizes a host's inline-cache table).
+    n_sites: u32,
+}
+
+impl CompiledProgram {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True for a body with no instructions (never produced by
+    /// [`compile`], which always emits at least a return).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of distinct `self.*` call sites, for sizing per-run inline
+    /// cache tables.
+    pub fn site_count(&self) -> u32 {
+        self.n_sites
+    }
+
+    /// Number of resolved local-variable slots.
+    pub fn local_count(&self) -> u32 {
+        self.n_locals
+    }
+
+    /// Human-readable disassembly: constant pool, name pool, and one line
+    /// per instruction with its attached static fuel cost. Block headers
+    /// show the pre-charged total for the block.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; {} instrs, {} locals, {} host-call sites",
+            self.instrs.len(),
+            self.n_locals,
+            self.n_sites
+        );
+        if !self.consts.is_empty() {
+            let _ = writeln!(out, "; constants:");
+            for (i, c) in self.consts.iter().enumerate() {
+                let _ = writeln!(out, ";   c{i} = {c:?}");
+            }
+        }
+        if !self.names.is_empty() {
+            let _ = writeln!(out, "; names:");
+            for (i, n) in self.names.iter().enumerate() {
+                let _ = writeln!(out, ";   n{i} = {n:?}");
+            }
+        }
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            let cost = self.costs[pc];
+            let cost = if cost > 0 {
+                format!("  ; fuel {cost}")
+            } else {
+                String::new()
+            };
+            let text = match *instr {
+                Instr::Charge(total) => format!("charge {total}  ; -- block --"),
+                Instr::Nop => "nop".into(),
+                Instr::LoadConst(i) => format!("load_const c{i}"),
+                Instr::LoadLocal(s) => format!("load_local {s}"),
+                Instr::StoreLocal(s) => format!("store_local {s}"),
+                Instr::LoadUndef(n) => format!("load_undef n{n}"),
+                Instr::StoreUndef(n) => format!("store_undef n{n}"),
+                Instr::Pop => "pop".into(),
+                Instr::Unary(op) => format!("unary {}", op.name()),
+                Instr::Binary(op) => format!("binary {}", op.name()),
+                Instr::BinaryLL { op, a, b } => format!("binary_ll {} {a} {b}", op.name()),
+                Instr::BinaryLC { op, a, c } => format!("binary_lc {} {a} c{c}", op.name()),
+                Instr::BinaryTL { op, b } => format!("binary_tl {} {b}", op.name()),
+                Instr::BinaryTC { op, c } => format!("binary_tc {} c{c}", op.name()),
+                Instr::Truthy => "truthy".into(),
+                Instr::Jump(t) => format!("jump {t}"),
+                Instr::JumpIfFalse(t) => format!("jump_if_false {t}"),
+                Instr::AndCheck(t) => format!("and_check {t}"),
+                Instr::OrCheck(t) => format!("or_check {t}"),
+                Instr::Index => "index".into(),
+                Instr::Call { builtin, argc } => {
+                    format!("call {} argc={argc}", builtin.name())
+                }
+                Instr::CallUnknown { name, argc } => {
+                    format!("call_unknown n{name} argc={argc}")
+                }
+                Instr::HostCall { name, argc, site } => {
+                    format!("host_call n{name} argc={argc} site={site}")
+                }
+                Instr::MakeList(n) => format!("make_list {n}"),
+                Instr::MakeMap { keys, n } => format!("make_map n{keys}.. n={n}"),
+                Instr::AssignPath { root, n_idx } => {
+                    format!("assign_path root={root} n_idx={n_idx}")
+                }
+                Instr::AssignPathUndef { name, n_idx } => {
+                    format!("assign_path_undef n{name} n_idx={n_idx}")
+                }
+                Instr::AssignErrBadTarget => "assign_err_bad_target".into(),
+                Instr::AssignErrBadRoot => "assign_err_bad_root".into(),
+                Instr::IterNew => "iter_new".into(),
+                Instr::IterNext { slot, end } => format!("iter_next slot={slot} end={end}"),
+                Instr::IterPop => "iter_pop".into(),
+                Instr::LoopControlErr => "loop_control_err".into(),
+                Instr::Return => "return".into(),
+                Instr::ReturnNull => "return_null".into(),
+            };
+            let _ = writeln!(out, "{pc:5}: {text}{cost}");
+        }
+        out
+    }
+}
+
+/// Compiles `program` to bytecode. Total: every well-formed tree compiles
+/// (trees only expressible via [`Program::from_parts`] — stray loop
+/// control, malformed assignment targets — compile to instructions that
+/// raise the interpreter's exact runtime error).
+pub fn compile(program: &Program) -> CompiledProgram {
+    let mut c = Compiler {
+        instrs: Vec::new(),
+        costs: Vec::new(),
+        consts: Vec::new(),
+        names: Vec::new(),
+        frames: vec![HashMap::new()],
+        n_locals: 0,
+        n_sites: 0,
+        pending: 0,
+        labels: Vec::new(),
+        charges: Vec::new(),
+        loops: Vec::new(),
+    };
+
+    // Root frame mirrors `Evaluator::run`: `args`, then each parameter
+    // positionally (a later duplicate shadows an earlier one, exactly as
+    // repeated `declare` calls overwrite).
+    let args_slot = c.declare("args");
+    debug_assert_eq!(args_slot, 0);
+    let param_slots: Vec<u32> = program.params().iter().map(|p| c.declare(p)).collect();
+
+    c.start_block();
+    c.stmts(program.body());
+    c.emit(Instr::ReturnNull);
+
+    c.finish(param_slots)
+}
+
+struct LoopCtx {
+    head: usize,
+    end: usize,
+}
+
+struct Compiler {
+    instrs: Vec<Instr>,
+    costs: Vec<u32>,
+    consts: Vec<Value>,
+    names: Vec<String>,
+    /// Compile-time replay of the interpreter's scope frames.
+    frames: Vec<HashMap<String, u32>>,
+    n_locals: u32,
+    n_sites: u32,
+    /// Fuel waiting to be attached to the next emitted instruction.
+    pending: u64,
+    /// Label id → instruction index (bound at `bind`).
+    labels: Vec<Option<u32>>,
+    /// Indices of emitted `Charge` instructions, in order.
+    charges: Vec<usize>,
+    loops: Vec<LoopCtx>,
+}
+
+impl Compiler {
+    // -- pools and frames ---------------------------------------------------
+
+    fn declare(&mut self, name: &str) -> u32 {
+        let slot = self.n_locals;
+        self.n_locals += 1;
+        self.frames
+            .last_mut()
+            .expect("root frame")
+            .insert(name.to_owned(), slot);
+        slot
+    }
+
+    fn resolve(&self, name: &str) -> Option<u32> {
+        self.frames.iter().rev().find_map(|f| f.get(name)).copied()
+    }
+
+    fn push_frame(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop_frame(&mut self) {
+        self.frames.pop();
+        debug_assert!(!self.frames.is_empty(), "root frame must survive");
+    }
+
+    fn const_idx(&mut self, v: &Value) -> u32 {
+        // Dedup only kinds with exact, representation-faithful equality
+        // (float equality would conflate 0.0 with -0.0).
+        if matches!(
+            v,
+            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Str(_)
+        ) {
+            if let Some(i) = self.consts.iter().position(|c| c == v) {
+                return i as u32;
+            }
+        }
+        self.consts.push(v.clone());
+        (self.consts.len() - 1) as u32
+    }
+
+    fn name_idx(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return i as u32;
+        }
+        self.names.push(name.to_owned());
+        (self.names.len() - 1) as u32
+    }
+
+    // -- emission -----------------------------------------------------------
+
+    /// Queues `amount` fuel to be attached to the next emitted
+    /// instruction (the preorder attachment rule).
+    fn attach(&mut self, amount: u64) {
+        self.pending += amount;
+    }
+
+    fn emit(&mut self, instr: Instr) -> usize {
+        let cost = u32::try_from(self.pending).unwrap_or(u32::MAX);
+        self.pending = 0;
+        self.costs.push(cost);
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    /// Materializes queued fuel as a `Nop` so it lands *before* an
+    /// upcoming label (e.g. a `while` entry burn must not re-fire per
+    /// iteration).
+    fn flush_pending(&mut self) {
+        if self.pending > 0 {
+            self.emit(Instr::Nop);
+        }
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    /// Binds `label` here and opens a new basic block (every jump target
+    /// is a block leader).
+    fn bind(&mut self, label: usize) {
+        self.flush_pending();
+        self.labels[label] = Some(self.instrs.len() as u32);
+        self.start_block();
+    }
+
+    /// Opens a basic block: emits a `Charge` placeholder whose total is
+    /// filled in by `finish`.
+    fn start_block(&mut self) {
+        debug_assert_eq!(self.pending, 0, "pending cost at block start");
+        let idx = self.emit(Instr::Charge(0));
+        self.charges.push(idx);
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        // Interpreter: `exec_stmt` burns 1 at entry.
+        self.attach(1);
+        match s {
+            Stmt::Let(name, e) => {
+                self.expr(e);
+                let slot = self.declare(name);
+                self.emit(Instr::StoreLocal(slot));
+            }
+            Stmt::Assign(target, e) => {
+                self.expr(e);
+                self.assign_target(target);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+                self.emit(Instr::Pop);
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                self.expr(cond);
+                let l_else = self.new_label();
+                let l_end = self.new_label();
+                self.emit(Instr::JumpIfFalse(l_else as u32));
+                self.start_block();
+                self.push_frame();
+                self.stmts(then_body);
+                self.pop_frame();
+                self.emit(Instr::Jump(l_end as u32));
+                self.bind(l_else);
+                self.push_frame();
+                self.stmts(else_body);
+                self.pop_frame();
+                self.bind(l_end);
+            }
+            Stmt::While(cond, body) => {
+                let l_cond = self.new_label();
+                let l_end = self.new_label();
+                // The statement's entry burn fires once, before the loop
+                // head; `bind` flushes it into a Nop in the current block.
+                self.bind(l_cond);
+                self.expr(cond);
+                self.emit(Instr::JumpIfFalse(l_end as u32));
+                self.start_block();
+                self.push_frame();
+                self.loops.push(LoopCtx {
+                    head: l_cond,
+                    end: l_end,
+                });
+                self.stmts(body);
+                self.loops.pop();
+                self.pop_frame();
+                self.emit(Instr::Jump(l_cond as u32));
+                self.bind(l_end);
+            }
+            Stmt::For(name, iter, body) => {
+                // Entry burn + iterable evaluation run once, straight-line.
+                self.expr(iter);
+                self.emit(Instr::IterNew);
+                let l_head = self.new_label();
+                let l_end = self.new_label();
+                self.push_frame();
+                let slot = self.declare(name);
+                self.bind(l_head);
+                self.emit(Instr::IterNext {
+                    slot,
+                    end: l_end as u32,
+                });
+                self.loops.push(LoopCtx {
+                    head: l_head,
+                    end: l_end,
+                });
+                self.stmts(body);
+                self.loops.pop();
+                self.pop_frame();
+                self.emit(Instr::Jump(l_head as u32));
+                self.bind(l_end);
+                self.emit(Instr::IterPop);
+            }
+            Stmt::Return(None) => {
+                self.emit(Instr::ReturnNull);
+            }
+            Stmt::Return(Some(e)) => {
+                self.expr(e);
+                self.emit(Instr::Return);
+            }
+            Stmt::Break => {
+                match self.loops.last() {
+                    Some(ctx) => {
+                        let t = ctx.end as u32;
+                        self.emit(Instr::Jump(t));
+                    }
+                    None => {
+                        self.emit(Instr::LoopControlErr);
+                    }
+                };
+            }
+            Stmt::Continue => {
+                match self.loops.last() {
+                    Some(ctx) => {
+                        let t = ctx.head as u32;
+                        self.emit(Instr::Jump(t));
+                    }
+                    None => {
+                        self.emit(Instr::LoopControlErr);
+                    }
+                };
+            }
+        }
+    }
+
+    /// Compiles the target side of an assignment, right-hand side already
+    /// on the stack. Mirrors `Evaluator::assign` exactly, including the
+    /// evaluation order of index expressions (outermost first) and the
+    /// runtime errors for malformed targets.
+    fn assign_target(&mut self, target: &Expr) {
+        match target {
+            Expr::Var(name) => match self.resolve(name) {
+                Some(slot) => {
+                    self.emit(Instr::StoreLocal(slot));
+                }
+                None => {
+                    let n = self.name_idx(name);
+                    self.emit(Instr::StoreUndef(n));
+                }
+            },
+            Expr::Index(base, idx_expr) => {
+                self.expr(idx_expr);
+                let mut n_idx: u32 = 1;
+                let mut cursor: &Expr = base;
+                loop {
+                    match cursor {
+                        Expr::Var(name) => {
+                            match self.resolve(name) {
+                                Some(root) => {
+                                    self.emit(Instr::AssignPath { root, n_idx });
+                                }
+                                None => {
+                                    let n = self.name_idx(name);
+                                    self.emit(Instr::AssignPathUndef { name: n, n_idx });
+                                }
+                            }
+                            return;
+                        }
+                        Expr::Index(inner, inner_idx) => {
+                            self.expr(inner_idx);
+                            n_idx += 1;
+                            cursor = inner;
+                        }
+                        _ => {
+                            self.emit(Instr::AssignErrBadRoot);
+                            return;
+                        }
+                    }
+                }
+            }
+            _ => {
+                self.emit(Instr::AssignErrBadTarget);
+            }
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) {
+        // Interpreter: `eval` burns 1 at entry.
+        self.attach(1);
+        match e {
+            Expr::Literal(v) => {
+                let i = self.const_idx(v);
+                self.emit(Instr::LoadConst(i));
+            }
+            Expr::Var(name) => match self.resolve(name) {
+                Some(slot) => {
+                    self.emit(Instr::LoadLocal(slot));
+                }
+                None => {
+                    let n = self.name_idx(name);
+                    self.emit(Instr::LoadUndef(n));
+                }
+            },
+            Expr::Unary(op, a) => {
+                self.expr(a);
+                self.emit(Instr::Unary(*op));
+            }
+            Expr::Binary(BinaryOp::And, a, b) => {
+                self.expr(a);
+                let l_end = self.new_label();
+                self.emit(Instr::AndCheck(l_end as u32));
+                self.start_block();
+                self.expr(b);
+                self.emit(Instr::Truthy);
+                self.bind(l_end);
+            }
+            Expr::Binary(BinaryOp::Or, a, b) => {
+                self.expr(a);
+                let l_end = self.new_label();
+                self.emit(Instr::OrCheck(l_end as u32));
+                self.start_block();
+                self.expr(b);
+                self.emit(Instr::Truthy);
+                self.bind(l_end);
+            }
+            Expr::Binary(op, a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.emit(Instr::Binary(*op));
+            }
+            Expr::Index(base, idx) => {
+                self.expr(base);
+                self.expr(idx);
+                self.emit(Instr::Index);
+            }
+            Expr::Call(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                let argc = args.len() as u32;
+                match BuiltinId::from_name(name) {
+                    Some(builtin) => {
+                        self.emit(Instr::Call { builtin, argc });
+                    }
+                    None => {
+                        let n = self.name_idx(name);
+                        self.emit(Instr::CallUnknown { name: n, argc });
+                    }
+                }
+            }
+            Expr::HostCall(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                // Interpreter: burn(8) after the arguments, before the call.
+                self.attach(8);
+                let n = self.name_idx(name);
+                let site = self.n_sites;
+                self.n_sites += 1;
+                self.emit(Instr::HostCall {
+                    name: n,
+                    argc: args.len() as u32,
+                    site,
+                });
+            }
+            Expr::ListExpr(items) => {
+                for item in items {
+                    self.expr(item);
+                }
+                self.emit(Instr::MakeList(items.len() as u32));
+            }
+            Expr::MapExpr(entries) => {
+                // Keys occupy a contiguous name-pool run so `MakeMap` can
+                // reference them as a range; values evaluate in entry order.
+                let keys = self.names.len() as u32;
+                for (k, _) in entries {
+                    self.names.push(k.clone());
+                }
+                for (_, v) in entries {
+                    self.expr(v);
+                }
+                self.emit(Instr::MakeMap {
+                    keys,
+                    n: entries.len() as u32,
+                });
+            }
+        }
+    }
+
+    // -- finalization -------------------------------------------------------
+
+    /// Peephole pass: fuses `LoadLocal`/`LoadConst` operands into the
+    /// `Binary` that consumes them. Safe under the fuel model because the
+    /// fused cost is the exact sum of the parts and nothing observable
+    /// (host call, error, side effect) can occur between them; safe for
+    /// control flow because every jump target is a `Charge` instruction
+    /// (labels bind at block leaders), so no branch can land inside a
+    /// fused span. Runs before label resolution; labels and recorded
+    /// charge positions are remapped through `map`.
+    fn fuse(&mut self) {
+        let old = std::mem::take(&mut self.instrs);
+        let old_costs = std::mem::take(&mut self.costs);
+        let mut map = vec![0u32; old.len() + 1];
+        let mut instrs = Vec::with_capacity(old.len());
+        let mut costs = Vec::with_capacity(old.len());
+        let mut i = 0;
+        while i < old.len() {
+            let here = instrs.len() as u32;
+            let mut fused = None;
+            if i + 2 < old.len() {
+                fused = match (old[i], old[i + 1], old[i + 2]) {
+                    (Instr::LoadLocal(a), Instr::LoadLocal(b), Instr::Binary(op)) => {
+                        Some((Instr::BinaryLL { op, a, b }, 3))
+                    }
+                    (Instr::LoadLocal(a), Instr::LoadConst(c), Instr::Binary(op)) => {
+                        Some((Instr::BinaryLC { op, a, c }, 3))
+                    }
+                    _ => None,
+                };
+            }
+            if fused.is_none() && i + 1 < old.len() {
+                fused = match (old[i], old[i + 1]) {
+                    (Instr::LoadLocal(b), Instr::Binary(op)) => {
+                        Some((Instr::BinaryTL { op, b }, 2))
+                    }
+                    (Instr::LoadConst(c), Instr::Binary(op)) => {
+                        Some((Instr::BinaryTC { op, c }, 2))
+                    }
+                    _ => None,
+                };
+            }
+            match fused {
+                Some((instr, n)) => {
+                    let cost: u64 = old_costs[i..i + n].iter().map(|&c| u64::from(c)).sum();
+                    for k in 0..n {
+                        map[i + k] = here;
+                    }
+                    instrs.push(instr);
+                    costs.push(u32::try_from(cost).unwrap_or(u32::MAX));
+                    i += n;
+                }
+                None => {
+                    map[i] = here;
+                    instrs.push(old[i]);
+                    costs.push(old_costs[i]);
+                    i += 1;
+                }
+            }
+        }
+        map[old.len()] = instrs.len() as u32;
+        self.instrs = instrs;
+        self.costs = costs;
+        for label in self.labels.iter_mut().flatten() {
+            *label = map[*label as usize];
+        }
+        for charge in &mut self.charges {
+            *charge = map[*charge] as usize;
+        }
+    }
+
+    fn finish(mut self, param_slots: Vec<u32>) -> CompiledProgram {
+        self.fuse();
+        // Resolve label ids in jump operands to instruction indices.
+        let resolve = |labels: &[Option<u32>], id: u32| -> u32 {
+            labels[id as usize].expect("label bound before finish")
+        };
+        for instr in &mut self.instrs {
+            match instr {
+                Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::AndCheck(t) | Instr::OrCheck(t) => {
+                    *t = resolve(&self.labels, *t);
+                }
+                Instr::IterNext { end, .. } => *end = resolve(&self.labels, *end),
+                _ => {}
+            }
+        }
+
+        // Fill in block totals and per-pc suffix refunds.
+        let mut refunds = vec![0u32; self.instrs.len()];
+        for (bi, &start) in self.charges.iter().enumerate() {
+            let end = self
+                .charges
+                .get(bi + 1)
+                .copied()
+                .unwrap_or(self.instrs.len());
+            debug_assert_eq!(self.costs[start], 0, "Charge carries no attached cost");
+            let mut suffix = 0u64;
+            for pc in (start + 1..end).rev() {
+                refunds[pc] = u32::try_from(suffix).unwrap_or(u32::MAX);
+                suffix += u64::from(self.costs[pc]);
+            }
+            self.instrs[start] = Instr::Charge(u32::try_from(suffix).unwrap_or(u32::MAX));
+        }
+
+        CompiledProgram {
+            instrs: self.instrs,
+            costs: self.costs,
+            refunds,
+            consts: self.consts,
+            names: self.names,
+            n_locals: self.n_locals,
+            param_slots,
+            n_sites: self.n_sites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        compile(&Program::parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}")))
+    }
+
+    #[test]
+    fn straight_line_body_is_one_block() {
+        let cp = compiled("let x = 1; return x + 2;");
+        // Exactly the leading block header.
+        let charges = cp
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Charge(_)))
+            .count();
+        assert_eq!(charges, 1);
+        // Entry burns: 2 stmts + 4 exprs (1, x+2, x, 2) = 6.
+        assert_eq!(cp.instrs[0], Instr::Charge(6));
+    }
+
+    #[test]
+    fn loops_split_blocks_and_carry_entry_cost() {
+        let cp = compiled("let i = 0; while (i < 3) { i = i + 1; }");
+        // The while entry burn lands on a Nop *before* the loop head so
+        // it fires once, not per iteration.
+        let nop_pc = cp
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Nop))
+            .expect("entry-cost Nop");
+        assert_eq!(cp.costs[nop_pc], 1);
+        assert!(
+            cp.instrs
+                .iter()
+                .filter(|i| matches!(i, Instr::Charge(_)))
+                .count()
+                >= 3,
+            "cond/body/exit blocks"
+        );
+    }
+
+    #[test]
+    fn host_calls_get_dense_site_indices() {
+        let cp = compiled("self.a(); self.b(1); self.a();");
+        let sites: Vec<u32> = cp
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::HostCall { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sites, vec![0, 1, 2]);
+        assert_eq!(cp.site_count(), 3);
+    }
+
+    #[test]
+    fn unresolved_names_compile_to_undef_instructions() {
+        let cp = compiled("if (true) { let x = 1; } return x;");
+        assert!(cp.instrs.iter().any(|i| matches!(i, Instr::LoadUndef(_))));
+    }
+
+    #[test]
+    fn disassembly_mentions_pools_and_opcodes() {
+        let cp = compiled("let x = \"hi\"; return len(x);");
+        let text = cp.disassemble();
+        assert!(text.contains("charge"), "{text}");
+        assert!(text.contains("call len"), "{text}");
+        assert!(text.contains("\"hi\""), "{text}");
+    }
+
+    #[test]
+    fn refunds_sum_suffixes_within_blocks() {
+        let cp = compiled("return 1 + 2;");
+        // Block: Charge, LoadConst(cost 3: stmt+binary+lhs), LoadConst(1),
+        // Binary(0), Return(0), ReturnNull(0).
+        assert_eq!(cp.instrs[0], Instr::Charge(4));
+        assert_eq!(cp.costs[1], 3);
+        assert_eq!(cp.refunds[1], 1);
+        assert_eq!(cp.refunds[2], 0);
+    }
+}

@@ -26,6 +26,25 @@ pub trait HostContext {
     /// Implementations should return [`ScriptError::Host`] (or map their own
     /// error types into it) when the call is unknown, denied, or fails.
     fn host_call(&mut self, name: &str, args: &[Value]) -> Result<Value, ScriptError>;
+
+    /// Handles `self.name(args...)` from a *compiled* body, carrying the
+    /// static call-site index the compiler assigned. Hosts that keep
+    /// per-site inline caches override this; the default forwards to
+    /// [`HostContext::host_call`], so the two entry points are always
+    /// semantically identical.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HostContext::host_call`].
+    fn host_call_site(
+        &mut self,
+        site: u32,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, ScriptError> {
+        let _ = site;
+        self.host_call(name, args)
+    }
 }
 
 /// A host that rejects every `self.*` call — for evaluating pure programs.
@@ -44,6 +63,15 @@ impl HostContext for NullHost {
 impl<H: HostContext + ?Sized> HostContext for &mut H {
     fn host_call(&mut self, name: &str, args: &[Value]) -> Result<Value, ScriptError> {
         (**self).host_call(name, args)
+    }
+
+    fn host_call_site(
+        &mut self,
+        site: u32,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, ScriptError> {
+        (**self).host_call_site(site, name, args)
     }
 }
 
@@ -220,17 +248,7 @@ impl<'h, H: HostContext + ?Sized> Evaluator<'h, H> {
     /// map keys, string characters, or byte values.
     fn iterable(&mut self, e: &Expr, scopes: &mut Scopes) -> Result<Vec<Value>, ScriptError> {
         let v = self.eval(e, scopes)?;
-        match v {
-            Value::List(items) => Ok(items),
-            Value::Map(m) => Ok(m.into_keys().map(Value::Str).collect()),
-            Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
-            Value::Bytes(b) => Ok(b.into_iter().map(|x| Value::Int(i64::from(x))).collect()),
-            other => Err(ScriptError::TypeMismatch {
-                op: "for-in".into(),
-                lhs: other.kind(),
-                rhs: None,
-            }),
-        }
+        iter_items(v)
     }
 
     fn assign(&mut self, target: &Expr, v: Value, scopes: &mut Scopes) -> Result<(), ScriptError> {
@@ -294,6 +312,12 @@ impl<'h, H: HostContext + ?Sized> Evaluator<'h, H> {
                 _ => {
                     let lhs = self.eval(a, scopes)?;
                     let rhs = self.eval(b, scopes)?;
+                    // Concatenation/repetition allocates output proportional
+                    // to its inputs; charge for it before doing the work.
+                    let extra = alloc_surcharge(*op, &lhs, &rhs);
+                    if extra > 0 {
+                        self.burn(extra)?;
+                    }
                     binary(*op, lhs, rhs)
                 }
             },
@@ -307,11 +331,20 @@ impl<'h, H: HostContext + ?Sized> Evaluator<'h, H> {
                 for a in args {
                     vals.push(self.eval(a, scopes)?);
                 }
-                // Builtins that may traverse large structures burn extra
-                // fuel proportional to input size.
-                let extra: usize = vals.iter().map(Value::tree_size).sum();
-                self.burn(extra as u64 / 4)?;
-                builtin(name, vals)
+                // Builtins that may traverse or allocate large structures
+                // burn extra fuel proportional to data size — strings and
+                // byte arrays count by length, not as scalars.
+                self.burn(call_surcharge(&vals))?;
+                match BuiltinId::from_name(name) {
+                    Some(id) => {
+                        let out = out_surcharge(id, &vals);
+                        if out > 0 {
+                            self.burn(out)?;
+                        }
+                        call_builtin(id, vals)
+                    }
+                    None => Err(ScriptError::UnknownBuiltin(name.clone())),
+                }
             }
             Expr::HostCall(name, args) => {
                 let mut vals = Vec::with_capacity(args.len());
@@ -337,6 +370,23 @@ impl<'h, H: HostContext + ?Sized> Evaluator<'h, H> {
                 Ok(Value::Map(m))
             }
         }
+    }
+}
+
+/// Converts a value into the item sequence a `for` loop walks: list
+/// elements, map keys, string characters, or byte values. Shared by the
+/// interpreter's `iterable` and the VM's `IterNew` instruction.
+pub(crate) fn iter_items(v: Value) -> Result<Vec<Value>, ScriptError> {
+    match v {
+        Value::List(items) => Ok(items),
+        Value::Map(m) => Ok(m.into_keys().map(Value::Str).collect()),
+        Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
+        Value::Bytes(b) => Ok(b.into_iter().map(|x| Value::Int(i64::from(x))).collect()),
+        other => Err(ScriptError::TypeMismatch {
+            op: "for-in".into(),
+            lhs: other.kind(),
+            rhs: None,
+        }),
     }
 }
 
@@ -397,7 +447,7 @@ impl Scopes {
 
 /// Writes `v` through a reversed index path (`path[last]` is the outermost
 /// index) into `root`.
-fn write_path(root: &mut Value, path: &[Value], v: Value) -> Result<(), ScriptError> {
+pub(crate) fn write_path(root: &mut Value, path: &[Value], v: Value) -> Result<(), ScriptError> {
     let (idx, rest) = path.split_last().expect("path never empty");
     let slot = slot_mut(root, idx)?;
     if rest.is_empty() {
@@ -435,7 +485,7 @@ fn slot_mut<'a>(container: &'a mut Value, idx: &Value) -> Result<&'a mut Value, 
 // Operators
 // ---------------------------------------------------------------------------
 
-fn unary(op: UnaryOp, v: Value) -> Result<Value, ScriptError> {
+pub(crate) fn unary(op: UnaryOp, v: Value) -> Result<Value, ScriptError> {
     match (op, v) {
         (UnaryOp::Neg, Value::Int(i)) => i.checked_neg().map(Value::Int).ok_or_else(|| {
             ScriptError::Value(ValueError::NumericRange("negating i64::MIN".into()))
@@ -450,7 +500,7 @@ fn unary(op: UnaryOp, v: Value) -> Result<Value, ScriptError> {
     }
 }
 
-fn binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value, ScriptError> {
+pub(crate) fn binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value, ScriptError> {
     use BinaryOp::*;
     let mismatch = |lhs: &Value, rhs: &Value| ScriptError::TypeMismatch {
         op: op.spelling().into(),
@@ -575,7 +625,7 @@ fn compare(lhs: &Value, rhs: &Value) -> Option<std::cmp::Ordering> {
     }
 }
 
-fn index(container: &Value, idx: &Value) -> Result<Value, ScriptError> {
+pub(crate) fn index(container: &Value, idx: &Value) -> Result<Value, ScriptError> {
     match (container, idx) {
         (Value::List(items), Value::Int(i)) => {
             let i = usize::try_from(*i)
@@ -612,8 +662,174 @@ fn index(container: &Value, idx: &Value) -> Result<Value, ScriptError> {
 }
 
 // ---------------------------------------------------------------------------
+// Fuel pricing shared by the interpreter and the bytecode VM
+// ---------------------------------------------------------------------------
+
+/// The fuel weight of one builtin argument: like [`Value::tree_size`], but
+/// strings and byte arrays count by length (one step per 8 bytes) instead
+/// of as scalars, so size-proportional builtins (`push` of big strings,
+/// `coerce`, `split`, ...) cannot traverse megabytes for constant fuel.
+pub(crate) fn arg_cost(v: &Value) -> u64 {
+    match v {
+        Value::Str(s) => 1 + s.len() as u64 / 8,
+        Value::Bytes(b) => 1 + b.len() as u64 / 8,
+        Value::List(items) => 1 + items.iter().map(arg_cost).sum::<u64>(),
+        Value::Map(m) => 1 + m.values().map(arg_cost).sum::<u64>(),
+        _ => 1,
+    }
+}
+
+/// Input-size surcharge burned before any builtin dispatch (known or not).
+pub(crate) fn call_surcharge(vals: &[Value]) -> u64 {
+    vals.iter().map(arg_cost).sum::<u64>() / 4
+}
+
+/// Output-size surcharge for builtins whose result is much larger than
+/// their arguments. Only `range` qualifies today; oversized requests are
+/// left to the builtin's own guard so its error (not fuel exhaustion)
+/// stays the observable outcome.
+pub(crate) fn out_surcharge(id: BuiltinId, args: &[Value]) -> u64 {
+    if id != BuiltinId::Range {
+        return 0;
+    }
+    let (lo, hi) = match args {
+        [Value::Int(hi)] => (0, *hi),
+        [Value::Int(lo), Value::Int(hi)] => (*lo, *hi),
+        _ => return 0,
+    };
+    let count = hi.saturating_sub(lo);
+    if (0..=1 << 20).contains(&count) {
+        count as u64 / 4
+    } else {
+        0
+    }
+}
+
+/// Allocation surcharge for operators that build output proportional to
+/// their inputs: string/list/bytes concatenation and string repetition.
+/// Burned after both operands are evaluated, before the operator runs.
+/// Shapes the operator would reject (or that trip its own size guard)
+/// cost nothing — the operator's error stays the observable outcome.
+pub(crate) fn alloc_surcharge(op: BinaryOp, lhs: &Value, rhs: &Value) -> u64 {
+    match (op, lhs, rhs) {
+        (BinaryOp::Add, Value::Str(_), Value::Str(b)) => b.len() as u64 / 8,
+        (BinaryOp::Add, Value::Bytes(_), Value::Bytes(b)) => b.len() as u64 / 8,
+        (BinaryOp::Add, Value::List(_), Value::List(b)) => b.len() as u64 / 4,
+        (BinaryOp::Mul, Value::Str(s), Value::Int(n)) => match usize::try_from(*n) {
+            Ok(n) if s.len().saturating_mul(n) <= 1 << 20 => s.len() as u64 * n as u64 / 8,
+            _ => 0,
+        },
+        _ => 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Builtins
 // ---------------------------------------------------------------------------
+
+/// Identifies one of the pure builtins. The compiler resolves builtin
+/// names to ids at compile time; the interpreter resolves per call. Both
+/// dispatch through [`call_builtin`], so semantics cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BuiltinId {
+    Len,
+    Typeof,
+    Coerce,
+    Str,
+    Int,
+    Float,
+    Bool,
+    Push,
+    Pop,
+    Last,
+    Contains,
+    Keys,
+    Values,
+    Set,
+    Remove,
+    Range,
+    Substr,
+    Split,
+    Join,
+    Upper,
+    Lower,
+    Trim,
+    Abs,
+    Min,
+    Max,
+    Fail,
+    Bytes,
+    ObjectRef,
+}
+
+impl BuiltinId {
+    pub(crate) fn from_name(name: &str) -> Option<BuiltinId> {
+        Some(match name {
+            "len" => BuiltinId::Len,
+            "typeof" => BuiltinId::Typeof,
+            "coerce" => BuiltinId::Coerce,
+            "str" => BuiltinId::Str,
+            "int" => BuiltinId::Int,
+            "float" => BuiltinId::Float,
+            "bool" => BuiltinId::Bool,
+            "push" => BuiltinId::Push,
+            "pop" => BuiltinId::Pop,
+            "last" => BuiltinId::Last,
+            "contains" => BuiltinId::Contains,
+            "keys" => BuiltinId::Keys,
+            "values" => BuiltinId::Values,
+            "set" => BuiltinId::Set,
+            "remove" => BuiltinId::Remove,
+            "range" => BuiltinId::Range,
+            "substr" => BuiltinId::Substr,
+            "split" => BuiltinId::Split,
+            "join" => BuiltinId::Join,
+            "upper" => BuiltinId::Upper,
+            "lower" => BuiltinId::Lower,
+            "trim" => BuiltinId::Trim,
+            "abs" => BuiltinId::Abs,
+            "min" => BuiltinId::Min,
+            "max" => BuiltinId::Max,
+            "fail" => BuiltinId::Fail,
+            "bytes" => BuiltinId::Bytes,
+            "objectref" => BuiltinId::ObjectRef,
+            _ => return None,
+        })
+    }
+
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            BuiltinId::Len => "len",
+            BuiltinId::Typeof => "typeof",
+            BuiltinId::Coerce => "coerce",
+            BuiltinId::Str => "str",
+            BuiltinId::Int => "int",
+            BuiltinId::Float => "float",
+            BuiltinId::Bool => "bool",
+            BuiltinId::Push => "push",
+            BuiltinId::Pop => "pop",
+            BuiltinId::Last => "last",
+            BuiltinId::Contains => "contains",
+            BuiltinId::Keys => "keys",
+            BuiltinId::Values => "values",
+            BuiltinId::Set => "set",
+            BuiltinId::Remove => "remove",
+            BuiltinId::Range => "range",
+            BuiltinId::Substr => "substr",
+            BuiltinId::Split => "split",
+            BuiltinId::Join => "join",
+            BuiltinId::Upper => "upper",
+            BuiltinId::Lower => "lower",
+            BuiltinId::Trim => "trim",
+            BuiltinId::Abs => "abs",
+            BuiltinId::Min => "min",
+            BuiltinId::Max => "max",
+            BuiltinId::Fail => "fail",
+            BuiltinId::Bytes => "bytes",
+            BuiltinId::ObjectRef => "objectref",
+        }
+    }
+}
 
 fn arity(name: &str, args: &[Value], expected: usize) -> Result<(), ScriptError> {
     if args.len() != expected {
@@ -639,10 +855,12 @@ fn want_int(name: &str, v: &Value) -> Result<i64, ScriptError> {
     })
 }
 
-/// Dispatches a pure builtin call.
-fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
-    match name {
-        "len" => {
+/// Dispatches a pure builtin call. The `id` is pre-resolved; callers burn
+/// [`call_surcharge`] (and any [`out_surcharge`]) before dispatching.
+pub(crate) fn call_builtin(id: BuiltinId, mut args: Vec<Value>) -> Result<Value, ScriptError> {
+    let name = id.name();
+    match id {
+        BuiltinId::Len => {
             arity(name, &args, 1)?;
             let n = match &args[0] {
                 Value::Str(s) => s.chars().count(),
@@ -658,11 +876,11 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             };
             Ok(Value::Int(n as i64))
         }
-        "typeof" => {
+        BuiltinId::Typeof => {
             arity(name, &args, 1)?;
             Ok(Value::Str(args[0].kind().name().to_owned()))
         }
-        "coerce" => {
+        BuiltinId::Coerce => {
             arity(name, &args, 2)?;
             let kind_name = want_str(name, &args[1])?;
             let kind = ValueKind::from_name(kind_name).ok_or_else(|| ScriptError::BuiltinArgs {
@@ -672,23 +890,23 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             let v = args.swap_remove(0);
             Ok(v.coerce(kind)?)
         }
-        "str" => {
+        BuiltinId::Str => {
             arity(name, &args, 1)?;
             Ok(args.swap_remove(0).coerce(ValueKind::Str)?)
         }
-        "int" => {
+        BuiltinId::Int => {
             arity(name, &args, 1)?;
             Ok(args.swap_remove(0).coerce(ValueKind::Int)?)
         }
-        "float" => {
+        BuiltinId::Float => {
             arity(name, &args, 1)?;
             Ok(args.swap_remove(0).coerce(ValueKind::Float)?)
         }
-        "bool" => {
+        BuiltinId::Bool => {
             arity(name, &args, 1)?;
             Ok(args.swap_remove(0).coerce(ValueKind::Bool)?)
         }
-        "push" => {
+        BuiltinId::Push => {
             arity(name, &args, 2)?;
             let v = args.pop().expect("arity 2");
             let mut list = args.pop().expect("arity 2");
@@ -703,7 +921,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 }),
             }
         }
-        "pop" => {
+        BuiltinId::Pop => {
             arity(name, &args, 1)?;
             let mut list = args.pop().expect("arity 1");
             match list.as_list_mut() {
@@ -720,7 +938,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 }),
             }
         }
-        "last" => {
+        BuiltinId::Last => {
             arity(name, &args, 1)?;
             match &args[0] {
                 Value::List(items) => {
@@ -738,7 +956,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 }),
             }
         }
-        "contains" => {
+        BuiltinId::Contains => {
             arity(name, &args, 2)?;
             let needle = &args[1];
             let found = match &args[0] {
@@ -760,7 +978,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             };
             Ok(Value::Bool(found))
         }
-        "keys" => {
+        BuiltinId::Keys => {
             arity(name, &args, 1)?;
             match &args[0] {
                 Value::Map(m) => Ok(Value::List(m.keys().cloned().map(Value::Str).collect())),
@@ -770,7 +988,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 }),
             }
         }
-        "values" => {
+        BuiltinId::Values => {
             arity(name, &args, 1)?;
             match args.swap_remove(0) {
                 Value::Map(m) => Ok(Value::List(m.into_values().collect())),
@@ -780,7 +998,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 }),
             }
         }
-        "set" => {
+        BuiltinId::Set => {
             arity(name, &args, 3)?;
             let v = args.pop().expect("arity 3");
             let key = args.pop().expect("arity 3");
@@ -809,7 +1027,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             }
             Ok(m)
         }
-        "remove" => {
+        BuiltinId::Remove => {
             arity(name, &args, 2)?;
             let key = args.pop().expect("arity 2");
             let mut m = args.pop().expect("arity 2");
@@ -837,7 +1055,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             }
             Ok(m)
         }
-        "range" => {
+        BuiltinId::Range => {
             let (lo, hi) = match args.len() {
                 1 => (0, want_int(name, &args[0])?),
                 2 => (want_int(name, &args[0])?, want_int(name, &args[1])?),
@@ -857,7 +1075,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             }
             Ok(Value::List((lo..hi).map(Value::Int).collect()))
         }
-        "substr" => {
+        BuiltinId::Substr => {
             arity(name, &args, 3)?;
             let s = want_str(name, &args[0])?;
             let start = want_int(name, &args[1])?;
@@ -866,7 +1084,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             let count = usize::try_from(count).unwrap_or(0);
             Ok(Value::Str(s.chars().skip(start).take(count).collect()))
         }
-        "split" => {
+        BuiltinId::Split => {
             arity(name, &args, 2)?;
             let s = want_str(name, &args[0])?;
             let sep = want_str(name, &args[1])?;
@@ -880,7 +1098,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 s.split(sep).map(|p| Value::Str(p.to_owned())).collect(),
             ))
         }
-        "join" => {
+        BuiltinId::Join => {
             arity(name, &args, 2)?;
             let sep = want_str(name, &args[1])?.to_owned();
             match &args[0] {
@@ -902,19 +1120,19 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 }),
             }
         }
-        "upper" => {
+        BuiltinId::Upper => {
             arity(name, &args, 1)?;
             Ok(Value::Str(want_str(name, &args[0])?.to_uppercase()))
         }
-        "lower" => {
+        BuiltinId::Lower => {
             arity(name, &args, 1)?;
             Ok(Value::Str(want_str(name, &args[0])?.to_lowercase()))
         }
-        "trim" => {
+        BuiltinId::Trim => {
             arity(name, &args, 1)?;
             Ok(Value::Str(want_str(name, &args[0])?.trim().to_owned()))
         }
-        "abs" => {
+        BuiltinId::Abs => {
             arity(name, &args, 1)?;
             match &args[0] {
                 Value::Int(i) => checked_int(i.checked_abs(), "abs"),
@@ -925,13 +1143,13 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 }),
             }
         }
-        "min" | "max" => {
+        BuiltinId::Min | BuiltinId::Max => {
             arity(name, &args, 2)?;
             let ord = compare(&args[0], &args[1]).ok_or_else(|| ScriptError::BuiltinArgs {
                 name: name.into(),
                 detail: format!("cannot compare {} with {}", args[0].kind(), args[1].kind()),
             })?;
-            let pick_first = if name == "min" {
+            let pick_first = if id == BuiltinId::Min {
                 ord.is_le()
             } else {
                 ord.is_ge()
@@ -942,7 +1160,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 args.swap_remove(1)
             })
         }
-        "fail" => {
+        BuiltinId::Fail => {
             arity(name, &args, 1)?;
             let msg = match &args[0] {
                 Value::Str(s) => s.clone(),
@@ -950,7 +1168,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
             };
             Err(ScriptError::Raised(msg))
         }
-        "bytes" => {
+        BuiltinId::Bytes => {
             arity(name, &args, 1)?;
             let hex = want_str(name, &args[0])?;
             if hex.len() % 2 != 0 {
@@ -968,7 +1186,7 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                 detail: format!("bad hex: {e}"),
             })
         }
-        "objectref" => {
+        BuiltinId::ObjectRef => {
             arity(name, &args, 1)?;
             let s = want_str(name, &args[0])?;
             s.parse()
@@ -978,7 +1196,6 @@ fn builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
                     detail: format!("{s:?} is not an object id"),
                 })
         }
-        other => Err(ScriptError::UnknownBuiltin(other.to_owned())),
     }
 }
 

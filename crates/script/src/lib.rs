@@ -62,21 +62,25 @@
 
 pub mod analyze;
 mod ast;
+mod compile;
 mod encode;
 mod error;
 mod eval;
 mod lexer;
 mod parser;
+mod vm;
 
 pub use analyze::{
     analyze_program, analyze_with_budget, AnalysisReport, Diagnostic, DiagnosticKind, HostManifest,
     ResourceBudget, Severity,
 };
 pub use ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+pub use compile::CompiledProgram;
 pub use error::ScriptError;
 pub use eval::{Evaluator, HostContext, NullHost, DEFAULT_FUEL};
 pub use lexer::{Token, TokenKind};
 pub use parser::MAX_EXPR_DEPTH;
+pub use vm::Vm;
 
 /// Crate-local result alias over [`ScriptError`].
 pub type Result<T> = std::result::Result<T, ScriptError>;

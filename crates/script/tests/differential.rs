@@ -1,0 +1,505 @@
+//! Differential battery: the tree-walking interpreter and the bytecode VM
+//! must be observationally identical — byte-equal results and errors, the
+//! same `fuel_used()` at every exhaustion point, and the same host-call
+//! sequence — on a hand-written edge-case corpus and on seeded random
+//! programs (`MROM_DIFF_SEEDS` selects the sweep width; CI uses ≥ 32).
+//!
+//! Every corpus entry is additionally swept across fuel budgets from zero
+//! upward, so *every reachable exhaustion point* is compared, not just the
+//! happy path.
+
+use mrom_script::{
+    BinaryOp, Evaluator, Expr, HostContext, Program, ScriptError, Stmt, UnaryOp, Vm,
+};
+use mrom_value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// A host that records its call trace and exercises both success and
+/// failure paths deterministically.
+#[derive(Default)]
+struct Recorder {
+    trace: Vec<(String, Vec<Value>)>,
+}
+
+impl HostContext for Recorder {
+    fn host_call(&mut self, name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+        self.trace.push((name.to_owned(), args.to_vec()));
+        match name {
+            "fail" => Err(ScriptError::Host("host refused".into())),
+            "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+            _ => Ok(Value::Int(self.trace.len() as i64)),
+        }
+    }
+}
+
+struct Run {
+    outcome: Result<Value, ScriptError>,
+    fuel_used: u64,
+    host_calls: u64,
+    trace: Vec<(String, Vec<Value>)>,
+}
+
+fn run_interp(p: &Program, args: &[Value], budget: u64) -> Run {
+    let mut host = Recorder::default();
+    let mut ev = Evaluator::with_fuel(&mut host, budget);
+    let outcome = ev.run(p, args);
+    let (fuel_used, host_calls) = (ev.fuel_used(), ev.host_calls());
+    Run {
+        outcome,
+        fuel_used,
+        host_calls,
+        trace: host.trace,
+    }
+}
+
+fn run_vm(p: &Program, args: &[Value], budget: u64) -> Run {
+    let mut host = Recorder::default();
+    let mut vm = Vm::with_fuel(&mut host, budget);
+    let outcome = vm.run(&p.compiled(), args);
+    let (fuel_used, host_calls) = (vm.fuel_used(), vm.host_calls());
+    Run {
+        outcome,
+        fuel_used,
+        host_calls,
+        trace: host.trace,
+    }
+}
+
+/// Runs both engines at one budget and demands full agreement; returns the
+/// shared fuel consumption.
+fn agree(p: &Program, args: &[Value], budget: u64, label: &str) -> u64 {
+    let a = run_interp(p, args, budget);
+    let b = run_vm(p, args, budget);
+    assert_eq!(
+        a.outcome, b.outcome,
+        "[{label}] result drift at budget {budget}"
+    );
+    assert_eq!(
+        a.fuel_used, b.fuel_used,
+        "[{label}] fuel drift at budget {budget} (outcome {:?})",
+        a.outcome
+    );
+    assert_eq!(
+        a.host_calls, b.host_calls,
+        "[{label}] host-call count drift at budget {budget}"
+    );
+    assert_eq!(
+        a.trace, b.trace,
+        "[{label}] host-call trace drift at budget {budget}"
+    );
+    a.fuel_used
+}
+
+/// Full agreement at a generous budget, then an exhaustion sweep: every
+/// budget below the actual consumption (sampled when large) must exhaust
+/// both engines at the identical point with identical side effects.
+fn agree_everywhere(p: &Program, args: &[Value], label: &str) {
+    let used = agree(p, args, 100_000, label);
+    let step = (used / 256).max(1);
+    let mut budget = 0;
+    while budget <= used {
+        agree(p, args, budget, label);
+        budget += step;
+    }
+    if used > 0 {
+        agree(p, args, used - 1, label);
+    }
+    agree(p, args, used + 1, label);
+}
+
+fn src(text: &str) -> Program {
+    Program::parse(text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Hand corpus
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hand_corpus_agrees_at_every_budget() {
+    let corpus: &[&str] = &[
+        // Straight-line arithmetic and locals.
+        "let x = 2; let y = x * 3; return y - 1;",
+        // Branching, shadowing, and block scoping.
+        "let x = 1; if (x > 0) { let x = 10; x = x + 1; } else { x = -1; } return x;",
+        // While loop with break/continue.
+        "let i = 0; let s = 0; while (true) { i = i + 1; \
+         if (i > 8) { break; } if (i - (i / 2) * 2 == 0) { continue; } s = s + i; } return s;",
+        // Nested for loops over ranges and strings.
+        "let out = \"\"; for (i in range(3)) { for (c in \"ab\") { out = out + c + str(i); } } \
+         return out;",
+        // For over a map iterates keys; over bytes yields ints.
+        "let ks = []; for (k in {\"b\": 1, \"a\": 2}) { ks = push(ks, k); } \
+         let n = 0; for (b in bytes(\"hi\")) { n = n + b; } return [ks, n];",
+        // Indexed assignment through nested containers.
+        "let m = {\"rows\": [[1, 2], [3, 4]]}; m[\"rows\"][1][0] = 99; return m[\"rows\"];",
+        // Short-circuit evaluation skips the rhs (and its host calls).
+        "let a = false && self.never(); let b = true || self.never(); return [a, b];",
+        // Host calls, echo round-trip, and values in the trace.
+        "let a = self.ping(); let b = self.echo([a, \"x\"]); return b;",
+        // A failing host call mid-program.
+        "self.ping(); self.fail(); return self.never();",
+        // Unknown builtin after argument evaluation.
+        "return mystery(1, 2);",
+        // Undefined variable read and write.
+        "return ghost;",
+        "ghost = 5; return 1;",
+        // Type errors and division by zero.
+        "return 1 + \"s\";",
+        "return 1 / 0;",
+        // Builtin errors: bad arity, bad coercion.
+        "return len();",
+        "return coerce(\"xyz\", \"int\");",
+        // Size-charged builtins: concat, push, coerce of large strings.
+        "let s = \"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\"; let t = s + s; let u = t + t; \
+         return len(u);",
+        "let l = []; for (i in range(20)) { l = push(l, str(i)); } return join(l, \"-\");",
+        // Range surcharge and the range guard error.
+        "return len(range(1000));",
+        "return range(2000000);",
+        // String repetition guard.
+        "let s = \"abc\"; return len(s * 100);",
+        // Deep expression nesting with mixed operators.
+        "return ((1 + 2) * (3 - 4) / (5 - 3) >= -1) == (!(false) && 2 < 3);",
+        // List/map literals with computed members.
+        "let one = 1; return {\"a\": [one, one + 1], \"b\": {\"c\": one * 3}};",
+        // Return from inside nested loops.
+        "for (i in range(5)) { for (j in range(5)) { if (i * j == 6) { return [i, j]; } } } \
+         return null;",
+        // Stray loop control.
+        "break;",
+        "if (true) { continue; } return 1;",
+        // Unary operators.
+        "return [-(3), !true, !0, -(1 - 2)];",
+        // Empty body and empty blocks.
+        "",
+        "if (false) { } else { } while (false) { } return null;",
+        // Float arithmetic (finite values only — NaN is not comparable).
+        "return 1.5 + 2.25 * 2.0;",
+        // substr/split/trim/upper/lower surface.
+        "let s = \" Hello World \"; return [substr(trim(s), 0, 5), upper(s), split(trim(s), \" \")];",
+    ];
+    for text in corpus {
+        let p = src(text);
+        agree_everywhere(&p, &[], text);
+    }
+}
+
+#[test]
+fn params_and_args_agree() {
+    let p = Program::from_parts(
+        vec!["a".into(), "b".into(), "args".into()],
+        src("return [a, b, args];").body().to_vec(),
+    );
+    for args in [
+        vec![],
+        vec![Value::Int(1)],
+        vec![Value::Int(1), Value::from("two"), Value::Bool(true)],
+    ] {
+        agree_everywhere(&p, &args, "params");
+    }
+}
+
+#[test]
+fn malformed_trees_agree() {
+    // Shapes only constructible via `from_parts` (the parser rejects
+    // them); the engines must raise identical runtime errors.
+    let bad_target = Program::from_parts(
+        Vec::new(),
+        vec![Stmt::Assign(
+            Expr::Literal(Value::Int(3)),
+            Expr::Literal(Value::Int(1)),
+        )],
+    );
+    let bad_root = Program::from_parts(
+        Vec::new(),
+        vec![Stmt::Assign(
+            Expr::Index(
+                Box::new(Expr::Call(
+                    "len".into(),
+                    vec![Expr::Literal(Value::from("v"))],
+                )),
+                Box::new(Expr::Literal(Value::Int(0))),
+            ),
+            Expr::Literal(Value::Int(1)),
+        )],
+    );
+    agree_everywhere(&bad_target, &[], "bad-target");
+    agree_everywhere(&bad_root, &[], "bad-root");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random programs
+// ---------------------------------------------------------------------------
+
+struct GenCtx {
+    rng: StdRng,
+    /// In-scope variable names; truncated on block exit to model lexical
+    /// scoping, so most references resolve (a few deliberately do not).
+    vars: Vec<String>,
+    next_var: usize,
+    /// Declarations a statement asks to inject before itself (bounded-while
+    /// counters); drained by `program` at the top level.
+    pending_lets: Vec<Stmt>,
+}
+
+impl GenCtx {
+    fn fresh_var(&mut self) -> String {
+        let name = format!("v{}", self.next_var);
+        self.next_var += 1;
+        self.vars.push(name.clone());
+        name
+    }
+
+    fn var_ref(&mut self) -> Expr {
+        if self.vars.is_empty() || self.rng.random_bool(0.05) {
+            Expr::Var("ghost".into())
+        } else {
+            let i = self.rng.random_range(0..self.vars.len());
+            Expr::Var(self.vars[i].clone())
+        }
+    }
+
+    fn literal(&mut self) -> Expr {
+        Expr::Literal(match self.rng.random_range(0u32..6) {
+            0 => Value::Int(self.rng.random_range(-8i64..=8)),
+            1 => Value::Bool(self.rng.random_bool(0.5)),
+            2 => {
+                let strs = ["", "a", "xy", "hello", "mobile object"];
+                Value::from(strs[self.rng.random_range(0..strs.len())])
+            }
+            3 => Value::Null,
+            4 => Value::Int(self.rng.random_range(0i64..=3)),
+            _ => Value::from("fuel"),
+        })
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        if depth == 0 {
+            return if self.rng.random_bool(0.5) {
+                self.literal()
+            } else {
+                self.var_ref()
+            };
+        }
+        match self.rng.random_range(0u32..12) {
+            0 | 1 => self.literal(),
+            2 => self.var_ref(),
+            3 => Expr::Unary(
+                if self.rng.random_bool(0.5) {
+                    UnaryOp::Neg
+                } else {
+                    UnaryOp::Not
+                },
+                Box::new(self.expr(depth - 1)),
+            ),
+            4..=6 => {
+                let ops = [
+                    BinaryOp::Add,
+                    BinaryOp::Sub,
+                    BinaryOp::Mul,
+                    BinaryOp::Div,
+                    BinaryOp::Rem,
+                    BinaryOp::Eq,
+                    BinaryOp::Ne,
+                    BinaryOp::Lt,
+                    BinaryOp::Le,
+                    BinaryOp::Gt,
+                    BinaryOp::Ge,
+                    BinaryOp::And,
+                    BinaryOp::Or,
+                ];
+                let op = ops[self.rng.random_range(0..ops.len())];
+                let rhs =
+                    if matches!(op, BinaryOp::Div | BinaryOp::Rem) && self.rng.random_bool(0.8) {
+                        Expr::Literal(Value::Int(self.rng.random_range(1i64..=5)))
+                    } else {
+                        self.expr(depth - 1)
+                    };
+                Expr::Binary(op, Box::new(self.expr(depth - 1)), Box::new(rhs))
+            }
+            7 => Expr::Index(
+                Box::new(self.expr(depth - 1)),
+                Box::new(self.expr(depth - 1)),
+            ),
+            8 | 9 => {
+                let builtins = [
+                    "len", "typeof", "str", "int", "bool", "contains", "keys", "values", "range",
+                    "substr", "upper", "lower", "trim", "abs", "min", "max", "push", "last",
+                    "join", "bogus",
+                ];
+                let name = builtins[self.rng.random_range(0..builtins.len())];
+                let argc = self.rng.random_range(0usize..3);
+                let args = (0..argc).map(|_| self.expr(depth - 1)).collect();
+                Expr::Call(name.into(), args)
+            }
+            10 => {
+                let hosts = ["h0", "h1", "echo", "fail"];
+                let w = self.rng.random_range(0u32..10);
+                let name = if w < 1 {
+                    "fail"
+                } else {
+                    hosts[self.rng.random_range(0usize..3)]
+                };
+                let argc = self.rng.random_range(0usize..3);
+                let args = (0..argc).map(|_| self.expr(depth - 1)).collect();
+                Expr::HostCall(name.into(), args)
+            }
+            _ => {
+                if self.rng.random_bool(0.5) {
+                    let n = self.rng.random_range(0usize..4);
+                    Expr::ListExpr((0..n).map(|_| self.expr(depth - 1)).collect())
+                } else {
+                    let n = self.rng.random_range(0usize..3);
+                    Expr::MapExpr(
+                        (0..n)
+                            .map(|i| (format!("k{i}"), self.expr(depth - 1)))
+                            .collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, len: usize, depth: u32, in_loop: bool) -> Vec<Stmt> {
+        let scope_mark = self.vars.len();
+        let out = (0..len).map(|_| self.stmt(depth, in_loop)).collect();
+        self.vars.truncate(scope_mark);
+        out
+    }
+
+    fn stmt(&mut self, depth: u32, in_loop: bool) -> Stmt {
+        match self.rng.random_range(0u32..14) {
+            0..=2 => {
+                let e = self.expr(depth);
+                Stmt::Let(self.fresh_var(), e)
+            }
+            3 | 4 => {
+                let target = if self.rng.random_bool(0.8) {
+                    self.var_ref()
+                } else {
+                    Expr::Index(Box::new(self.var_ref()), Box::new(self.expr(1)))
+                };
+                Stmt::Assign(target, self.expr(depth))
+            }
+            5 | 6 => Stmt::Expr(self.expr(depth)),
+            7 | 8 => {
+                let cond = self.expr(depth.min(2));
+                let then_len = self.rng.random_range(1usize..3);
+                let else_len = self.rng.random_range(0usize..2);
+                let then_b = self.block(then_len, depth.saturating_sub(1), in_loop);
+                let else_b = self.block(else_len, depth.saturating_sub(1), in_loop);
+                Stmt::If(cond, then_b, else_b)
+            }
+            9 => {
+                // Bounded while: counter declared just outside, condition
+                // counts down, increment appended to the body.
+                let counter = self.fresh_var();
+                let n = self.rng.random_range(1i64..=4);
+                let body_len = self.rng.random_range(1usize..3);
+                let scope_mark = self.vars.len();
+                let mut body = self.block(body_len, depth.saturating_sub(1), true);
+                self.vars.truncate(scope_mark);
+                body.push(Stmt::Assign(
+                    Expr::Var(counter.clone()),
+                    Expr::Binary(
+                        BinaryOp::Add,
+                        Box::new(Expr::Var(counter.clone())),
+                        Box::new(Expr::Literal(Value::Int(1))),
+                    ),
+                ));
+                // Wrap: let counter = 0; while (counter < n) { ...; c = c + 1; }
+                // Returned as the while; the let is injected by `program`.
+                self.pending_lets
+                    .push(Stmt::Let(counter.clone(), Expr::Literal(Value::Int(0))));
+                Stmt::While(
+                    Expr::Binary(
+                        BinaryOp::Lt,
+                        Box::new(Expr::Var(counter)),
+                        Box::new(Expr::Literal(Value::Int(n))),
+                    ),
+                    body,
+                )
+            }
+            10 | 11 => {
+                let n = self.rng.random_range(0i64..=4);
+                let item = format!("it{}", self.next_var);
+                self.next_var += 1;
+                let scope_mark = self.vars.len();
+                self.vars.push(item.clone());
+                let body_len = self.rng.random_range(1usize..3);
+                let body = self.block(body_len, depth.saturating_sub(1), true);
+                self.vars.truncate(scope_mark);
+                Stmt::For(
+                    item,
+                    Expr::Call("range".into(), vec![Expr::Literal(Value::Int(n))]),
+                    body,
+                )
+            }
+            12 => {
+                if in_loop && self.rng.random_bool(0.6) {
+                    if self.rng.random_bool(0.5) {
+                        Stmt::Break
+                    } else {
+                        Stmt::Continue
+                    }
+                } else {
+                    Stmt::Expr(self.expr(depth))
+                }
+            }
+            _ => {
+                if self.rng.random_bool(0.25) {
+                    Stmt::Return(Some(self.expr(depth)))
+                } else {
+                    let e = self.expr(depth);
+                    Stmt::Let(self.fresh_var(), e)
+                }
+            }
+        }
+    }
+}
+
+impl GenCtx {
+    fn program(seed: u64) -> Program {
+        let mut ctx = GenCtx {
+            rng: StdRng::seed_from_u64(seed),
+            vars: Vec::new(),
+            next_var: 0,
+            pending_lets: Vec::new(),
+        };
+        let n_params = ctx.rng.random_range(0usize..3);
+        let params: Vec<String> = (0..n_params).map(|_| ctx.fresh_var()).collect();
+        let n_stmts = ctx.rng.random_range(3usize..9);
+        let mut body = Vec::new();
+        for _ in 0..n_stmts {
+            let s = ctx.stmt(3, false);
+            body.append(&mut ctx.pending_lets);
+            body.push(s);
+        }
+        if ctx.rng.random_bool(0.7) {
+            let e = ctx.expr(2);
+            body.push(Stmt::Return(Some(e)));
+        }
+        Program::from_parts(params, body)
+    }
+}
+
+#[test]
+fn seeded_random_programs_agree_at_every_budget() {
+    let seeds: u64 = std::env::var("MROM_DIFF_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let arg_sets = [vec![], vec![Value::Int(3), Value::from("in")]];
+    for seed in 0..seeds {
+        let p = GenCtx::program(seed);
+        for args in &arg_sets {
+            agree_everywhere(&p, args, &format!("seed {seed}"));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fuel-accounting regressions for allocation-sized builtins.
+//!
+//! Builtins that allocate or copy proportionally to their inputs must be
+//! charged fuel proportionally — a flat per-call cost would let a mobile
+//! method amplify a small budget into large host allocations. Each test
+//! pins the *scaling* (bigger input ⇒ strictly more fuel), not exact
+//! constants, so pricing can be retuned without rewriting the suite.
+
+use mrom_script::{Evaluator, NullHost, Program, Vm};
+use mrom_value::Value;
+
+/// Fuel consumed by one program under both engines (asserted equal — the
+/// pricing model is shared, so any split is a bug in itself).
+fn fuel(src: &str, args: &[Value]) -> u64 {
+    let p = Program::parse(src).expect("corpus parses");
+    let mut host = NullHost;
+    let mut ev = Evaluator::with_fuel(&mut host, 1_000_000);
+    ev.run(&p, args).expect("corpus runs clean");
+    let interp = ev.fuel_used();
+    let mut vm = Vm::with_fuel(&mut host, 1_000_000);
+    vm.run(&p.compiled(), args).expect("corpus runs clean");
+    assert_eq!(interp, vm.fuel_used(), "engines price {src:?} differently");
+    interp
+}
+
+fn big_str(n: usize) -> Value {
+    Value::from("x".repeat(n))
+}
+
+#[test]
+fn string_concat_charges_by_appended_length() {
+    let small = fuel("param a; return \"p\" + a;", &[big_str(64)]);
+    let large = fuel("param a; return \"p\" + a;", &[big_str(64 * 64)]);
+    assert!(
+        large >= small + (64 * 64 - 64) / 8,
+        "concat of a {}x larger rhs must charge for the copy (got {small} vs {large})",
+        64
+    );
+}
+
+#[test]
+fn bytes_concat_charges_by_appended_length() {
+    // `bytes` parses hex, so feed it even-length hex text.
+    let hex = |n: usize| Value::from("ab".repeat(n));
+    let small = fuel("param a; return bytes(\"ff\") + bytes(a);", &[hex(64)]);
+    let large = fuel("param a; return bytes(\"ff\") + bytes(a);", &[hex(64 * 64)]);
+    assert!(
+        large > small,
+        "bytes concat must scale ({small} vs {large})"
+    );
+}
+
+#[test]
+fn list_concat_charges_by_appended_length() {
+    let src = "param n; let l = []; return [0] + range(n);";
+    let small = fuel(src, &[Value::Int(32)]);
+    let large = fuel(src, &[Value::Int(2048)]);
+    assert!(
+        large >= small + (2048 - 32) / 4,
+        "list concat must charge per appended element ({small} vs {large})"
+    );
+}
+
+#[test]
+fn string_repeat_charges_by_output_length() {
+    let small = fuel("return \"ab\" * 10;", &[]);
+    let large = fuel("return \"ab\" * 1000;", &[]);
+    assert!(
+        large >= small + (2 * 990) / 8,
+        "string repetition must charge for the produced bytes ({small} vs {large})"
+    );
+}
+
+#[test]
+fn range_charges_by_cardinality() {
+    let small = fuel("param n; return len(range(n));", &[Value::Int(16)]);
+    let large = fuel("param n; return len(range(n));", &[Value::Int(4096)]);
+    assert!(
+        large >= small + (4096 - 16) / 4,
+        "range must charge per produced element ({small} vs {large})"
+    );
+}
+
+#[test]
+fn argument_size_surcharge_scales_with_payload() {
+    // Any builtin call pays a surcharge proportional to argument *size*,
+    // not argument count — `len` on a huge string costs more than on a
+    // small one even though it allocates nothing itself.
+    let small = fuel("param a; return len(a);", &[big_str(32)]);
+    let large = fuel("param a; return len(a);", &[big_str(32 * 256)]);
+    assert!(
+        large >= small + (32 * 256 - 32) / 8 / 4,
+        "argument surcharge must scale with payload ({small} vs {large})"
+    );
+}
+
+#[test]
+fn deep_container_arguments_are_priced_recursively() {
+    let shallow = fuel(
+        "param a; return len(a);",
+        &[Value::List(vec![Value::Int(1)])],
+    );
+    let nested: Value = Value::List(vec![Value::List(vec![big_str(512); 4]); 4]);
+    let deep = fuel("param a; return len(a);", &[nested]);
+    assert!(
+        deep > shallow,
+        "nested payload bytes must be visible to pricing ({shallow} vs {deep})"
+    );
+}
+
+#[test]
+fn join_and_split_scale_with_text_size() {
+    let small = fuel(
+        "param a; return len(split(a, \",\"));",
+        &[Value::from("a,b".repeat(8))],
+    );
+    let large = fuel(
+        "param a; return len(split(a, \",\"));",
+        &[Value::from("a,b".repeat(1024))],
+    );
+    assert!(
+        large > small,
+        "split pricing must scale ({small} vs {large})"
+    );
+}

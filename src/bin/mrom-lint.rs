@@ -6,12 +6,18 @@
 //! every diagnostic:
 //!
 //! ```text
-//! mrom-lint <file>...     analyze script sources (.mrs) and/or object images
+//! mrom-lint <file>...                  analyze script sources (.mrs) and/or object images
+//! mrom-lint --dump-bytecode <file>...  also disassemble each script body's register bytecode
 //! ```
 //!
 //! A file that decodes as a wire buffer is analyzed as a migration image
 //! (every method body cross-checked against the object that carries it);
 //! anything else is treated as script source and analyzed in isolation.
+//!
+//! `--dump-bytecode` prints the compiled form the VM executes at admission
+//! time — the instruction stream, per-block fuel charges, constant pool and
+//! name pool — so a host operator can audit exactly what an admitted body
+//! will run.
 //!
 //! Exit code 0 when everything is clean or carries only warnings, 1 when
 //! any file is unreadable/unparsable or any error-severity diagnostic
@@ -19,22 +25,24 @@
 
 use std::process::ExitCode;
 
-use mrom::core::{Diagnostic, MromObject, Severity};
+use mrom::core::{Diagnostic, MethodBody, MromObject, Severity};
 use mrom::script::analyze::analyze_program;
 use mrom::script::Program;
 use mrom::value::wire;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let dump = args.iter().any(|a| a == "--dump-bytecode");
+    args.retain(|a| a != "--dump-bytecode");
     if args.is_empty() {
-        eprintln!("usage: mrom-lint <file>...");
+        eprintln!("usage: mrom-lint [--dump-bytecode] <file>...");
         return ExitCode::from(2);
     }
     let mut failed = false;
     for path in &args {
         match std::fs::read(path) {
             Ok(bytes) => {
-                let (report, errors) = lint_bytes(&bytes);
+                let (report, errors) = lint_bytes(&bytes, dump);
                 for line in &report {
                     println!("{path}: {line}");
                 }
@@ -62,12 +70,24 @@ fn main() -> ExitCode {
 
 /// Analyzes one input. Returns the printable diagnostic lines plus either
 /// the number of error-severity findings or an explanation of why the
-/// input could not be analyzed at all.
-fn lint_bytes(bytes: &[u8]) -> (Vec<String>, Result<usize, String>) {
+/// input could not be analyzed at all. With `dump` set, the bytecode
+/// disassembly of every script body is appended to the report.
+fn lint_bytes(bytes: &[u8], dump: bool) -> (Vec<String>, Result<usize, String>) {
     // A framed wire buffer is an object image; anything else is script.
     if let Ok(v) = wire::decode(bytes) {
         return match MromObject::from_image_value(&v) {
-            Ok(obj) => render(obj.analyze()),
+            Ok(obj) => {
+                let (mut lines, errors) = render(obj.analyze());
+                if dump {
+                    for (name, method) in obj.all_methods() {
+                        if let MethodBody::Script(p) = method.body() {
+                            lines.push(format!("bytecode of method {name:?}:"));
+                            push_disassembly(&mut lines, p);
+                        }
+                    }
+                }
+                (lines, errors)
+            }
             Err(e) => (Vec::new(), Err(format!("not a valid object image: {e}"))),
         };
     }
@@ -78,8 +98,20 @@ fn lint_bytes(bytes: &[u8]) -> (Vec<String>, Result<usize, String>) {
         );
     };
     match Program::parse(source) {
-        Ok(p) => render(analyze_program(&p).diagnostics),
+        Ok(p) => {
+            let (mut lines, errors) = render(analyze_program(&p).diagnostics);
+            if dump {
+                push_disassembly(&mut lines, &p);
+            }
+            (lines, errors)
+        }
         Err(e) => (Vec::new(), Err(format!("parse failed: {e}"))),
+    }
+}
+
+fn push_disassembly(lines: &mut Vec<String>, p: &Program) {
+    for line in p.compiled().disassemble().lines() {
+        lines.push(line.to_owned());
     }
 }
 
@@ -100,26 +132,54 @@ mod tests {
 
     #[test]
     fn clean_script_is_clean() {
-        let (lines, errors) = lint_bytes(b"param a; return a + 1;");
+        let (lines, errors) = lint_bytes(b"param a; return a + 1;", false);
         assert!(lines.is_empty());
         assert_eq!(errors, Ok(0));
     }
 
     #[test]
     fn script_defects_are_reported() {
-        let (lines, errors) = lint_bytes(b"return ghost;");
+        let (lines, errors) = lint_bytes(b"return ghost;", false);
         assert_eq!(errors, Ok(1));
         assert!(lines[0].contains("undefined-variable"));
         // Warnings do not count as errors.
-        let (lines, errors) = lint_bytes(b"param spare; return 1;");
+        let (lines, errors) = lint_bytes(b"param spare; return 1;", false);
         assert_eq!(errors, Ok(0));
         assert!(lines[0].contains("unused-param"));
     }
 
     #[test]
     fn unparsable_input_is_an_error() {
-        assert!(lint_bytes(b"return (;").1.is_err());
-        assert!(lint_bytes(&[0xff, 0xfe, 0x00]).1.is_err());
+        assert!(lint_bytes(b"return (;", false).1.is_err());
+        assert!(lint_bytes(&[0xff, 0xfe, 0x00], false).1.is_err());
+    }
+
+    #[test]
+    fn dump_bytecode_appends_disassembly() {
+        let (lines, errors) = lint_bytes(b"param a; return a + 1;", true);
+        assert_eq!(errors, Ok(0));
+        assert!(lines.iter().any(|l| l.contains("instrs")));
+        assert!(lines.iter().any(|l| l.contains("return")));
+    }
+
+    #[test]
+    fn dump_bytecode_covers_image_method_bodies() {
+        let mut ids = IdGenerator::new(NodeId(6));
+        let mut obj = ObjectBuilder::new(ids.next_id()).class("probe").build();
+        let me = obj.id();
+        obj.add_method(
+            me,
+            "work",
+            Method::public(MethodBody::script("return 2 * 3;").unwrap()),
+        )
+        .unwrap();
+        let image = obj.migration_image(me).unwrap();
+        let (lines, errors) = lint_bytes(&image, true);
+        assert_eq!(errors, Ok(0));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("bytecode of method \"work\"")));
+        assert!(lines.iter().any(|l| l.contains("instrs")));
     }
 
     #[test]
@@ -143,7 +203,7 @@ mod tests {
         )
         .unwrap();
         let image = obj.migration_image(me).unwrap();
-        let (lines, errors) = lint_bytes(&image);
+        let (lines, errors) = lint_bytes(&image, false);
         assert_eq!(errors, Ok(2));
         assert!(lines.iter().any(|l| l.contains("dangling-data-item")));
         assert!(lines.iter().any(|l| l.contains("acl-unsatisfiable")));
