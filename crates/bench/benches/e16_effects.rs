@@ -1,0 +1,154 @@
+//! E16 — the price of effect signatures and bytecode verification (PR 7).
+//!
+//! Admission now independently verifies every compiled body, and the
+//! interprocedural effect solver closes per-body facts over the
+//! object's call graph on first consumer use (memoized). E16 prices
+//! each piece: the solver alone as the method count grows, the
+//! generation-stamped cache hit a retry/dispatch policy actually pays,
+//! standalone verification of small and large bodies, the end-to-end
+//! `from_image` admission path (comparable row-for-row with E12; the
+//! added cost over pre-PR is the verifier), the reflective `getEffects`
+//! surface, and the script invoke hot path — which must not notice any
+//! of this.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::bench_ids;
+use mrom_core::{
+    invoke, object_effects, AdmissionPolicy, DataItem, Method, MethodBody, MromObject, NoWorld,
+    ObjectBuilder,
+};
+use mrom_script::{verify, Program};
+use mrom_value::Value;
+
+const SMALL_SRC: &str = "param a; param b; let t = self.get(\"count\"); \
+                         self.set(\"count\", t + a + b); return t;";
+
+/// A loop-free body with many statements and host calls (same shape as
+/// E12's large program, so verifier cost tracks analyzer cost).
+fn large_src() -> String {
+    let mut src = String::from("param seed; let acc = seed;\n");
+    for i in 0..120 {
+        src.push_str(&format!(
+            "let v{i} = acc + {i}; acc = v{i} * 2 - acc; \
+             self.set(\"slot{}\", acc);\n",
+            i % 8
+        ));
+    }
+    src.push_str("return acc;");
+    src
+}
+
+/// An object with `n` script methods over shared data, chained so the
+/// interprocedural solver has real call edges to close
+/// (`m{k}` invokes `m{k-1}`).
+fn chained_object(n: usize) -> MromObject {
+    let mut ids = bench_ids();
+    let mut builder = ObjectBuilder::new(ids.next_id()).class("migrant");
+    for s in 0..8 {
+        builder = builder.fixed_data(&format!("slot{s}"), DataItem::public(Value::Int(0)));
+    }
+    builder = builder.fixed_data("count", DataItem::public(Value::Int(0)));
+    for m in 0..n {
+        let src = if m == 0 {
+            SMALL_SRC.to_owned()
+        } else {
+            format!(
+                "param a; self.set(\"slot{}\", a); return self.invoke(\"m{}\", [a, 1]);",
+                m % 8,
+                m - 1
+            )
+        };
+        builder = builder.fixed_method(
+            &format!("m{m}"),
+            Method::public(MethodBody::script(&src).expect("parse")),
+        );
+    }
+    builder.build()
+}
+
+fn bench_effects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_effects");
+
+    // Interprocedural solve, uncached, as the call graph grows.
+    for n in [1usize, 8, 32] {
+        let obj = chained_object(n);
+        group.bench_with_input(BenchmarkId::new("solve_object", n), &n, |b, _| {
+            b.iter(|| black_box(object_effects(black_box(&obj))));
+        });
+    }
+
+    // The memoized path consumers actually hit (generation-stamped).
+    let mut cached = chained_object(8);
+    cached.effects();
+    group.bench_function("effects_cached_hit", |b| {
+        b.iter(|| black_box(cached.effects()));
+    });
+
+    // Independent bytecode verification, per compiled body.
+    let small = Program::parse(SMALL_SRC).expect("parse");
+    let large = Program::parse(&large_src()).expect("parse");
+    group.bench_function("verify_small_program", |b| {
+        b.iter(|| verify(black_box(&small.compiled())).expect("verifies"));
+    });
+    group.bench_function("verify_large_program", |b| {
+        b.iter(|| verify(black_box(&large.compiled())).expect("verifies"));
+    });
+
+    // End-to-end admission at the migration boundary — same rows as E12,
+    // now including bytecode verification (signatures stay lazy).
+    let obj = chained_object(8);
+    let image = obj.migration_image(obj.id()).expect("image");
+    for (label, policy) in [
+        ("off", AdmissionPolicy::Off),
+        ("warn", AdmissionPolicy::Warn),
+        ("strict", AdmissionPolicy::Strict),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("from_image", label),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(
+                        MromObject::from_image_with_policy(black_box(&image), policy).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+
+    // The reflective surface: a full getEffects invocation (cache-hit
+    // table render included).
+    let mut ids = bench_ids();
+    let caller = ids.next_id();
+    let mut fx = chained_object(4);
+    let mut world = NoWorld;
+    group.bench_function("get_effects_meta", |b| {
+        b.iter(|| black_box(invoke(&mut fx, &mut world, caller, "getEffects", &[]).unwrap()));
+    });
+
+    // Script invoke hot path: signatures are admission-time artifacts,
+    // so steady-state invocation must be unchanged (compare with E12-era
+    // numbers; the gate is "within noise").
+    let mut counter = chained_object(1);
+    group.bench_function("invoke_script_hot", |b| {
+        b.iter(|| {
+            black_box(
+                invoke(
+                    &mut counter,
+                    &mut world,
+                    caller,
+                    "m0",
+                    &[Value::Int(1), Value::Int(2)],
+                )
+                .unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_effects);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! Prints the full experiment report (E1-E10, E15): one table per experiment,
+//! Prints the full experiment report (E1-E10, E15, E16): one table per
+//! experiment,
 //! mixing measured wall-clock costs (quick non-criterion timing) with the
 //! simulator's deterministic virtual-time results. `EXPERIMENTS.md`
 //! records a run of this binary next to the paper's qualitative claims.
@@ -739,8 +740,68 @@ fn e15_script_vm() {
     );
 }
 
+fn e16_effects() {
+    header(
+        "E16",
+        "effect signatures + bytecode verification (PR 7)",
+        "admission proves behavioural contracts; retry/migration/concurrency policies consume them",
+    );
+    let chained = |n: usize| {
+        let mut ids = bench_ids();
+        let mut builder = ObjectBuilder::new(ids.next_id()).class("migrant");
+        for s in 0..8 {
+            builder = builder.fixed_data(&format!("slot{s}"), DataItem::public(Value::Int(0)));
+        }
+        builder = builder.fixed_data("count", DataItem::public(Value::Int(0)));
+        for m in 0..n {
+            let src = if m == 0 {
+                "param a; param b; let t = self.get(\"count\"); \
+                 self.set(\"count\", t + a + b); return t;"
+                    .to_owned()
+            } else {
+                format!(
+                    "param a; self.set(\"slot{}\", a); return self.invoke(\"m{}\", [a, 1]);",
+                    m % 8,
+                    m - 1
+                )
+            };
+            builder = builder.fixed_method(
+                &format!("m{m}"),
+                Method::public(MethodBody::script(&src).unwrap()),
+            );
+        }
+        builder.build()
+    };
+    for n in [1usize, 8, 32] {
+        let obj = chained(n);
+        let reps = if n == 32 { SLOW } else { SLOW * 10 };
+        let ns = time_ns(reps, || {
+            std::hint::black_box(mrom_core::object_effects(&obj));
+        });
+        row(
+            &format!("solve: {n} chained methods (uncached)"),
+            fmt_ns(ns),
+        );
+    }
+    let mut cached = chained(8);
+    cached.effects();
+    row(
+        "cached signature-table hit",
+        fmt_ns(time_ns(QUICK, || {
+            std::hint::black_box(cached.effects());
+        })),
+    );
+    let small = Program::parse("param a; return self.get(\"x\") + a;").unwrap();
+    row(
+        "verify: small compiled body",
+        fmt_ns(time_ns(QUICK, || {
+            mrom_script::verify(&small.compiled()).unwrap();
+        })),
+    );
+}
+
 fn main() {
-    println!("MROM reproduction — experiment report (E1-E10, E15)");
+    println!("MROM reproduction — experiment report (E1-E10, E15, E16)");
     println!(
         "paper: Holder & Ben-Shaul, 'A Reflective Model for Mobile Software Objects', ICDCS 1997"
     );
@@ -756,5 +817,6 @@ fn main() {
     e9_dbshutdown();
     e10_persist();
     e15_script_vm();
+    e16_effects();
     println!("\ndone.");
 }

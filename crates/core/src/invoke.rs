@@ -788,6 +788,24 @@ fn perform_meta(
             want_arity(op, args, &[0])?;
             Ok(crate::stats::stats_value(object.id()))
         }
+        MetaOp::GetEffects => {
+            want_arity(op, args, &[0, 1])?;
+            let table = object.effects();
+            match args.first() {
+                None => Ok(crate::effects::effects_value(&table)),
+                Some(Value::Str(name)) => match table.get(name) {
+                    Some(sig) => Ok(sig.to_value()),
+                    None => Err(MromError::NoSuchMethod {
+                        object: object.id(),
+                        name: name.clone(),
+                    }),
+                },
+                Some(other) => Err(MromError::BadDescriptor(format!(
+                    "getEffects expects a method-name string, got {:?}",
+                    other.kind()
+                ))),
+            }
+        }
     }
 }
 
@@ -894,6 +912,7 @@ impl HostContext for ScriptHost<'_> {
             "delete_method" => self.meta(MetaOp::DeleteMethod, args),
             "invoke" => self.meta(MetaOp::Invoke, args),
             "get_stats" => self.meta(MetaOp::GetStats, args),
+            "get_effects" => self.meta(MetaOp::GetEffects, args),
             // Tower manipulation.
             "install_meta_invoke" => match args {
                 [Value::Str(m)] => self
@@ -1233,6 +1252,68 @@ mod tests {
         )
         .unwrap();
         assert_eq!(obj.read_data(me, "x").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn get_effects_meta_method_reports_signatures() {
+        let mut gen = ids();
+        let mut obj = counter_object(&mut gen);
+        let me = obj.id();
+        let mut world = NoWorld;
+        // Zero arguments: the full method → signature table.
+        let all = invoke(&mut obj, &mut world, me, "getEffects", &[]).unwrap();
+        let map = all.as_map().unwrap();
+        assert!(map.contains_key("bump") && map.contains_key("invoke"));
+        // One argument: a single method's signature.
+        let sig = invoke(
+            &mut obj,
+            &mut world,
+            me,
+            "getEffects",
+            &[Value::from("bump")],
+        )
+        .unwrap();
+        let sig = sig.as_map().unwrap();
+        assert_eq!(sig["structural"], Value::Bool(false));
+        assert_eq!(sig["idempotent"], Value::Bool(false), "read-modify-write");
+        let add = invoke(
+            &mut obj,
+            &mut world,
+            me,
+            "getEffects",
+            &[Value::from("add")],
+        )
+        .unwrap();
+        assert_eq!(add.as_map().unwrap()["pure"], Value::Bool(true));
+        // Scripts reach the same surface through self.get_effects(...).
+        obj.add_method(
+            me,
+            "introspect",
+            Method::public(MethodBody::script("return self.get_effects(\"add\");").unwrap()),
+        )
+        .unwrap();
+        let via_script = invoke(&mut obj, &mut world, me, "introspect", &[]).unwrap();
+        assert_eq!(via_script.as_map().unwrap()["pure"], Value::Bool(true));
+        // Structural change invalidates the memo: new methods show up.
+        obj.add_method(
+            me,
+            "fresh",
+            Method::public(MethodBody::script("return 1;").unwrap()),
+        )
+        .unwrap();
+        let all = invoke(&mut obj, &mut world, me, "getEffects", &[]).unwrap();
+        assert!(all.as_map().unwrap().contains_key("fresh"));
+        // Unknown names are an error, not a null.
+        assert!(matches!(
+            invoke(
+                &mut obj,
+                &mut world,
+                me,
+                "getEffects",
+                &[Value::from("ghost")]
+            ),
+            Err(MromError::NoSuchMethod { .. })
+        ));
     }
 
     #[test]

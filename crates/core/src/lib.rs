@@ -70,6 +70,7 @@
 mod admission;
 mod class;
 mod container;
+mod effects;
 mod error;
 mod invoke;
 mod item;
@@ -84,6 +85,7 @@ mod stats;
 pub use admission::{default_admission_policy, set_default_admission_policy, AdmissionPolicy};
 pub use class::{ClassRegistry, ClassSpec};
 pub use container::{ExtensibleContainer, FixedContainer, Section};
+pub use effects::{effects_value, object_effects, signatures_disjoint};
 pub use error::MromError;
 pub use invoke::{
     invoke, invoke_with_limits, script_engine, set_script_engine, CallEnv, InvokeLimits, NoWorld,
@@ -95,6 +97,7 @@ pub use migrate::IMAGE_FORMAT;
 pub use mrom_script::analyze::{
     AnalysisReport, Diagnostic, DiagnosticKind, HostManifest, ResourceBudget, Severity,
 };
+pub use mrom_script::{EffectSignature, LocalEffects};
 pub use object::{MromObject, ObjectBuilder};
 pub use runtime::Runtime;
 pub use security::{Acl, TypeConstraint};

@@ -47,12 +47,20 @@ pub enum MetaOp {
     /// did my invocations do" with the same machinery that answers
     /// structural questions.
     GetStats,
+    /// `getEffects()` / `getEffects(name)` → interprocedural effect
+    /// signatures for this object's methods, computed by the static
+    /// analyzer over the method call graph. A reproduction extension
+    /// (not in the paper's nine): self-representation applied to
+    /// *future* behaviour — what a method may read, write, and call —
+    /// answering it with the same reflective machinery that answers
+    /// structural questions.
+    GetEffects,
 }
 
 impl MetaOp {
     /// All meta-operations in declaration order: the paper's nine plus
-    /// the `getStats` observability extension.
-    pub const ALL: [MetaOp; 10] = [
+    /// the `getStats` and `getEffects` introspection extensions.
+    pub const ALL: [MetaOp; 11] = [
         MetaOp::GetDataItem,
         MetaOp::SetDataItem,
         MetaOp::AddDataItem,
@@ -63,6 +71,7 @@ impl MetaOp {
         MetaOp::DeleteMethod,
         MetaOp::Invoke,
         MetaOp::GetStats,
+        MetaOp::GetEffects,
     ];
 
     /// The method name under which the operation is registered in the
@@ -79,6 +88,7 @@ impl MetaOp {
             MetaOp::DeleteMethod => "deleteMethod",
             MetaOp::Invoke => "invoke",
             MetaOp::GetStats => "getStats",
+            MetaOp::GetEffects => "getEffects",
         }
     }
 

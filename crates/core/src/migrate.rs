@@ -263,6 +263,10 @@ impl MromObject {
             meta_acl,
         );
         crate::admission::admit_object(policy, &obj, "from_image")?;
+        // Effect signatures are deliberately NOT primed here: the first
+        // consumer (a retry policy, a Strict dispatch check, `getEffects`)
+        // pays one memoized solve instead, keeping admission itself at
+        // analyzer + verifier cost (the E12/E16 ≤15% budget).
         Ok(obj)
     }
 }

@@ -1,9 +1,10 @@
 //! The MROM object: four item containers, identity, the invocation tower,
 //! and the ACL-checked state/structure operations behind the meta-methods.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use mrom_script::EffectSignature;
 use mrom_value::{ObjectId, Value};
 
 use crate::container::{ExtensibleContainer, FixedContainer, Section};
@@ -94,6 +95,12 @@ pub struct MromObject {
     generation: u64,
     /// Generation-stamped name → method memo for the dispatch fast path.
     dispatch_cache: DispatchCache,
+    /// Generation-stamped memo of the interprocedural effect-signature
+    /// table ([`crate::effects::object_effects`]). Like the dispatch
+    /// cache, pure acceleration state: ignored by `PartialEq`, shed on
+    /// clone-through-migration, recomputed on first use after any
+    /// structural change.
+    effects_cache: Option<(u64, Arc<BTreeMap<String, EffectSignature>>)>,
 }
 
 /// Equality is structural: the dispatch cache and its generation stamp are
@@ -202,6 +209,36 @@ impl MromObject {
     /// observe when cached resolutions become stale.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    // -- effect signatures ---------------------------------------------------
+
+    /// The interprocedural effect-signature table for every method this
+    /// object carries, memoized behind the structural generation stamp:
+    /// the first call after construction or any structural mutation runs
+    /// the fixpoint ([`crate::effects::object_effects`]); subsequent
+    /// calls return the shared table. This is what the `getEffects`
+    /// meta-method serves, and what retry/migration policies consult.
+    pub fn effects(&mut self) -> Arc<BTreeMap<String, EffectSignature>> {
+        if let Some((stamp, table)) = &self.effects_cache {
+            if *stamp == self.generation {
+                return Arc::clone(table);
+            }
+        }
+        let table = Arc::new(crate::effects::object_effects(self));
+        self.effects_cache = Some((self.generation, Arc::clone(&table)));
+        table
+    }
+
+    /// The effect table already memoized for the *current* structural
+    /// generation, if any — a read-only probe for callers holding `&self`
+    /// (e.g. a runtime deciding whether a retry is safe without forcing
+    /// an analysis on the hot path).
+    pub fn effects_if_cached(&self) -> Option<Arc<BTreeMap<String, EffectSignature>>> {
+        match &self.effects_cache {
+            Some((stamp, table)) if *stamp == self.generation => Some(Arc::clone(table)),
+            _ => None,
+        }
     }
 
     // -- data items ---------------------------------------------------------
@@ -967,6 +1004,7 @@ impl MromObject {
             meta_acl,
             generation: 0,
             dispatch_cache: DispatchCache::default(),
+            effects_cache: None,
         }
     }
 }
@@ -1105,6 +1143,7 @@ impl ObjectBuilder {
             meta_acl: self.meta_acl,
             generation: 0,
             dispatch_cache: DispatchCache::default(),
+            effects_cache: None,
         }
     }
 }
@@ -1590,8 +1629,8 @@ mod tests {
     fn item_count_counts_everything() {
         let mut gen = ids();
         let obj = basic_object(&mut gen);
-        // 2 data + 2 own methods + 10 meta-methods (the paper's nine
-        // plus the getStats reproduction extension).
-        assert_eq!(obj.item_count(), 14);
+        // 2 data + 2 own methods + 11 meta-methods (the paper's nine
+        // plus the getStats/getEffects reproduction extensions).
+        assert_eq!(obj.item_count(), 15);
     }
 }

@@ -52,11 +52,13 @@
 //! can never capture an object mid-execution: the image is taken either
 //! before checkout or after checkin, never in between.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+
+use mrom_script::EffectSignature;
 
 use mrom_value::{AtomicIdGenerator, NodeId, ObjectId, Value};
 
@@ -96,11 +98,25 @@ impl std::fmt::Display for PoisonCause {
 enum Slot {
     /// Hosted and at rest — available for checkout, reads, and eviction.
     Present(MromObject),
-    /// Checked out by an in-flight invocation.
-    Busy,
+    /// Checked out by an in-flight invocation. When observability is
+    /// enabled the slot remembers what is running ([`BusyInfo`]) so a
+    /// colliding checkout can classify the collision by effect-signature
+    /// disjointness; otherwise it carries nothing.
+    Busy(Option<BusyInfo>),
     /// A body panicked while the object was checked out; the (possibly
     /// torn) object was discarded, the identity and cause retained.
     Poisoned(PoisonCause),
+}
+
+/// What a `Busy` slot knows about its in-flight invocation (recorded
+/// only while observability is enabled — the disabled hot path never
+/// clones a method name or touches the effect table).
+#[derive(Debug)]
+struct BusyInfo {
+    /// Selector of the invocation that holds the object.
+    method: String,
+    /// The object's memoized effect-signature table at checkout time.
+    effects: Arc<BTreeMap<String, EffectSignature>>,
 }
 
 type Shard = HashMap<ObjectId, Slot>;
@@ -331,7 +347,7 @@ impl SharedRuntime {
                 Some(Slot::Present(obj)) => Ok(obj),
                 _ => unreachable!("slot changed under the shard write lock"),
             },
-            Some(Slot::Busy | Slot::Poisoned(_)) => Err(MromError::ObjectBusy(id)),
+            Some(Slot::Busy(_) | Slot::Poisoned(_)) => Err(MromError::ObjectBusy(id)),
             None => Err(MromError::NoSuchObject(id)),
         }
     }
@@ -425,7 +441,7 @@ impl SharedRuntime {
         args: &[Value],
     ) -> Result<Value, MromError> {
         mrom_obs::runtime_invoke(self.node, target, method);
-        let mut obj = self.checkout(target)?;
+        let mut obj = self.checkout_as(target, Some(method))?;
         let limits = self.limits();
         let mut world = SharedWorld { shared: self };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -467,15 +483,62 @@ impl SharedRuntime {
     }
 
     /// Checks `target` out: flips its slot from `Present` to `Busy` under
-    /// the shard write lock and returns the object.
-    fn checkout(&self, target: ObjectId) -> Result<MromObject, MromError> {
+    /// the shard write lock and returns the object. When
+    /// observability is enabled and `incoming` names the method about to
+    /// run, the `Busy` slot remembers it together with the object's
+    /// memoized effect-signature table, and a *colliding* checkout
+    /// classifies the collision — provably-disjoint signatures mean the
+    /// serialization was a conservative loss, overlapping ones mean it
+    /// was required — feeding the shared-runtime disjointness counters.
+    fn checkout_as(
+        &self,
+        target: ObjectId,
+        incoming: Option<&str>,
+    ) -> Result<MromObject, MromError> {
+        let obs = mrom_obs::enabled();
         let mut shard = write(self.shard_of(target));
         match shard.get_mut(&target) {
-            Some(slot @ Slot::Present(_)) => match std::mem::replace(slot, Slot::Busy) {
-                Slot::Present(obj) => Ok(obj),
+            Some(slot @ Slot::Present(_)) => match std::mem::replace(slot, Slot::Busy(None)) {
+                Slot::Present(mut obj) => {
+                    if obs {
+                        if let Some(method) = incoming {
+                            *slot = Slot::Busy(Some(BusyInfo {
+                                method: method.to_owned(),
+                                effects: obj.effects(),
+                            }));
+                        }
+                    }
+                    Ok(obj)
+                }
                 _ => unreachable!("matched Present above"),
             },
-            Some(Slot::Busy | Slot::Poisoned(_)) => Err(MromError::ObjectBusy(target)),
+            Some(Slot::Busy(info)) => {
+                if obs {
+                    let (in_flight, disjoint) = match (info.as_ref(), incoming) {
+                        (Some(i), Some(m)) => {
+                            let verdict = match (i.effects.get(i.method.as_str()), i.effects.get(m))
+                            {
+                                (Some(a), Some(b)) => {
+                                    Some(crate::effects::signatures_disjoint(a, b))
+                                }
+                                _ => None,
+                            };
+                            (i.method.as_str(), verdict)
+                        }
+                        (Some(i), None) => (i.method.as_str(), None),
+                        (None, _) => ("", None),
+                    };
+                    mrom_obs::shared_collision(
+                        self.node,
+                        target,
+                        in_flight,
+                        incoming.unwrap_or(""),
+                        disjoint,
+                    );
+                }
+                Err(MromError::ObjectBusy(target))
+            }
+            Some(Slot::Poisoned(_)) => Err(MromError::ObjectBusy(target)),
             None => Err(MromError::NoSuchObject(target)),
         }
     }
@@ -693,7 +756,7 @@ mod tests {
         // A native method that tries to evict... is not expressible from
         // scripts; simulate by poking the slot machinery directly.
         let id = rt.create("counter").unwrap();
-        let obj = rt.checkout(id).unwrap();
+        let obj = rt.checkout_as(id, None).unwrap();
         assert!(matches!(rt.evict(id), Err(MromError::ObjectBusy(_))));
         assert!(rt.object(id).is_none(), "busy slot is not readable");
         assert_eq!(rt.object_count(), 1, "busy slot still counts as hosted");

@@ -59,6 +59,18 @@ pub enum HadasError {
         /// diagnostic list.
         rejection: MromError,
     },
+    /// Under a strict admission policy the federation refused to
+    /// dispatch an object whose interprocedural effect signatures prove
+    /// a method depends on site-local world calls (peer `send`s or
+    /// `spawn`s whose references would dangle after the move).
+    MigrationRefused {
+        /// The object whose dispatch was refused.
+        object: ObjectId,
+        /// The first method (in name order) with a site-bound signature.
+        method: String,
+        /// The site-local world calls that method transitively makes.
+        world_calls: Vec<String>,
+    },
     /// A depot (persistence) operation failed during checkpoint or
     /// crash recovery.
     Persist(String),
@@ -99,6 +111,17 @@ impl fmt::Display for HadasError {
             }
             HadasError::AdmissionRefused { at, rejection } => {
                 write!(f, "site {at} refused admission: {rejection}")
+            }
+            HadasError::MigrationRefused {
+                object,
+                method,
+                world_calls,
+            } => {
+                write!(
+                    f,
+                    "dispatch of {object} refused: method {method:?} is bound to site-local \
+                     world calls {world_calls:?}"
+                )
             }
             HadasError::Persist(detail) => write!(f, "persistence error: {detail}"),
             HadasError::Model(e) => write!(f, "model error: {e}"),

@@ -583,9 +583,23 @@ impl Federation {
         to: NodeId,
         msg: ProtocolMsg,
     ) -> Result<ProtocolMsg, HadasError> {
+        let max_attempts = self.retry.max_attempts();
+        self.request_capped(from, to, msg, max_attempts)
+    }
+
+    /// [`Federation::request`] with an explicit attempt budget. The
+    /// invocation path uses this to tighten (never widen) the policy's
+    /// budget when the target method's effect signature does not prove
+    /// it idempotent.
+    fn request_capped(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: ProtocolMsg,
+        max_attempts: u32,
+    ) -> Result<ProtocolMsg, HadasError> {
         let req_id = msg.req_id();
         let started = self.net.now();
-        let max_attempts = self.retry.max_attempts();
         self.pending.insert(req_id);
         let mut attempt = 1u32;
         let finish = |fed: &mut Federation, reply| {
@@ -1303,6 +1317,31 @@ impl Federation {
         }
     }
 
+    /// Attempts allowed for one remote invocation under the active
+    /// retry policy. [`RetryPolicy::IdempotentOnly`] consults the target
+    /// method's interprocedural effect signature and re-posts only when
+    /// the signature *proves* idempotence — a missing object, unknown
+    /// method, or unprovable body all collapse to a single attempt. (The
+    /// simulator owns both sites, so the lookup reads the destination
+    /// runtime directly; a distributed deployment would carry the same
+    /// signatures as export metadata.) The receiver's reply-dedup cache
+    /// stays in place as the dynamic backstop either way.
+    fn invoke_attempt_budget(&mut self, to: NodeId, target: ObjectId, method: &str) -> u32 {
+        if !self.retry.gates_on_idempotence() {
+            return self.retry.max_attempts();
+        }
+        let proven = self
+            .sites
+            .get_mut(&to)
+            .and_then(|site| site.runtime.object_mut(target))
+            .is_some_and(|obj| obj.effects().get(method).is_some_and(|sig| sig.idempotent));
+        if proven {
+            self.retry.max_attempts()
+        } else {
+            1
+        }
+    }
+
     /// Invokes a method on an object hosted at a remote site, as `caller`.
     ///
     /// # Errors
@@ -1334,9 +1373,10 @@ impl Federation {
     ) -> Result<Value, HadasError> {
         self.site(from)?;
         self.site(to)?;
+        let attempts = self.invoke_attempt_budget(to, target, method);
         let req_id = self.fresh_req_id();
         let (trace, parent_span) = mrom_obs::current_trace_context();
-        let reply = self.request(
+        let reply = self.request_capped(
             from,
             to,
             ProtocolMsg::InvokeReq {
@@ -1348,6 +1388,7 @@ impl Federation {
                 trace,
                 parent_span,
             },
+            attempts,
         )?;
         match reply {
             ProtocolMsg::InvokeResp { result, .. } => Ok(result),
@@ -1571,6 +1612,55 @@ impl Federation {
         result
     }
 
+    /// World calls whose meaning is pinned to the hosting site: `send`
+    /// resolves peer `ObjectRef`s against the *local* object table and
+    /// `spawn` instantiates from the *local* class registry — neither
+    /// reference travels with a migration image. Ambient services
+    /// (`log`, `time`, `node`) exist identically at every site and are
+    /// migration-portable.
+    const SITE_LOCAL_WORLD_CALLS: [&'static str; 2] = ["send", "spawn"];
+
+    /// Under [`AdmissionPolicy::Strict`], refuses to dispatch an object
+    /// whose interprocedural effect signatures prove some method
+    /// (transitively) depends on site-local world calls — the static
+    /// analogue of shipping an agent whose peer references would dangle
+    /// on arrival. Signatures are read from the departing object's
+    /// generation-stamped cache, so repeat dispatches of an unchanged
+    /// object pay no re-analysis.
+    fn check_migration_safety(&mut self, from: NodeId, object: ObjectId) -> Result<(), HadasError> {
+        let site = self.site_mut(from)?;
+        let Some(obj) = site.runtime.object_mut(object) else {
+            return Ok(()); // evict reports NoSuchObject with more context
+        };
+        let effects = obj.effects();
+        let site_bound = |sig: &mrom_core::EffectSignature| -> Vec<String> {
+            sig.world_calls
+                .iter()
+                .filter(|c| Self::SITE_LOCAL_WORLD_CALLS.contains(&c.as_str()))
+                .cloned()
+                .collect()
+        };
+        // Report a method that *itself* resolves to the calls (not a
+        // dynamic join like the `invoke` meta-method, which absorbs
+        // every method's effects and would otherwise win by name order).
+        let offender = effects
+            .iter()
+            .filter(|(_, sig)| !sig.dynamic)
+            .chain(effects.iter())
+            .find_map(|(method, sig)| {
+                let bound = site_bound(sig);
+                (!bound.is_empty()).then(|| (method.clone(), bound))
+            });
+        match offender {
+            Some((method, world_calls)) => Err(HadasError::MigrationRefused {
+                object,
+                method,
+                world_calls,
+            }),
+            None => Ok(()),
+        }
+    }
+
     fn dispatch_object_inner(
         &mut self,
         from: NodeId,
@@ -1579,6 +1669,9 @@ impl Federation {
     ) -> Result<(), HadasError> {
         if !self.is_linked(from, to) {
             return Err(HadasError::NotLinked { from, to });
+        }
+        if matches!(self.admission, AdmissionPolicy::Strict) {
+            self.check_migration_safety(from, object)?;
         }
         let site = self.site_mut(from)?;
         let obj = site.runtime.evict(object).map_err(HadasError::Model)?;
@@ -2352,6 +2445,110 @@ mod tests {
         assert!(matches!(err, HadasError::Timeout { attempts: 1, .. }));
         assert!(fed.runtime(a).unwrap().object(id).is_some());
         assert!(fed.in_doubt(a).unwrap().is_empty());
+    }
+
+    /// Adopts a scripted object at `at` and returns its identity.
+    fn scripted_object(fed: &mut Federation, at: NodeId, methods: &[(&str, &str)]) -> ObjectId {
+        let mut spec = ClassSpec::new("fx").fixed_data("peer", DataItem::public(Value::Null));
+        for (name, src) in methods {
+            spec = spec.fixed_method(name, Method::public(MethodBody::script(src).unwrap()));
+        }
+        let obj = spec.instantiate_as(fed.runtime_mut(at).unwrap().ids_mut().next_id(), None);
+        let id = obj.id();
+        fed.runtime_mut(at).unwrap().adopt(obj).unwrap();
+        id
+    }
+
+    #[test]
+    fn invoke_attempt_budget_consults_signatures() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        let id = scripted_object(
+            &mut fed,
+            b,
+            &[
+                ("bump", "self.set(\"n\", self.get(\"n\") + 1); return null;"),
+                ("reset", "self.set(\"n\", 0); return null;"),
+                ("peek", "return self.get(\"n\");"),
+            ],
+        );
+        fed.set_retry_policy(crate::RetryPolicy::idempotent_only(
+            5,
+            SimTime::from_millis(10),
+            2,
+            0,
+        ));
+        // Provably idempotent (constant write / pure read): full budget.
+        assert_eq!(fed.invoke_attempt_budget(b, id, "reset"), 5);
+        assert_eq!(fed.invoke_attempt_budget(b, id, "peek"), 5);
+        // Read-modify-write is not idempotent: one attempt.
+        assert_eq!(fed.invoke_attempt_budget(b, id, "bump"), 1);
+        // Unknown method or object: nothing provable, one attempt.
+        assert_eq!(fed.invoke_attempt_budget(b, id, "absent"), 1);
+        let ghost = ObjectId::from_parts(b, 9_999, 1);
+        assert_eq!(fed.invoke_attempt_budget(b, ghost, "reset"), 1);
+        // A plain backoff policy never gates.
+        fed.set_retry_policy(crate::RetryPolicy::standard());
+        assert_eq!(fed.invoke_attempt_budget(b, id, "bump"), 5);
+    }
+
+    #[test]
+    fn strict_admission_refuses_dispatch_of_site_bound_objects() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        let id = scripted_object(
+            &mut fed,
+            a,
+            &[
+                (
+                    "relay",
+                    "return self.send(self.get(\"peer\"), \"peek\", []);",
+                ),
+                ("note", "self.log(\"here\"); return null;"),
+            ],
+        );
+        fed.set_admission_policy(AdmissionPolicy::Strict);
+        let err = fed.dispatch_object(a, b, id).unwrap_err();
+        match err {
+            HadasError::MigrationRefused {
+                object,
+                method,
+                world_calls,
+            } => {
+                assert_eq!(object, id);
+                assert_eq!(
+                    method, "relay",
+                    "the concrete offender, not the invoke join"
+                );
+                assert_eq!(world_calls, vec!["send".to_owned()]);
+            }
+            other => panic!("expected MigrationRefused, got {other}"),
+        }
+        // Refused before eviction: the object never left.
+        assert!(fed.runtime(a).unwrap().object(id).is_some());
+        // Dropping back to Warn lets the same object travel.
+        fed.set_admission_policy(AdmissionPolicy::Warn);
+        fed.dispatch_object(a, b, id).unwrap();
+        assert!(fed.runtime(b).unwrap().object(id).is_some());
+    }
+
+    #[test]
+    fn strict_admission_ships_portable_objects() {
+        let (mut fed, a, b) = two_site_federation();
+        fed.link(a, b).unwrap();
+        // Ambient world services (`log`, `time`, `node`) exist at every
+        // site: signatures naming only those stay migration-portable.
+        let id = scripted_object(
+            &mut fed,
+            a,
+            &[(
+                "stamp",
+                "self.set(\"peer\", self.time()); self.log(\"moved\"); return null;",
+            )],
+        );
+        fed.set_admission_policy(AdmissionPolicy::Strict);
+        fed.dispatch_object(a, b, id).unwrap();
+        assert!(fed.runtime(b).unwrap().object(id).is_some());
     }
 
     #[test]

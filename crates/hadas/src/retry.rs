@@ -34,6 +34,27 @@ pub enum RetryPolicy {
         /// microseconds (0 = deterministic backoff, no RNG draw).
         jitter_us: u64,
     },
+    /// As `Backoff`, but a remote *invocation* is re-posted only when
+    /// the target method's interprocedural effect signature proves it
+    /// idempotent — everything else gets exactly one attempt, even
+    /// though the receiver-side reply cache would dedup a re-execution.
+    /// Defence in depth: the static signature keeps non-replayable work
+    /// off the wire twice; the dedup cache stays as the dynamic
+    /// backstop. Non-invocation operations (migration dispatch, link
+    /// probes) retry as under `Backoff` — they are protocol-level
+    /// idempotent already.
+    IdempotentOnly {
+        /// Total attempts allowed for idempotent-provable invocations.
+        max_attempts: u32,
+        /// Delay before the first retry.
+        base: SimTime,
+        /// Multiplier applied to the delay after every failed attempt
+        /// (clamped to at least 1).
+        multiplier: u32,
+        /// Upper bound of the uniform jitter added to every delay, in
+        /// microseconds (0 = deterministic backoff, no RNG draw).
+        jitter_us: u64,
+    },
 }
 
 impl RetryPolicy {
@@ -55,6 +76,31 @@ impl RetryPolicy {
         RetryPolicy::backoff(5, SimTime::from_millis(50), 2, 10_000)
     }
 
+    /// A bounded backoff policy that additionally gates invocation
+    /// retries on proven idempotence (see
+    /// [`RetryPolicy::IdempotentOnly`]).
+    #[must_use]
+    pub fn idempotent_only(
+        max_attempts: u32,
+        base: SimTime,
+        multiplier: u32,
+        jitter_us: u64,
+    ) -> Self {
+        RetryPolicy::IdempotentOnly {
+            max_attempts: max_attempts.max(1),
+            base,
+            multiplier: multiplier.max(1),
+            jitter_us,
+        }
+    }
+
+    /// `true` when invocation retries require a proven-idempotent target
+    /// method.
+    #[must_use]
+    pub fn gates_on_idempotence(&self) -> bool {
+        matches!(self, RetryPolicy::IdempotentOnly { .. })
+    }
+
     /// `true` for the zero-cost single-attempt policy.
     #[must_use]
     pub fn is_off(&self) -> bool {
@@ -66,7 +112,8 @@ impl RetryPolicy {
     pub fn max_attempts(&self) -> u32 {
         match self {
             RetryPolicy::Off => 1,
-            RetryPolicy::Backoff { max_attempts, .. } => (*max_attempts).max(1),
+            RetryPolicy::Backoff { max_attempts, .. }
+            | RetryPolicy::IdempotentOnly { max_attempts, .. } => (*max_attempts).max(1),
         }
     }
 
@@ -78,6 +125,12 @@ impl RetryPolicy {
         match self {
             RetryPolicy::Off => SimTime::ZERO,
             RetryPolicy::Backoff {
+                base,
+                multiplier,
+                jitter_us,
+                ..
+            }
+            | RetryPolicy::IdempotentOnly {
                 base,
                 multiplier,
                 jitter_us,
@@ -151,5 +204,22 @@ mod tests {
         let policy = RetryPolicy::standard();
         assert!(!policy.is_off());
         assert!(policy.max_attempts() >= 3);
+    }
+
+    #[test]
+    fn idempotent_only_shares_backoff_shape() {
+        let gated = RetryPolicy::idempotent_only(4, SimTime::from_millis(10), 3, 0);
+        let plain = RetryPolicy::backoff(4, SimTime::from_millis(10), 3, 0);
+        assert!(gated.gates_on_idempotence());
+        assert!(!plain.gates_on_idempotence());
+        assert_eq!(gated.max_attempts(), 4);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for attempt in 2..=4 {
+            assert_eq!(
+                gated.backoff_delay(attempt, &mut a),
+                plain.backoff_delay(attempt, &mut b)
+            );
+        }
     }
 }

@@ -250,6 +250,23 @@ pub enum EventKind {
         /// The duplicate message's wire tag.
         kind: &'static str,
     },
+    /// A shared-runtime checkout found the target already checked out by
+    /// a concurrent invocation.
+    SharedCollision {
+        /// Node whose object table collided.
+        node: NodeId,
+        /// The busy object.
+        target: ObjectId,
+        /// Selector of the in-flight invocation.
+        in_flight: String,
+        /// Selector that was refused.
+        incoming: String,
+        /// Effect-signature verdict: `Some(true)` when the two methods
+        /// provably touch disjoint state (the serialization was a
+        /// conservative loss), `Some(false)` when they overlap, `None`
+        /// when the signatures were not comparable.
+        disjoint: Option<bool>,
+    },
     /// A site crashed, losing all volatile state.
     SiteCrash {
         /// The crashed site.
@@ -295,6 +312,7 @@ impl EventKind {
             EventKind::ObjectAdopted { .. } => "object_adopted",
             EventKind::FedRetry { .. } => "fed_retry",
             EventKind::FedDedup { .. } => "fed_dedup",
+            EventKind::SharedCollision { .. } => "shared_collision",
             EventKind::SiteCrash { .. } => "site_crash",
             EventKind::SiteRestart { .. } => "site_restart",
         }
@@ -435,6 +453,23 @@ impl fmt::Display for TraceEvent {
                 write!(f, "{node} op={op} attempt={attempt}")
             }
             EventKind::FedDedup { node, kind } => write!(f, "{node} {kind}"),
+            EventKind::SharedCollision {
+                node,
+                target,
+                in_flight,
+                incoming,
+                disjoint,
+            } => {
+                let verdict = match disjoint {
+                    Some(true) => "disjoint",
+                    Some(false) => "overlapping",
+                    None => "unknown",
+                };
+                write!(
+                    f,
+                    "{node} {target} in_flight={in_flight} incoming={incoming} {verdict}"
+                )
+            }
             EventKind::SiteCrash { node } => write!(f, "{node}"),
             EventKind::SiteRestart {
                 node,

@@ -54,7 +54,7 @@ pub use event::{Event, EventKind, TraceEvent, WrapStage};
 pub use json::{to_json, to_json_pretty};
 pub use metrics::{
     AdmissionMetrics, FederationMetrics, Histogram, InvokeMetrics, Metrics, MigrateMetrics,
-    NetMetrics, ObjectStats, PersistMetrics, ScriptMetrics, HISTOGRAM_BUCKETS,
+    NetMetrics, ObjectStats, PersistMetrics, ScriptMetrics, SharedMetrics, HISTOGRAM_BUCKETS,
 };
 pub use recorder::{ObsMode, Recorder, SpanHandle, LOG_CHANNEL_CAPACITY};
 pub use ring::{FlightRecorder, DEFAULT_RING_CAPACITY};
@@ -429,6 +429,39 @@ pub fn script_ic(hits: u64, misses: u64) {
         let m = r.metrics_mut();
         m.script.ic_hits += hits;
         m.script.ic_misses += misses;
+    });
+}
+
+/// Records a shared-runtime checkout collision, classified by effect
+/// signatures: `disjoint = Some(true)` when the in-flight and incoming
+/// methods provably touch disjoint state, `Some(false)` when they
+/// overlap, `None` when no comparison was possible.
+#[inline]
+pub fn shared_collision(
+    node: NodeId,
+    target: ObjectId,
+    in_flight: &str,
+    incoming: &str,
+    disjoint: Option<bool>,
+) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        let m = r.metrics_mut();
+        m.shared.busy_collisions += 1;
+        if disjoint == Some(true) {
+            m.shared.disjoint_collisions += 1;
+        } else {
+            m.shared.overlapping_collisions += 1;
+        }
+        r.record(EventKind::SharedCollision {
+            node,
+            target,
+            in_flight: in_flight.to_owned(),
+            incoming: incoming.to_owned(),
+            disjoint,
+        });
     });
 }
 

@@ -263,6 +263,33 @@ impl AdmissionMetrics {
     }
 }
 
+/// Counters for the shared (concurrent) runtime's object table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharedMetrics {
+    /// Checkout attempts refused because the target was already checked
+    /// out by a concurrent invocation.
+    pub busy_collisions: u64,
+    /// Collisions where the in-flight and incoming methods' effect
+    /// signatures were provably disjoint — serializing them was a
+    /// conservative loss, not a correctness requirement. A high ratio
+    /// here is the signal that finer-grained (per-signature) locking
+    /// would pay off.
+    pub disjoint_collisions: u64,
+    /// Collisions where the signatures overlapped or could not be
+    /// compared: mutual exclusion was required for correctness.
+    pub overlapping_collisions: u64,
+}
+
+impl SharedMetrics {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("busy_collisions", int(self.busy_collisions)),
+            ("disjoint_collisions", int(self.disjoint_collisions)),
+            ("overlapping_collisions", int(self.overlapping_collisions)),
+        ])
+    }
+}
+
 /// Counters for HADAS federation traffic.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FederationMetrics {
@@ -391,6 +418,8 @@ pub struct Metrics {
     pub persist: PersistMetrics,
     /// Admission analysis.
     pub admission: AdmissionMetrics,
+    /// Shared-runtime object table.
+    pub shared: SharedMetrics,
     /// HADAS federation.
     pub federation: FederationMetrics,
     /// Simulated network.
@@ -424,6 +453,7 @@ impl Metrics {
             ("migrate", self.migrate.to_value()),
             ("persist", self.persist.to_value()),
             ("admission", self.admission.to_value()),
+            ("shared", self.shared.to_value()),
             ("federation", self.federation.to_value()),
             ("net", self.net.to_value()),
             ("objects", Value::List(objects)),

@@ -31,7 +31,7 @@
 //! The object-level cross-check (pass 4 of the admission pipeline) lives in
 //! `mrom-core`, which knows the owning object's items and ACLs.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 use mrom_value::Value;
@@ -100,6 +100,9 @@ pub enum DiagnosticKind {
     NodeBudget,
     /// The static fuel upper bound exceeds the admission budget.
     FuelBudget,
+    /// The compiled bytecode failed independent verification
+    /// ([`crate::verify`]) — the compiled form must not be executed.
+    BytecodeVerify,
 }
 
 impl DiagnosticKind {
@@ -121,6 +124,7 @@ impl DiagnosticKind {
             DiagnosticKind::DepthBudget => "depth-budget",
             DiagnosticKind::NodeBudget => "node-budget",
             DiagnosticKind::FuelBudget => "fuel-budget",
+            DiagnosticKind::BytecodeVerify => "bytecode-verify",
         }
     }
 
@@ -295,6 +299,12 @@ pub struct AnalysisReport {
     /// diagnostic was found; the compiled form is cached on the
     /// [`Program`] itself and reused by every subsequent VM execution.
     pub precompiled: bool,
+    /// True when the compiled form also passed the independent bytecode
+    /// verifier ([`crate::verify`]). Always true for compiler output in
+    /// practice; a `false` here (with a
+    /// [`DiagnosticKind::BytecodeVerify`] error) means the compiled form
+    /// must not be executed.
+    pub verified: bool,
 }
 
 impl AnalysisReport {
@@ -367,15 +377,33 @@ pub fn analyze_with_budget(program: &Program, budget: &ResourceBudget) -> Analys
         }
     }
 
+    // Multiple passes can trip over the same defect at the same spot
+    // (scope *and* manifest both flag one expression, or a repeated
+    // subexpression repeats its finding). One defect, one diagnostic:
+    // dedup by (kind, path, message), keeping first-found order.
+    let mut seen: HashSet<(DiagnosticKind, String, String)> = HashSet::new();
+    diagnostics.retain(|d| seen.insert((d.kind, d.path.clone(), d.message.clone())));
+
     // Admission doubles as the compile pass: a body that verified clean
     // (warnings allowed) is lowered to bytecode here, so the first
-    // invocation already finds the cache on the `Program` hot.
+    // invocation already finds the cache on the `Program` hot. The
+    // compiled form is then *independently* checked by the bytecode
+    // verifier — trust in the compiler is not assumed at a boundary.
     let has_errors = diagnostics.iter().any(|d| d.severity == Severity::Error);
-    let precompiled = if has_errors {
-        false
+    let (precompiled, verified) = if has_errors {
+        (false, false)
     } else {
-        let _ = program.compiled();
-        true
+        match crate::verify::verify(&program.compiled()) {
+            Ok(()) => (true, true),
+            Err(e) => {
+                diagnostics.push(Diagnostic::new(
+                    DiagnosticKind::BytecodeVerify,
+                    "program",
+                    format!("compiled form failed bytecode verification: {e}"),
+                ));
+                (true, false)
+            }
+        }
     };
 
     AnalysisReport {
@@ -385,6 +413,7 @@ pub fn analyze_with_budget(program: &Program, budget: &ResourceBudget) -> Analys
         max_depth,
         static_fuel,
         precompiled,
+        verified,
     }
 }
 
@@ -697,6 +726,8 @@ fn host_signature(name: &str) -> Option<HostSig> {
         "id" | "origin" | "class" | "caller" | "describe" | "list_data" | "list_methods" => {
             sig(&[0], HostTarget::None, false)
         }
+        "get_stats" => sig(&[0], HostTarget::None, true),
+        "get_effects" => sig(&[0, 1], HostTarget::None, true),
         "has_data" => sig(&[1], HostTarget::DataProbe, false),
         "has_method" => sig(&[1], HostTarget::MethodProbe, false),
         _ => None,
@@ -1268,6 +1299,37 @@ mod tests {
             d.clone().in_context("greet.body").path,
             format!("greet.body: {}", d.path)
         );
+    }
+
+    #[test]
+    fn repeated_defects_dedup_to_one_diagnostic() {
+        // The same undefined name twice in one statement used to emit
+        // one diagnostic per visit; one defect reports once.
+        let p = Program::parse("return ghost + ghost;").unwrap();
+        let report = analyze_program(&p);
+        let undefined: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::UndefinedVariable)
+            .collect();
+        assert_eq!(undefined.len(), 1, "{:?}", report.diagnostics);
+
+        // Distinct defects of the same kind at the same spot survive.
+        let p = Program::parse("return ghost + phantom;").unwrap();
+        let report = analyze_program(&p);
+        assert_eq!(report.diagnostics.len(), 2, "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn clean_bodies_are_compiled_and_verified() {
+        let report = analyze_program(&Program::parse("return 1 + 2;").unwrap());
+        assert!(report.precompiled && report.verified);
+        // Error-bearing bodies are neither compiled nor verified.
+        let report = analyze_program(&Program::parse("return ghost;").unwrap());
+        assert!(!report.precompiled && !report.verified);
+        // Warnings alone don't block the compile+verify step.
+        let report = analyze_program(&Program::parse("param spare; return 1;").unwrap());
+        assert!(report.precompiled && report.verified);
     }
 
     #[test]

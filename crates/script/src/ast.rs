@@ -226,6 +226,12 @@ pub struct Program {
     /// empty cache. Cloning shares nothing mutable — the compiled form is
     /// immutable behind an `Arc`.
     compiled: OnceLock<Arc<CompiledProgram>>,
+    /// Per-body effect facts ([`crate::effects::LocalEffects`]), filled
+    /// on first use by the effect solver. Same rules as the bytecode
+    /// cache: never serialized, ignored by equality. Caching here means
+    /// a re-solve after a structural object change only re-extracts the
+    /// bodies that actually changed.
+    effects: OnceLock<Arc<crate::effects::LocalEffects>>,
 }
 
 /// Equality ignores the bytecode cache: two programs are the same mobile
@@ -254,6 +260,7 @@ impl Program {
             params,
             body,
             compiled: OnceLock::new(),
+            effects: OnceLock::new(),
         }
     }
 
@@ -272,6 +279,16 @@ impl Program {
     /// or the program executed at least once under the VM engine).
     pub fn is_compiled(&self) -> bool {
         self.compiled.get().is_some()
+    }
+
+    /// This body's effect facts ([`crate::effects::LocalEffects`]),
+    /// extracted and cached on first use.
+    #[must_use]
+    pub fn local_effects(&self) -> Arc<crate::effects::LocalEffects> {
+        Arc::clone(
+            self.effects
+                .get_or_init(|| Arc::new(crate::effects::LocalEffects::of_program(self))),
+        )
     }
 
     /// Declared named parameters, bound positionally from the argument list.

@@ -202,7 +202,7 @@ pub(crate) enum Instr {
 ///
 /// Produced by [`Program::compiled`]; executed by [`crate::vm::Vm`].
 /// Immutable once built — sharing is by `Arc`.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledProgram {
     pub(crate) instrs: Vec<Instr>,
     /// Static fuel attached at each pc (burned via block pre-charge, or
@@ -224,6 +224,33 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
+    /// Reassembles a compiled program from raw parts — the constructor
+    /// behind [`CompiledProgram::from_bytes`]. The parts are *untrusted*:
+    /// the caller must pass the result through [`crate::verify::verify`]
+    /// before handing it to a VM.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        instrs: Vec<Instr>,
+        costs: Vec<u32>,
+        refunds: Vec<u32>,
+        consts: Vec<Value>,
+        names: Vec<String>,
+        n_locals: u32,
+        param_slots: Vec<u32>,
+        n_sites: u32,
+    ) -> CompiledProgram {
+        CompiledProgram {
+            instrs,
+            costs,
+            refunds,
+            consts,
+            names,
+            n_locals,
+            param_slots,
+            n_sites,
+        }
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.instrs.len()

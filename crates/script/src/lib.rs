@@ -63,11 +63,13 @@
 pub mod analyze;
 mod ast;
 mod compile;
+pub mod effects;
 mod encode;
 mod error;
 mod eval;
 mod lexer;
 mod parser;
+pub mod verify;
 mod vm;
 
 pub use analyze::{
@@ -76,10 +78,12 @@ pub use analyze::{
 };
 pub use ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
 pub use compile::CompiledProgram;
+pub use effects::{solve as solve_effects, EffectSignature, LocalEffects};
 pub use error::ScriptError;
 pub use eval::{Evaluator, HostContext, NullHost, DEFAULT_FUEL};
 pub use lexer::{Token, TokenKind};
 pub use parser::MAX_EXPR_DEPTH;
+pub use verify::{verify, VerifyError};
 pub use vm::Vm;
 
 /// Crate-local result alias over [`ScriptError`].

@@ -1,0 +1,265 @@
+//! Shared test support: the seeded random-program generator the
+//! differential battery sweeps. Extracted here so the bytecode-verifier
+//! property tests exercise the *same* program distribution — any program
+//! the compiler emits for this space must pass independent verification.
+//!
+//! Programs are skewed toward well-formed code but deliberately include
+//! unresolved references, zero-iteration loops, stray control flow, and
+//! deep nesting: everything the compiler accepts must still verify.
+
+use mrom_script::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+use mrom_value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub struct GenCtx {
+    rng: StdRng,
+    /// In-scope variable names; truncated on block exit to model lexical
+    /// scoping, so most references resolve (a few deliberately do not).
+    vars: Vec<String>,
+    next_var: usize,
+    /// Declarations a statement asks to inject before itself (bounded-while
+    /// counters); drained by `program` at the top level.
+    pending_lets: Vec<Stmt>,
+}
+
+impl GenCtx {
+    fn fresh_var(&mut self) -> String {
+        let name = format!("v{}", self.next_var);
+        self.next_var += 1;
+        self.vars.push(name.clone());
+        name
+    }
+
+    fn var_ref(&mut self) -> Expr {
+        if self.vars.is_empty() || self.rng.random_bool(0.05) {
+            Expr::Var("ghost".into())
+        } else {
+            let i = self.rng.random_range(0..self.vars.len());
+            Expr::Var(self.vars[i].clone())
+        }
+    }
+
+    fn literal(&mut self) -> Expr {
+        Expr::Literal(match self.rng.random_range(0u32..6) {
+            0 => Value::Int(self.rng.random_range(-8i64..=8)),
+            1 => Value::Bool(self.rng.random_bool(0.5)),
+            2 => {
+                let strs = ["", "a", "xy", "hello", "mobile object"];
+                Value::from(strs[self.rng.random_range(0..strs.len())])
+            }
+            3 => Value::Null,
+            4 => Value::Int(self.rng.random_range(0i64..=3)),
+            _ => Value::from("fuel"),
+        })
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        if depth == 0 {
+            return if self.rng.random_bool(0.5) {
+                self.literal()
+            } else {
+                self.var_ref()
+            };
+        }
+        match self.rng.random_range(0u32..12) {
+            0 | 1 => self.literal(),
+            2 => self.var_ref(),
+            3 => Expr::Unary(
+                if self.rng.random_bool(0.5) {
+                    UnaryOp::Neg
+                } else {
+                    UnaryOp::Not
+                },
+                Box::new(self.expr(depth - 1)),
+            ),
+            4..=6 => {
+                let ops = [
+                    BinaryOp::Add,
+                    BinaryOp::Sub,
+                    BinaryOp::Mul,
+                    BinaryOp::Div,
+                    BinaryOp::Rem,
+                    BinaryOp::Eq,
+                    BinaryOp::Ne,
+                    BinaryOp::Lt,
+                    BinaryOp::Le,
+                    BinaryOp::Gt,
+                    BinaryOp::Ge,
+                    BinaryOp::And,
+                    BinaryOp::Or,
+                ];
+                let op = ops[self.rng.random_range(0..ops.len())];
+                let rhs =
+                    if matches!(op, BinaryOp::Div | BinaryOp::Rem) && self.rng.random_bool(0.8) {
+                        Expr::Literal(Value::Int(self.rng.random_range(1i64..=5)))
+                    } else {
+                        self.expr(depth - 1)
+                    };
+                Expr::Binary(op, Box::new(self.expr(depth - 1)), Box::new(rhs))
+            }
+            7 => Expr::Index(
+                Box::new(self.expr(depth - 1)),
+                Box::new(self.expr(depth - 1)),
+            ),
+            8 | 9 => {
+                let builtins = [
+                    "len", "typeof", "str", "int", "bool", "contains", "keys", "values", "range",
+                    "substr", "upper", "lower", "trim", "abs", "min", "max", "push", "last",
+                    "join", "bogus",
+                ];
+                let name = builtins[self.rng.random_range(0..builtins.len())];
+                let argc = self.rng.random_range(0usize..3);
+                let args = (0..argc).map(|_| self.expr(depth - 1)).collect();
+                Expr::Call(name.into(), args)
+            }
+            10 => {
+                let hosts = ["h0", "h1", "echo", "fail"];
+                let w = self.rng.random_range(0u32..10);
+                let name = if w < 1 {
+                    "fail"
+                } else {
+                    hosts[self.rng.random_range(0usize..3)]
+                };
+                let argc = self.rng.random_range(0usize..3);
+                let args = (0..argc).map(|_| self.expr(depth - 1)).collect();
+                Expr::HostCall(name.into(), args)
+            }
+            _ => {
+                if self.rng.random_bool(0.5) {
+                    let n = self.rng.random_range(0usize..4);
+                    Expr::ListExpr((0..n).map(|_| self.expr(depth - 1)).collect())
+                } else {
+                    let n = self.rng.random_range(0usize..3);
+                    Expr::MapExpr(
+                        (0..n)
+                            .map(|i| (format!("k{i}"), self.expr(depth - 1)))
+                            .collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, len: usize, depth: u32, in_loop: bool) -> Vec<Stmt> {
+        let scope_mark = self.vars.len();
+        let out = (0..len).map(|_| self.stmt(depth, in_loop)).collect();
+        self.vars.truncate(scope_mark);
+        out
+    }
+
+    fn stmt(&mut self, depth: u32, in_loop: bool) -> Stmt {
+        match self.rng.random_range(0u32..14) {
+            0..=2 => {
+                let e = self.expr(depth);
+                Stmt::Let(self.fresh_var(), e)
+            }
+            3 | 4 => {
+                let target = if self.rng.random_bool(0.8) {
+                    self.var_ref()
+                } else {
+                    Expr::Index(Box::new(self.var_ref()), Box::new(self.expr(1)))
+                };
+                Stmt::Assign(target, self.expr(depth))
+            }
+            5 | 6 => Stmt::Expr(self.expr(depth)),
+            7 | 8 => {
+                let cond = self.expr(depth.min(2));
+                let then_len = self.rng.random_range(1usize..3);
+                let else_len = self.rng.random_range(0usize..2);
+                let then_b = self.block(then_len, depth.saturating_sub(1), in_loop);
+                let else_b = self.block(else_len, depth.saturating_sub(1), in_loop);
+                Stmt::If(cond, then_b, else_b)
+            }
+            9 => {
+                // Bounded while: counter declared just outside, condition
+                // counts down, increment appended to the body.
+                let counter = self.fresh_var();
+                let n = self.rng.random_range(1i64..=4);
+                let body_len = self.rng.random_range(1usize..3);
+                let scope_mark = self.vars.len();
+                let mut body = self.block(body_len, depth.saturating_sub(1), true);
+                self.vars.truncate(scope_mark);
+                body.push(Stmt::Assign(
+                    Expr::Var(counter.clone()),
+                    Expr::Binary(
+                        BinaryOp::Add,
+                        Box::new(Expr::Var(counter.clone())),
+                        Box::new(Expr::Literal(Value::Int(1))),
+                    ),
+                ));
+                // Wrap: let counter = 0; while (counter < n) { ...; c = c + 1; }
+                // Returned as the while; the let is injected by `program`.
+                self.pending_lets
+                    .push(Stmt::Let(counter.clone(), Expr::Literal(Value::Int(0))));
+                Stmt::While(
+                    Expr::Binary(
+                        BinaryOp::Lt,
+                        Box::new(Expr::Var(counter)),
+                        Box::new(Expr::Literal(Value::Int(n))),
+                    ),
+                    body,
+                )
+            }
+            10 | 11 => {
+                let n = self.rng.random_range(0i64..=4);
+                let item = format!("it{}", self.next_var);
+                self.next_var += 1;
+                let scope_mark = self.vars.len();
+                self.vars.push(item.clone());
+                let body_len = self.rng.random_range(1usize..3);
+                let body = self.block(body_len, depth.saturating_sub(1), true);
+                self.vars.truncate(scope_mark);
+                Stmt::For(
+                    item,
+                    Expr::Call("range".into(), vec![Expr::Literal(Value::Int(n))]),
+                    body,
+                )
+            }
+            12 => {
+                if in_loop && self.rng.random_bool(0.6) {
+                    if self.rng.random_bool(0.5) {
+                        Stmt::Break
+                    } else {
+                        Stmt::Continue
+                    }
+                } else {
+                    Stmt::Expr(self.expr(depth))
+                }
+            }
+            _ => {
+                if self.rng.random_bool(0.25) {
+                    Stmt::Return(Some(self.expr(depth)))
+                } else {
+                    let e = self.expr(depth);
+                    Stmt::Let(self.fresh_var(), e)
+                }
+            }
+        }
+    }
+}
+
+impl GenCtx {
+    pub fn program(seed: u64) -> Program {
+        let mut ctx = GenCtx {
+            rng: StdRng::seed_from_u64(seed),
+            vars: Vec::new(),
+            next_var: 0,
+            pending_lets: Vec::new(),
+        };
+        let n_params = ctx.rng.random_range(0usize..3);
+        let params: Vec<String> = (0..n_params).map(|_| ctx.fresh_var()).collect();
+        let n_stmts = ctx.rng.random_range(3usize..9);
+        let mut body = Vec::new();
+        for _ in 0..n_stmts {
+            let s = ctx.stmt(3, false);
+            body.append(&mut ctx.pending_lets);
+            body.push(s);
+        }
+        if ctx.rng.random_bool(0.7) {
+            let e = ctx.expr(2);
+            body.push(Stmt::Return(Some(e)));
+        }
+        Program::from_parts(params, body)
+    }
+}
