@@ -1,0 +1,87 @@
+//! E17 — windowed telemetry cost on the level-0 fast path.
+//!
+//! The same repeated dispatch as E2/E11's cache-hit regime, crossed over
+//! observability mode × windowed profiling:
+//!
+//! * **disabled / window off** — the zero-cost claim unchanged: one
+//!   thread-local byte read per instrumentation point.
+//! * **disabled / window on** — a configured window must stay invisible
+//!   while recording is off (the window feed sits *inside* the
+//!   already-gated paths).
+//! * **ring / window off** — PR 3's flight-recorder cost, the pre-PR
+//!   baseline for the windowed rows.
+//! * **ring / window on** — the tentpole's price: per-invocation
+//!   epoch-bucket update (fuel histogram, counters) on top of ring.
+//! * **full / window on** — adds `Instant` latency sampling into the
+//!   window's latency histogram.
+//!
+//! Two service rows measure the read side: folding the live window into
+//! a `TelemetrySnapshot` and rendering the flight recorder as a Chrome
+//! trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mrom_bench::{bench_ids, counter_among};
+use mrom_core::{invoke, NoWorld};
+use mrom_obs::{ObsMode, WindowConfig};
+use mrom_value::Value;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_telemetry");
+    let args = [Value::Int(20), Value::Int(22)];
+
+    for (label, mode, windowed) in [
+        ("disabled_nowin", ObsMode::Disabled, false),
+        ("disabled_win", ObsMode::Disabled, true),
+        ("ring_nowin", ObsMode::Ring, false),
+        ("ring_win", ObsMode::Ring, true),
+        ("full_win", ObsMode::Full, true),
+    ] {
+        let mut ids = bench_ids();
+        let mut obj = counter_among(&mut ids, 64, false);
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+        mrom_obs::reset();
+        mrom_obs::set_window(windowed.then_some(WindowConfig::DEFAULT));
+        mrom_obs::set_mode(mode);
+        group.bench_function(format!("invoke_{label}"), |b| {
+            b.iter(|| {
+                black_box(invoke(&mut obj, &mut world, caller, black_box("m_add"), &args).unwrap())
+            });
+        });
+        mrom_obs::set_mode(ObsMode::Disabled);
+        mrom_obs::set_window(None);
+        mrom_obs::reset();
+    }
+
+    // Read side: snapshot folding over a populated window, and the
+    // Chrome exporter over a full flight-recorder ring.
+    {
+        let mut ids = bench_ids();
+        let mut obj = counter_among(&mut ids, 64, false);
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+        mrom_obs::reset();
+        mrom_obs::set_window(Some(WindowConfig::DEFAULT));
+        mrom_obs::set_mode(ObsMode::Ring);
+        for _ in 0..1024 {
+            invoke(&mut obj, &mut world, caller, "m_add", &args).unwrap();
+        }
+        group.bench_function("snapshot_collect", |b| {
+            b.iter(|| black_box(mrom_obs::telemetry_snapshot()));
+        });
+        let events = mrom_obs::ring_snapshot();
+        group.bench_function("chrome_export", |b| {
+            b.iter(|| black_box(mrom_obs::chrome_trace(black_box(&events))));
+        });
+        mrom_obs::set_mode(ObsMode::Disabled);
+        mrom_obs::set_window(None);
+        mrom_obs::reset();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Prints the full experiment report (E1-E10, E15, E16): one table per
+//! Prints the full experiment report (E1-E10, E15-E17): one table per
 //! experiment,
 //! mixing measured wall-clock costs (quick non-criterion timing) with the
 //! simulator's deterministic virtual-time results. `EXPERIMENTS.md`
@@ -800,8 +800,74 @@ fn e16_effects() {
     );
 }
 
+fn e17_telemetry() {
+    header(
+        "E17",
+        "windowed telemetry (PR 8)",
+        "the system observes itself: sliding-window profiles, one reflective snapshot, trace export",
+    );
+    let args = [Value::Int(20), Value::Int(22)];
+    let modes: [(&str, mrom_obs::ObsMode, bool); 4] = [
+        (
+            "invoke: disabled, window configured",
+            mrom_obs::ObsMode::Disabled,
+            true,
+        ),
+        (
+            "invoke: ring (flight recorder only)",
+            mrom_obs::ObsMode::Ring,
+            false,
+        ),
+        ("invoke: ring + window", mrom_obs::ObsMode::Ring, true),
+        ("invoke: full + window", mrom_obs::ObsMode::Full, true),
+    ];
+    for (label, mode, windowed) in modes {
+        let mut ids = bench_ids();
+        let mut obj = counter_among(&mut ids, 64, false);
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+        mrom_obs::reset();
+        mrom_obs::set_window(windowed.then_some(mrom_obs::WindowConfig::DEFAULT));
+        mrom_obs::set_mode(mode);
+        let ns = time_ns(QUICK, || {
+            std::hint::black_box(invoke(&mut obj, &mut world, caller, "m_add", &args).unwrap());
+        });
+        mrom_obs::set_mode(mrom_obs::ObsMode::Disabled);
+        mrom_obs::set_window(None);
+        mrom_obs::reset();
+        row(label, fmt_ns(ns));
+    }
+    // Read side over a populated window + full ring.
+    {
+        let mut ids = bench_ids();
+        let mut obj = counter_among(&mut ids, 64, false);
+        let caller = ids.next_id();
+        let mut world = NoWorld;
+        mrom_obs::reset();
+        mrom_obs::set_window(Some(mrom_obs::WindowConfig::DEFAULT));
+        mrom_obs::set_mode(mrom_obs::ObsMode::Ring);
+        for _ in 0..1024 {
+            invoke(&mut obj, &mut world, caller, "m_add", &args).unwrap();
+        }
+        row(
+            "snapshot: fold window into TelemetrySnapshot",
+            fmt_ns(time_ns(QUICK, || {
+                std::hint::black_box(mrom_obs::telemetry_snapshot());
+            })),
+        );
+        let events = mrom_obs::ring_snapshot();
+        let per_event = time_ns(SLOW, || {
+            std::hint::black_box(mrom_obs::chrome_trace(&events));
+        }) / events.len() as f64;
+        row("chrome export: per ring event", fmt_ns(per_event));
+        mrom_obs::set_mode(mrom_obs::ObsMode::Disabled);
+        mrom_obs::set_window(None);
+        mrom_obs::reset();
+    }
+}
+
 fn main() {
-    println!("MROM reproduction — experiment report (E1-E10, E15, E16)");
+    println!("MROM reproduction — experiment report (E1-E10, E15, E16, E17)");
     println!(
         "paper: Holder & Ben-Shaul, 'A Reflective Model for Mobile Software Objects', ICDCS 1997"
     );
@@ -818,5 +884,6 @@ fn main() {
     e10_persist();
     e15_script_vm();
     e16_effects();
+    e17_telemetry();
     println!("\ndone.");
 }

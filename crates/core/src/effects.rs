@@ -68,7 +68,7 @@ fn meta_local(op: MetaOp) -> LocalEffects {
         // dispatch — the solver joins every method in the object.
         MetaOp::Invoke => l.manifest.dynamic_methods = true,
         // Pure host-side reads of derived state.
-        MetaOp::GetStats | MetaOp::GetEffects => {}
+        MetaOp::GetStats | MetaOp::GetEffects | MetaOp::GetTelemetry => {}
     }
     l
 }

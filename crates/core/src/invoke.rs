@@ -806,6 +806,10 @@ fn perform_meta(
                 ))),
             }
         }
+        MetaOp::GetTelemetry => {
+            want_arity(op, args, &[0])?;
+            Ok(crate::stats::telemetry_value(object.id()))
+        }
     }
 }
 
@@ -913,6 +917,7 @@ impl HostContext for ScriptHost<'_> {
             "invoke" => self.meta(MetaOp::Invoke, args),
             "get_stats" => self.meta(MetaOp::GetStats, args),
             "get_effects" => self.meta(MetaOp::GetEffects, args),
+            "get_telemetry" => self.meta(MetaOp::GetTelemetry, args),
             // Tower manipulation.
             "install_meta_invoke" => match args {
                 [Value::Str(m)] => self

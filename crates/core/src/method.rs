@@ -55,12 +55,21 @@ pub enum MetaOp {
     /// answering it with the same reflective machinery that answers
     /// structural questions.
     GetEffects,
+    /// `getTelemetry()` → the windowed telemetry snapshot of the
+    /// recording thread: per-object invocation profiles, the
+    /// site-to-site call matrix, and per-link delivery windows. A
+    /// reproduction extension (not in the paper's nine): the flight
+    /// recorder's aggregate view surfaced through the same reflective
+    /// door as `getStats`, so a mobile object can ask "what is hot
+    /// here" wherever it lands.
+    GetTelemetry,
 }
 
 impl MetaOp {
     /// All meta-operations in declaration order: the paper's nine plus
-    /// the `getStats` and `getEffects` introspection extensions.
-    pub const ALL: [MetaOp; 11] = [
+    /// the `getStats`, `getEffects`, and `getTelemetry` introspection
+    /// extensions.
+    pub const ALL: [MetaOp; 12] = [
         MetaOp::GetDataItem,
         MetaOp::SetDataItem,
         MetaOp::AddDataItem,
@@ -72,6 +81,7 @@ impl MetaOp {
         MetaOp::Invoke,
         MetaOp::GetStats,
         MetaOp::GetEffects,
+        MetaOp::GetTelemetry,
     ];
 
     /// The method name under which the operation is registered in the
@@ -89,6 +99,7 @@ impl MetaOp {
             MetaOp::Invoke => "invoke",
             MetaOp::GetStats => "getStats",
             MetaOp::GetEffects => "getEffects",
+            MetaOp::GetTelemetry => "getTelemetry",
         }
     }
 

@@ -1629,8 +1629,9 @@ mod tests {
     fn item_count_counts_everything() {
         let mut gen = ids();
         let obj = basic_object(&mut gen);
-        // 2 data + 2 own methods + 11 meta-methods (the paper's nine
-        // plus the getStats/getEffects reproduction extensions).
-        assert_eq!(obj.item_count(), 15);
+        // 2 data + 2 own methods + 12 meta-methods (the paper's nine
+        // plus the getStats/getEffects/getTelemetry reproduction
+        // extensions).
+        assert_eq!(obj.item_count(), 16);
     }
 }

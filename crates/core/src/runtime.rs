@@ -121,6 +121,17 @@ impl Runtime {
         self.shared.set_now(now);
     }
 
+    /// The recording thread's windowed telemetry restricted to this
+    /// node: profiles of objects hosted here plus the call-matrix rows
+    /// and links touching this site. The site-wide (unfiltered) view is
+    /// [`mrom_obs::telemetry_snapshot`]; the reflective per-object door
+    /// is the `getTelemetry` meta-method.
+    #[must_use]
+    pub fn telemetry(&self) -> mrom_obs::TelemetrySnapshot {
+        let hosted: std::collections::BTreeSet<ObjectId> = self.object_ids().into_iter().collect();
+        mrom_obs::telemetry_snapshot().for_site(self.node(), |id| hosted.contains(&id))
+    }
+
     /// Messages logged by objects via `self.log(...)`, in order.
     ///
     /// Compatibility shim over the observability log channel

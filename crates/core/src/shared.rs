@@ -288,6 +288,10 @@ impl SharedRuntime {
     /// Advances virtual time (driven by the simulation substrate).
     pub fn set_now(&self, now: u64) {
         self.now.store(now, Ordering::Relaxed);
+        // Keep the observability window on the same clock. Monotonic-max
+        // semantics mean the simulator's finer microsecond stamp (set at
+        // delivery) is never rewound by this millisecond-resolution one.
+        mrom_obs::set_virtual_now_us(now.saturating_mul(1000));
     }
 
     /// Instantiates a registered class, adopting the object into the node.

@@ -37,6 +37,21 @@ pub fn stats_value(subject: ObjectId) -> Value {
     v
 }
 
+/// The payload of the `getTelemetry` meta-method: the recording
+/// thread's windowed [`mrom_obs::TelemetrySnapshot`] (per-object
+/// profiles, call matrix, link windows) as a value map, annotated with
+/// the reflective subject that was asked. The snapshot is site-wide —
+/// the object is the door, not the filter — so a mobile object can ask
+/// "what is hot *here*" wherever it lands.
+#[must_use]
+pub fn telemetry_value(subject: ObjectId) -> Value {
+    let mut v = mrom_obs::telemetry_value();
+    if let Some(m) = v.as_map_mut() {
+        m.insert("object".to_owned(), Value::ObjectRef(subject));
+    }
+    v
+}
+
 /// Materializes `subject`'s counters as a read-only MROM object.
 ///
 /// Layout, per the self-representation discipline:

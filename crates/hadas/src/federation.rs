@@ -427,6 +427,30 @@ impl Federation {
         self.net.stats()
     }
 
+    /// The recording thread's windowed telemetry across the whole
+    /// federation: every object profile, the full site-to-site call
+    /// matrix, and every link window. Empty (but schema-complete)
+    /// unless [`mrom_obs::set_window`] configured a window and a
+    /// recording mode is on.
+    #[must_use]
+    pub fn telemetry(&self) -> mrom_obs::TelemetrySnapshot {
+        mrom_obs::telemetry_snapshot()
+    }
+
+    /// One site's slice of [`Federation::telemetry`]: objects hosted at
+    /// `node` right now, plus the call-matrix rows and links touching
+    /// it. This is the federation analogue of `Runtime::telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::UnknownSite`].
+    pub fn site_telemetry(&self, node: NodeId) -> Result<mrom_obs::TelemetrySnapshot, HadasError> {
+        let site = self.site(node)?;
+        let hosted: std::collections::BTreeSet<ObjectId> =
+            site.runtime.object_ids().into_iter().collect();
+        Ok(self.telemetry().for_site(node, |id| hosted.contains(&id)))
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.net.now()

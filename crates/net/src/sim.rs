@@ -34,6 +34,9 @@ struct InFlight {
     src: NodeId,
     dst: NodeId,
     payload: Vec<u8>,
+    /// When the message entered the wire — the telemetry window derives
+    /// per-link virtual latency as `at - sent_at` at delivery time.
+    sent_at: SimTime,
 }
 
 impl Ord for InFlight {
@@ -195,17 +198,20 @@ impl SimNet {
         if self.down.contains(&src) || self.down.contains(&dst) {
             self.stats.record_drop(src, dst);
             mrom_obs::net_drop();
+            mrom_obs::link_dropped(src, dst);
             return Ok(None);
         }
         if self.config.is_partitioned(src, dst) {
             self.stats.record_drop(src, dst);
             mrom_obs::net_drop();
+            mrom_obs::link_dropped(src, dst);
             return Ok(None);
         }
         let link = self.config.link(src, dst);
         if link.loss() > 0.0 && self.rng.random::<f64>() < link.loss() {
             self.stats.record_drop(src, dst);
             mrom_obs::net_drop();
+            mrom_obs::link_dropped(src, dst);
             return Ok(None);
         }
 
@@ -239,6 +245,7 @@ impl SimNet {
             src,
             dst,
             payload: payload.clone(),
+            sent_at: self.now,
         }));
 
         if link.duplication() > 0.0 && self.rng.random::<f64>() < link.duplication() {
@@ -254,6 +261,7 @@ impl SimNet {
                 src,
                 dst,
                 payload,
+                sent_at: self.now,
             }));
         }
         Ok(Some(arrival))
@@ -276,14 +284,24 @@ impl SimNet {
     fn arrive(&mut self, msg: InFlight) -> Option<Delivery> {
         debug_assert!(msg.at >= self.now, "time cannot run backwards");
         self.now = msg.at;
+        // Stamp the recorder's virtual clock before any event this
+        // delivery triggers, so telemetry windows follow simulated time.
+        mrom_obs::set_virtual_now_us(self.now.as_micros());
         if self.down.contains(&msg.dst) {
             self.stats.record_drop(msg.src, msg.dst);
             mrom_obs::net_drop();
+            mrom_obs::link_dropped(msg.src, msg.dst);
             return None;
         }
         self.stats
             .record_delivery(msg.src, msg.dst, msg.payload.len());
         mrom_obs::net_deliver(msg.payload.len());
+        mrom_obs::link_delivered(
+            msg.src,
+            msg.dst,
+            msg.payload.len(),
+            msg.at.saturating_sub(msg.sent_at).as_micros(),
+        );
         Some(Delivery {
             at: msg.at,
             src: msg.src,

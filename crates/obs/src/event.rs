@@ -337,6 +337,11 @@ pub struct Event {
     /// the single-threaded default). Worker pools label their threads so
     /// interleaved traces from one site stay attributable.
     pub thread: Option<std::sync::Arc<str>>,
+    /// Virtual time at recording, in microseconds — the simulated
+    /// `SimNet` clock (0 until a simulation stamps it). This is the
+    /// timestamp the Chrome `trace_event` exporter quotes, so exported
+    /// traces of a seeded run are reproducible byte for byte.
+    pub at_us: u64,
 }
 
 impl Event {
@@ -510,6 +515,7 @@ mod tests {
                 span: 2,
                 parent: 0,
                 thread: None,
+                at_us: 0,
             },
             kind: EventKind::InvokeStart {
                 object: ObjectId::SYSTEM,

@@ -44,21 +44,27 @@
 #![warn(missing_docs)]
 
 mod event;
+mod export;
 mod json;
 mod metrics;
+mod profile;
 mod recorder;
 mod ring;
 mod sink;
+mod window;
 
 pub use event::{Event, EventKind, TraceEvent, WrapStage};
+pub use export::{chrome_trace, validate_chrome_trace};
 pub use json::{to_json, to_json_pretty};
 pub use metrics::{
     AdmissionMetrics, FederationMetrics, Histogram, InvokeMetrics, Metrics, MigrateMetrics,
     NetMetrics, ObjectStats, PersistMetrics, ScriptMetrics, SharedMetrics, HISTOGRAM_BUCKETS,
 };
+pub use profile::{LinkProfile, ObjectProfile, TelemetrySnapshot, TELEMETRY_SCHEMA};
 pub use recorder::{ObsMode, Recorder, SpanHandle, LOG_CHANNEL_CAPACITY};
 pub use ring::{FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use sink::{TraceSink, VecSink};
+pub use window::{EpochBucket, LinkWindowStats, ObjectWindowStats, WindowConfig, WindowState};
 
 use std::cell::{Cell, RefCell};
 
@@ -147,6 +153,18 @@ pub fn ring_overwritten() -> u64 {
     with_recorder(|r| r.ring_overwritten())
 }
 
+/// Replaces this thread's flight recorder with an empty ring of
+/// `capacity` events (min 1). Retained events are dropped.
+pub fn set_ring_capacity(capacity: usize) {
+    with_recorder(|r| r.set_ring_capacity(capacity));
+}
+
+/// This thread's flight-recorder retention cap.
+#[must_use]
+pub fn ring_capacity() -> usize {
+    with_recorder(|r| r.ring_capacity())
+}
+
 /// Structural clone of the live metrics registry.
 #[must_use]
 pub fn metrics_snapshot() -> Metrics {
@@ -166,12 +184,18 @@ pub fn object_stats_value(id: ObjectId) -> Value {
     object_stats(id).to_value()
 }
 
-/// Whole-registry snapshot as a value tree, wrapped with the mode and
-/// event count.
+/// The stable schema tag stamped on every [`snapshot_value`] tree —
+/// the contract `mrom-top --snapshot --json` consumers parse against
+/// (see docs/OBSERVABILITY.md for the field-by-field description).
+pub const METRICS_SCHEMA: &str = "mrom.metrics.v1";
+
+/// Whole-registry snapshot as a value tree, wrapped with the schema
+/// tag, the mode, and the event count.
 #[must_use]
 pub fn snapshot_value() -> Value {
     with_recorder(|r| {
         Value::map([
+            ("schema", Value::from(METRICS_SCHEMA)),
             ("mode", Value::from(r.mode().name())),
             (
                 "events_recorded",
@@ -192,6 +216,53 @@ pub fn snapshot_json() -> String {
 #[must_use]
 pub fn snapshot_json_pretty() -> String {
     to_json_pretty(&snapshot_value())
+}
+
+// ===== virtual time and the telemetry window =============================
+
+/// Advances this thread's virtual clock (monotonic max). The network
+/// simulator stamps delivery times here so telemetry windows — and the
+/// Chrome-trace timestamps — follow *simulated* time and stay
+/// deterministic per seed. One branch when recording is off.
+#[inline]
+pub fn set_virtual_now_us(us: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.set_virtual_now_us(us));
+}
+
+/// This thread's virtual clock, in microseconds.
+#[must_use]
+pub fn virtual_now_us() -> u64 {
+    with_recorder(|r| r.virtual_now_us())
+}
+
+/// Installs (or, with `None`, removes) the sliding telemetry window on
+/// this thread. Off by default: without a window, the recording paths
+/// pay one `Option` check and the disabled fast path is untouched.
+pub fn set_window(cfg: Option<WindowConfig>) {
+    with_recorder(|r| r.set_window(cfg));
+}
+
+/// The configured window shape, if windowing is on.
+#[must_use]
+pub fn window_config() -> Option<WindowConfig> {
+    with_recorder(|r| r.window_config())
+}
+
+/// Folds this thread's live window into a [`TelemetrySnapshot`] — the
+/// payload behind `getTelemetry`, `Runtime::telemetry()`, and
+/// `mrom-top --watch`.
+#[must_use]
+pub fn telemetry_snapshot() -> TelemetrySnapshot {
+    with_recorder(|r| r.telemetry())
+}
+
+/// [`telemetry_snapshot`] as a value tree (`mrom.telemetry.v1` schema).
+#[must_use]
+pub fn telemetry_value() -> Value {
+    telemetry_snapshot().to_value()
 }
 
 // ===== trace context =====================================================
@@ -275,8 +346,10 @@ pub fn invoke_end(
         return;
     }
     with_recorder(|r| {
-        if let Some(started) = handle.started {
-            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let latency_ns = handle
+            .started
+            .map(|started| u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if let Some(ns) = latency_ns {
             r.metrics_mut().invoke.latency_ns.record(ns);
         }
         let m = r.metrics_mut();
@@ -290,6 +363,7 @@ pub fn invoke_end(
         if !ok {
             per.errors += 1;
         }
+        r.window_invoke(object, ok, fuel_used, latency_ns);
         r.close_span(
             handle,
             EventKind::InvokeEnd {
@@ -455,6 +529,7 @@ pub fn shared_collision(
         } else {
             m.shared.overlapping_collisions += 1;
         }
+        r.window_collision(target);
         r.record(EventKind::SharedCollision {
             node,
             target,
@@ -472,6 +547,9 @@ pub fn runtime_invoke(node: NodeId, target: ObjectId, method: &str) {
         return;
     }
     with_recorder(|r| {
+        // Call-matrix diagonal: an invocation executed *at* this site
+        // (local and remotely-requested dispatches alike).
+        r.window_call(node, node);
         r.record(EventKind::RuntimeInvoke {
             node,
             target,
@@ -600,6 +678,10 @@ pub fn fed_send(src: NodeId, dst: NodeId, kind: &'static str, bytes: usize) {
         let m = r.metrics_mut();
         m.federation.sends += 1;
         m.federation.bytes_sent += bytes;
+        // Call-matrix off-diagonal: cross-site invocation requests.
+        if kind == "invoke_req" && src != dst {
+            r.window_call(src, dst);
+        }
         r.record(EventKind::FedSend {
             src,
             dst,
@@ -777,6 +859,27 @@ pub fn net_deliver(bytes: usize) {
     });
 }
 
+/// Records a delivery over one link into the telemetry window:
+/// `latency_us` is the virtual time the message spent on the wire.
+/// Like the other `net_*` hooks this emits no trace event (one per
+/// message would drown the ring).
+#[inline]
+pub fn link_delivered(src: NodeId, dst: NodeId, bytes: usize, latency_us: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.window_link_delivery(src, dst, bytes as u64, latency_us));
+}
+
+/// Records a message lost on one link into the telemetry window.
+#[inline]
+pub fn link_dropped(src: NodeId, dst: NodeId) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.window_link_drop(src, dst));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -869,6 +972,73 @@ mod tests {
         invoke_end(span, ObjectId::SYSTEM, "later", "ok", 0);
         let ring = ring_snapshot();
         assert_ne!(ring[2].event.trace, 77);
+    }
+
+    #[test]
+    fn window_profiles_follow_virtual_time() {
+        set_mode(ObsMode::Ring);
+        set_window(Some(WindowConfig::new(1000, 4)));
+        set_virtual_now_us(100);
+        let span = invoke_start(ObjectId::SYSTEM, "m", ObjectId::SYSTEM, 0);
+        invoke_end(span, ObjectId::SYSTEM, "m", "ok", 50);
+        set_virtual_now_us(1100);
+        let span = invoke_start(ObjectId::SYSTEM, "m", ObjectId::SYSTEM, 0);
+        invoke_end(span, ObjectId::SYSTEM, "m", "err", 10);
+        link_delivered(NodeId(1), NodeId(2), 32, 700);
+        link_dropped(NodeId(1), NodeId(2));
+        let snap = telemetry_snapshot();
+        let p = snap.objects.get(&ObjectId::SYSTEM).expect("profiled");
+        assert_eq!(p.invocations, 2);
+        assert_eq!(p.errors, 1);
+        assert_eq!(p.fuel_total, 60);
+        let l = snap.links.get(&(NodeId(1), NodeId(2))).expect("link");
+        assert_eq!(l.delivered, 1);
+        assert_eq!(l.dropped, 1);
+        assert_eq!(l.delivered_per_1k(), 500);
+        assert_eq!(snap.head_epoch, 1);
+        // Events carry the virtual stamp the Chrome exporter quotes.
+        let ring = ring_snapshot();
+        assert_eq!(ring[0].event.at_us, 100);
+        assert_eq!(ring[2].event.at_us, 1100);
+        set_window(None);
+        set_mode(ObsMode::Disabled);
+    }
+
+    #[test]
+    fn window_is_inert_until_configured_and_survives_reset() {
+        set_mode(ObsMode::Ring);
+        let span = invoke_start(ObjectId::SYSTEM, "m", ObjectId::SYSTEM, 0);
+        invoke_end(span, ObjectId::SYSTEM, "m", "ok", 5);
+        assert!(telemetry_snapshot().objects.is_empty());
+        assert_eq!(telemetry_snapshot().window, None);
+        set_window(Some(WindowConfig::DEFAULT));
+        let span = invoke_start(ObjectId::SYSTEM, "m", ObjectId::SYSTEM, 0);
+        invoke_end(span, ObjectId::SYSTEM, "m", "ok", 5);
+        assert_eq!(
+            telemetry_snapshot().objects[&ObjectId::SYSTEM].invocations,
+            1
+        );
+        reset();
+        // Shape survives reset; samples do not.
+        assert_eq!(window_config(), Some(WindowConfig::DEFAULT));
+        assert!(telemetry_snapshot().objects.is_empty());
+        assert_eq!(virtual_now_us(), 0);
+        set_window(None);
+        set_mode(ObsMode::Disabled);
+    }
+
+    #[test]
+    fn disabled_mode_ignores_window_feeds() {
+        set_window(Some(WindowConfig::DEFAULT));
+        assert!(!enabled());
+        set_virtual_now_us(500);
+        link_delivered(NodeId(1), NodeId(2), 8, 10);
+        let span = invoke_start(ObjectId::SYSTEM, "m", ObjectId::SYSTEM, 0);
+        invoke_end(span, ObjectId::SYSTEM, "m", "ok", 5);
+        assert!(telemetry_snapshot().objects.is_empty());
+        assert!(telemetry_snapshot().links.is_empty());
+        assert_eq!(virtual_now_us(), 0, "clock is not advanced while disabled");
+        set_window(None);
     }
 
     #[test]

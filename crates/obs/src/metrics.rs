@@ -69,6 +69,45 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Folds `other` into `self` bucket-by-bucket (how the telemetry
+    /// window aggregates per-epoch histograms into one profile).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The `q`-quantile as the upper bound of the log bucket the
+    /// cumulative count crosses `ceil(q · count)` in (0 when empty).
+    /// Exact to within one power of two — the resolution the telemetry
+    /// p50/p95 columns quote.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_sign_loss,
+            clippy::cast_possible_truncation
+        )]
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
     /// Snapshot as a value tree: count, sum, mean, and the non-empty
     /// buckets as `[upper_bound, count]` pairs.
     #[must_use]
@@ -479,6 +518,37 @@ mod tests {
         assert_eq!(h.buckets()[0], 2);
         assert_eq!(h.buckets()[1], 2);
         assert_eq!(h.buckets()[10], 1);
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram has no quantiles");
+        for _ in 0..90 {
+            h.record(3); // bucket 1, upper bound 3
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 9, upper bound 1023
+        }
+        assert_eq!(h.quantile(0.50), 3);
+        assert_eq!(h.quantile(0.90), 3);
+        assert_eq!(h.quantile(0.95), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(0.0), 3, "q=0 clamps to the first sample");
+    }
+
+    #[test]
+    fn merge_folds_counts_and_sums() {
+        let mut a = Histogram::default();
+        a.record(2);
+        let mut b = Histogram::default();
+        b.record(1024);
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 2050);
+        assert_eq!(a.buckets()[1], 1);
+        assert_eq!(a.buckets()[10], 2);
     }
 
     #[test]

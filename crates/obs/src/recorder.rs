@@ -26,8 +26,10 @@ use mrom_value::{NodeId, ObjectId};
 
 use crate::event::{Event, EventKind, TraceEvent};
 use crate::metrics::Metrics;
+use crate::profile::TelemetrySnapshot;
 use crate::ring::{FlightRecorder, DEFAULT_RING_CAPACITY};
 use crate::sink::TraceSink;
+use crate::window::{WindowConfig, WindowState};
 
 /// Retention cap for the always-on log channel.
 pub const LOG_CHANNEL_CAPACITY: usize = 65_536;
@@ -130,6 +132,13 @@ pub struct Recorder {
     /// trace stays attributable per thread. Survives `reset` — it is an
     /// identity, like the mode, not recorded state.
     thread_label: Option<std::sync::Arc<str>>,
+    /// Virtual clock in microseconds, advanced monotonically by the
+    /// network simulator (and `Runtime::set_now`). Stamped on every
+    /// event envelope and used to bucket window samples.
+    virtual_now_us: u64,
+    /// The sliding telemetry window, when configured (`None` = off; the
+    /// recording paths then pay exactly one `Option` check).
+    window: Option<WindowState>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -169,6 +178,8 @@ impl Recorder {
             log: VecDeque::new(),
             log_evicted: 0,
             thread_label: None,
+            virtual_now_us: 0,
+            window: None,
         }
     }
 
@@ -210,6 +221,12 @@ impl Recorder {
         self.forced_parent = 0;
         self.log.clear();
         self.log_evicted = 0;
+        self.virtual_now_us = 0;
+        // Window *contents* are recorded state; the configured shape is
+        // an identity (like the mode) and survives.
+        if let Some(w) = &mut self.window {
+            w.clear();
+        }
     }
 
     /// Installs (replacing) the custom sink; returns the previous one.
@@ -245,10 +262,113 @@ impl Recorder {
         self.ring.snapshot()
     }
 
+    /// Replaces the flight recorder with an empty one of `capacity`
+    /// (min 1); retained events and the eviction counter are dropped.
+    pub fn set_ring_capacity(&mut self, capacity: usize) {
+        self.ring = FlightRecorder::with_capacity(capacity);
+    }
+
+    /// The flight recorder's retention cap.
+    #[must_use]
+    pub fn ring_capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
     /// Events the ring has evicted since the last reset.
     #[must_use]
     pub fn ring_overwritten(&self) -> u64 {
         self.ring.overwritten()
+    }
+
+    // ----- virtual time and the telemetry window -------------------------
+
+    /// Advances the virtual clock (monotonic max — site clocks and the
+    /// simulator may stamp the same instant at different resolutions).
+    pub fn set_virtual_now_us(&mut self, us: u64) {
+        self.virtual_now_us = self.virtual_now_us.max(us);
+    }
+
+    /// The virtual clock, in microseconds.
+    #[must_use]
+    pub fn virtual_now_us(&self) -> u64 {
+        self.virtual_now_us
+    }
+
+    /// Installs (or removes, with `None`) the sliding telemetry window.
+    /// Replacing a window drops its samples.
+    pub fn set_window(&mut self, cfg: Option<WindowConfig>) {
+        self.window = cfg.map(WindowState::new);
+    }
+
+    /// The configured window shape, if windowing is on.
+    #[must_use]
+    pub fn window_config(&self) -> Option<WindowConfig> {
+        self.window.as_ref().map(WindowState::config)
+    }
+
+    /// Folds the live window into a [`TelemetrySnapshot`].
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::collect(self.mode, self.virtual_now_us, self.window.as_ref())
+    }
+
+    /// Window feed: one completed application against `object`.
+    pub fn window_invoke(
+        &mut self,
+        object: ObjectId,
+        ok: bool,
+        fuel: u64,
+        latency_ns: Option<u64>,
+    ) {
+        let now = self.virtual_now_us;
+        if let Some(b) = self.window.as_mut().and_then(|w| w.bucket_at(now)) {
+            let s = b.objects.entry(object).or_default();
+            s.invocations += 1;
+            if !ok {
+                s.errors += 1;
+            }
+            s.fuel.record(fuel);
+            if let Some(ns) = latency_ns {
+                s.latency_ns.record(ns);
+            }
+        }
+    }
+
+    /// Window feed: a shared-runtime checkout collision on `object`.
+    pub fn window_collision(&mut self, object: ObjectId) {
+        let now = self.virtual_now_us;
+        if let Some(b) = self.window.as_mut().and_then(|w| w.bucket_at(now)) {
+            b.objects.entry(object).or_default().busy_collisions += 1;
+        }
+    }
+
+    /// Window feed: one call-matrix edge (`src == dst` for an execution
+    /// at a site, `src != dst` for a cross-site invocation request).
+    pub fn window_call(&mut self, src: NodeId, dst: NodeId) {
+        let now = self.virtual_now_us;
+        if let Some(b) = self.window.as_mut().and_then(|w| w.bucket_at(now)) {
+            *b.calls.entry((src, dst)).or_insert(0) += 1;
+        }
+    }
+
+    /// Window feed: a delivery over `src → dst` that spent `latency_us`
+    /// of virtual time on the wire.
+    pub fn window_link_delivery(&mut self, src: NodeId, dst: NodeId, bytes: u64, latency_us: u64) {
+        let now = self.virtual_now_us;
+        if let Some(b) = self.window.as_mut().and_then(|w| w.bucket_at(now)) {
+            let l = b.links.entry((src, dst)).or_default();
+            l.delivered += 1;
+            l.bytes += bytes;
+            l.latency_us.record(latency_us);
+        }
+    }
+
+    /// Window feed: a message lost on `src → dst`.
+    pub fn window_link_drop(&mut self, src: NodeId, dst: NodeId) {
+        let now = self.virtual_now_us;
+        if let Some(b) = self.window.as_mut().and_then(|w| w.bucket_at(now)) {
+            b.links.entry((src, dst)).or_default().dropped += 1;
+        }
     }
 
     // ----- trace context -------------------------------------------------
@@ -295,6 +415,7 @@ impl Recorder {
                 span,
                 parent,
                 thread: self.thread_label.clone(),
+                at_us: self.virtual_now_us,
             },
             kind,
         };

@@ -93,6 +93,7 @@ mod tests {
                 span: 0,
                 parent: 0,
                 thread: None,
+                at_us: 0,
             },
             kind: EventKind::ScriptRun {
                 fuel_used: seq,

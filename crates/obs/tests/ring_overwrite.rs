@@ -1,0 +1,105 @@
+//! Regression tests for `ObsMode::Ring` overwrite-oldest semantics.
+//!
+//! The flight recorder must behave like a true ring at its boundary:
+//! filling it to *exactly* capacity evicts nothing, the `capacity+1`-th
+//! event evicts exactly the oldest, and the semantics hold on a worker
+//! thread that joined a migrated trace via `continue_trace` (each thread
+//! owns its recorder, so the ring accounting must be independent).
+
+use mrom_obs as obs;
+use mrom_value::ObjectId;
+use obs::ObsMode;
+
+/// Records one point event (`meta_op` — a non-span kind, so each call is
+/// exactly one ring entry).
+fn one_event(tag: &'static str) {
+    obs::meta_op(ObjectId::SYSTEM, tag);
+}
+
+#[test]
+fn exactly_capacity_evicts_nothing() {
+    obs::reset();
+    obs::set_ring_capacity(8);
+    obs::set_mode(ObsMode::Ring);
+    for _ in 0..8 {
+        one_event("getClass");
+    }
+    obs::set_mode(ObsMode::Disabled);
+    assert_eq!(obs::ring_snapshot().len(), 8);
+    assert_eq!(obs::ring_overwritten(), 0, "at capacity nothing is evicted");
+    let seqs: Vec<u64> = obs::ring_snapshot().iter().map(|t| t.event.seq).collect();
+    assert_eq!(seqs, (0..8).collect::<Vec<u64>>());
+}
+
+#[test]
+fn capacity_plus_one_evicts_exactly_the_oldest() {
+    obs::reset();
+    obs::set_ring_capacity(8);
+    obs::set_mode(ObsMode::Ring);
+    for _ in 0..9 {
+        one_event("getClass");
+    }
+    obs::set_mode(ObsMode::Disabled);
+    let ring = obs::ring_snapshot();
+    assert_eq!(ring.len(), 8, "length stays pinned at capacity");
+    assert_eq!(obs::ring_overwritten(), 1, "exactly one eviction");
+    let seqs: Vec<u64> = ring.iter().map(|t| t.event.seq).collect();
+    assert_eq!(seqs, (1..9).collect::<Vec<u64>>(), "seq 0 was the victim");
+    assert_eq!(
+        obs::events_recorded(),
+        9,
+        "the recorded-event counter keeps counting past eviction"
+    );
+}
+
+#[test]
+fn overwrite_semantics_hold_after_continue_trace_across_threads() {
+    // Main thread: open a span so there is a real (trace, span) context
+    // to continue from.
+    obs::reset();
+    obs::set_mode(ObsMode::Ring);
+    let span = obs::invoke_start(ObjectId::SYSTEM, "dispatch", ObjectId::SYSTEM, 0);
+    let (trace, parent) = obs::current_trace_context();
+    assert_ne!(trace, 0);
+
+    // Worker thread: its own thread-local recorder, a tiny ring, and a
+    // continuation of the main thread's trace. Overwrite-oldest must
+    // hold while trace linkage is preserved for the surviving events.
+    let handle = std::thread::spawn(move || {
+        obs::set_ring_capacity(4);
+        obs::set_mode(ObsMode::Ring);
+        let scope = obs::continue_trace(trace, parent);
+        let remote = obs::invoke_start(ObjectId::SYSTEM, "adopt", ObjectId::SYSTEM, 0);
+        for _ in 0..5 {
+            one_event("getStats");
+        }
+        obs::invoke_end(remote, ObjectId::SYSTEM, "adopt", "ok", 0);
+        drop(scope);
+        obs::set_mode(ObsMode::Disabled);
+        (
+            obs::ring_snapshot(),
+            obs::ring_overwritten(),
+            obs::events_recorded(),
+        )
+    });
+    let (ring, overwritten, recorded) = handle.join().expect("worker completes");
+    obs::invoke_end(span, ObjectId::SYSTEM, "dispatch", "ok", 0);
+    obs::set_mode(ObsMode::Disabled);
+
+    // 7 events hit a 4-ring: 3 evicted (the invoke_start and the two
+    // oldest meta_ops), the rest retained oldest-first.
+    assert_eq!(recorded, 7);
+    assert_eq!(overwritten, 3);
+    assert_eq!(ring.len(), 4);
+    let seqs: Vec<u64> = ring.iter().map(|t| t.event.seq).collect();
+    assert_eq!(seqs, vec![3, 4, 5, 6]);
+    // Every survivor still belongs to the continued trace, and the
+    // closing invoke_end still references the continued parent linkage.
+    assert!(ring.iter().all(|t| t.event.trace == trace));
+    let last = ring.last().expect("nonempty");
+    assert_eq!(last.kind.tag(), "invoke_end");
+
+    // The main thread's ring was untouched by the worker's evictions.
+    assert_eq!(obs::ring_overwritten(), 0);
+    assert!(obs::ring_snapshot().len() >= 2);
+}

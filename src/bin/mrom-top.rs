@@ -7,25 +7,33 @@
 //! [`mrom::obs`] recorder on, then renders what the recorder saw.
 //!
 //! ```text
-//! mrom-top --snapshot          run the workload, print the metrics table
-//! mrom-top --snapshot --json   same, as pretty-printed JSON
-//! mrom-top trace dump          run the workload, dump the flight recorder
+//! mrom-top --snapshot            run the workload, print the metrics table
+//! mrom-top --snapshot --json     same, as pretty JSON (schema mrom.metrics.v1)
+//! mrom-top --watch [--frames N] [--top K]
+//!                                windowed telemetry frames: top-K hot
+//!                                objects, call matrix, link windows
+//! mrom-top trace dump            run the workload, dump the flight recorder
+//! mrom-top trace export --chrome [--check]
+//!                                flight recorder as chrome://tracing JSON
+//!                                (--check validates and prints a summary)
 //! ```
 //!
 //! The same counters are reachable *from inside the model*: every object
-//! answers the `getStats` meta-method, and `mrom::core::stats_object`
-//! materializes a snapshot as an introspectable read-only object (see
-//! `docs/OBSERVABILITY.md`).
+//! answers the `getStats` and `getTelemetry` meta-methods, and
+//! `mrom::core::stats_object` materializes a snapshot as an
+//! introspectable read-only object (see `docs/OBSERVABILITY.md`).
 //!
-//! Exit code 0 on success, 1 on workload failure, 2 on usage errors.
+//! Exit code 0 on success, 1 on workload failure (including a poisoned
+//! or otherwise unreadable runtime, surfaced as a caught panic), 2 on
+//! usage errors.
 
 use std::process::ExitCode;
 
 use hadas::{AmbassadorSpec, Federation};
 use mrom::core::{ClassSpec, DataItem, Method, MethodBody};
 use mrom::net::{LinkConfig, NetworkConfig};
-use mrom::obs::ObsMode;
-use mrom::value::{NodeId, Value};
+use mrom::obs::{ObsMode, TelemetrySnapshot, WindowConfig};
+use mrom::value::{NodeId, ObjectId, Value};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,11 +41,14 @@ fn main() -> ExitCode {
     let run = match strs.as_slice() {
         ["--snapshot"] => cmd_snapshot(false),
         ["--snapshot", "--json"] | ["--json", "--snapshot"] => cmd_snapshot(true),
+        ["--watch", rest @ ..] => match parse_watch(rest) {
+            Some((frames, top)) => cmd_watch(frames, top),
+            None => return usage(),
+        },
         ["trace", "dump"] => cmd_trace_dump(),
-        _ => {
-            eprintln!("usage: mrom-top <--snapshot [--json] | trace dump>");
-            return ExitCode::from(2);
-        }
+        ["trace", "export", "--chrome"] => cmd_trace_export(false),
+        ["trace", "export", "--chrome", "--check"] => cmd_trace_export(true),
+        _ => return usage(),
     };
     match run {
         Ok(output) => {
@@ -51,12 +62,56 @@ fn main() -> ExitCode {
     }
 }
 
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mrom-top <--snapshot [--json] | --watch [--frames N] [--top K] \
+         | trace dump | trace export --chrome [--check]>"
+    );
+    ExitCode::from(2)
+}
+
+/// Parses `--watch` tail flags: `--frames N` (default 3) and `--top K`
+/// (default 5). Returns `None` on malformed input.
+fn parse_watch(rest: &[&str]) -> Option<(usize, usize)> {
+    let (mut frames, mut top) = (3usize, 5usize);
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next()?.parse::<usize>().ok()?;
+        match *flag {
+            "--frames" if value >= 1 => frames = value,
+            "--top" if value >= 1 => top = value,
+            _ => return None,
+        }
+    }
+    Some((frames, top))
+}
+
+/// Runs `work` with panics converted into errors, so a poisoned shared
+/// runtime (a worker that died holding a shard) or any other unreadable
+/// state exits non-zero with a message instead of a raw panic trace.
+fn catch_workload<T>(
+    work: impl FnOnce() -> Result<T, String> + std::panic::UnwindSafe,
+) -> Result<T, String> {
+    match std::panic::catch_unwind(work) {
+        Ok(result) => result,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("opaque panic");
+            Err(format!("runtime unreadable (workload panicked): {msg}"))
+        }
+    }
+}
+
 /// Runs the demo workload under `Full` recording and renders the metrics
-/// snapshot (split out for testing).
+/// snapshot — as a table, or with `--json` as pretty JSON on the stable
+/// `mrom.metrics.v1` schema (split out for testing).
 fn cmd_snapshot(json: bool) -> Result<String, String> {
     mrom::obs::reset();
     mrom::obs::set_mode(ObsMode::Full);
-    let workload = run_workload();
+    let workload = catch_workload(run_workload);
     let out = if json {
         mrom::obs::snapshot_json_pretty()
     } else {
@@ -72,7 +127,7 @@ fn cmd_snapshot(json: bool) -> Result<String, String> {
 fn cmd_trace_dump() -> Result<String, String> {
     mrom::obs::reset();
     mrom::obs::set_mode(ObsMode::Full);
-    let workload = run_workload();
+    let workload = catch_workload(run_workload);
     let events = mrom::obs::ring_snapshot();
     let overwritten = mrom::obs::ring_overwritten();
     mrom::obs::set_mode(ObsMode::Disabled);
@@ -86,6 +141,144 @@ fn cmd_trace_dump() -> Result<String, String> {
         out.push_str(&format!("{ev}\n"));
     }
     Ok(out.trim_end().to_owned())
+}
+
+/// Runs the demo workload and exports the flight recorder in Chrome
+/// `trace_event` format (load the output via `chrome://tracing` or
+/// Perfetto). The export is always validated; `--check` prints the
+/// validation summary instead of the JSON (split out for testing).
+fn cmd_trace_export(check: bool) -> Result<String, String> {
+    mrom::obs::reset();
+    mrom::obs::set_mode(ObsMode::Full);
+    let workload = catch_workload(run_workload);
+    let events = mrom::obs::ring_snapshot();
+    mrom::obs::set_mode(ObsMode::Disabled);
+    workload?;
+    let json = mrom::obs::chrome_trace(&events);
+    let records = mrom::obs::validate_chrome_trace(&json)
+        .map_err(|e| format!("invalid chrome trace: {e}"))?;
+    if check {
+        Ok(format!(
+            "chrome trace ok: {records} record(s) from {} event(s)",
+            events.len()
+        ))
+    } else {
+        Ok(json)
+    }
+}
+
+/// Drives a three-site federation in frames under windowed `Ring`
+/// recording, rendering the sliding-window telemetry (top-K hot
+/// objects, call matrix, link windows) after every frame — the closest
+/// thing to a live `top` a library runtime can offer (split out for
+/// testing).
+fn cmd_watch(frames: usize, top: usize) -> Result<String, String> {
+    mrom::obs::reset();
+    mrom::obs::set_window(Some(WindowConfig::DEFAULT));
+    mrom::obs::set_mode(ObsMode::Ring);
+    let result = catch_workload(move || run_watch(frames, top));
+    mrom::obs::set_mode(ObsMode::Disabled);
+    mrom::obs::set_window(None);
+    mrom::obs::reset();
+    result
+}
+
+fn run_watch(frames: usize, top: usize) -> Result<String, String> {
+    let fail = |e: hadas::HadasError| e.to_string();
+    let cfg = NetworkConfig::new(42).with_default_link(LinkConfig::lan());
+    let mut fed = Federation::new(cfg);
+    let (a, b, c) = (NodeId(1), NodeId(2), NodeId(3));
+    for n in [a, b, c] {
+        fed.add_site(n).map_err(fail)?;
+    }
+    fed.link(a, b).map_err(fail)?;
+    fed.link(a, c).map_err(fail)?;
+    fed.link(b, c).map_err(fail)?;
+
+    let adopt_svc = |fed: &mut Federation, at: NodeId| -> Result<ObjectId, String> {
+        let rt = fed.runtime_mut(at).map_err(fail)?;
+        let svc = ClassSpec::new("svc")
+            .fixed_method(
+                "ping",
+                Method::public(MethodBody::script("return 7;").map_err(|e| e.to_string())?),
+            )
+            .instantiate_as(rt.ids_mut().next_id(), None);
+        let id = svc.id();
+        rt.adopt(svc).map_err(|e| e.to_string())?;
+        Ok(id)
+    };
+    let svc_b = adopt_svc(&mut fed, b)?;
+    let svc_c = adopt_svc(&mut fed, c)?;
+    let local = adopt_svc(&mut fed, a)?;
+
+    let mut out = String::new();
+    let caller = ObjectId::SYSTEM;
+    for frame in 1..=frames {
+        // Each frame does a skewed batch: site B stays the hot spot.
+        for _ in 0..3 {
+            fed.remote_invoke(a, b, caller, svc_b, "ping", &[])
+                .map_err(fail)?;
+        }
+        fed.remote_invoke(a, c, caller, svc_c, "ping", &[])
+            .map_err(fail)?;
+        fed.runtime_mut(a)
+            .map_err(fail)?
+            .invoke_as_system(local, "ping", &[])
+            .map_err(|e| e.to_string())?;
+        render_frame(
+            &mut out,
+            frame,
+            frames,
+            top,
+            &mrom::obs::telemetry_snapshot(),
+        );
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// Renders one `--watch` frame from a telemetry snapshot.
+fn render_frame(
+    out: &mut String,
+    frame: usize,
+    frames: usize,
+    top: usize,
+    snap: &TelemetrySnapshot,
+) {
+    out.push_str(&format!(
+        "frame {frame}/{frames}  virtual {} us  window {}\n",
+        snap.now_us,
+        snap.window.map_or_else(
+            || "off".to_owned(),
+            |w| format!("{}x{}us", w.epochs, w.epoch_micros)
+        ),
+    ));
+    out.push_str(&format!(
+        "hot objects (top {} of {}):\n",
+        top.min(snap.objects.len()),
+        snap.objects.len()
+    ));
+    for (id, p) in snap.hot_objects(top) {
+        out.push_str(&format!(
+            "  {id}  inv {}  err {}  fuel p50/p95 {}/{}  busy/1k {}\n",
+            p.invocations,
+            p.errors,
+            p.fuel_p50,
+            p.fuel_p95,
+            p.busy_per_1k()
+        ));
+    }
+    out.push_str("call matrix (src -> dst: count):\n");
+    for ((src, dst), n) in &snap.calls {
+        out.push_str(&format!("  {src} -> {dst}: {n}\n"));
+    }
+    out.push_str("links (delivered/dropped, bytes, latency p50/p95 us):\n");
+    for ((src, dst), p) in &snap.links {
+        out.push_str(&format!(
+            "  {src} -> {dst}: {}/{}  {}B  {}/{}\n",
+            p.delivered, p.dropped, p.bytes, p.latency_p50_us, p.latency_p95_us
+        ));
+    }
+    out.push('\n');
 }
 
 /// A workload touching every instrumented layer: level-0 dispatch, a
@@ -217,9 +410,11 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_json_is_machine_readable() {
+    fn snapshot_json_is_machine_readable_and_schema_stamped() {
         let out = cmd_snapshot(true).unwrap();
         assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"schema\""), "{out}");
+        assert!(out.contains("mrom.metrics.v1"), "{out}");
         assert!(out.contains("\"metrics\""), "{out}");
         assert!(out.contains("\"federation\""), "{out}");
     }
@@ -248,5 +443,48 @@ mod tests {
         )]);
         let out = render_table(&v);
         assert!(out.contains("buckets: 1 populated"), "{out}");
+    }
+
+    #[test]
+    fn watch_renders_hot_objects_and_call_matrix() {
+        let out = cmd_watch(2, 3).unwrap();
+        assert!(out.contains("frame 1/2"), "{out}");
+        assert!(out.contains("frame 2/2"), "{out}");
+        assert!(out.contains("hot objects (top 3 of"), "{out}");
+        assert!(out.contains("call matrix"), "{out}");
+        assert!(out.contains("n1 -> n2:"), "{out}");
+        assert!(out.contains("links"), "{out}");
+        // The window keeps accumulating: frame 2 sees more invocations
+        // of the hot object than frame 1.
+        assert!(out.contains("inv 3"), "{out}");
+        assert!(out.contains("inv 6"), "{out}");
+    }
+
+    #[test]
+    fn watch_flag_parsing_rejects_garbage() {
+        assert_eq!(parse_watch(&[]), Some((3, 5)));
+        assert_eq!(parse_watch(&["--frames", "7"]), Some((7, 5)));
+        assert_eq!(parse_watch(&["--top", "2", "--frames", "1"]), Some((1, 2)));
+        assert_eq!(parse_watch(&["--frames"]), None);
+        assert_eq!(parse_watch(&["--frames", "0"]), None);
+        assert_eq!(parse_watch(&["--bogus", "3"]), None);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_checkable() {
+        let json = cmd_trace_export(false).unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.contains("\"ph\":\"B\""), "{json}");
+        assert!(json.contains("\"invoke "), "{json}");
+        let summary = cmd_trace_export(true).unwrap();
+        assert!(summary.starts_with("chrome trace ok:"), "{summary}");
+    }
+
+    #[test]
+    fn workload_panics_become_errors() {
+        let out: Result<(), String> = catch_workload(|| panic!("shard poisoned"));
+        let msg = out.unwrap_err();
+        assert!(msg.contains("runtime unreadable"), "{msg}");
+        assert!(msg.contains("shard poisoned"), "{msg}");
     }
 }
