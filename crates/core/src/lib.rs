@@ -95,7 +95,8 @@ pub use item::DataItem;
 pub use method::{MetaOp, Method, MethodBody, NativeFn};
 pub use migrate::IMAGE_FORMAT;
 pub use mrom_script::analyze::{
-    AnalysisReport, Diagnostic, DiagnosticKind, HostManifest, ResourceBudget, Severity,
+    analyze_program, AnalysisReport, Diagnostic, DiagnosticKind, HostManifest, ResourceBudget,
+    Severity,
 };
 pub use mrom_script::{EffectSignature, LocalEffects};
 pub use object::{MromObject, ObjectBuilder};

@@ -1,0 +1,408 @@
+//! The fleet harness: builds a federation over a parameterized topology,
+//! drives a seeded Zipf workload with churn and migration traffic through
+//! it, drains everything, and distills the run into a [`FleetReport`].
+//!
+//! The harness is the scale analogue of `hadas::chaos`: where the chaos
+//! suite stresses *one* object on *two* sites under adversarial links,
+//! the fleet suite stresses *many* objects on *many* sites under churn,
+//! and checks the same family of invariants — single host per object,
+//! exactly-once counter windows, clean recovery, balanced accounting —
+//! plus windowed-telemetry accounting across per-site slices.
+//!
+//! Everything is a pure function of `(config, seed)`: the simulator, the
+//! Zipf stream, the churn schedule, and the report are all seeded, so a
+//! run is reproducible byte for byte.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hadas::{Federation, HadasError, RetryPolicy};
+use mrom_core::{ClassSpec, DataItem, Method, MethodBody};
+use mrom_net::{NetworkConfig, Topology, TopologyEdge};
+use mrom_obs::{ObsMode, TelemetrySnapshot, WindowConfig};
+use mrom_value::{NodeId, ObjectId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::FleetReport;
+use crate::workload::{FleetConfig, Zipf};
+
+/// One epoch wide enough to hold any simulated run, so the whole run
+/// lands in a single telemetry window.
+const RUN_EPOCH_US: u64 = 1 << 40;
+
+/// A completed run: the invariant report plus the global telemetry
+/// snapshot taken at the end (both deterministic per seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// Counters and invariants.
+    pub report: FleetReport,
+    /// The recorder's windowed view of the whole run.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// The fleet cell: one non-idempotent method (`bump`, so double-applied
+/// retries are visible in state) and one read-only method (`peek`).
+/// Compiled once; every instance shares the compiled program.
+fn fleet_cell_class() -> ClassSpec {
+    ClassSpec::new("fleet-cell")
+        .fixed_data("count", DataItem::public(Value::Int(0)))
+        .fixed_method(
+            "bump",
+            Method::public(
+                MethodBody::script(
+                    "self.set(\"count\", self.get(\"count\") + 1); return self.get(\"count\");",
+                )
+                .expect("bump parses"),
+            ),
+        )
+        .fixed_method(
+            "peek",
+            Method::public(MethodBody::script("return self.get(\"count\");").expect("peek parses")),
+        )
+}
+
+/// Wire-encoded migration image size of a fresh fleet cell — the
+/// bytes-per-object figure the capacity bench reports.
+///
+/// # Panics
+///
+/// Never in practice: the cell is script-only and always imageable.
+#[must_use]
+pub fn cell_image_bytes() -> usize {
+    let cell = fleet_cell_class().instantiate_as(ObjectId::from_parts(NodeId(1), 1, 1), None);
+    let image = cell.image_value().expect("script-only cell is imageable");
+    mrom_value::wire::encode(&image).len()
+}
+
+/// A churn step scheduled at a workload-op index.
+#[derive(Debug, Clone, Copy)]
+enum ChurnAction {
+    Crash(NodeId),
+    Restart(NodeId),
+}
+
+/// Runs one fleet scenario under one seed and reports the final state.
+/// The run itself never asserts; callers check
+/// [`FleetReport::violations`] so a failing seed reports *what* broke.
+///
+/// Windowed telemetry is recorded for the duration (previous recorder
+/// state is reset and recording is switched off again afterwards).
+///
+/// # Errors
+///
+/// Setup failures and non-fault protocol errors; fault-induced timeouts
+/// are expected outcomes and are tallied, not returned.
+pub fn run_fleet(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
+    let prev_mode = mrom_obs::mode();
+    mrom_obs::reset();
+    mrom_obs::set_window(Some(WindowConfig::new(RUN_EPOCH_US, 2)));
+    mrom_obs::set_mode(ObsMode::Ring);
+    let result = run_inner(cfg, seed);
+    mrom_obs::reset();
+    mrom_obs::set_window(None);
+    mrom_obs::set_mode(prev_mode);
+    result
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
+    let n = cfg.sites;
+    let sites = Topology::sites(n);
+    let edges = cfg.topology.edges(n);
+
+    // -- federation over the topology ------------------------------------
+    let net_cfg = NetworkConfig::new(seed).with_default_link(mrom_net::LinkTier::Local.link());
+    let mut fed = Federation::new(net_cfg);
+    for &s in &sites {
+        fed.add_site(s)?;
+    }
+    fed.set_retry_policy(RetryPolicy::standard());
+    fed.set_site_workers(cfg.workers);
+    let mut adj: BTreeMap<NodeId, Vec<NodeId>> = sites.iter().map(|&s| (s, Vec::new())).collect();
+    for &TopologyEdge { a, b, tier } in &edges {
+        fed.net_config_mut().set_symmetric_link(a, b, tier.link());
+        fed.link(a, b)?;
+        adj.get_mut(&a).expect("site known").push(b);
+        adj.get_mut(&b).expect("site known").push(a);
+    }
+    for neighbors in adj.values_mut() {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+    }
+    let mut ioo_ids: BTreeMap<NodeId, ObjectId> = BTreeMap::new();
+    for &s in &sites {
+        ioo_ids.insert(s, fed.ioo_id(s)?);
+    }
+
+    // -- the object population (interleaved placement) -------------------
+    let class = fleet_cell_class();
+    let total = cfg.total_objects();
+    let mut objects: Vec<ObjectId> = Vec::with_capacity(total);
+    let mut hosts: Vec<NodeId> = Vec::with_capacity(total);
+    for k in 0..total {
+        let site = sites[k % n];
+        let rt = fed.runtime_mut(site)?;
+        let cell = class.instantiate_as(rt.ids_mut().next_id(), None);
+        let id = cell.id();
+        rt.adopt(cell)?;
+        objects.push(id);
+        hosts.push(site);
+    }
+
+    // -- churn schedule (own RNG stream; core sites are spared) ----------
+    let core: BTreeSet<NodeId> = cfg.topology.core_sites(n).into_iter().collect();
+    let pool: Vec<NodeId> = sites
+        .iter()
+        .copied()
+        .filter(|s| !core.contains(s))
+        .collect();
+    let mut churn_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut schedule: Vec<(usize, ChurnAction)> = Vec::new();
+    if cfg.churn_events > 0 && !pool.is_empty() {
+        let stride = cfg.invocations / (cfg.churn_events + 1);
+        if stride > 0 {
+            for i in 0..cfg.churn_events {
+                let victim = pool[churn_rng.random_range(0..pool.len())];
+                let crash_at = (i + 1) * stride;
+                let restart_at = crash_at + (stride / 2).max(1);
+                schedule.push((crash_at, ChurnAction::Crash(victim)));
+                if restart_at < cfg.invocations {
+                    schedule.push((restart_at, ChurnAction::Restart(victim)));
+                }
+            }
+        }
+    }
+    schedule.sort_by_key(|&(at, _)| at);
+
+    // -- the seeded Zipf workload ----------------------------------------
+    let zipf = Zipf::new(total, cfg.zipf_permille);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ok_per = vec![0u32; total];
+    let mut failed_per = vec![0u32; total];
+    let mut touched: BTreeSet<usize> = BTreeSet::new();
+    let mut down: BTreeSet<NodeId> = BTreeSet::new();
+    let mut report = FleetReport {
+        topology: cfg.topology.name(),
+        seed,
+        sites: n as u64,
+        objects: total as u64,
+        invocations: cfg.invocations as u64,
+        workers: cfg.workers as u64,
+        ops_ok: 0,
+        ops_failed: 0,
+        ops_rejected: 0,
+        peeks_ok: 0,
+        peeks_failed: 0,
+        peeks_rejected: 0,
+        migrations_ok: 0,
+        migrations_failed: 0,
+        migrations_skipped: 0,
+        crashes: 0,
+        restarts: 0,
+        distinct_targets: 0,
+        counter_total: 0,
+        lost_objects: 0,
+        duplicated_objects: 0,
+        window_violations: 0,
+        parked_in_doubt: 0,
+        in_flight: 0,
+        stats: mrom_net::NetStats::default(),
+        telemetry_invocations: 0,
+        telemetry_fold_matches: true,
+    };
+
+    let mut next_event = 0usize;
+    for op in 0..cfg.invocations {
+        while next_event < schedule.len() && schedule[next_event].0 <= op {
+            match schedule[next_event].1 {
+                ChurnAction::Crash(v) if !down.contains(&v) => {
+                    // Checkpoint at the crash instant so the restart
+                    // restores exactly the pre-crash state — state loss
+                    // would invalidate the exactly-once windows.
+                    fed.checkpoint_site(v)?;
+                    fed.crash_site(v)?;
+                    down.insert(v);
+                    report.crashes += 1;
+                }
+                ChurnAction::Restart(v) if down.contains(&v) => {
+                    fed.restart_site(v)?;
+                    down.remove(&v);
+                    report.restarts += 1;
+                }
+                _ => {}
+            }
+            next_event += 1;
+        }
+
+        let k = zipf.sample(&mut rng);
+        let target = objects[k];
+        let host = hosts[k];
+        let neighbors = &adj[&host];
+        let pick = rng.random_range(0..=neighbors.len());
+        let bumping = rng.random_bool(0.75);
+        touched.insert(k);
+        let method = if bumping { "bump" } else { "peek" };
+        let outcome = if pick == 0 {
+            // Caller and object share a site: straight runtime invoke.
+            fed.runtime_mut(host)?
+                .invoke(ioo_ids[&host], target, method, &[])
+                .map_err(HadasError::Model)
+        } else {
+            let from = neighbors[pick - 1];
+            fed.remote_invoke(from, host, ioo_ids[&from], target, method, &[])
+        };
+        match (outcome, bumping) {
+            (Ok(_), true) => {
+                report.ops_ok += 1;
+                ok_per[k] += 1;
+            }
+            (Ok(_), false) => report.peeks_ok += 1,
+            // Ambiguous: the request may have been applied before the
+            // reply was lost — widens the per-object window.
+            (Err(HadasError::Timeout { .. }), true) => {
+                report.ops_failed += 1;
+                failed_per[k] += 1;
+            }
+            (Err(HadasError::Timeout { .. }), false) => report.peeks_failed += 1,
+            // Definite refusal (e.g. the host crashed and evicted the
+            // cell): provably never applied.
+            (Err(_), true) => report.ops_rejected += 1,
+            (Err(_), false) => report.peeks_rejected += 1,
+        }
+
+        if cfg.migration_every != 0 && (op + 1) % cfg.migration_every == 0 {
+            let m = zipf.sample(&mut rng);
+            let from = hosts[m];
+            let targets = &adj[&from];
+            if !targets.is_empty() {
+                let to = targets[rng.random_range(0..targets.len())];
+                match fed.dispatch_object(from, to, objects[m]) {
+                    Ok(()) => {
+                        report.migrations_ok += 1;
+                        hosts[m] = to;
+                    }
+                    // Parked in-doubt; the drain settles ownership.
+                    Err(HadasError::Timeout { .. }) => report.migrations_failed += 1,
+                    Err(_) => report.migrations_skipped += 1,
+                }
+            }
+        }
+    }
+    report.distinct_targets = touched.len() as u64;
+
+    // -- heal, drain, settle ----------------------------------------------
+    for v in std::mem::take(&mut down) {
+        fed.restart_site(v)?;
+        report.restarts += 1;
+    }
+    fed.pump_all();
+    settle_in_doubt(&mut fed)?;
+    fed.pump_all();
+
+    // -- final state scan --------------------------------------------------
+    let member: BTreeMap<ObjectId, usize> =
+        objects.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut copies = vec![0u32; total];
+    let mut final_host: Vec<Option<NodeId>> = vec![None; total];
+    for &node in &sites {
+        for id in fed.runtime(node)?.object_ids() {
+            if let Some(&i) = member.get(&id) {
+                copies[i] += 1;
+                final_host[i] = Some(node);
+            }
+        }
+    }
+    for i in 0..total {
+        match copies[i] {
+            0 => report.lost_objects += 1,
+            1 => {
+                let host = final_host[i].expect("counted a copy");
+                let count = fed
+                    .runtime(host)?
+                    .object(objects[i])
+                    .and_then(|obj| obj.read_data(ObjectId::SYSTEM, "count").ok())
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                report.counter_total += count;
+                let min = i64::from(ok_per[i]);
+                let max = min + i64::from(failed_per[i]);
+                if count < min || count > max {
+                    report.window_violations += 1;
+                }
+            }
+            _ => report.duplicated_objects += 1,
+        }
+    }
+    report.parked_in_doubt = parked_total(&fed) as u64;
+    report.in_flight = fed.in_flight() as u64;
+    report.stats = fed.net_stats().clone();
+
+    // -- telemetry accounting ----------------------------------------------
+    let telemetry = fed.telemetry();
+    report.telemetry_invocations = objects
+        .iter()
+        .filter_map(|id| telemetry.objects.get(id))
+        .map(|profile| profile.invocations)
+        .sum();
+    let mut folded = TelemetrySnapshot::default();
+    for &node in &sites {
+        folded.absorb(&fed.site_telemetry(node)?);
+    }
+    report.telemetry_fold_matches = folded.objects == telemetry.objects;
+
+    Ok(FleetRun { report, telemetry })
+}
+
+/// Heals every parked migration at every site, retrying a few passes in
+/// case the first query races residual traffic.
+fn settle_in_doubt(fed: &mut Federation) -> Result<(), HadasError> {
+    for _ in 0..3 {
+        let mut parked = 0;
+        for node in fed.site_nodes() {
+            parked += fed.in_doubt(node)?.len();
+            fed.resolve_in_doubt(node)?;
+        }
+        if parked == 0 {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Total in-doubt entries across the federation.
+fn parked_total(fed: &Federation) -> usize {
+    fed.site_nodes()
+        .into_iter()
+        .filter_map(|n| fed.in_doubt(n).ok())
+        .map(|v| v.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_upholds_every_invariant() {
+        let run = run_fleet(&FleetConfig::smoke(), 42).expect("smoke runs");
+        run.report.assert_invariants();
+        assert!(run.report.ops_ok > 0, "some bumps must land");
+        assert!(run.report.migrations_ok > 0, "some migrations must land");
+        assert_eq!(run.report.crashes, 2);
+        assert!(run.report.distinct_targets > 1);
+    }
+
+    #[test]
+    fn zipf_concentrates_traffic_on_hot_cells() {
+        let run = run_fleet(&FleetConfig::smoke(), 7).expect("smoke runs");
+        // 400 draws over 200 cells at s=1.1 must leave cold cells.
+        assert!(run.report.distinct_targets < run.report.objects);
+    }
+
+    #[test]
+    fn cell_image_is_small_and_stable() {
+        let bytes = cell_image_bytes();
+        assert!(bytes > 0);
+        assert_eq!(bytes, cell_image_bytes());
+    }
+}

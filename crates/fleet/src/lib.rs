@@ -1,0 +1,49 @@
+//! # mrom-fleet
+//!
+//! The thousand-site scenario suite: parameterized topology generators
+//! over the deterministic simulator, a seeded Zipf-distributed
+//! invocation workload across 10³ sites × 10⁵ objects, churn injection
+//! mid-run, and an end-of-run [`FleetReport`] of global invariants that
+//! is byte-identical per seed.
+//!
+//! ## Why a fleet harness
+//!
+//! The paper's claims are *per-mechanism* (reflection, migration,
+//! ambassadors); every earlier experiment exercises one mechanism on a
+//! handful of sites. The fleet suite is the composition check: all of
+//! the mechanisms at once, at population scale, under churn — and the
+//! invariants that must survive the composition:
+//!
+//! * **single host** — every object lives at exactly one site after the
+//!   drain, however many migrations raced the churn;
+//! * **exactly-once windows** — each cell's non-idempotent counter sits
+//!   inside `[acknowledged, acknowledged + ambiguous]`;
+//! * **clean recovery** — nothing in doubt, nothing on the wire;
+//! * **balanced accounting** — the simulator explains every send;
+//! * **telemetry accounting** — the windowed recorder's per-object
+//!   application counts match the state-derived counts, and per-site
+//!   telemetry slices fold back (via
+//!   [`mrom_obs::TelemetrySnapshot::absorb`]) to the global view.
+//!
+//! ## Entry points
+//!
+//! * [`run_fleet`] — one scenario run: `(FleetConfig, seed)` →
+//!   [`FleetRun`] (report + telemetry snapshot);
+//! * [`run_marketplace`] — the agent-marketplace headline scenario:
+//!   ambassadors advertise capability cards, consumers negotiate method
+//!   imports, Strict admission refuses migration-unsafe ones;
+//! * the `mrom-fleet` binary — CLI over both, plus the capacity bench
+//!   that emits `BENCH_FLEET.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod marketplace;
+mod report;
+mod workload;
+
+pub use harness::{cell_image_bytes, run_fleet, FleetRun};
+pub use marketplace::{run_marketplace, MarketReport};
+pub use report::FleetReport;
+pub use workload::{FleetConfig, Zipf};

@@ -1,0 +1,249 @@
+//! The agent-marketplace scenario: ambassadors advertise their origin
+//! APO's host manifest as a **capability card**, and consumer sites use
+//! the card to decide — *before* moving any code — which methods are
+//! worth importing and which can never migrate safely.
+//!
+//! The flow, per consumer site:
+//!
+//! 1. the provider integrates a service APO whose ambassador spec
+//!    carries [`hadas::capability_card`] data (`advertise_card`);
+//! 2. the consumer imports the ambassador and *browses* the card: a
+//!    read-only map from method name to its static effect surface
+//!    (reads/writes/world calls/purity), derived from the PR-2
+//!    `HostManifest` of each script body;
+//! 3. methods the card shows as world-free are negotiated over the
+//!    wire ([`hadas::Federation::negotiate_method_import`]) and served
+//!    locally from then on;
+//! 4. methods the card pins to site-local world calls (`send`/`spawn`)
+//!    are left at the origin — and under [`AdmissionPolicy::Strict`]
+//!    the negotiation itself refuses them with
+//!    [`HadasError::MigrationRefused`], the dynamic counterpart of the
+//!    PR-7 migration-safety gate.
+
+use hadas::{AmbassadorSpec, Federation, HadasError};
+use mrom_core::{AdmissionPolicy, ClassSpec, DataItem, Method, MethodBody};
+use mrom_net::{LinkConfig, NetworkConfig};
+use mrom_value::{NodeId, Value};
+
+/// What one marketplace round produced, per counter. Deterministic per
+/// seed (the scenario itself is fault-free; the seed flavors the data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarketReport {
+    /// The seed the round ran under.
+    pub seed: u64,
+    /// Consumer sites that joined the marketplace.
+    pub consumers: u64,
+    /// Capability cards published (one per imported ambassador).
+    pub cards_published: u64,
+    /// Methods advertised on each card.
+    pub methods_on_card: u64,
+    /// Method imports successfully negotiated over the wire.
+    pub imports_negotiated: u64,
+    /// Negotiations refused by the Strict admission gate.
+    pub strict_refusals: u64,
+    /// Calls served locally by an ambassador (exported or imported).
+    pub local_serves: u64,
+    /// Calls relayed to the origin APO.
+    pub relayed_serves: u64,
+    /// Sum of every consumer's final local `tally` ledger.
+    pub ledger_total: i64,
+}
+
+impl MarketReport {
+    /// The report as an integers-only [`Value`] tree (schema
+    /// `mrom.market.v1`).
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn to_value(&self) -> Value {
+        let int = |v: u64| Value::Int(v as i64);
+        Value::map([
+            ("schema", Value::from("mrom.market.v1")),
+            ("seed", int(self.seed)),
+            ("consumers", int(self.consumers)),
+            ("cards_published", int(self.cards_published)),
+            ("methods_on_card", int(self.methods_on_card)),
+            ("imports_negotiated", int(self.imports_negotiated)),
+            ("strict_refusals", int(self.strict_refusals)),
+            ("local_serves", int(self.local_serves)),
+            ("relayed_serves", int(self.relayed_serves)),
+            ("ledger_total", Value::Int(self.ledger_total)),
+        ])
+    }
+
+    /// [`MarketReport::to_value`] rendered as canonical JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        mrom_obs::to_json(&self.to_value())
+    }
+}
+
+/// The marketplace service APO: a world-free read (`quote`), a world-free
+/// write (`tally`), a world-free audit left for relaying, and a `beacon`
+/// whose body is pinned to the site-local `send` world call.
+fn market_service_class(price: i64) -> ClassSpec {
+    ClassSpec::new("market-svc")
+        .fixed_data("price", DataItem::public(Value::Int(price)))
+        .fixed_data("ledger", DataItem::public(Value::Int(0)))
+        .fixed_method(
+            "quote",
+            Method::public(
+                MethodBody::script("return self.get(\"price\");").expect("quote parses"),
+            ),
+        )
+        .fixed_method(
+            "tally",
+            Method::public(
+                MethodBody::script(
+                    "self.set(\"ledger\", self.get(\"ledger\") + 1); return self.get(\"ledger\");",
+                )
+                .expect("tally parses"),
+            ),
+        )
+        .fixed_method(
+            "audit",
+            Method::public(
+                MethodBody::script("return self.get(\"ledger\");").expect("audit parses"),
+            ),
+        )
+        .fixed_method(
+            "beacon",
+            Method::public(
+                MethodBody::script("return self.send(self.get(\"price\"), \"ping\");")
+                    .expect("beacon parses"),
+            ),
+        )
+}
+
+/// Runs the marketplace round: one provider, three consumers, cards
+/// browsed, world-free methods imported, the world-bound one refused
+/// under Strict admission.
+///
+/// # Errors
+///
+/// Setup and protocol failures (the scenario runs on fault-free links,
+/// so a timeout here is a real error).
+#[allow(clippy::too_many_lines, clippy::cast_possible_wrap)]
+pub fn run_marketplace(seed: u64) -> Result<MarketReport, HadasError> {
+    let provider = NodeId(1);
+    let consumers = [NodeId(2), NodeId(3), NodeId(4)];
+    let cfg = NetworkConfig::new(seed).with_default_link(LinkConfig::lan());
+    let mut fed = Federation::new(cfg);
+    fed.add_site(provider)?;
+    for &c in &consumers {
+        fed.add_site(c)?;
+        fed.link(c, provider)?;
+    }
+
+    let price = 40 + (seed % 7) as i64;
+    let apo = market_service_class(price)
+        .instantiate_as(fed.runtime_mut(provider)?.ids_mut().next_id(), None);
+    // Export `quote` (and the price it reads) up front; advertise the
+    // full capability card so consumers can negotiate for more.
+    let spec = AmbassadorSpec::relay_only()
+        .with_methods(["quote"])
+        .with_data(["price", "ledger"])
+        .with_capability_card();
+    fed.integrate_apo(provider, "market-svc", apo, spec)?;
+
+    let mut report = MarketReport {
+        seed,
+        consumers: consumers.len() as u64,
+        cards_published: 0,
+        methods_on_card: 0,
+        imports_negotiated: 0,
+        strict_refusals: 0,
+        local_serves: 0,
+        relayed_serves: 0,
+        ledger_total: 0,
+    };
+
+    let mut ambassadors = Vec::new();
+    for &c in &consumers {
+        let amb = fed.import_apo(c, provider, "market-svc")?;
+        ambassadors.push((c, amb));
+        // Browse the card: any principal may read it.
+        let caller = fed.ioo_id(c)?;
+        let card = fed
+            .runtime(c)?
+            .object(amb)
+            .ok_or(HadasError::UnknownAmbassador(amb))?
+            .read_data(caller, "capability_card")
+            .map_err(HadasError::Model)?;
+        let card = card.as_map().cloned().unwrap_or_default();
+        report.cards_published += 1;
+        report.methods_on_card = card.len() as u64;
+        // The card says `tally` touches no world calls — import it.
+        let world_free = card
+            .get("tally")
+            .and_then(Value::as_map)
+            .and_then(|entry| entry.get("world"))
+            .and_then(Value::as_list)
+            .is_some_and(<[Value]>::is_empty);
+        if world_free {
+            fed.negotiate_method_import(c, provider, "market-svc", "tally")?;
+            report.imports_negotiated += 1;
+        }
+    }
+
+    // Strict admission from here on: negotiating the world-bound
+    // `beacon` must be refused at the card, before any code moves.
+    fed.set_admission_policy(AdmissionPolicy::Strict);
+    for &(c, _) in &ambassadors {
+        match fed.negotiate_method_import(c, provider, "market-svc", "beacon") {
+            Err(HadasError::MigrationRefused { .. }) => report.strict_refusals += 1,
+            Ok(_) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Serve traffic: quote and tally locally, audit relayed home.
+    for &(c, amb) in &ambassadors {
+        let caller = fed.ioo_id(c)?;
+        for _ in 0..2 {
+            fed.call_through_ambassador(c, caller, amb, "quote", &[])?;
+            report.local_serves += 1;
+            fed.call_through_ambassador(c, caller, amb, "tally", &[])?;
+            report.local_serves += 1;
+        }
+        fed.call_through_ambassador(c, caller, amb, "audit", &[])?;
+        report.relayed_serves += 1;
+    }
+    for &(c, amb) in &ambassadors {
+        let ledger = fed
+            .runtime(c)?
+            .object(amb)
+            .and_then(|obj| obj.read_data(mrom_value::ObjectId::SYSTEM, "ledger").ok())
+            .and_then(|v| v.as_int())
+            .unwrap_or(0);
+        report.ledger_total += ledger;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marketplace_round_negotiates_and_refuses_as_advertised() {
+        let report = run_marketplace(42).expect("marketplace runs");
+        assert_eq!(report.consumers, 3);
+        assert_eq!(report.cards_published, 3);
+        assert_eq!(report.methods_on_card, 4, "quote/tally/audit/beacon");
+        assert_eq!(report.imports_negotiated, 3, "tally imported everywhere");
+        assert_eq!(report.strict_refusals, 3, "beacon refused everywhere");
+        assert_eq!(report.local_serves, 12);
+        assert_eq!(report.relayed_serves, 3);
+        assert_eq!(report.ledger_total, 6, "two local tallies per consumer");
+    }
+
+    #[test]
+    fn marketplace_is_deterministic_per_seed() {
+        assert_eq!(run_marketplace(9).unwrap(), run_marketplace(9).unwrap());
+        assert_ne!(
+            run_marketplace(1).unwrap().to_json(),
+            run_marketplace(8).unwrap().to_json(),
+            "the seed flavors the price"
+        );
+    }
+}

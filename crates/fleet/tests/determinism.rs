@@ -1,0 +1,101 @@
+//! Seed-for-seed determinism of the fleet harness: the same `(config,
+//! seed)` must reproduce the [`mrom_fleet::FleetReport`] *and* the
+//! run's `TelemetrySnapshot` byte for byte — JSON renderings included,
+//! since those are what CI artifacts and the determinism sweep compare.
+//!
+//! The default sweep covers a small fixed seed set; set
+//! `MROM_FLEET_SEEDS=1,2,3` (comma-separated) to sweep further — the CI
+//! seed-sweep job does exactly that.
+
+use mrom_fleet::{run_fleet, FleetConfig};
+use mrom_net::Topology;
+
+/// Seeds to sweep: `MROM_FLEET_SEEDS` (comma-separated) or a fixed
+/// default trio.
+fn sweep_seeds() -> Vec<u64> {
+    match std::env::var("MROM_FLEET_SEEDS") {
+        Ok(raw) => raw
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![7, 42, 1997],
+    }
+}
+
+#[test]
+fn same_seed_reproduces_report_and_telemetry_byte_for_byte() {
+    let cfg = FleetConfig::smoke();
+    for seed in sweep_seeds() {
+        let first = run_fleet(&cfg, seed).expect("first run");
+        let second = run_fleet(&cfg, seed).expect("second run");
+        assert_eq!(
+            first.report, second.report,
+            "seed {seed}: reports must match field for field"
+        );
+        assert_eq!(
+            first.report.to_json(),
+            second.report.to_json(),
+            "seed {seed}: report JSON must match byte for byte"
+        );
+        assert_eq!(
+            mrom_obs::to_json(&first.telemetry.to_value()),
+            mrom_obs::to_json(&second.telemetry.to_value()),
+            "seed {seed}: telemetry JSON must match byte for byte"
+        );
+        first.report.assert_invariants();
+    }
+}
+
+#[test]
+fn determinism_holds_across_topologies_and_worker_pools() {
+    for topology in [
+        Topology::Star,
+        Topology::Mesh { degree: 2 },
+        Topology::Hierarchical { cluster_size: 4 },
+    ] {
+        for workers in [1usize, 4] {
+            let cfg = FleetConfig {
+                topology,
+                workers,
+                ..FleetConfig::smoke()
+            };
+            let first = run_fleet(&cfg, 42).expect("first run");
+            let second = run_fleet(&cfg, 42).expect("second run");
+            assert_eq!(
+                first,
+                second,
+                "{} workers={workers} must be deterministic",
+                topology.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_shuffle_the_traffic() {
+    let cfg = FleetConfig::smoke();
+    let a = run_fleet(&cfg, 1).expect("seed 1");
+    let b = run_fleet(&cfg, 2).expect("seed 2");
+    assert_ne!(
+        a.report.to_json(),
+        b.report.to_json(),
+        "distinct seeds must produce distinct runs"
+    );
+}
+
+#[test]
+fn worker_pool_width_does_not_change_the_run() {
+    // The fleet driver is synchronous, so every site inbox drains in
+    // single-element batches and the pooled engine executes them inline:
+    // widening the pool must not change a single report byte.
+    let classic = FleetConfig::smoke();
+    let pooled = FleetConfig {
+        workers: 4,
+        ..classic
+    };
+    let classic_report = run_fleet(&classic, 11).expect("classic").report;
+    let mut pooled_report = run_fleet(&pooled, 11).expect("pooled").report;
+    assert_eq!(pooled_report.workers, 4);
+    pooled_report.workers = classic_report.workers;
+    assert_eq!(classic_report, pooled_report);
+}

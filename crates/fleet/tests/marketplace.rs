@@ -1,0 +1,147 @@
+//! The capability-card marketplace, end to end (satellite of the fleet
+//! suite): an imported method's effect signature is re-solved on the
+//! *importing* host, and Strict admission refuses to negotiate a
+//! migration-unsafe capability at the card — before any code moves.
+
+use hadas::{AmbassadorSpec, Federation, HadasError};
+use mrom_core::{AdmissionPolicy, ClassSpec, DataItem, Method, MethodBody};
+use mrom_fleet::run_marketplace;
+use mrom_net::{LinkConfig, NetworkConfig};
+use mrom_value::{NodeId, ObjectId, Value};
+
+fn service_class() -> ClassSpec {
+    ClassSpec::new("svc")
+        .fixed_data("price", DataItem::public(Value::Int(42)))
+        .fixed_data("ledger", DataItem::public(Value::Int(0)))
+        .fixed_method(
+            "quote",
+            Method::public(MethodBody::script("return self.get(\"price\");").unwrap()),
+        )
+        .fixed_method(
+            "tally",
+            Method::public(
+                MethodBody::script(
+                    "self.set(\"ledger\", self.get(\"ledger\") + 1); return self.get(\"ledger\");",
+                )
+                .unwrap(),
+            ),
+        )
+        .fixed_method(
+            "beacon",
+            Method::public(
+                MethodBody::script("return self.send(self.get(\"price\"), \"ping\");").unwrap(),
+            ),
+        )
+}
+
+fn two_site_market() -> (Federation, NodeId, NodeId, ObjectId) {
+    let provider = NodeId(1);
+    let consumer = NodeId(2);
+    let cfg = NetworkConfig::new(7).with_default_link(LinkConfig::lan());
+    let mut fed = Federation::new(cfg);
+    fed.add_site(provider).unwrap();
+    fed.add_site(consumer).unwrap();
+    fed.link(consumer, provider).unwrap();
+    let apo = service_class()
+        .instantiate_as(fed.runtime_mut(provider).unwrap().ids_mut().next_id(), None);
+    let spec = AmbassadorSpec::relay_only()
+        .with_methods(["quote"])
+        .with_data(["price", "ledger"])
+        .with_capability_card();
+    fed.integrate_apo(provider, "svc", apo, spec).unwrap();
+    let amb = fed.import_apo(consumer, provider, "svc").unwrap();
+    (fed, provider, consumer, amb)
+}
+
+#[test]
+fn imported_method_effects_are_resolved_on_the_importing_host() {
+    let (mut fed, provider, consumer, amb) = two_site_market();
+    // Before the import the ambassador does not carry `tally` at all.
+    let before = fed
+        .runtime_mut(consumer)
+        .unwrap()
+        .object_mut(amb)
+        .unwrap()
+        .effects();
+    assert!(!before.contains_key("tally"), "tally starts at the origin");
+    assert!(fed
+        .guest_info(consumer, amb)
+        .unwrap()
+        .remote_methods
+        .iter()
+        .any(|m| m == "tally"));
+
+    fed.negotiate_method_import(consumer, provider, "svc", "tally")
+        .unwrap();
+
+    // The import bumped the ambassador's generation, so the importing
+    // host's solver recomputes the table — now over the *local* method
+    // set — and sees the imported body's true effect surface.
+    let after = fed
+        .runtime_mut(consumer)
+        .unwrap()
+        .object_mut(amb)
+        .unwrap()
+        .effects();
+    let tally = after.get("tally").expect("tally solved on the consumer");
+    assert!(tally.writes.contains("ledger"), "writes its ledger slot");
+    assert!(tally.reads.contains("ledger"));
+    assert!(tally.world_calls.is_empty(), "no site-local world calls");
+    assert!(tally.migration_safe, "world-free method is migration safe");
+    assert!(!tally.idempotent, "a counter increment is not idempotent");
+
+    // The relay table shrank: `tally` is served locally from now on.
+    assert!(!fed
+        .guest_info(consumer, amb)
+        .unwrap()
+        .remote_methods
+        .iter()
+        .any(|m| m == "tally"));
+    let caller = fed.ioo_id(consumer).unwrap();
+    assert_eq!(
+        fed.call_through_ambassador(consumer, caller, amb, "tally", &[])
+            .unwrap(),
+        Value::Int(1),
+        "imported tally increments the consumer-side ledger"
+    );
+}
+
+#[test]
+fn strict_admission_refuses_a_migration_unsafe_capability() {
+    let (mut fed, provider, consumer, amb) = two_site_market();
+    fed.set_admission_policy(AdmissionPolicy::Strict);
+    let err = fed
+        .negotiate_method_import(consumer, provider, "svc", "beacon")
+        .expect_err("beacon is pinned to the site-local send world call");
+    match err {
+        HadasError::MigrationRefused {
+            object,
+            method,
+            world_calls,
+        } => {
+            assert_eq!(object, amb);
+            assert_eq!(method, "beacon");
+            assert_eq!(world_calls, vec!["send".to_owned()]);
+        }
+        other => panic!("expected MigrationRefused, got {other:?}"),
+    }
+    // Refused at the card: the ambassador never gained the method and
+    // still relays it home.
+    assert!(fed
+        .runtime(consumer)
+        .unwrap()
+        .object(amb)
+        .is_some_and(|obj| !obj.has_method(ObjectId::SYSTEM, "beacon")));
+
+    // A world-free method still negotiates fine under Strict.
+    fed.negotiate_method_import(consumer, provider, "svc", "tally")
+        .expect("tally is world-free and admitted");
+}
+
+#[test]
+fn marketplace_scenario_composes_the_same_pieces() {
+    let report = run_marketplace(42).expect("marketplace runs");
+    assert_eq!(report.imports_negotiated, report.consumers);
+    assert_eq!(report.strict_refusals, report.consumers);
+    assert!(report.local_serves > report.relayed_serves);
+}

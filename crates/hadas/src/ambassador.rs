@@ -37,6 +37,12 @@ pub struct AmbassadorSpec {
     pub copied_data: Vec<String>,
     /// Custom `install` body (script source); `None` uses the default.
     pub install_script: Option<String>,
+    /// Attach a capability card: the admission analyzer's
+    /// [`HostManifest`](mrom_core::HostManifest) for every public method,
+    /// advertised as read-only public data (`capability_card`) so foreign
+    /// sites can inspect what a method touches *before* negotiating its
+    /// import — the agent-marketplace discovery handshake.
+    pub advertise_card: bool,
 }
 
 impl AmbassadorSpec {
@@ -71,6 +77,68 @@ impl AmbassadorSpec {
         self.install_script = Some(source.to_owned());
         self
     }
+
+    /// Advertises the APO's per-method [`HostManifest`](mrom_core::HostManifest)
+    /// on the Ambassador as the `capability_card` data item.
+    pub fn with_capability_card(mut self) -> AmbassadorSpec {
+        self.advertise_card = true;
+        self
+    }
+}
+
+/// The capability card advertised by a card-carrying Ambassador: a map
+/// from each of the APO's publicly invocable methods to its analyzer
+/// manifest — what it reads, writes, invokes, and which world calls it
+/// leans on. Native bodies the analyzer cannot see are marked `opaque`.
+///
+/// The card is *data*: it travels with the Ambassador, any site can read
+/// it, and [`crate::Federation::negotiate_method_import`] consults it
+/// before agreeing to pull a method across the wire.
+#[must_use]
+pub fn capability_card(apo: &MromObject) -> Value {
+    let apo_id = apo.id();
+    // The public view: what an arbitrary stranger could invoke.
+    let stranger = ObjectId::from_parts(apo_id.node(), apo_id.seq(), !apo_id.entropy());
+    let mut card: Vec<(String, Value)> = Vec::new();
+    for (name, _) in apo.list_methods(stranger) {
+        if mrom_core::MetaOp::from_method_name(&name).is_some() {
+            continue;
+        }
+        let Ok(desc) = apo.method_descriptor(apo_id, &name) else {
+            continue;
+        };
+        let Ok(method) = Method::from_descriptor(&desc) else {
+            continue;
+        };
+        let entry = match method.body() {
+            mrom_core::MethodBody::Script(program) => {
+                manifest_value(&mrom_core::analyze_program(program).manifest)
+            }
+            mrom_core::MethodBody::Native(_) => Value::map([("opaque", Value::Bool(true))]),
+            mrom_core::MethodBody::Meta(_) => continue,
+        };
+        card.push((name, entry));
+    }
+    Value::map(card)
+}
+
+/// Serializes a [`HostManifest`](mrom_core::HostManifest) as a stable
+/// value tree (sorted lists, integer/boolean scalars).
+fn manifest_value(m: &mrom_core::HostManifest) -> Value {
+    let strs = |set: &std::collections::BTreeSet<String>| {
+        Value::List(set.iter().map(|s| Value::from(s.as_str())).collect())
+    };
+    Value::map([
+        ("reads", strs(&m.data_read)),
+        ("writes", strs(&m.data_written)),
+        ("creates", strs(&m.data_created)),
+        ("deletes", strs(&m.data_deleted)),
+        ("invokes", strs(&m.methods_invoked)),
+        ("world", strs(&m.world_calls)),
+        ("call_sites", Value::Int(m.host_call_sites as i64)),
+        ("dynamic", Value::Bool(m.dynamic_data || m.dynamic_methods)),
+        ("pure", Value::Bool(m.is_pure())),
+    ])
 }
 
 /// What a hosting site records about a guest Ambassador.
@@ -169,6 +237,15 @@ pub fn instantiate_ambassador_as(
             "apo_name",
             DataItem::public(Value::from(apo_name)).with_write_acl(Acl::Nobody),
         );
+
+    // The marketplace handshake: a card-carrying Ambassador advertises
+    // what every public method of its APO touches.
+    if spec.advertise_card {
+        builder = builder.fixed_data(
+            "capability_card",
+            DataItem::public(capability_card(apo)).with_write_acl(Acl::Nobody),
+        );
+    }
 
     // The mutable installation state lives in the extensible section: the
     // ambassador itself (and its origin) manage it.
@@ -393,6 +470,54 @@ mod tests {
             &mut ids,
         )
         .is_err());
+    }
+
+    #[test]
+    fn capability_card_lists_every_public_method_surface() {
+        let mut ids = gen();
+        let apo = ClassSpec::new("svc")
+            .fixed_data("rows", DataItem::public(Value::Int(1)))
+            .fixed_method(
+                "query",
+                Method::public(MethodBody::script("return self.get(\"rows\");").unwrap()),
+            )
+            .fixed_method(
+                "beacon",
+                Method::public(
+                    MethodBody::script("return self.send(self.get(\"rows\"), \"ping\");").unwrap(),
+                ),
+            )
+            .instantiate(&mut ids);
+        let card = capability_card(&apo);
+        let card = card.as_map().unwrap();
+        let query = card["query"].as_map().unwrap();
+        assert_eq!(
+            query["reads"].as_list().unwrap(),
+            &[Value::from("rows")],
+            "query reads rows"
+        );
+        assert_eq!(query["world"].as_list().unwrap(), &[] as &[Value]);
+        assert_eq!(query["pure"], Value::Bool(false), "a host read is not pure");
+        let beacon = card["beacon"].as_map().unwrap();
+        assert_eq!(beacon["world"].as_list().unwrap(), &[Value::from("send")]);
+
+        // A card-carrying spec attaches it as read-only public data.
+        let spec = AmbassadorSpec::relay_only().with_capability_card();
+        let (amb, _) = instantiate_ambassador(&apo, "svc", NodeId(40), &spec, &mut ids).unwrap();
+        let advertised = amb
+            .read_data(ids.next_id(), "capability_card")
+            .expect("any principal can read the card");
+        assert_eq!(advertised.as_map().unwrap().len(), card.len());
+        // ... and a plain spec does not.
+        let (plain, _) = instantiate_ambassador(
+            &apo,
+            "svc",
+            NodeId(40),
+            &AmbassadorSpec::relay_only(),
+            &mut ids,
+        )
+        .unwrap();
+        assert!(plain.read_data(ids.next_id(), "capability_card").is_err());
     }
 
     #[test]

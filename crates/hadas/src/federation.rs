@@ -2040,6 +2040,118 @@ impl Federation {
             &[UpdateOp::AddMethod(method.to_owned(), desc)],
         )
     }
+
+    /// Negotiates the import of one method from a provider's APO into
+    /// the guest Ambassador hosted at `consumer` — the marketplace
+    /// transaction: discovery via the advertised capability card,
+    /// admission via the card's world-call listing, then a targeted
+    /// functionality migration.
+    ///
+    /// The consumer first consults the Ambassador's `capability_card`
+    /// data (see [`AmbassadorSpec::with_capability_card`]): under
+    /// [`AdmissionPolicy::Strict`] a method whose card lists site-local
+    /// world calls (`send`, `spawn` — references that would dangle away
+    /// from the origin) is refused *before any bytes move*, the static
+    /// [`HadasError::MigrationRefused`] contract of
+    /// [`Federation::dispatch_object`] applied to functionality instead
+    /// of whole objects. Otherwise the provider pushes the method
+    /// descriptor to that one Ambassador (a targeted
+    /// [`UpdateOp::AddMethod`]); from then on the importing site serves
+    /// it locally and drops it from the relay set, and the method's
+    /// effect signature is re-solved lazily *on the importing host* the
+    /// first time anything asks — imported capability, local proof.
+    ///
+    /// Returns the guest Ambassador's identity.
+    ///
+    /// # Errors
+    ///
+    /// [`HadasError::NotLinked`] without a Link agreement;
+    /// [`HadasError::UnknownApo`] when no guest of that APO is hosted at
+    /// `consumer`; [`HadasError::MigrationRefused`] under `Strict` for a
+    /// card-flagged method; lookup, transport, and remote errors
+    /// otherwise.
+    pub fn negotiate_method_import(
+        &mut self,
+        consumer: NodeId,
+        provider: NodeId,
+        apo_name: &str,
+        method: &str,
+    ) -> Result<ObjectId, HadasError> {
+        if !self.is_linked(consumer, provider) {
+            return Err(HadasError::NotLinked {
+                from: consumer,
+                to: provider,
+            });
+        }
+        let amb_id = self
+            .site(consumer)?
+            .guests
+            .iter()
+            .find(|(_, info)| info.origin_node == provider && info.apo_name == apo_name)
+            .map(|(id, _)| *id)
+            .ok_or_else(|| HadasError::UnknownApo(apo_name.to_owned()))?;
+
+        // Admission by advertisement: the card travelled with the guest,
+        // so the refusal is a local decision — no wire round-trip.
+        if matches!(self.admission, AdmissionPolicy::Strict) {
+            let offending: Vec<String> = self
+                .site(consumer)?
+                .runtime
+                .object(amb_id)
+                .and_then(|amb| amb.read_data(ObjectId::SYSTEM, "capability_card").ok())
+                .as_ref()
+                .and_then(Value::as_map)
+                .and_then(|card| card.get(method))
+                .and_then(Value::as_map)
+                .and_then(|entry| entry.get("world"))
+                .and_then(Value::as_list)
+                .into_iter()
+                .flatten()
+                .filter_map(Value::as_str)
+                .filter(|c| Self::SITE_LOCAL_WORLD_CALLS.contains(c))
+                .map(str::to_owned)
+                .collect();
+            if !offending.is_empty() {
+                return Err(HadasError::MigrationRefused {
+                    object: amb_id,
+                    method: method.to_owned(),
+                    world_calls: offending,
+                });
+            }
+        }
+
+        // The provider reads its APO's full method definition and pushes
+        // it to this one Ambassador.
+        let apo_id = self.apo_id(provider, apo_name)?;
+        let desc = {
+            let site = self.site(provider)?;
+            let apo = site
+                .runtime
+                .object(apo_id)
+                .ok_or(HadasError::Model(MromError::NoSuchObject(apo_id)))?;
+            apo.method_descriptor(apo_id, method)
+                .map_err(HadasError::Model)?
+        };
+        let req_id = self.fresh_req_id();
+        let msg = ProtocolMsg::UpdateReq {
+            req_id,
+            origin: apo_id,
+            target: amb_id,
+            ops: vec![UpdateOp::AddMethod(method.to_owned(), desc)],
+        };
+        self.pending.insert(req_id);
+        let posted = self.post(provider, consumer, &msg);
+        let pumped = posted.and_then(|()| self.pump_until(&[req_id], "negotiate_method_import"));
+        self.pending.remove(&req_id);
+        pumped?;
+        match self.completed.remove(&req_id) {
+            Some(ProtocolMsg::UpdateAck { .. }) => Ok(amb_id),
+            Some(ProtocolMsg::Error { reason, .. }) => Err(HadasError::Remote(reason)),
+            other => Err(HadasError::BadMessage(format!(
+                "unexpected import-negotiation reply: {other:?}"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,8 @@ mod retry;
 pub mod scenarios;
 
 pub use ambassador::{
-    instantiate_ambassador, instantiate_ambassador_with_policy, AmbassadorSpec, GuestInfo,
+    capability_card, instantiate_ambassador, instantiate_ambassador_with_policy, AmbassadorSpec,
+    GuestInfo,
 };
 pub use error::HadasError;
 pub use federation::{ExportPolicy, Federation, InvokeCall, SiteStats};

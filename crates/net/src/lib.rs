@@ -42,6 +42,7 @@ mod live;
 mod sim;
 mod stats;
 mod time;
+mod topology;
 
 pub use config::{LinkConfig, NetworkConfig};
 pub use error::NetError;
@@ -49,6 +50,7 @@ pub use live::{live_cluster, LiveDelivery, LiveNode};
 pub use sim::{Delivery, SimNet};
 pub use stats::NetStats;
 pub use time::SimTime;
+pub use topology::{LinkTier, Topology, TopologyEdge};
 
 /// Crate-local result alias over [`NetError`].
 pub type Result<T> = std::result::Result<T, NetError>;

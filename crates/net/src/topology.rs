@@ -1,0 +1,321 @@
+//! Parameterized fleet topologies: the wiring diagrams the `mrom-fleet`
+//! harness lays over [`SimNet`](crate::SimNet).
+//!
+//! A [`Topology`] is a pure function from a site count to an edge list —
+//! no RNG, no I/O — so the same shape always produces the same wiring
+//! and the fleet harness stays byte-deterministic per seed. Each edge
+//! carries a [`LinkTier`] naming the link profile it should run over:
+//! `Local` edges model an intra-vicinity LAN, `Backbone` edges the
+//! higher-latency trunk between vicinity heads (the paper's
+//! "geographical dispersion" axis).
+
+use mrom_value::NodeId;
+
+use crate::config::LinkConfig;
+
+/// Which class of wire an edge runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkTier {
+    /// Intra-vicinity LAN hop (low latency, high bandwidth).
+    Local,
+    /// Inter-vicinity trunk (an order of magnitude more latency).
+    Backbone,
+}
+
+impl LinkTier {
+    /// The deterministic link profile for this tier. Neither profile
+    /// carries jitter or fault probabilities — faults are injected by
+    /// the harness, not baked into the wiring — so a fault-free run
+    /// consumes no RNG draws regardless of topology.
+    #[must_use]
+    pub fn link(self) -> LinkConfig {
+        match self {
+            LinkTier::Local => LinkConfig::lan(),
+            LinkTier::Backbone => LinkConfig::new()
+                .latency_us(20_000)
+                .bandwidth_bytes_per_sec(1_000_000),
+        }
+    }
+}
+
+/// One undirected edge of a topology: link `a` and `b` over `tier`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyEdge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// The wire class the edge runs over.
+    pub tier: LinkTier,
+}
+
+/// A parameterized wiring shape over sites numbered `1..=n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every site links to site 1 (the hub). One hop to the hub, two
+    /// between spokes; the hub is a single point of congestion.
+    Star,
+    /// A ring with `degree` chords per site: site `i` links to
+    /// `i+1 ..= i+degree` (mod n). `degree >= n-1` degenerates to a
+    /// full mesh.
+    Mesh {
+        /// Forward neighbours per site (clamped to ≥ 1).
+        degree: usize,
+    },
+    /// Two-level vicinity hierarchy: consecutive sites form clusters of
+    /// `cluster_size`, every member links to its cluster head over a
+    /// `Local` edge, and every head links to the first head over a
+    /// `Backbone` edge.
+    Hierarchical {
+        /// Sites per vicinity (clamped to ≥ 2).
+        cluster_size: usize,
+    },
+}
+
+impl Topology {
+    /// A stable display name (used in reports and CLI output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Star => "star",
+            Topology::Mesh { .. } => "mesh",
+            Topology::Hierarchical { .. } => "hierarchical",
+        }
+    }
+
+    /// Parses a CLI spelling: `star`, `mesh`, `mesh:<degree>`, `hier`,
+    /// `hierarchical`, or `hier:<cluster_size>`.
+    #[must_use]
+    pub fn parse(spec: &str) -> Option<Topology> {
+        let (kind, param) = match spec.split_once(':') {
+            Some((k, p)) => (k, p.parse::<usize>().ok()?),
+            None => (spec, 0),
+        };
+        match kind {
+            "star" => Some(Topology::Star),
+            "mesh" => Some(Topology::Mesh {
+                degree: if param == 0 { 2 } else { param },
+            }),
+            "hier" | "hierarchical" => Some(Topology::Hierarchical {
+                cluster_size: if param == 0 { 32 } else { param },
+            }),
+            _ => None,
+        }
+    }
+
+    /// The site identifiers of an `n`-site fleet: nodes `1..=n`.
+    #[must_use]
+    pub fn sites(n: usize) -> Vec<NodeId> {
+        (1..=n as u64).map(NodeId).collect()
+    }
+
+    /// The edge list for `n` sites, in a stable order with no duplicate
+    /// pairs. Every returned graph is connected for `n >= 1`.
+    #[must_use]
+    pub fn edges(self, n: usize) -> Vec<TopologyEdge> {
+        let mut out = Vec::new();
+        if n < 2 {
+            return out;
+        }
+        match self {
+            Topology::Star => {
+                let hub = NodeId(1);
+                for spoke in 2..=n as u64 {
+                    out.push(TopologyEdge {
+                        a: hub,
+                        b: NodeId(spoke),
+                        tier: LinkTier::Local,
+                    });
+                }
+            }
+            Topology::Mesh { degree } => {
+                let degree = degree.clamp(1, n - 1);
+                // Ring + chords; wrap-around repeats unordered pairs at
+                // small n, so dedup through a set.
+                let mut seen = std::collections::BTreeSet::new();
+                for i in 0..n as u64 {
+                    for k in 1..=degree as u64 {
+                        let j = (i + k) % n as u64;
+                        let pair = (i.min(j) + 1, i.max(j) + 1);
+                        if seen.insert(pair) {
+                            out.push(TopologyEdge {
+                                a: NodeId(pair.0),
+                                b: NodeId(pair.1),
+                                tier: LinkTier::Local,
+                            });
+                        }
+                    }
+                }
+            }
+            Topology::Hierarchical { cluster_size } => {
+                let cluster_size = cluster_size.max(2);
+                let first_head = NodeId(1);
+                for start in (0..n).step_by(cluster_size) {
+                    let head = NodeId(start as u64 + 1);
+                    for member in start + 1..(start + cluster_size).min(n) {
+                        out.push(TopologyEdge {
+                            a: head,
+                            b: NodeId(member as u64 + 1),
+                            tier: LinkTier::Local,
+                        });
+                    }
+                    if head != first_head {
+                        out.push(TopologyEdge {
+                            a: first_head,
+                            b: head,
+                            tier: LinkTier::Backbone,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The sites a given site is directly wired to, in ascending order.
+    /// The fleet workload draws callers from this set (plus the site
+    /// itself), so traffic always flows over negotiated links.
+    #[must_use]
+    pub fn neighbors(self, n: usize, site: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .edges(n)
+            .into_iter()
+            .filter_map(|e| {
+                if e.a == site {
+                    Some(e.b)
+                } else if e.b == site {
+                    Some(e.a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Structurally load-bearing sites (the star hub, vicinity heads):
+    /// the churn injector spares these so a crash degrades a vicinity
+    /// instead of partitioning the whole fleet.
+    #[must_use]
+    pub fn core_sites(self, n: usize) -> Vec<NodeId> {
+        match self {
+            Topology::Star => vec![NodeId(1)],
+            Topology::Mesh { .. } => Vec::new(),
+            Topology::Hierarchical { cluster_size } => {
+                let cluster_size = cluster_size.max(2);
+                (0..n)
+                    .step_by(cluster_size)
+                    .map(|start| NodeId(start as u64 + 1))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Union-find-free connectivity check via BFS over the edge list.
+    fn is_connected(n: usize, edges: &[TopologyEdge]) -> bool {
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for e in edges {
+            adj.entry(e.a).or_default().push(e.b);
+            adj.entry(e.b).or_default().push(e.a);
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![NodeId(1)];
+        while let Some(v) = queue.pop() {
+            if seen.insert(v) {
+                queue.extend(adj.get(&v).into_iter().flatten().copied());
+            }
+        }
+        seen.len() == n
+    }
+
+    fn no_duplicate_pairs(edges: &[TopologyEdge]) -> bool {
+        let mut seen = BTreeSet::new();
+        edges.iter().all(|e| {
+            let key = if e.a <= e.b { (e.a, e.b) } else { (e.b, e.a) };
+            e.a != e.b && seen.insert(key)
+        })
+    }
+
+    #[test]
+    fn star_connects_every_spoke_to_the_hub() {
+        let edges = Topology::Star.edges(50);
+        assert_eq!(edges.len(), 49);
+        assert!(edges.iter().all(|e| e.a == NodeId(1)));
+        assert!(is_connected(50, &edges));
+        assert!(no_duplicate_pairs(&edges));
+    }
+
+    #[test]
+    fn mesh_is_connected_and_duplicate_free() {
+        for n in [2usize, 3, 5, 8, 40] {
+            for degree in [1usize, 2, 3, 50] {
+                let edges = Topology::Mesh { degree }.edges(n);
+                assert!(is_connected(n, &edges), "mesh n={n} degree={degree}");
+                assert!(no_duplicate_pairs(&edges), "mesh n={n} degree={degree}");
+            }
+        }
+        // degree >= n-1 is the full mesh.
+        assert_eq!(Topology::Mesh { degree: 9 }.edges(5).len(), 5 * 4 / 2);
+    }
+
+    #[test]
+    fn hierarchy_has_local_clusters_and_a_backbone() {
+        let topo = Topology::Hierarchical { cluster_size: 4 };
+        let edges = topo.edges(10);
+        assert!(is_connected(10, &edges));
+        assert!(no_duplicate_pairs(&edges));
+        let backbone: Vec<_> = edges
+            .iter()
+            .filter(|e| e.tier == LinkTier::Backbone)
+            .collect();
+        // Clusters {1..4} {5..8} {9,10}: two trunk links back to head 1.
+        assert_eq!(backbone.len(), 2);
+        assert_eq!(topo.core_sites(10), vec![NodeId(1), NodeId(5), NodeId(9)]);
+    }
+
+    #[test]
+    fn neighbors_follow_the_edge_list() {
+        let topo = Topology::Mesh { degree: 2 };
+        let nbrs = topo.neighbors(6, NodeId(1));
+        assert_eq!(nbrs, vec![NodeId(2), NodeId(3), NodeId(5), NodeId(6)]);
+        assert_eq!(Topology::Star.neighbors(5, NodeId(3)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn edges_are_stable_across_calls() {
+        for topo in [
+            Topology::Star,
+            Topology::Mesh { degree: 3 },
+            Topology::Hierarchical { cluster_size: 8 },
+        ] {
+            assert_eq!(topo.edges(33), topo.edges(33));
+        }
+    }
+
+    #[test]
+    fn parse_covers_the_cli_spellings() {
+        assert_eq!(Topology::parse("star"), Some(Topology::Star));
+        assert_eq!(
+            Topology::parse("mesh:4"),
+            Some(Topology::Mesh { degree: 4 })
+        );
+        assert_eq!(
+            Topology::parse("hier:16"),
+            Some(Topology::Hierarchical { cluster_size: 16 })
+        );
+        assert_eq!(
+            Topology::parse("hierarchical"),
+            Some(Topology::Hierarchical { cluster_size: 32 })
+        );
+        assert_eq!(Topology::parse("tree"), None);
+        assert_eq!(Topology::parse("mesh:x"), None);
+    }
+}

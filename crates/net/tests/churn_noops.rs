@@ -1,0 +1,139 @@
+//! Churn edge cases the fleet injector leans on: crashing a node that is
+//! already down and restarting a node that never crashed must both be
+//! no-ops — idempotent, stats-silent, and invisible to unrelated traffic.
+
+use mrom_net::{LinkConfig, NetworkConfig, SimNet, Topology};
+use mrom_value::NodeId;
+
+fn three_node_net(seed: u64) -> SimNet {
+    let cfg = NetworkConfig::new(seed).with_default_link(LinkConfig::lan());
+    let mut net = SimNet::new(cfg);
+    for n in 1..=3 {
+        net.add_node(NodeId(n)).expect("fresh node");
+    }
+    net
+}
+
+#[test]
+fn restart_of_a_never_crashed_node_is_a_noop() {
+    let mut net = three_node_net(7);
+    net.send(NodeId(1), NodeId(2), b"before".to_vec()).unwrap();
+    let before = net.stats().clone();
+    let in_flight = net.in_flight();
+
+    net.restart_node(NodeId(2)).unwrap();
+    net.restart_node(NodeId(2)).unwrap();
+
+    assert!(!net.is_down(NodeId(2)));
+    assert_eq!(*net.stats(), before, "restart must not touch NetStats");
+    assert_eq!(
+        net.in_flight(),
+        in_flight,
+        "restart must not touch the wire"
+    );
+
+    // The queued message still delivers normally.
+    let d = net.step().expect("message survives the no-op restarts");
+    assert_eq!(d.dst, NodeId(2));
+    assert_eq!(d.payload, b"before");
+}
+
+#[test]
+fn crash_of_an_already_down_node_is_a_noop() {
+    let mut net = three_node_net(7);
+    net.crash_node(NodeId(3)).unwrap();
+    let once = net.stats().clone();
+
+    // Crashing again changes nothing: same down set, same stats.
+    net.crash_node(NodeId(3)).unwrap();
+    net.crash_node(NodeId(3)).unwrap();
+    assert!(net.is_down(NodeId(3)));
+    assert_eq!(*net.stats(), once, "repeated crash must not touch NetStats");
+
+    // One restart (not N) brings it back — crash does not nest.
+    net.restart_node(NodeId(3)).unwrap();
+    assert!(!net.is_down(NodeId(3)));
+
+    // And the revived node serves traffic with balanced accounting.
+    net.send(NodeId(1), NodeId(3), b"hello".to_vec()).unwrap();
+    let d = net.step().expect("delivery after revival");
+    assert_eq!(d.dst, NodeId(3));
+    assert!(net.stats().accounts_for_every_send(net.in_flight()));
+}
+
+#[test]
+fn churn_noops_are_invisible_to_a_seeded_run() {
+    // Two identical seeded runs, one sprinkled with no-op churn calls:
+    // byte-identical NetStats (the fleet determinism contract).
+    let run = |noops: bool| {
+        let mut net = three_node_net(99);
+        for i in 0..20u64 {
+            if noops {
+                net.restart_node(NodeId(1)).unwrap();
+                net.crash_node(NodeId(2)).unwrap();
+                net.crash_node(NodeId(2)).unwrap();
+                net.restart_node(NodeId(2)).unwrap();
+                net.restart_node(NodeId(2)).unwrap();
+            }
+            let dst = NodeId(2 + (i % 2));
+            net.send(NodeId(1), dst, vec![i as u8; 64]).unwrap();
+        }
+        net.run(|_, _| {});
+        net.stats().clone()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn crash_and_restart_on_unknown_nodes_still_error() {
+    // The no-op guarantee covers known nodes only; an unknown node is a
+    // caller bug and keeps failing loudly.
+    let mut net = three_node_net(1);
+    assert!(net.crash_node(NodeId(9)).is_err());
+    assert!(net.restart_node(NodeId(9)).is_err());
+}
+
+#[test]
+fn downed_node_drops_and_counts_traffic_either_way() {
+    // Whether the node went down via one crash or three, traffic to it is
+    // dropped and counted identically.
+    let outcome = |crashes: usize| {
+        let mut net = three_node_net(5);
+        for _ in 0..crashes {
+            net.crash_node(NodeId(2)).unwrap();
+        }
+        net.send(NodeId(1), NodeId(2), b"lost".to_vec()).unwrap();
+        net.run(|_, _| {});
+        net.stats().clone()
+    };
+    let once = outcome(1);
+    let thrice = outcome(3);
+    assert_eq!(once, thrice);
+    assert_eq!(once.messages_dropped, 1);
+    assert!(once.accounts_for_every_send(0));
+}
+
+#[test]
+fn topology_wiring_reaches_every_site() {
+    // The harness links exactly the topology's edge list; sanity-check the
+    // simulator accepts every generated pair under each shape.
+    for topo in [
+        Topology::Star,
+        Topology::Mesh { degree: 3 },
+        Topology::Hierarchical { cluster_size: 4 },
+    ] {
+        let n = 12;
+        let cfg = NetworkConfig::new(11).with_default_link(LinkConfig::lan());
+        let mut net = SimNet::new(cfg);
+        for site in Topology::sites(n) {
+            net.add_node(site).expect("fresh node");
+        }
+        for e in topo.edges(n) {
+            net.config_mut().set_symmetric_link(e.a, e.b, e.tier.link());
+            net.send(e.a, e.b, b"ping".to_vec()).unwrap();
+        }
+        net.run(|_, _| {});
+        assert!(net.stats().accounts_for_every_send(0));
+        assert_eq!(net.stats().messages_dropped, 0);
+    }
+}

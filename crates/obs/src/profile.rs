@@ -217,6 +217,48 @@ impl TelemetrySnapshot {
         out
     }
 
+    /// Folds `other` into this snapshot — the fleet-level aggregation
+    /// the `mrom-fleet` harness uses to combine per-site slices (from
+    /// [`TelemetrySnapshot::for_site`] or per-process recorders) into
+    /// one fleet view.
+    ///
+    /// Counters (invocations, errors, fuel totals, collisions, call
+    /// matrix, link delivery/bytes) add; percentile fields are
+    /// point-estimates that cannot be re-derived from two summaries, so
+    /// the fold keeps the worst (maximum) observed value; the clock and
+    /// head epoch advance to the newer of the two. Folding is
+    /// commutative and deterministic, so a fold over `BTreeMap`-ordered
+    /// slices is byte-stable.
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        self.now_us = self.now_us.max(other.now_us);
+        self.head_epoch = self.head_epoch.max(other.head_epoch);
+        if self.window.is_none() {
+            self.window = other.window;
+        }
+        for (id, p) in &other.objects {
+            let mine = self.objects.entry(*id).or_default();
+            mine.invocations += p.invocations;
+            mine.errors += p.errors;
+            mine.fuel_total += p.fuel_total;
+            mine.fuel_p50 = mine.fuel_p50.max(p.fuel_p50);
+            mine.fuel_p95 = mine.fuel_p95.max(p.fuel_p95);
+            mine.latency_p50_ns = mine.latency_p50_ns.max(p.latency_p50_ns);
+            mine.latency_p95_ns = mine.latency_p95_ns.max(p.latency_p95_ns);
+            mine.busy_collisions += p.busy_collisions;
+        }
+        for (pair, n) in &other.calls {
+            *self.calls.entry(*pair).or_default() += n;
+        }
+        for (pair, p) in &other.links {
+            let mine = self.links.entry(*pair).or_default();
+            mine.delivered += p.delivered;
+            mine.dropped += p.dropped;
+            mine.bytes += p.bytes;
+            mine.latency_p50_us = mine.latency_p50_us.max(p.latency_p50_us);
+            mine.latency_p95_us = mine.latency_p95_us.max(p.latency_p95_us);
+        }
+    }
+
     /// The snapshot as a value tree on the stable `mrom.telemetry.v1`
     /// schema — the payload of the reflective `getTelemetry` meta-method.
     #[must_use]
@@ -380,5 +422,54 @@ mod tests {
         let site1 = snap.for_site(NodeId(1), |_| true);
         assert_eq!(site1.calls.len(), 1);
         assert_eq!(site1.links.len(), 1);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_keeps_worst_percentiles() {
+        let w = seeded_window();
+        let snap = TelemetrySnapshot::collect(ObsMode::Ring, 1100, Some(&w));
+
+        // A slice of a site the traffic never touched is empty, and
+        // folding it in must round-trip the full picture unchanged.
+        let mut folded = snap.for_site(NodeId(1), |_| true);
+        folded.absorb(&snap.for_site(NodeId(3), |_| false));
+        assert_eq!(folded.objects, snap.objects);
+        assert_eq!(folded.calls, snap.calls);
+        assert_eq!(folded.links, snap.links);
+        assert_eq!(folded.now_us, snap.now_us);
+
+        // Overlapping profiles: counters add, percentiles take the max.
+        let mut twice = snap.clone();
+        twice.absorb(&snap);
+        let one = snap.objects.get(&ObjectId::SYSTEM).unwrap();
+        let two = twice.objects.get(&ObjectId::SYSTEM).unwrap();
+        assert_eq!(two.invocations, 2 * one.invocations);
+        assert_eq!(two.fuel_total, 2 * one.fuel_total);
+        assert_eq!(two.fuel_p95, one.fuel_p95);
+        assert_eq!(
+            twice.calls.get(&(NodeId(1), NodeId(2))),
+            Some(&(2 * snap.calls[&(NodeId(1), NodeId(2))]))
+        );
+        let l1 = snap.links.get(&(NodeId(1), NodeId(2))).unwrap();
+        let l2 = twice.links.get(&(NodeId(1), NodeId(2))).unwrap();
+        assert_eq!(l2.bytes, 2 * l1.bytes);
+        assert_eq!(l2.latency_p50_us, l1.latency_p50_us);
+    }
+
+    #[test]
+    fn absorb_is_commutative_over_disjoint_slices() {
+        let w = seeded_window();
+        let snap = TelemetrySnapshot::collect(ObsMode::Ring, 1100, Some(&w));
+        let a = snap.for_site(NodeId(1), |_| true);
+        let b = snap.for_site(NodeId(3), |_| false);
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        // Mode is a label, not an aggregate; compare the data fields.
+        assert_eq!(ab.objects, ba.objects);
+        assert_eq!(ab.calls, ba.calls);
+        assert_eq!(ab.links, ba.links);
+        assert_eq!(ab.to_json(), ba.to_json());
     }
 }

@@ -89,7 +89,9 @@ impl<S: BlobStore> Depot<S> {
     }
 
     /// Checkpoints every mobile object a node hosts: each object writes
-    /// itself; objects with native bodies are reported (not persisted) so
+    /// itself; objects the model layer refuses to image — native bodies,
+    /// or a meta ACL that withholds the object's own migration image
+    /// (system ambassadors do this) — are reported (not persisted) so
     /// the host can decide what to do about them. Returns the number of
     /// objects persisted.
     ///
@@ -110,8 +112,11 @@ impl<S: BlobStore> Depot<S> {
                 pinned.push(obj.id());
                 continue;
             }
-            self.save(&obj)?;
-            saved += 1;
+            match self.save(&obj) {
+                Ok(()) => saved += 1,
+                Err(PersistError::Model(_)) => pinned.push(obj.id()),
+                Err(e) => return Err(e),
+            }
         }
         Ok((saved, pinned))
     }

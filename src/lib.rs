@@ -15,6 +15,7 @@
 pub use hadas;
 pub use mrom_baselines as baselines;
 pub use mrom_core as core;
+pub use mrom_fleet as fleet;
 pub use mrom_net as net;
 pub use mrom_obs as obs;
 pub use mrom_persist as persist;

@@ -49,11 +49,39 @@ fn identities_are_unique_across_a_wide_universe() {
 
 #[test]
 fn thirty_site_federation_brings_up_and_serves() {
+    // The fleet harness drives the same thirty-site star bring-up the
+    // hand-rolled version of this test used to, plus Zipf traffic,
+    // migrations, and churn — and then checks the global invariants
+    // (single host per object, exactly-once counter windows, drained
+    // wire, balanced accounting, telemetry accounting) instead of a few
+    // hand-picked counters.
+    let cfg = mrom::fleet::FleetConfig {
+        topology: mrom::net::Topology::Star,
+        sites: 30,
+        objects_per_site: 20,
+        invocations: 600,
+        churn_events: 3,
+        migration_every: 25,
+        zipf_permille: 1100,
+        workers: 1,
+    };
+    let run = mrom::fleet::run_fleet(&cfg, 123).unwrap();
+    run.report.assert_invariants();
+    assert_eq!(run.report.sites, 30);
+    assert_eq!(run.report.objects, 600);
+    assert!(run.report.ops_ok > 0, "spokes serve traffic");
+    assert!(run.report.migrations_ok > 0, "objects move between sites");
+    assert_eq!(run.report.crashes, 3, "churn hit the spokes");
+    // Traffic accounting survived the whole run.
+    assert!(run.report.stats.bytes_sent > 50_000);
+
+    // The §5 employee-DB deployment still rides on the same federation
+    // machinery: bring one up beside the fleet to keep the original
+    // scenario covered end to end.
     let (mut fed, nodes) = star_federation(123, 30, LinkConfig::lan()).unwrap();
     let hub = nodes[0];
     let ambs = deploy_employee_db(&mut fed, hub, &nodes[1..]).unwrap();
     assert_eq!(ambs.len(), 29);
-    // Every spoke serves locally; the hub records all deployments.
     for &(spoke, amb) in &ambs {
         let client = fed.runtime_mut(spoke).unwrap().ids_mut().next_id();
         assert_eq!(
@@ -63,22 +91,6 @@ fn thirty_site_federation_brings_up_and_serves() {
         );
     }
     assert_eq!(fed.site_stats(hub).unwrap().deployed, 29);
-    // One push reaches all 29 ambassadors.
-    let updated = fed
-        .push_update(
-            hub,
-            "employee-db",
-            &[mrom::hadas::UpdateOp::AddData(
-                "generation".into(),
-                Value::Int(2),
-            )],
-        )
-        .unwrap();
-    assert_eq!(updated, 29);
-    // Traffic accounting survived the whole bring-up.
-    let s = fed.net_stats();
-    assert_eq!(s.messages_sent, s.messages_delivered);
-    assert!(s.bytes_sent > 50_000);
 }
 
 #[test]
