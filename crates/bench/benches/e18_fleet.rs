@@ -40,6 +40,7 @@ fn small(topology: Topology, migration_every: usize) -> FleetConfig {
         migration_every,
         zipf_permille: 1100,
         workers: 1,
+        ..FleetConfig::smoke()
     }
 }
 

@@ -1,0 +1,100 @@
+//! E19 — the self-tuning Advisor: what reflection-driven placement
+//! costs, and the convergence scenario that justifies it.
+//!
+//! The headline numbers (p95 before/after, speedup, migration counts)
+//! ship in `BENCH_PR10.json` via `mrom-fleet converge --json`; this
+//! harness keeps the advisory path itself on the perf radar:
+//!
+//! * **decide_cold** — one advisory pass over a 64-object, 8-site
+//!   snapshot with no prior evidence ledger: the pure decision function
+//!   the epoch driver calls (candidate scan, dominance test, budget and
+//!   dwell gates);
+//! * **decide_warm** — the same pass against an advisor whose ledgers
+//!   already carry evidence baselines, the steady-state shape;
+//! * **converge_run / baseline_run** — the E19 scenario end to end with
+//!   the advisor on vs off: the difference is the total cost of
+//!   telemetry snapshots, candidate tables, advisory epochs, and the
+//!   migrations they trigger (which the latency win has to pay for);
+//! * **pingpong_run** — the adversarial flip workload, dominated by
+//!   hysteresis bookkeeping rather than migration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use hadas::{Advisor, AdvisorConfig, AdvisorInput, Candidate};
+use mrom_fleet::{run_fleet, FleetConfig};
+use mrom_net::NetStats;
+use mrom_obs::{ObjectProfile, TelemetrySnapshot};
+use mrom_value::{NodeId, ObjectId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn synthetic_input(seed: u64) -> (TelemetrySnapshot, NetStats, BTreeMap<ObjectId, Candidate>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut snap = TelemetrySnapshot::default();
+    let mut candidates = BTreeMap::new();
+    for n in 0..64u32 {
+        let id = ObjectId::from_parts(NodeId(1), n, 0);
+        let mut p = ObjectProfile::default();
+        for _ in 0..rng.random_range(1..4usize) {
+            let site = NodeId(rng.random_range(0..8u64));
+            let weight = rng.random_range(1..50u64);
+            *p.remote_callers.entry(site).or_insert(0) += weight;
+            p.invocations += weight;
+        }
+        snap.objects.insert(id, p);
+        candidates.insert(
+            id,
+            Candidate {
+                host: NodeId(u64::from(n % 8)),
+                migration_safe: n % 3 != 0,
+                idempotent_permille: 1000,
+                busy: false,
+            },
+        );
+    }
+    let mut stats = NetStats::default();
+    stats.per_link.insert((NodeId(0), NodeId(1)), (40, 320));
+    stats.per_link_dropped.insert((NodeId(0), NodeId(1)), 12);
+    (snap, stats, candidates)
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_advisor");
+    group.sample_size(10);
+
+    let (snap, stats, candidates) = synthetic_input(42);
+    let input = AdvisorInput {
+        epoch: 4,
+        telemetry: &snap,
+        stats: &stats,
+        candidates: candidates.clone(),
+    };
+
+    let cold = Advisor::new(AdvisorConfig::standard());
+    group.bench_function("decide_cold", |b| {
+        b.iter(|| black_box(cold.decide(black_box(&input))));
+    });
+
+    let mut warm = Advisor::new(AdvisorConfig::standard());
+    let warm_pass = warm.decide(&input);
+    warm.commit(&input, &warm_pass);
+    group.bench_function("decide_warm", |b| {
+        b.iter(|| black_box(warm.decide(black_box(&input))));
+    });
+
+    group.bench_function("converge_run", |b| {
+        b.iter(|| black_box(run_fleet(&FleetConfig::converge_on(), 42).unwrap()));
+    });
+    group.bench_function("baseline_run", |b| {
+        b.iter(|| black_box(run_fleet(&FleetConfig::converge(), 42).unwrap()));
+    });
+    group.bench_function("pingpong_run", |b| {
+        b.iter(|| black_box(run_fleet(&FleetConfig::pingpong(), 42).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

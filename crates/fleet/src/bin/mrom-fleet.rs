@@ -11,9 +11,17 @@
 //!                                     the acceptance run: 1000 sites, 100k objects
 //! mrom-fleet marketplace [--seed N] [--json]
 //!                                     the capability-card marketplace round
+//! mrom-fleet converge [--topology T] [--seed N] [--json]
+//!                                     E19: advisor-off vs advisor-on arms of the
+//!                                     caller-affinity scenario; fails unless the
+//!                                     advisor-on arm's late p95 converged >=2x
 //! mrom-fleet bench [--out PATH]       capacity bench (star + hierarchical,
 //!                                     workers 1 and 4) -> BENCH_FLEET.json
 //! ```
+//!
+//! `run` also accepts `--advisor` (standard self-tuning config),
+//! `--affinity PERMILLE` (caller-affine workload), and `--flip-every N`
+//! (ping-pong home flipping).
 //!
 //! Exit code 0 on success, 1 when a run violates a fleet invariant or
 //! fails outright, 2 on usage errors.
@@ -21,7 +29,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mrom_fleet::{cell_image_bytes, run_fleet, run_marketplace, FleetConfig, FleetRun};
+use mrom_fleet::{
+    cell_image_bytes, run_convergence, run_fleet, run_marketplace, AdvisorConfig, FleetConfig,
+    FleetRun,
+};
 use mrom_net::Topology;
 use mrom_value::Value;
 
@@ -40,6 +51,10 @@ fn main() -> ExitCode {
         },
         ["marketplace", rest @ ..] => match parse_seed_json(rest) {
             Some((seed, json)) => cmd_marketplace(seed, json),
+            None => return usage(),
+        },
+        ["converge", rest @ ..] => match parse_converge(rest) {
+            Some((topology, seed, json)) => cmd_converge(topology, seed, json),
             None => return usage(),
         },
         ["bench", rest @ ..] => match parse_bench(rest) {
@@ -63,10 +78,11 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mrom-fleet <--smoke | run [flags] | flagship [--seed N] [--json] \
-         | marketplace [--seed N] [--json] | bench [--out PATH]>\n\
+         | marketplace [--seed N] [--json] | converge [--topology T] [--seed N] [--json] \
+         | bench [--out PATH]>\n\
          run flags: --topology star|mesh[:K]|hier[:K]  --sites N  --objects N\n\
          \x20          --invocations N  --churn N  --migrate-every N  --workers N\n\
-         \x20          --seed N  --json"
+         \x20          --affinity PERMILLE  --flip-every N  --advisor  --seed N  --json"
     );
     ExitCode::from(2)
 }
@@ -81,6 +97,10 @@ fn parse_run(rest: &[&str], mut cfg: FleetConfig) -> Option<(FleetConfig, u64, b
             json = true;
             continue;
         }
+        if *flag == "--advisor" {
+            cfg.advisor = AdvisorConfig::standard();
+            continue;
+        }
         let value = it.next()?;
         match *flag {
             "--topology" => cfg.topology = Topology::parse(value)?,
@@ -90,6 +110,8 @@ fn parse_run(rest: &[&str], mut cfg: FleetConfig) -> Option<(FleetConfig, u64, b
             "--churn" => cfg.churn_events = value.parse().ok()?,
             "--migrate-every" => cfg.migration_every = value.parse().ok()?,
             "--workers" => cfg.workers = value.parse().ok()?,
+            "--affinity" => cfg.caller_affinity_permille = value.parse().ok()?,
+            "--flip-every" => cfg.affinity_flip_every = value.parse().ok()?,
             "--seed" => seed = value.parse().ok()?,
             _ => return None,
         }
@@ -109,6 +131,22 @@ fn parse_seed_json(rest: &[&str]) -> Option<(u64, bool)> {
         }
     }
     Some((seed, json))
+}
+
+fn parse_converge(rest: &[&str]) -> Option<(Option<Topology>, u64, bool)> {
+    let mut topology = None;
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match *flag {
+            "--json" => json = true,
+            "--seed" => seed = it.next()?.parse().ok()?,
+            "--topology" => topology = Some(Topology::parse(it.next()?)?),
+            _ => return None,
+        }
+    }
+    Some((topology, seed, json))
 }
 
 fn parse_bench(rest: &[&str]) -> Option<String> {
@@ -227,6 +265,50 @@ fn render_run(run: &FleetRun, elapsed: std::time::Duration) -> String {
     )
 }
 
+/// E19: both convergence arms under one seed; exit 1 unless the
+/// advisor-on arm converged (late p95 ≥2× below early p95 and below the
+/// advisor-off arm) with every fleet invariant intact.
+fn cmd_converge(topology: Option<Topology>, seed: u64, json: bool) -> Result<String, String> {
+    let started = Instant::now();
+    let mut cfg = FleetConfig::converge_on();
+    if let Some(topology) = topology {
+        cfg.topology = topology;
+    }
+    let report = run_convergence(&cfg, seed).map_err(|e| format!("converge: {e}"))?;
+    let elapsed = started.elapsed();
+    if !report.converged() {
+        return Err(format!(
+            "convergence failed (seed {seed}): advisor-on early/late p95 {}µs/{}µs, \
+             advisor-off late p95 {}µs, {} migrations, violations off/on {}/{}",
+            report.on.early_p95_us,
+            report.on.late_p95_us,
+            report.off.late_p95_us,
+            report.advisor_migrations,
+            report.off_violations,
+            report.on_violations,
+        ));
+    }
+    if json {
+        return Ok(mrom_obs::to_json_pretty(&report.to_value()));
+    }
+    Ok(format!(
+        "converge {} seed {}: p95 {}µs -> {}µs ({}.{:03}x) in {:?}\n\
+         advisor  {} epochs, {} migrations, {} thrash aborts; \
+         advisor-off late p95 {}µs; all invariants ok",
+        report.topology,
+        report.seed,
+        report.on.early_p95_us,
+        report.on.late_p95_us,
+        report.speedup_permille() / 1000,
+        report.speedup_permille() % 1000,
+        elapsed,
+        report.advisor_epochs,
+        report.advisor_migrations,
+        report.advisor_thrash_aborts,
+        report.off.late_p95_us,
+    ))
+}
+
 fn cmd_marketplace(seed: u64, json: bool) -> Result<String, String> {
     let report = run_marketplace(seed).map_err(|e| format!("marketplace: {e}"))?;
     if json {
@@ -263,6 +345,7 @@ fn bench_cell(topology: Topology, workers: usize) -> Result<(String, Value), Str
         migration_every: 8,
         zipf_permille: 1100,
         workers,
+        ..FleetConfig::smoke()
     };
     let mut best: Option<(std::time::Duration, FleetRun)> = None;
     for pass in 0..3 {

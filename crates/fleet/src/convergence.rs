@@ -1,0 +1,151 @@
+//! E19: the deterministic convergence battery.
+//!
+//! Two arms of the same `(config, seed)` scenario — a caller-affine
+//! Zipf workload over a hierarchical topology whose non-edge routes are
+//! WAN-priced — differing **only** in whether the self-tuning Advisor
+//! is enabled. Each arm records the virtual-time latency of every
+//! workload op; the report compares p95 over the first quarter of ops
+//! (before any placement could have adapted) against p95 over the last
+//! quarter (after the Advisor had its chance).
+//!
+//! The headline claim the battery sweeps across seeds and topologies:
+//! with the Advisor on, **late p95 is at least 2× lower than early
+//! p95** — reflection-driven placement actually converges traffic onto
+//! cheap links — while the advisor-off arm shows no such drop, and
+//! both arms uphold every fleet invariant. All figures are integer
+//! microseconds of virtual time, so the report is byte-deterministic
+//! per seed.
+
+use hadas::{AdvisorConfig, HadasError};
+use mrom_value::Value;
+
+use crate::harness::run_fleet;
+use crate::report::LatencyReport;
+use crate::workload::FleetConfig;
+
+/// The outcome of one two-arm convergence comparison. Deterministic
+/// per `(config, seed)`: rendering it twice yields identical bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// The seed both arms executed under.
+    pub seed: u64,
+    /// Topology name (stable, lowercase).
+    pub topology: &'static str,
+    /// Workload ops per arm.
+    pub invocations: u64,
+    /// Advisor-off arm: early/late latency percentiles.
+    pub off: LatencyReport,
+    /// Advisor-on arm: early/late latency percentiles.
+    pub on: LatencyReport,
+    /// Advisory epochs the on-arm executed.
+    pub advisor_epochs: u64,
+    /// Advisor-driven migrations attempted in the on-arm.
+    pub advisor_migrations: u64,
+    /// Moves the on-arm's hysteresis suppressed.
+    pub advisor_thrash_aborts: u64,
+    /// Fleet-invariant violations in the off arm (must be 0).
+    pub off_violations: u64,
+    /// Fleet-invariant violations in the on arm (must be 0).
+    pub on_violations: u64,
+}
+
+impl ConvergenceReport {
+    /// The E19 acceptance predicate: both arms uphold every fleet
+    /// invariant, the Advisor actually moved something, and with the
+    /// Advisor on the late-phase p95 sits at least 2× below both the
+    /// early-phase p95 and the advisor-off arm's late-phase p95.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.off_violations == 0
+            && self.on_violations == 0
+            && self.advisor_migrations > 0
+            && self.on.late_p95_us.saturating_mul(2) <= self.on.early_p95_us
+            && self.on.late_p95_us.saturating_mul(2) <= self.off.late_p95_us
+    }
+
+    /// Early-over-late p95 ratio of the advisor-on arm, ×1000 (the
+    /// integer convergence factor: 2000 = the required 2×).
+    #[must_use]
+    pub fn speedup_permille(&self) -> u64 {
+        self.on
+            .early_p95_us
+            .saturating_mul(1000)
+            .checked_div(self.on.late_p95_us.max(1))
+            .unwrap_or(0)
+    }
+
+    /// The report as a deterministic value tree (schema
+    /// `mrom.converge.v1`).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let int = |v: u64| Value::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        let arm = |l: &LatencyReport| {
+            Value::map([
+                ("ops_measured", int(l.ops_measured)),
+                ("early_p50_us", int(l.early_p50_us)),
+                ("early_p95_us", int(l.early_p95_us)),
+                ("late_p50_us", int(l.late_p50_us)),
+                ("late_p95_us", int(l.late_p95_us)),
+            ])
+        };
+        Value::map([
+            ("schema", Value::from("mrom.converge.v1")),
+            ("topology", Value::from(self.topology)),
+            ("seed", int(self.seed)),
+            ("invocations", int(self.invocations)),
+            ("advisor_off", arm(&self.off)),
+            ("advisor_on", arm(&self.on)),
+            (
+                "advisor",
+                Value::map([
+                    ("epochs", int(self.advisor_epochs)),
+                    ("migrations", int(self.advisor_migrations)),
+                    ("thrash_aborts", int(self.advisor_thrash_aborts)),
+                ]),
+            ),
+            ("speedup_permille", int(self.speedup_permille())),
+            ("converged", Value::Bool(self.converged())),
+            (
+                "violations",
+                Value::map([
+                    ("advisor_off", int(self.off_violations)),
+                    ("advisor_on", int(self.on_violations)),
+                ]),
+            ),
+        ])
+    }
+
+    /// [`ConvergenceReport::to_value`] as canonical JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        mrom_obs::to_json(&self.to_value())
+    }
+}
+
+/// Runs both arms of the convergence comparison: `cfg` as given (the
+/// advisor-on treatment — it should carry an enabled
+/// [`AdvisorConfig`]), and the identical config with the advisor
+/// switched off as the baseline.
+///
+/// # Errors
+///
+/// Setup or non-fault protocol errors from either arm.
+pub fn run_convergence(cfg: &FleetConfig, seed: u64) -> Result<ConvergenceReport, HadasError> {
+    let mut off_cfg = *cfg;
+    off_cfg.advisor = AdvisorConfig::off();
+    let off_run = run_fleet(&off_cfg, seed)?;
+    let on_run = run_fleet(cfg, seed)?;
+    let advisor = on_run.report.advisor.unwrap_or_default();
+    Ok(ConvergenceReport {
+        seed,
+        topology: cfg.topology.name(),
+        invocations: cfg.invocations as u64,
+        off: off_run.report.latency.unwrap_or_default(),
+        on: on_run.report.latency.unwrap_or_default(),
+        advisor_epochs: advisor.epochs,
+        advisor_migrations: on_run.report.advisor_migrations(),
+        advisor_thrash_aborts: advisor.thrash_aborts,
+        off_violations: off_run.report.violations().len() as u64,
+        on_violations: on_run.report.violations().len() as u64,
+    })
+}

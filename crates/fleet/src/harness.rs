@@ -15,20 +15,31 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use hadas::{Federation, HadasError, RetryPolicy};
-use mrom_core::{ClassSpec, DataItem, Method, MethodBody};
-use mrom_net::{NetworkConfig, Topology, TopologyEdge};
+use hadas::{
+    Advisor, AdvisorDecision, AdvisorInput, AmbassadorSpec, Candidate, Federation, HadasError,
+    RetryPolicy,
+};
+use mrom_core::{AdmissionPolicy, ClassSpec, DataItem, Method, MethodBody};
+use mrom_net::{LinkConfig, NetworkConfig, Topology, TopologyEdge};
 use mrom_obs::{ObsMode, TelemetrySnapshot, WindowConfig};
 use mrom_value::{NodeId, ObjectId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::report::FleetReport;
+use crate::report::{AdvisorReport, FleetReport, LatencyReport};
 use crate::workload::{FleetConfig, Zipf};
 
 /// One epoch wide enough to hold any simulated run, so the whole run
 /// lands in a single telemetry window.
 const RUN_EPOCH_US: u64 = 1 << 40;
+
+/// Name every site's status APO registers under when the advisor is on;
+/// ambassador-refresh decisions re-import it across degraded links.
+const FLEET_STATUS_APO: &str = "fleet-status";
+
+/// Seed salt for the caller-affinity home assignment (its own stream, so
+/// affinity draws never perturb the workload or churn streams).
+const AFFINITY_SALT: u64 = 0xC3A5_5A3C_6996_0B5F;
 
 /// A completed run: the invariant report plus the global telemetry
 /// snapshot taken at the end (both deterministic per seed).
@@ -95,7 +106,13 @@ enum ChurnAction {
 pub fn run_fleet(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
     let prev_mode = mrom_obs::mode();
     mrom_obs::reset();
-    mrom_obs::set_window(Some(WindowConfig::new(RUN_EPOCH_US, 2)));
+    // Caller tracking is gated on the advisor so advisor-off telemetry
+    // stays byte-identical to pre-advisor builds.
+    let mut window = WindowConfig::new(RUN_EPOCH_US, 2);
+    if cfg.advisor.enabled {
+        window = window.with_callers();
+    }
+    mrom_obs::set_window(Some(window));
     mrom_obs::set_mode(ObsMode::Ring);
     let result = run_inner(cfg, seed);
     mrom_obs::reset();
@@ -104,14 +121,59 @@ pub fn run_fleet(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
     result
 }
 
+/// Per-site status APO registered when the advisor is on: one public
+/// datum naming its origin and a pure reader, enough for ambassador
+/// refresh traffic to be real protocol work.
+fn fleet_status_class(origin: NodeId) -> ClassSpec {
+    ClassSpec::new("fleet-status")
+        .fixed_data(
+            "origin",
+            DataItem::public(Value::Int(i64::try_from(origin.0).unwrap_or(i64::MAX))),
+        )
+        .fixed_method(
+            "status",
+            Method::public(
+                MethodBody::script("return self.get(\"origin\");").expect("status parses"),
+            ),
+        )
+}
+
+/// Exact percentile over a sorted latency slice (nearest-rank on the
+/// zero-based index, so the figure is integer-deterministic).
+fn percentile_us(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// p50/p95 over one quarter of the latency trace.
+fn quarter_stats(quarter: &[u64]) -> (u64, u64) {
+    let mut sorted = quarter.to_vec();
+    sorted.sort_unstable();
+    (percentile_us(&sorted, 50), percentile_us(&sorted, 95))
+}
+
 #[allow(clippy::too_many_lines)]
 fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
     let n = cfg.sites;
     let sites = Topology::sites(n);
     let edges = cfg.topology.edges(n);
+    let affinity = cfg.caller_affinity_permille > 0;
 
     // -- federation over the topology ------------------------------------
-    let net_cfg = NetworkConfig::new(seed).with_default_link(mrom_net::LinkTier::Local.link());
+    // In caller-affinity mode the default (non-edge) route is WAN-priced:
+    // pre-convergence remote traffic is visibly expensive, while topology
+    // edges keep their tier links. No jitter or loss — fault-free runs
+    // stay RNG-free either way.
+    let default_link = if affinity {
+        LinkConfig::new()
+            .latency_us(80_000)
+            .bandwidth_bytes_per_sec(64_000)
+    } else {
+        mrom_net::LinkTier::Local.link()
+    };
+    let net_cfg = NetworkConfig::new(seed).with_default_link(default_link);
     let mut fed = Federation::new(net_cfg);
     for &s in &sites {
         fed.add_site(s)?;
@@ -133,6 +195,20 @@ fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
     for &s in &sites {
         ioo_ids.insert(s, fed.ioo_id(s)?);
     }
+    if cfg.advisor.enabled {
+        // Every site exports a status APO so ambassador-refresh
+        // decisions have something real to (re)deploy.
+        for &s in &sites {
+            let apo = {
+                let rt = fed.runtime_mut(s)?;
+                fleet_status_class(s).instantiate_as(rt.ids_mut().next_id(), None)
+            };
+            let spec = AmbassadorSpec::relay_only()
+                .with_methods(["status"])
+                .with_data(["origin"]);
+            fed.integrate_apo(s, FLEET_STATUS_APO, apo, spec)?;
+        }
+    }
 
     // -- the object population (interleaved placement) -------------------
     let class = fleet_cell_class();
@@ -147,6 +223,26 @@ fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
         rt.adopt(cell)?;
         objects.push(id);
         hosts.push(site);
+    }
+
+    // -- caller-affinity homes (own RNG stream) --------------------------
+    // Each object gets a seeded home caller plus a distinct alternate
+    // (used only by the ping-pong flip). Residual non-affine draws come
+    // from the home's topology neighbors, so a converged placement
+    // serves them over cheap tier links rather than the WAN default.
+    let mut home: Vec<NodeId> = Vec::new();
+    let mut alt: Vec<NodeId> = Vec::new();
+    if affinity {
+        let mut aff_rng = StdRng::seed_from_u64(seed ^ AFFINITY_SALT);
+        for _ in 0..total {
+            let h = aff_rng.random_range(0..n);
+            let mut a = aff_rng.random_range(0..n);
+            if a == h {
+                a = (a + 1) % n;
+            }
+            home.push(sites[h]);
+            alt.push(sites[a]);
+        }
     }
 
     // -- churn schedule (own RNG stream; core sites are spared) ----------
@@ -209,7 +305,16 @@ fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
         stats: mrom_net::NetStats::default(),
         telemetry_invocations: 0,
         telemetry_fold_matches: true,
+        advisor: None,
+        latency: None,
     };
+
+    // -- advisor state ----------------------------------------------------
+    let mut advisor = Advisor::new(cfg.advisor);
+    let mut advisor_report = AdvisorReport::default();
+    let mut next_epoch_at = cfg.advisor.epoch_us.max(1);
+    let mut shed_active = false;
+    let mut latencies: Vec<u64> = Vec::new();
 
     let mut next_event = 0usize;
     for op in 0..cfg.invocations {
@@ -237,20 +342,53 @@ fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
         let k = zipf.sample(&mut rng);
         let target = objects[k];
         let host = hosts[k];
-        let neighbors = &adj[&host];
-        let pick = rng.random_range(0..=neighbors.len());
-        let bumping = rng.random_bool(0.75);
         touched.insert(k);
+        let (caller, bumping) = if affinity {
+            // The op originates at the object's (possibly flipped) home
+            // caller, or at one of the home's neighbors for the
+            // residual non-affine share.
+            let base = if cfg.affinity_flip_every > 0 && (op / cfg.affinity_flip_every) % 2 == 1 {
+                alt[k]
+            } else {
+                home[k]
+            };
+            let from_home = rng.random_range(0..1000u64) < cfg.caller_affinity_permille;
+            let bumping = rng.random_bool(0.75);
+            let caller = if from_home {
+                base
+            } else {
+                let nbrs = &adj[&base];
+                if nbrs.is_empty() {
+                    base
+                } else {
+                    nbrs[rng.random_range(0..nbrs.len())]
+                }
+            };
+            (caller, bumping)
+        } else {
+            // Classic workload: caller is the host itself or one of the
+            // host's neighbors — exactly the pre-advisor draw sequence.
+            let neighbors = &adj[&host];
+            let pick = rng.random_range(0..=neighbors.len());
+            let bumping = rng.random_bool(0.75);
+            let caller = if pick == 0 { host } else { neighbors[pick - 1] };
+            (caller, bumping)
+        };
         let method = if bumping { "bump" } else { "peek" };
-        let outcome = if pick == 0 {
+        let issued_at = fed.now().as_micros();
+        let outcome = if caller == host {
             // Caller and object share a site: straight runtime invoke.
             fed.runtime_mut(host)?
                 .invoke(ioo_ids[&host], target, method, &[])
                 .map_err(HadasError::Model)
         } else {
-            let from = neighbors[pick - 1];
-            fed.remote_invoke(from, host, ioo_ids[&from], target, method, &[])
+            fed.remote_invoke(caller, host, ioo_ids[&caller], target, method, &[])
         };
+        if affinity {
+            // Virtual-time cost of the op: 0 when served locally, the
+            // round-trip (plus retries) when served remotely.
+            latencies.push(fed.now().as_micros().saturating_sub(issued_at));
+        }
         match (outcome, bumping) {
             (Ok(_), true) => {
                 report.ops_ok += 1;
@@ -286,6 +424,19 @@ fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
                     Err(_) => report.migrations_skipped += 1,
                 }
             }
+        }
+
+        if cfg.advisor.enabled && fed.now().as_micros() >= next_epoch_at {
+            advisor_pass(
+                &mut fed,
+                &mut advisor,
+                &mut advisor_report,
+                &mut shed_active,
+                &objects,
+                &mut hosts,
+                &down,
+            )?;
+            next_epoch_at = fed.now().as_micros() + cfg.advisor.epoch_us.max(1);
         }
     }
     report.distinct_targets = touched.len() as u64;
@@ -336,6 +487,21 @@ fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
     report.parked_in_doubt = parked_total(&fed) as u64;
     report.in_flight = fed.in_flight() as u64;
     report.stats = fed.net_stats().clone();
+    if cfg.advisor.enabled {
+        report.advisor = Some(advisor_report);
+    }
+    if affinity && !latencies.is_empty() {
+        let q = (latencies.len() / 4).max(1).min(latencies.len());
+        let (early_p50, early_p95) = quarter_stats(&latencies[..q]);
+        let (late_p50, late_p95) = quarter_stats(&latencies[latencies.len() - q..]);
+        report.latency = Some(LatencyReport {
+            ops_measured: latencies.len() as u64,
+            early_p50_us: early_p50,
+            early_p95_us: early_p95,
+            late_p50_us: late_p50,
+            late_p95_us: late_p95,
+        });
+    }
 
     // -- telemetry accounting ----------------------------------------------
     let telemetry = fed.telemetry();
@@ -351,6 +517,123 @@ fn run_inner(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, HadasError> {
     report.telemetry_fold_matches = folded.objects == telemetry.objects;
 
     Ok(FleetRun { report, telemetry })
+}
+
+/// One advisory epoch: global telemetry snapshot → effect-system
+/// candidate table → pure [`Advisor::decide`] → execute each decision
+/// through the ordinary federation machinery → commit the evidence
+/// ledgers. The pass itself consumes no RNG: every decision is a pure
+/// function of the snapshot, the config, and the accumulated state.
+#[allow(clippy::too_many_lines)]
+fn advisor_pass(
+    fed: &mut Federation,
+    advisor: &mut Advisor,
+    advisor_report: &mut AdvisorReport,
+    shed_active: &mut bool,
+    objects: &[ObjectId],
+    hosts: &mut [NodeId],
+    down: &BTreeSet<NodeId>,
+) -> Result<(), HadasError> {
+    let snap = fed.telemetry();
+    let stats = fed.net_stats().clone();
+    let mut candidates = BTreeMap::new();
+    for (i, &id) in objects.iter().enumerate() {
+        let host = hosts[i];
+        if down.contains(&host) {
+            continue;
+        }
+        let Ok(rt) = fed.runtime_mut(host) else {
+            continue;
+        };
+        // Checked-out or evicted objects are simply not advisable.
+        let Some(obj) = rt.object_mut(id) else {
+            continue;
+        };
+        let effects = obj.effects();
+        let migration_safe = !effects.is_empty() && effects.values().all(|sig| sig.migration_safe);
+        let idempotent = effects.values().filter(|sig| sig.idempotent).count() as u64;
+        let idempotent_permille = if effects.is_empty() {
+            0
+        } else {
+            idempotent * 1000 / effects.len() as u64
+        };
+        candidates.insert(
+            id,
+            Candidate {
+                host,
+                migration_safe,
+                idempotent_permille,
+                busy: false,
+            },
+        );
+    }
+    let input = AdvisorInput {
+        epoch: advisor_report.epochs,
+        telemetry: &snap,
+        stats: &stats,
+        candidates,
+    };
+    let pass = advisor.decide(&input);
+
+    let member: BTreeMap<ObjectId, usize> =
+        objects.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut shed_this_pass = false;
+    for decision in &pass.decisions {
+        match *decision {
+            AdvisorDecision::Migrate { object, from, to } => {
+                let Some(&i) = member.get(&object) else {
+                    continue;
+                };
+                if hosts[i] != from || from == to || down.contains(&from) || down.contains(&to) {
+                    advisor_report.migrations_skipped += 1;
+                    continue;
+                }
+                // Link on demand: the advisor targets arbitrary pairs,
+                // dispatch requires an agreement.
+                if !fed.is_linked(from, to) && fed.link(from, to).is_err() {
+                    advisor_report.migrations_skipped += 1;
+                    continue;
+                }
+                match fed.dispatch_object(from, to, object) {
+                    Ok(()) => {
+                        advisor_report.migrations_ok += 1;
+                        hosts[i] = to;
+                    }
+                    // Parked in-doubt; the final drain settles it.
+                    Err(HadasError::Timeout { .. }) => advisor_report.migrations_failed += 1,
+                    Err(_) => advisor_report.migrations_skipped += 1,
+                }
+            }
+            AdvisorDecision::RefreshAmbassador { origin, host } => {
+                if origin == host || down.contains(&origin) || down.contains(&host) {
+                    continue;
+                }
+                if !fed.is_linked(host, origin) && fed.link(host, origin).is_err() {
+                    continue;
+                }
+                if fed.import_apo(host, origin, FLEET_STATUS_APO).is_ok() {
+                    advisor_report.ambassadors_refreshed += 1;
+                }
+            }
+            AdvisorDecision::Shed { site: _ } => {
+                // Admission is federation-wide: tightening to Strict
+                // makes every admission pay analysis and refuse
+                // error-severity images until the pressure clears.
+                fed.set_admission_policy(AdmissionPolicy::Strict);
+                *shed_active = true;
+                shed_this_pass = true;
+                advisor_report.sheds += 1;
+            }
+        }
+    }
+    if *shed_active && !shed_this_pass {
+        fed.set_admission_policy(AdmissionPolicy::Off);
+        *shed_active = false;
+    }
+    advisor_report.thrash_aborts += pass.thrash_aborts;
+    advisor_report.epochs += 1;
+    advisor.commit(&input, &pass);
+    Ok(())
 }
 
 /// Heals every parked migration at every site, retrying a few passes in

@@ -38,12 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod convergence;
 mod harness;
 mod marketplace;
 mod report;
 mod workload;
 
+pub use convergence::{run_convergence, ConvergenceReport};
+pub use hadas::AdvisorConfig;
 pub use harness::{cell_image_bytes, run_fleet, FleetRun};
 pub use marketplace::{run_marketplace, MarketReport};
-pub use report::FleetReport;
+pub use report::{AdvisorReport, FleetReport, LatencyReport};
 pub use workload::{FleetConfig, Zipf};

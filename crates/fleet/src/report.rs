@@ -9,6 +9,73 @@
 use mrom_net::NetStats;
 use mrom_value::Value;
 
+/// What the self-tuning Advisor did over one run. Present only when the
+/// run's [`AdvisorConfig`](hadas::AdvisorConfig) was enabled, so
+/// advisor-off reports stay byte-identical to pre-advisor builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvisorReport {
+    /// Advisory passes executed (one per virtual-time epoch reached).
+    pub epochs: u64,
+    /// Advisor-driven migrations acknowledged by the destination.
+    pub migrations_ok: u64,
+    /// Advisor-driven migrations parked in-doubt (settled by the drain).
+    pub migrations_failed: u64,
+    /// Advisor-driven migrations refused outright.
+    pub migrations_skipped: u64,
+    /// Candidate moves suppressed by dwell time or migration budgets —
+    /// the no-thrash witness.
+    pub thrash_aborts: u64,
+    /// Ambassadors deployed or refreshed across degraded links.
+    pub ambassadors_refreshed: u64,
+    /// Shed decisions executed (admission policy tightened).
+    pub sheds: u64,
+}
+
+impl AdvisorReport {
+    fn to_value(self) -> Value {
+        let int = |v: u64| Value::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        Value::map([
+            ("epochs", int(self.epochs)),
+            ("migrations_ok", int(self.migrations_ok)),
+            ("migrations_failed", int(self.migrations_failed)),
+            ("migrations_skipped", int(self.migrations_skipped)),
+            ("thrash_aborts", int(self.thrash_aborts)),
+            ("ambassadors_refreshed", int(self.ambassadors_refreshed)),
+            ("sheds", int(self.sheds)),
+        ])
+    }
+}
+
+/// Virtual-time per-op latency percentiles over the run's first and
+/// last quarters. Present only for caller-affinity workloads (the E19
+/// battery), where the early/late contrast is the convergence figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// Workload ops whose virtual-time latency was measured.
+    pub ops_measured: u64,
+    /// Median latency over the first quarter of ops, in µs.
+    pub early_p50_us: u64,
+    /// 95th-percentile latency over the first quarter of ops, in µs.
+    pub early_p95_us: u64,
+    /// Median latency over the last quarter of ops, in µs.
+    pub late_p50_us: u64,
+    /// 95th-percentile latency over the last quarter of ops, in µs.
+    pub late_p95_us: u64,
+}
+
+impl LatencyReport {
+    fn to_value(self) -> Value {
+        let int = |v: u64| Value::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        Value::map([
+            ("ops_measured", int(self.ops_measured)),
+            ("early_p50_us", int(self.early_p50_us)),
+            ("early_p95_us", int(self.early_p95_us)),
+            ("late_p50_us", int(self.late_p50_us)),
+            ("late_p95_us", int(self.late_p95_us)),
+        ])
+    }
+}
+
 /// The outcome of one [`crate::run_fleet`] run. Doubles as the
 /// determinism witness: same config + seed must reproduce it field for
 /// field.
@@ -72,9 +139,28 @@ pub struct FleetReport {
     /// Whether absorbing every per-site telemetry slice reproduced the
     /// global per-object profiles exactly.
     pub telemetry_fold_matches: bool,
+    /// Advisor activity, when the run's advisor was enabled (`None`
+    /// keeps advisor-off reports byte-identical to pre-advisor builds).
+    pub advisor: Option<AdvisorReport>,
+    /// Early/late latency percentiles, for caller-affinity workloads.
+    pub latency: Option<LatencyReport>,
 }
 
 impl FleetReport {
+    /// Advisor-driven migrations attempted (acknowledged + in-doubt);
+    /// 0 when the advisor was off.
+    #[must_use]
+    pub fn advisor_migrations(&self) -> u64 {
+        self.advisor
+            .map_or(0, |a| a.migrations_ok + a.migrations_failed)
+    }
+
+    /// Moves the advisor's hysteresis suppressed; 0 when it was off.
+    #[must_use]
+    pub fn advisor_thrash_aborts(&self) -> u64 {
+        self.advisor.map_or(0, |a| a.thrash_aborts)
+    }
+
     /// Checks every fleet invariant, returning a human-readable list of
     /// violations (empty = the run upheld all of them):
     ///
@@ -172,7 +258,7 @@ impl FleetReport {
     #[allow(clippy::cast_possible_wrap)]
     pub fn to_value(&self) -> Value {
         let int = |v: u64| Value::Int(v as i64);
-        Value::map([
+        let mut fields = vec![
             ("schema", Value::from("mrom.fleet.v1")),
             ("topology", Value::from(self.topology)),
             ("seed", int(self.seed)),
@@ -241,7 +327,17 @@ impl FleetReport {
                     ("fold_matches", Value::Bool(self.telemetry_fold_matches)),
                 ]),
             ),
-        ])
+        ];
+        // Rendered only when present, so advisor-off runs keep the exact
+        // pre-advisor JSON byte layout (the golden regression compares
+        // against artifacts captured before the Advisor existed).
+        if let Some(advisor) = self.advisor {
+            fields.push(("advisor", advisor.to_value()));
+        }
+        if let Some(latency) = self.latency {
+            fields.push(("latency", latency.to_value()));
+        }
+        Value::map(fields)
     }
 
     /// [`FleetReport::to_value`] rendered as canonical JSON.
@@ -288,6 +384,8 @@ mod tests {
             },
             telemetry_invocations: 10,
             telemetry_fold_matches: true,
+            advisor: None,
+            latency: None,
         }
     }
 
@@ -338,6 +436,33 @@ mod tests {
         assert!(r.violations().is_empty());
         r.telemetry_invocations = 13; // one more than any execution could explain
         assert!(!r.violations().is_empty());
+    }
+
+    #[test]
+    fn advisor_and_latency_sections_render_only_when_present() {
+        let off = clean_report().to_json();
+        assert!(!off.contains("\"advisor\""));
+        assert!(!off.contains("\"latency\""));
+        let mut on = clean_report();
+        on.advisor = Some(AdvisorReport {
+            epochs: 3,
+            migrations_ok: 2,
+            thrash_aborts: 1,
+            ..AdvisorReport::default()
+        });
+        on.latency = Some(LatencyReport {
+            ops_measured: 100,
+            early_p95_us: 160_000,
+            late_p95_us: 4_000,
+            ..LatencyReport::default()
+        });
+        let json = on.to_json();
+        assert!(json.contains("\"advisor\":{"));
+        assert!(json.contains("\"thrash_aborts\":1"));
+        assert!(json.contains("\"latency\":{"));
+        assert_eq!(on.advisor_migrations(), 2);
+        assert_eq!(on.advisor_thrash_aborts(), 1);
+        assert_eq!(clean_report().advisor_migrations(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use hadas::AdvisorConfig;
 use mrom_net::Topology;
 
 /// Everything that shapes one fleet run. All knobs are plain integers
@@ -33,6 +34,21 @@ pub struct FleetConfig {
     pub zipf_permille: u64,
     /// Per-site worker pool width (1 = byte-for-byte classic engine).
     pub workers: usize,
+    /// Caller-affinity strength ×1000. 0 (the default) keeps the classic
+    /// neighbor-of-host workload byte-for-byte. When positive, every
+    /// object is assigned a seeded *home caller* site and that fraction
+    /// of its traffic originates there (the rest from the home caller's
+    /// topology neighbors) — the locality structure the Advisor is
+    /// supposed to discover and exploit.
+    pub caller_affinity_permille: u64,
+    /// Every N ops the home caller flips to a second seeded site
+    /// (0 disables). The adversarial ping-pong workload: two sites
+    /// alternate as dominant caller, so a policy without hysteresis
+    /// would bounce objects forever.
+    pub affinity_flip_every: usize,
+    /// Self-tuning Advisor knobs; [`AdvisorConfig::off`] (the default)
+    /// reproduces pre-advisor runs byte-for-byte.
+    pub advisor: AdvisorConfig,
 }
 
 impl FleetConfig {
@@ -48,6 +64,9 @@ impl FleetConfig {
             migration_every: 20,
             zipf_permille: 1100,
             workers: 1,
+            caller_affinity_permille: 0,
+            affinity_flip_every: 0,
+            advisor: AdvisorConfig::off(),
         }
     }
 
@@ -64,6 +83,78 @@ impl FleetConfig {
             migration_every: 50,
             zipf_permille: 1100,
             workers: 1,
+            caller_affinity_permille: 0,
+            affinity_flip_every: 0,
+            advisor: AdvisorConfig::off(),
+        }
+    }
+
+    /// The E19 convergence scenario: a hierarchical topology whose
+    /// cross-cluster default routes are WAN-priced, a strongly
+    /// caller-affine Zipf workload (90% of each object's traffic from
+    /// its seeded home caller), random migration traffic off, churn
+    /// off. Advisor **off** — this is the baseline arm;
+    /// [`FleetConfig::converge_on`] is the treatment arm.
+    #[must_use]
+    pub fn converge() -> FleetConfig {
+        FleetConfig {
+            topology: Topology::Hierarchical { cluster_size: 4 },
+            sites: 12,
+            objects_per_site: 6,
+            invocations: 2400,
+            churn_events: 0,
+            migration_every: 0,
+            zipf_permille: 1100,
+            workers: 1,
+            caller_affinity_permille: 900,
+            affinity_flip_every: 0,
+            advisor: AdvisorConfig::off(),
+        }
+    }
+
+    /// [`FleetConfig::converge`] with the standard Advisor switched on
+    /// and its sweep widened so even tail objects are examined: the
+    /// treatment arm of the E19 battery.
+    #[must_use]
+    pub fn converge_on() -> FleetConfig {
+        let mut cfg = FleetConfig::converge();
+        cfg.advisor = AdvisorConfig {
+            hot_k: 4096,
+            min_invocations: 3,
+            dominance_permille: 600,
+            max_migrations_per_epoch: 32,
+            max_total_migrations: 512,
+            ..AdvisorConfig::standard()
+        };
+        cfg
+    }
+
+    /// The adversarial ping-pong scenario: every object's home caller
+    /// flips between two seeded sites every 150 ops. Without hysteresis
+    /// the Advisor would chase the flip forever; the no-thrash test
+    /// asserts its total moves stay inside the lifetime budget and that
+    /// the dwell timer actually suppressed chases.
+    #[must_use]
+    pub fn pingpong() -> FleetConfig {
+        FleetConfig {
+            topology: Topology::Star,
+            sites: 6,
+            objects_per_site: 4,
+            invocations: 1800,
+            churn_events: 0,
+            migration_every: 0,
+            zipf_permille: 1100,
+            workers: 1,
+            caller_affinity_permille: 950,
+            affinity_flip_every: 150,
+            advisor: AdvisorConfig {
+                hot_k: 64,
+                min_invocations: 3,
+                dominance_permille: 600,
+                max_migrations_per_epoch: 4,
+                max_total_migrations: 48,
+                ..AdvisorConfig::standard()
+            },
         }
     }
 

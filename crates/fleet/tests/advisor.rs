@@ -1,0 +1,164 @@
+//! Advisor integration suite: the PR's guard rails.
+//!
+//! * **Golden regression** — `run_fleet` with the advisor off must
+//!   reproduce the pre-advisor `FleetReport` and telemetry JSON
+//!   artifacts byte-for-byte (captured under `tests/golden/` before the
+//!   Advisor existed; regenerate with `MROM_FLEET_REGEN_GOLDEN=1`).
+//! * **E19 convergence** — with the advisor on, the caller-affinity
+//!   scenario's late-phase p95 drops at least 2× below the early phase
+//!   and below the advisor-off arm, deterministically per seed.
+//! * **No-thrash** — the adversarial ping-pong workload settles: total
+//!   advisor moves stay inside the lifetime budget and the dwell timer
+//!   visibly suppressed chases.
+//! * **Churn interaction** — every PR-9 fleet invariant holds with the
+//!   advisor active under crash/restart churn.
+
+use mrom_fleet::{run_convergence, run_fleet, FleetConfig};
+use mrom_net::Topology;
+
+fn golden_path(name: &str) -> String {
+    format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden(name: &str) -> String {
+    std::fs::read_to_string(golden_path(name))
+        .unwrap_or_else(|e| panic!("reading golden {name}: {e}"))
+}
+
+/// Regenerates the golden artifacts. Gated behind an env var so it
+/// never runs in CI; only use it when the *intended* byte layout of
+/// advisor-off runs changes (which should be never within a release).
+#[test]
+fn regen_golden_when_asked() {
+    if std::env::var("MROM_FLEET_REGEN_GOLDEN").is_err() {
+        return;
+    }
+    for seed in [7u64, 42, 1997] {
+        let run = run_fleet(&FleetConfig::smoke(), seed).expect("golden run");
+        std::fs::write(
+            golden_path(&format!("smoke_{seed}.report.json")),
+            run.report.to_json(),
+        )
+        .unwrap();
+        std::fs::write(
+            golden_path(&format!("smoke_{seed}.telemetry.json")),
+            run.telemetry.to_json(),
+        )
+        .unwrap();
+    }
+}
+
+/// Satellite 1: the advisor-off default is not merely "similar" to the
+/// pre-advisor harness — it is byte-identical, reports and telemetry
+/// both, across the same seeds the determinism sweep uses.
+#[test]
+fn advisor_off_reproduces_pre_advisor_artifacts_byte_for_byte() {
+    for seed in [7u64, 42, 1997] {
+        let run = run_fleet(&FleetConfig::smoke(), seed).expect("smoke runs");
+        assert_eq!(
+            run.report.to_json(),
+            golden(&format!("smoke_{seed}.report.json")),
+            "advisor-off FleetReport for seed {seed} diverged from the pre-advisor artifact"
+        );
+        assert_eq!(
+            run.telemetry.to_json(),
+            golden(&format!("smoke_{seed}.telemetry.json")),
+            "advisor-off telemetry for seed {seed} diverged from the pre-advisor artifact"
+        );
+        assert!(run.report.advisor.is_none(), "no advisor section when off");
+        assert!(run.report.latency.is_none(), "no latency section when off");
+    }
+}
+
+/// E19 headline: the advisor converges the caller-affinity workload —
+/// late p95 at least 2× below early p95 and below the advisor-off arm,
+/// with all fleet invariants intact in both arms — swept over seeds ×
+/// topologies.
+#[test]
+fn convergence_battery_improves_p95_at_least_two_fold() {
+    for topology in [
+        Topology::Hierarchical { cluster_size: 4 },
+        Topology::Mesh { degree: 3 },
+        Topology::Star,
+    ] {
+        for seed in [7u64, 42, 1997] {
+            let cfg = FleetConfig {
+                topology,
+                ..FleetConfig::converge_on()
+            };
+            let report = run_convergence(&cfg, seed).expect("converge runs");
+            assert!(
+                report.converged(),
+                "E19 failed on {} seed {seed}: on early/late p95 {}µs/{}µs, \
+                 off late p95 {}µs, {} migrations, violations off/on {}/{}",
+                topology.name(),
+                report.on.early_p95_us,
+                report.on.late_p95_us,
+                report.off.late_p95_us,
+                report.advisor_migrations,
+                report.off_violations,
+                report.on_violations,
+            );
+            assert!(report.advisor_epochs > 0, "advisor must have run");
+            assert!(
+                report.speedup_permille() >= 2000,
+                "{} seed {seed}: speedup {}‰ below the 2× bar",
+                topology.name(),
+                report.speedup_permille()
+            );
+        }
+    }
+}
+
+/// Advisor runs are as deterministic as advisor-off runs: same
+/// (config, seed) twice → byte-identical report and telemetry.
+#[test]
+fn advisor_on_runs_are_byte_deterministic() {
+    let cfg = FleetConfig::converge_on();
+    let a = run_fleet(&cfg, 7).expect("first run");
+    let b = run_fleet(&cfg, 7).expect("second run");
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert_eq!(a.telemetry.to_json(), b.telemetry.to_json());
+    assert_eq!(a.report, b.report);
+}
+
+/// Satellite 4: the ping-pong workload (two sites alternately dominant)
+/// settles under hysteresis — total advisor moves stay inside the
+/// lifetime budget and the dwell timer visibly suppressed chases.
+#[test]
+fn pingpong_workload_settles_under_hysteresis() {
+    let cfg = FleetConfig::pingpong();
+    let run = run_fleet(&cfg, 42).expect("pingpong runs");
+    run.report.assert_invariants();
+    let advisor = run.report.advisor.expect("advisor section present");
+    assert!(
+        run.report.advisor_migrations() <= cfg.advisor.max_total_migrations,
+        "{} advisor moves exceeded the lifetime budget {}",
+        run.report.advisor_migrations(),
+        cfg.advisor.max_total_migrations
+    );
+    assert!(
+        run.report.advisor_thrash_aborts() > 0,
+        "the flip workload must trip the dwell timer at least once"
+    );
+    assert!(advisor.epochs > 0, "advisor must have run");
+}
+
+/// Churn interaction: every PR-9 fleet invariant (single host,
+/// exactly-once windows, drained wire, balanced stats, telemetry fold)
+/// holds with the advisor migrating objects while sites crash and
+/// restart mid-run.
+#[test]
+fn fleet_invariants_hold_with_advisor_under_churn() {
+    let mut cfg = FleetConfig::converge_on();
+    cfg.churn_events = 2;
+    for seed in [7u64, 42] {
+        let run = run_fleet(&cfg, seed).expect("churny advisor run");
+        run.report.assert_invariants();
+        assert!(run.report.crashes > 0, "churn must have fired");
+        assert!(
+            run.report.advisor.expect("advisor section").epochs > 0,
+            "advisor must have run despite churn"
+        );
+    }
+}

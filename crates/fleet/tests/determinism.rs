@@ -47,6 +47,37 @@ fn same_seed_reproduces_report_and_telemetry_byte_for_byte() {
 }
 
 #[test]
+fn advisor_on_runs_sweep_deterministically() {
+    // The Advisor's decisions are pure functions of (snapshot, config),
+    // so enabling it must not cost a single bit of reproducibility:
+    // same sweep contract as the advisor-off test above.
+    let cfg = FleetConfig::converge_on();
+    for seed in sweep_seeds() {
+        let first = run_fleet(&cfg, seed).expect("first run");
+        let second = run_fleet(&cfg, seed).expect("second run");
+        assert_eq!(
+            first.report, second.report,
+            "seed {seed}: advisor-on reports must match field for field"
+        );
+        assert_eq!(
+            first.report.to_json(),
+            second.report.to_json(),
+            "seed {seed}: advisor-on report JSON must match byte for byte"
+        );
+        assert_eq!(
+            first.telemetry.to_json(),
+            second.telemetry.to_json(),
+            "seed {seed}: advisor-on telemetry JSON must match byte for byte"
+        );
+        first.report.assert_invariants();
+        assert!(
+            first.report.advisor.expect("advisor section").epochs > 0,
+            "seed {seed}: advisor must have run"
+        );
+    }
+}
+
+#[test]
 fn determinism_holds_across_topologies_and_worker_pools() {
     for topology in [
         Topology::Star,

@@ -1,0 +1,723 @@
+//! The self-tuning **Advisor**: reflection-driven placement policy.
+//!
+//! §6 of the paper sketches the payoff of a reflective object model:
+//! because the system can *observe itself* (the `getTelemetry` surface,
+//! the effect system, the network accounting), a policy layer can steer
+//! placement without cooperation from application code. The Advisor is
+//! that layer. Once per virtual-time epoch a site (or the fleet driver
+//! acting for all sites) feeds it:
+//!
+//! * a [`TelemetrySnapshot`] — hot-object rankings, the per-object
+//!   remote-caller histogram (recorded when the window is configured
+//!   with [`WindowConfig::with_callers`](mrom_obs::WindowConfig)),
+//!   the site-to-site call matrix, and per-link delivery windows;
+//! * [`NetStats`] — the simulator's cumulative per-link accounting,
+//!   the fallback degradation signal when no window is configured;
+//! * a candidate table derived from the effect system: for every
+//!   advisable object, where it lives, whether **every** method is
+//!   migration-safe, how idempotent-heavy its method set is, and
+//!   whether it is currently checked out (Busy) or Poisoned.
+//!
+//! It answers with a list of [`AdvisorDecision`]s — migrate an object
+//! toward its dominant remote caller, refresh an ambassador across a
+//! degraded link, shed load at an overloaded site — which the caller
+//! executes through the ordinary federation machinery
+//! ([`Federation::dispatch_object`](crate::Federation::dispatch_object),
+//! [`Federation::import_apo`](crate::Federation::import_apo), admission
+//! policy). The Advisor itself never touches a socket or an object:
+//! [`Advisor::decide`] is a **pure function** of `(snapshot, stats,
+//! candidates, config, accumulated state)` — no randomness, no clocks,
+//! no I/O — so the same inputs always yield byte-identical decision
+//! lists, which is what the E19 convergence battery sweeps.
+//!
+//! ## Hysteresis
+//!
+//! Naive "chase the hottest caller" policies thrash: two sites that
+//! alternate as dominant caller would bounce the object every epoch,
+//! paying migration latency forever. Three mechanisms damp this:
+//!
+//! * **dwell** — an object that moved less than
+//!   [`dwell_epochs`](AdvisorConfig::dwell_epochs) ago is not moved
+//!   again; the suppressed move counts as a *thrash abort*;
+//! * **per-epoch budget** — at most
+//!   [`max_migrations_per_epoch`](AdvisorConfig::max_migrations_per_epoch)
+//!   moves per pass, highest-evidence first;
+//! * **lifetime budget** — at most
+//!   [`max_total_migrations`](AdvisorConfig::max_total_migrations)
+//!   moves ever, so a pathological workload converges to silence
+//!   instead of oscillation.
+//!
+//! Evidence is *pending-accumulated*: caller counts observed since the
+//! object last moved. Moving an object clears its ledger, so the next
+//! move must be justified by traffic observed **after** the move —
+//! stale pre-move affinity cannot ping-pong the object back.
+
+use std::collections::BTreeMap;
+
+use mrom_net::NetStats;
+use mrom_obs::TelemetrySnapshot;
+use mrom_value::{NodeId, ObjectId};
+
+/// Tuning knobs for the [`Advisor`]. All-integer and `Copy`, so a
+/// config embeds in byte-deterministic reports and compares exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvisorConfig {
+    /// Master switch: a disabled Advisor decides nothing, ever. The
+    /// fleet harness keeps this `false` by default so advisor-off runs
+    /// reproduce pre-advisor artifacts byte-for-byte.
+    pub enabled: bool,
+    /// Virtual microseconds between advisory passes.
+    pub epoch_us: u64,
+    /// How many of the hottest objects each pass examines.
+    pub hot_k: usize,
+    /// Minimum accumulated remote-caller evidence (requests since the
+    /// object last moved) before a migration is even considered.
+    pub min_invocations: u64,
+    /// The dominant caller must account for at least this many permille
+    /// of the object's accumulated remote evidence (e.g. 500 = a strict
+    /// majority) for a move toward it to be proposed.
+    pub dominance_permille: u64,
+    /// Epochs an object must dwell at a site before moving again.
+    /// Suppressed moves count as thrash aborts.
+    pub dwell_epochs: u64,
+    /// Migration budget per advisory pass; excess proposals are
+    /// suppressed (highest evidence first survives) and counted as
+    /// thrash aborts.
+    pub max_migrations_per_epoch: u64,
+    /// Lifetime migration budget across the whole run.
+    pub max_total_migrations: u64,
+    /// A link whose windowed delivery ratio falls below this many
+    /// permille triggers an ambassador refresh across it.
+    pub degraded_delivery_permille: u64,
+    /// Links carrying fewer messages than this are never branded
+    /// degraded (a single early drop is not a signal).
+    pub min_link_attempts: u64,
+    /// A site executing more than this many permille of the fleet's
+    /// diagonal load is asked to shed (0 disables shedding).
+    pub shed_load_permille: u64,
+}
+
+impl AdvisorConfig {
+    /// The do-nothing config: advisor disabled, every knob zero. This
+    /// is the fleet default — advisor-off runs must be byte-identical
+    /// to builds that predate the Advisor entirely.
+    #[must_use]
+    pub fn off() -> AdvisorConfig {
+        AdvisorConfig {
+            enabled: false,
+            epoch_us: 0,
+            hot_k: 0,
+            min_invocations: 0,
+            dominance_permille: 0,
+            dwell_epochs: 0,
+            max_migrations_per_epoch: 0,
+            max_total_migrations: 0,
+            degraded_delivery_permille: 0,
+            min_link_attempts: 0,
+            shed_load_permille: 0,
+        }
+    }
+
+    /// The standard tuning the E19 battery sweeps: half-second epochs,
+    /// majority dominance, two-epoch dwell, eight moves per epoch.
+    #[must_use]
+    pub fn standard() -> AdvisorConfig {
+        AdvisorConfig {
+            enabled: true,
+            epoch_us: 500_000,
+            hot_k: 64,
+            min_invocations: 2,
+            dominance_permille: 500,
+            dwell_epochs: 2,
+            max_migrations_per_epoch: 8,
+            max_total_migrations: 256,
+            degraded_delivery_permille: 900,
+            min_link_attempts: 20,
+            shed_load_permille: 0,
+        }
+    }
+}
+
+/// What the effect system and the runtime know about one advisable
+/// object — the per-object row of the [`AdvisorInput`] candidate table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Site currently hosting the object.
+    pub host: NodeId,
+    /// `true` iff **every** method's [`EffectSignature`] is
+    /// migration-safe (no site-local world calls anywhere). Objects
+    /// failing this are never named in a decision: `Strict` dispatch
+    /// would refuse them and the attempt would burn an epoch.
+    ///
+    /// [`EffectSignature`]: mrom_core::EffectSignature
+    pub migration_safe: bool,
+    /// Permille of the object's methods whose signatures are
+    /// idempotent. Under a tight migration budget, idempotent-heavy
+    /// objects move first: they retry safely mid-flight, so moving
+    /// them is cheapest if the move races an invocation.
+    pub idempotent_permille: u64,
+    /// `true` when the object is checked out (Busy) or Poisoned right
+    /// now; such objects are never named in a decision.
+    pub busy: bool,
+}
+
+/// One epoch's worth of observations handed to [`Advisor::decide`].
+#[derive(Debug, Clone)]
+pub struct AdvisorInput<'a> {
+    /// Monotone advisory-epoch counter (not virtual time; the caller
+    /// ticks it once per pass).
+    pub epoch: u64,
+    /// The fleet-level telemetry fold for this epoch.
+    pub telemetry: &'a TelemetrySnapshot,
+    /// Cumulative network accounting (degradation fallback when the
+    /// snapshot carries no link windows).
+    pub stats: &'a NetStats,
+    /// Advisable objects, keyed by identity. Objects absent from this
+    /// table are invisible to the Advisor regardless of how hot the
+    /// telemetry says they are.
+    pub candidates: BTreeMap<ObjectId, Candidate>,
+}
+
+/// One placement action the Advisor recommends. The Advisor never
+/// executes anything itself; the driver maps each decision onto the
+/// ordinary federation machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AdvisorDecision {
+    /// Move `object` from `from` to `to` (its dominant remote caller)
+    /// via `dispatch_object`, linking the pair first if needed.
+    Migrate {
+        /// Object to move.
+        object: ObjectId,
+        /// Site currently hosting it.
+        from: NodeId,
+        /// Destination: the dominant remote caller.
+        to: NodeId,
+    },
+    /// Deploy or refresh an ambassador of `origin`'s APO at `host`,
+    /// because the `host → origin` link is degraded: calls served by a
+    /// local ambassador stop crossing the lossy link.
+    RefreshAmbassador {
+        /// Site whose APO the ambassador represents.
+        origin: NodeId,
+        /// Site that should host the (refreshed) ambassador.
+        host: NodeId,
+    },
+    /// `site` is executing an outsized share of fleet load; the driver
+    /// should tighten its admission policy until the share recedes.
+    Shed {
+        /// The overloaded site.
+        site: NodeId,
+    },
+}
+
+/// The result of one advisory pass: the decisions plus how many
+/// candidate moves hysteresis suppressed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdvisorPass {
+    /// Epoch this pass was computed for (echoed from the input).
+    pub epoch: u64,
+    /// Ordered decisions: migrations first (idempotent-heavy before
+    /// the rest, then by evidence), then ambassador refreshes, then
+    /// sheds. The order is total and deterministic.
+    pub decisions: Vec<AdvisorDecision>,
+    /// Candidate migrations suppressed this pass by dwell time or by
+    /// the per-epoch / lifetime budgets — the no-thrash counter the
+    /// fleet report surfaces.
+    pub thrash_aborts: u64,
+}
+
+impl AdvisorPass {
+    /// How many of this pass's decisions are migrations.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d, AdvisorDecision::Migrate { .. }))
+            .count() as u64
+    }
+}
+
+/// A migration the evidence supports, before hysteresis is applied.
+#[derive(Debug, Clone, Copy)]
+struct Proposal {
+    object: ObjectId,
+    from: NodeId,
+    to: NodeId,
+    weight: u64,
+    idempotent_permille: u64,
+}
+
+/// Per-site self-tuning policy. Holds only *derived* bookkeeping
+/// (evidence ledgers, dwell stamps, budget counters); all observation
+/// arrives through [`AdvisorInput`] and all action leaves as
+/// [`AdvisorDecision`]s, so the Advisor composes with any driver —
+/// the fleet harness, a live federation, or a unit test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Advisor {
+    config: AdvisorConfig,
+    /// Cumulative remote-caller counters as of the last committed pass,
+    /// per object — the baseline for per-epoch deltas.
+    prev: BTreeMap<ObjectId, BTreeMap<NodeId, u64>>,
+    /// Evidence accumulated since each object last migrated (cleared on
+    /// move, so stale affinity cannot justify a bounce-back).
+    pending: BTreeMap<ObjectId, BTreeMap<NodeId, u64>>,
+    /// Epoch each object last migrated in (absent = never moved).
+    last_move: BTreeMap<ObjectId, u64>,
+    total_migrations: u64,
+    thrash_aborts: u64,
+}
+
+impl Advisor {
+    /// A fresh Advisor with no accumulated evidence.
+    #[must_use]
+    pub fn new(config: AdvisorConfig) -> Advisor {
+        Advisor {
+            config,
+            prev: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            last_move: BTreeMap::new(),
+            total_migrations: 0,
+            thrash_aborts: 0,
+        }
+    }
+
+    /// The config this Advisor was built with.
+    #[must_use]
+    pub fn config(&self) -> AdvisorConfig {
+        self.config
+    }
+
+    /// Migrations committed across the Advisor's lifetime.
+    #[must_use]
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Thrash aborts committed across the Advisor's lifetime.
+    #[must_use]
+    pub fn total_thrash_aborts(&self) -> u64 {
+        self.thrash_aborts
+    }
+
+    /// Remote-caller evidence for `object` as of this pass: everything
+    /// pending since its last move, plus the delta between the
+    /// snapshot's cumulative counters and the last committed baseline.
+    fn evidence(
+        &self,
+        object: ObjectId,
+        cumulative: &BTreeMap<NodeId, u64>,
+    ) -> BTreeMap<NodeId, u64> {
+        let mut ev = self.pending.get(&object).cloned().unwrap_or_default();
+        let baseline = self.prev.get(&object);
+        for (site, n) in cumulative {
+            let before = baseline.and_then(|m| m.get(site)).copied().unwrap_or(0);
+            let delta = n.saturating_sub(before);
+            if delta > 0 {
+                *ev.entry(*site).or_insert(0) += delta;
+            }
+        }
+        ev
+    }
+
+    /// Compute one advisory pass. Pure: no mutation, no randomness, no
+    /// clock reads — calling it any number of times with equal inputs
+    /// yields equal passes (the property test shuffles 1000 invocations
+    /// to pin this down). Apply the result with [`Advisor::commit`].
+    #[must_use]
+    pub fn decide(&self, input: &AdvisorInput<'_>) -> AdvisorPass {
+        let cfg = &self.config;
+        let mut pass = AdvisorPass {
+            epoch: input.epoch,
+            ..AdvisorPass::default()
+        };
+        if !cfg.enabled {
+            return pass;
+        }
+
+        // Phase 1 — migrations toward dominant remote callers.
+        let mut proposals: Vec<Proposal> = Vec::new();
+        for (object, profile) in input.telemetry.hot_objects(cfg.hot_k) {
+            let Some(cand) = input.candidates.get(&object) else {
+                continue;
+            };
+            if !cand.migration_safe || cand.busy {
+                continue;
+            }
+            let evidence = self.evidence(object, &profile.remote_callers);
+            let total: u64 = evidence.values().sum();
+            if total < cfg.min_invocations.max(1) {
+                continue;
+            }
+            // Dominant caller, ties toward the lower site id (total order).
+            let Some((site, weight)) = evidence
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .map(|(s, n)| (*s, *n))
+            else {
+                continue;
+            };
+            if site == cand.host || weight.saturating_mul(1000) < cfg.dominance_permille * total {
+                continue;
+            }
+            proposals.push(Proposal {
+                object,
+                from: cand.host,
+                to: site,
+                weight: total,
+                idempotent_permille: cand.idempotent_permille,
+            });
+        }
+        // Idempotent-heavy objects first (cheapest to move mid-flight),
+        // then by evidence weight, then object identity for totality.
+        proposals.sort_by(|a, b| {
+            b.idempotent_permille
+                .cmp(&a.idempotent_permille)
+                .then(b.weight.cmp(&a.weight))
+                .then(a.object.cmp(&b.object))
+        });
+        let budget = cfg.max_migrations_per_epoch.min(
+            cfg.max_total_migrations
+                .saturating_sub(self.total_migrations),
+        );
+        let mut granted = 0u64;
+        for p in proposals {
+            let dwelling = self
+                .last_move
+                .get(&p.object)
+                .is_some_and(|moved| input.epoch.saturating_sub(*moved) < cfg.dwell_epochs);
+            if dwelling || granted >= budget {
+                pass.thrash_aborts += 1;
+                continue;
+            }
+            granted += 1;
+            pass.decisions.push(AdvisorDecision::Migrate {
+                object: p.object,
+                from: p.from,
+                to: p.to,
+            });
+        }
+
+        // Phase 2 — ambassador refreshes across degraded links. Prefer
+        // the windowed signal; fall back to cumulative accounting when
+        // the snapshot carries no link windows.
+        let degraded = if input.telemetry.links.is_empty() {
+            input
+                .stats
+                .degraded_links(cfg.degraded_delivery_permille, cfg.min_link_attempts)
+        } else {
+            input
+                .telemetry
+                .degraded_links(cfg.degraded_delivery_permille, cfg.min_link_attempts)
+        };
+        for ((src, dst), _ratio) in degraded {
+            pass.decisions.push(AdvisorDecision::RefreshAmbassador {
+                origin: dst,
+                host: src,
+            });
+        }
+
+        // Phase 3 — shed overloaded sites (diagonal of the call matrix).
+        if cfg.shed_load_permille > 0 {
+            let diagonal: Vec<(NodeId, u64)> = input
+                .telemetry
+                .calls
+                .iter()
+                .filter(|((s, d), _)| s == d)
+                .map(|((s, _), n)| (*s, *n))
+                .collect();
+            let total: u64 = diagonal.iter().map(|(_, n)| n).sum();
+            if diagonal.len() > 1 && total > 0 {
+                for (site, load) in diagonal {
+                    if load.saturating_mul(1000) > cfg.shed_load_permille * total {
+                        pass.decisions.push(AdvisorDecision::Shed { site });
+                    }
+                }
+            }
+        }
+        pass
+    }
+
+    /// Fold a decided pass back into the Advisor's state: advance the
+    /// cumulative baselines, accumulate pending evidence for objects
+    /// that did not move, clear ledgers and stamp dwell times for
+    /// objects that did, and charge the budgets. Call exactly once per
+    /// [`Advisor::decide`], with the same input.
+    pub fn commit(&mut self, input: &AdvisorInput<'_>, pass: &AdvisorPass) {
+        let moved: Vec<ObjectId> = pass
+            .decisions
+            .iter()
+            .filter_map(|d| match d {
+                AdvisorDecision::Migrate { object, .. } => Some(*object),
+                _ => None,
+            })
+            .collect();
+        for (object, profile) in &input.telemetry.objects {
+            let ev = self.evidence(*object, &profile.remote_callers);
+            if !ev.is_empty() {
+                self.pending.insert(*object, ev);
+            }
+            if !profile.remote_callers.is_empty() {
+                self.prev.insert(*object, profile.remote_callers.clone());
+            }
+        }
+        for object in moved {
+            self.pending.remove(&object);
+            self.last_move.insert(object, pass.epoch);
+            self.total_migrations += 1;
+        }
+        self.thrash_aborts += pass.thrash_aborts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrom_obs::ObjectProfile;
+
+    fn oid(n: u32) -> ObjectId {
+        ObjectId::from_parts(NodeId(9), n, 0)
+    }
+
+    fn snapshot(entries: &[(ObjectId, &[(NodeId, u64)])]) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        for (id, callers) in entries {
+            let mut p = ObjectProfile::default();
+            for (site, n) in *callers {
+                p.remote_callers.insert(*site, *n);
+                p.invocations += n;
+            }
+            snap.objects.insert(*id, p);
+        }
+        snap
+    }
+
+    fn candidate(host: NodeId) -> Candidate {
+        Candidate {
+            host,
+            migration_safe: true,
+            idempotent_permille: 1000,
+            busy: false,
+        }
+    }
+
+    #[test]
+    fn disabled_advisor_decides_nothing() {
+        let adv = Advisor::new(AdvisorConfig::off());
+        let snap = snapshot(&[(oid(1), &[(NodeId(2), 100)])]);
+        let stats = NetStats::default();
+        let input = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap,
+            stats: &stats,
+            candidates: BTreeMap::from([(oid(1), candidate(NodeId(1)))]),
+        };
+        assert_eq!(adv.decide(&input), AdvisorPass::default());
+    }
+
+    #[test]
+    fn migrates_toward_dominant_caller() {
+        let adv = Advisor::new(AdvisorConfig::standard());
+        let snap = snapshot(&[(oid(1), &[(NodeId(2), 9), (NodeId(3), 1)])]);
+        let stats = NetStats::default();
+        let input = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap,
+            stats: &stats,
+            candidates: BTreeMap::from([(oid(1), candidate(NodeId(1)))]),
+        };
+        let pass = adv.decide(&input);
+        assert_eq!(
+            pass.decisions,
+            vec![AdvisorDecision::Migrate {
+                object: oid(1),
+                from: NodeId(1),
+                to: NodeId(2),
+            }]
+        );
+        assert_eq!(pass.thrash_aborts, 0);
+    }
+
+    #[test]
+    fn unsafe_and_busy_objects_are_never_named() {
+        let adv = Advisor::new(AdvisorConfig::standard());
+        let snap = snapshot(&[(oid(1), &[(NodeId(2), 50)]), (oid(2), &[(NodeId(2), 50)])]);
+        let stats = NetStats::default();
+        let mut unsafe_cand = candidate(NodeId(1));
+        unsafe_cand.migration_safe = false;
+        let mut busy_cand = candidate(NodeId(1));
+        busy_cand.busy = true;
+        let input = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap,
+            stats: &stats,
+            candidates: BTreeMap::from([(oid(1), unsafe_cand), (oid(2), busy_cand)]),
+        };
+        assert!(adv.decide(&input).decisions.is_empty());
+    }
+
+    #[test]
+    fn dwell_suppresses_bounce_back_and_counts_thrash() {
+        let mut adv = Advisor::new(AdvisorConfig::standard());
+        let stats = NetStats::default();
+        // Epoch 0: site 2 dominates → migrate 1 → 2.
+        let snap0 = snapshot(&[(oid(1), &[(NodeId(2), 10)])]);
+        let input0 = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap0,
+            stats: &stats,
+            candidates: BTreeMap::from([(oid(1), candidate(NodeId(1)))]),
+        };
+        let pass0 = adv.decide(&input0);
+        assert_eq!(pass0.migrations(), 1);
+        adv.commit(&input0, &pass0);
+        // Epoch 1: site 1 now dominates the *fresh* evidence, but the
+        // object moved last epoch — dwell suppresses the bounce.
+        let snap1 = snapshot(&[(oid(1), &[(NodeId(1), 30), (NodeId(2), 10)])]);
+        let input1 = AdvisorInput {
+            epoch: 1,
+            telemetry: &snap1,
+            stats: &stats,
+            candidates: BTreeMap::from([(oid(1), candidate(NodeId(2)))]),
+        };
+        let pass1 = adv.decide(&input1);
+        assert!(pass1.decisions.is_empty());
+        assert_eq!(pass1.thrash_aborts, 1);
+        adv.commit(&input1, &pass1);
+        assert_eq!(adv.total_migrations(), 1);
+        assert_eq!(adv.total_thrash_aborts(), 1);
+    }
+
+    #[test]
+    fn evidence_clears_on_move_so_stale_affinity_cannot_bounce() {
+        let mut adv = Advisor::new(AdvisorConfig {
+            dwell_epochs: 0,
+            ..AdvisorConfig::standard()
+        });
+        let stats = NetStats::default();
+        let snap0 = snapshot(&[(oid(1), &[(NodeId(2), 10)])]);
+        let input0 = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap0,
+            stats: &stats,
+            candidates: BTreeMap::from([(oid(1), candidate(NodeId(1)))]),
+        };
+        let pass0 = adv.decide(&input0);
+        adv.commit(&input0, &pass0);
+        // Same cumulative counters next epoch: no *new* evidence, so
+        // even with dwell disabled nothing justifies another move.
+        let input1 = AdvisorInput {
+            epoch: 1,
+            telemetry: &snap0,
+            stats: &stats,
+            candidates: BTreeMap::from([(oid(1), candidate(NodeId(2)))]),
+        };
+        assert!(adv.decide(&input1).decisions.is_empty());
+    }
+
+    #[test]
+    fn budgets_cap_migrations_per_epoch_and_lifetime() {
+        let cfg = AdvisorConfig {
+            max_migrations_per_epoch: 1,
+            max_total_migrations: 1,
+            dwell_epochs: 0,
+            ..AdvisorConfig::standard()
+        };
+        let mut adv = Advisor::new(cfg);
+        let stats = NetStats::default();
+        let snap = snapshot(&[(oid(1), &[(NodeId(2), 10)]), (oid(2), &[(NodeId(3), 10)])]);
+        let input = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap,
+            stats: &stats,
+            candidates: BTreeMap::from([
+                (oid(1), candidate(NodeId(1))),
+                (oid(2), candidate(NodeId(1))),
+            ]),
+        };
+        let pass = adv.decide(&input);
+        assert_eq!(pass.migrations(), 1);
+        assert_eq!(pass.thrash_aborts, 1);
+        adv.commit(&input, &pass);
+        // Lifetime budget exhausted: fresh evidence cannot buy a move.
+        let snap2 = snapshot(&[(oid(1), &[(NodeId(2), 20)]), (oid(2), &[(NodeId(3), 20)])]);
+        let input2 = AdvisorInput {
+            epoch: 1,
+            telemetry: &snap2,
+            stats: &stats,
+            candidates: input.candidates.clone(),
+        };
+        let pass2 = adv.decide(&input2);
+        assert_eq!(pass2.migrations(), 0);
+        assert!(pass2.thrash_aborts >= 1);
+    }
+
+    #[test]
+    fn degraded_links_trigger_ambassador_refresh() {
+        let adv = Advisor::new(AdvisorConfig::standard());
+        let snap = TelemetrySnapshot::default();
+        let mut stats = NetStats::default();
+        // 1→2: 20 delivered, 10 dropped → 666‰ < 900‰ threshold.
+        stats.per_link.insert((NodeId(1), NodeId(2)), (20, 160));
+        stats.per_link_dropped.insert((NodeId(1), NodeId(2)), 10);
+        let input = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap,
+            stats: &stats,
+            candidates: BTreeMap::new(),
+        };
+        assert_eq!(
+            adv.decide(&input).decisions,
+            vec![AdvisorDecision::RefreshAmbassador {
+                origin: NodeId(2),
+                host: NodeId(1),
+            }]
+        );
+    }
+
+    #[test]
+    fn shed_fires_only_on_outsized_diagonal_share() {
+        let cfg = AdvisorConfig {
+            shed_load_permille: 600,
+            ..AdvisorConfig::standard()
+        };
+        let adv = Advisor::new(cfg);
+        let mut snap = TelemetrySnapshot::default();
+        snap.calls.insert((NodeId(1), NodeId(1)), 90);
+        snap.calls.insert((NodeId(2), NodeId(2)), 10);
+        snap.calls.insert((NodeId(1), NodeId(2)), 500); // off-diagonal: ignored
+        let stats = NetStats::default();
+        let input = AdvisorInput {
+            epoch: 0,
+            telemetry: &snap,
+            stats: &stats,
+            candidates: BTreeMap::new(),
+        };
+        assert_eq!(
+            adv.decide(&input).decisions,
+            vec![AdvisorDecision::Shed { site: NodeId(1) }]
+        );
+    }
+
+    #[test]
+    fn decide_is_pure_and_repeatable() {
+        let adv = Advisor::new(AdvisorConfig::standard());
+        let snap = snapshot(&[
+            (oid(1), &[(NodeId(2), 9), (NodeId(3), 1)]),
+            (oid(2), &[(NodeId(4), 7)]),
+        ]);
+        let stats = NetStats::default();
+        let input = AdvisorInput {
+            epoch: 3,
+            telemetry: &snap,
+            stats: &stats,
+            candidates: BTreeMap::from([
+                (oid(1), candidate(NodeId(1))),
+                (oid(2), candidate(NodeId(1))),
+            ]),
+        };
+        let first = adv.decide(&input);
+        for _ in 0..100 {
+            assert_eq!(adv.decide(&input), first);
+        }
+    }
+}

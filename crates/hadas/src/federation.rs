@@ -1397,6 +1397,7 @@ impl Federation {
     ) -> Result<Value, HadasError> {
         self.site(from)?;
         self.site(to)?;
+        mrom_obs::remote_invoke_requested(from, target);
         let attempts = self.invoke_attempt_budget(to, target, method);
         let req_id = self.fresh_req_id();
         let (trace, parent_span) = mrom_obs::current_trace_context();
@@ -1446,6 +1447,7 @@ impl Federation {
         let (trace, parent_span) = mrom_obs::current_trace_context();
         let mut req_ids = Vec::with_capacity(calls.len());
         for call in calls {
+            mrom_obs::remote_invoke_requested(from, call.target);
             let req_id = self.fresh_req_id();
             self.pending.insert(req_id);
             req_ids.push(req_id);

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advisor;
 mod ambassador;
 pub mod chaos;
 mod error;
@@ -51,6 +52,7 @@ mod protocol;
 mod retry;
 pub mod scenarios;
 
+pub use advisor::{Advisor, AdvisorConfig, AdvisorDecision, AdvisorInput, AdvisorPass, Candidate};
 pub use ambassador::{
     capability_card, instantiate_ambassador, instantiate_ambassador_with_policy, AmbassadorSpec,
     GuestInfo,

@@ -1,0 +1,165 @@
+//! Property test for the Advisor's decision function: `decide` is a
+//! deterministic, side-effect-free pure function of `(snapshot, config,
+//! candidates)`.
+//!
+//! Rather than trusting the `&self` signature, the test exercises it:
+//! a seeded generator builds a randomized fleet snapshot (caller
+//! matrices, degraded links, unsafe/busy candidates), then invokes
+//! `decide` 1000 times — re-assembling the candidate map in a freshly
+//! shuffled insertion order every round — and demands byte-identical
+//! passes. Along the way it checks the safety property the harness
+//! relies on: no decision ever names a migration-unsafe or busy object.
+
+use std::collections::BTreeMap;
+
+use hadas::{Advisor, AdvisorConfig, AdvisorDecision, AdvisorInput, Candidate};
+use mrom_net::NetStats;
+use mrom_obs::{ObjectProfile, TelemetrySnapshot};
+use mrom_value::{NodeId, ObjectId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn oid(n: u32) -> ObjectId {
+    ObjectId::from_parts(NodeId(77), n, 0)
+}
+
+/// Fisher–Yates over an index vector; the rand stub has no shuffle.
+fn shuffled<T: Clone>(items: &[T], rng: &mut StdRng) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+struct Scenario {
+    snapshot: TelemetrySnapshot,
+    stats: NetStats,
+    /// `(object, candidate)` pairs in generation order; rounds shuffle
+    /// this before folding it into the input's `BTreeMap`.
+    candidates: Vec<(ObjectId, Candidate)>,
+}
+
+/// A randomized but seed-deterministic fleet: ~24 objects across 8
+/// sites with Zipf-ish caller weights, every third object
+/// migration-unsafe, every fifth busy, plus a couple of lossy links.
+fn scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut snapshot = TelemetrySnapshot::default();
+    let mut stats = NetStats::default();
+    let mut candidates = Vec::new();
+    for n in 0..24u32 {
+        let id = oid(n);
+        let host = NodeId(u64::from(n % 8));
+        let mut profile = ObjectProfile::default();
+        let callers = rng.random_range(1..4usize);
+        for _ in 0..callers {
+            let site = NodeId(rng.random_range(0..8u64));
+            let weight = rng.random_range(1..40u64);
+            *profile.remote_callers.entry(site).or_insert(0) += weight;
+            profile.invocations += weight;
+        }
+        snapshot.objects.insert(id, profile);
+        candidates.push((
+            id,
+            Candidate {
+                host,
+                migration_safe: n % 3 != 0,
+                idempotent_permille: rng.random_range(0..=1000u64),
+                busy: n % 5 == 0,
+            },
+        ));
+    }
+    for (src, dst, sent, delivered, dropped) in
+        [(0u64, 1u64, 40u64, 320u64, 20u64), (2, 3, 30, 900, 1)]
+    {
+        stats
+            .per_link
+            .insert((NodeId(src), NodeId(dst)), (sent, delivered));
+        stats
+            .per_link_dropped
+            .insert((NodeId(src), NodeId(dst)), dropped);
+    }
+    Scenario {
+        snapshot,
+        stats,
+        candidates,
+    }
+}
+
+#[test]
+fn decide_is_pure_and_order_insensitive_across_1000_shuffles() {
+    for seed in [3u64, 11, 2026] {
+        let sc = scenario(seed);
+        let advisor = Advisor::new(AdvisorConfig::standard());
+        let mut shuffle_rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+        let reference = advisor.decide(&AdvisorInput {
+            epoch: 4,
+            telemetry: &sc.snapshot,
+            stats: &sc.stats,
+            candidates: sc.candidates.iter().copied().collect(),
+        });
+        for round in 0..1000 {
+            let order = shuffled(&sc.candidates, &mut shuffle_rng);
+            let input = AdvisorInput {
+                epoch: 4,
+                telemetry: &sc.snapshot,
+                stats: &sc.stats,
+                candidates: order.into_iter().collect::<BTreeMap<_, _>>(),
+            };
+            let pass = advisor.decide(&input);
+            assert_eq!(
+                pass, reference,
+                "seed {seed} round {round}: decide must be a pure function \
+                 of (snapshot, config) regardless of candidate order"
+            );
+        }
+    }
+}
+
+#[test]
+fn decide_never_names_unsafe_or_busy_objects() {
+    for seed in 0..32u64 {
+        let sc = scenario(seed);
+        let advisor = Advisor::new(AdvisorConfig::standard());
+        let candidates: BTreeMap<_, _> = sc.candidates.iter().copied().collect();
+        let pass = advisor.decide(&AdvisorInput {
+            epoch: 0,
+            telemetry: &sc.snapshot,
+            stats: &sc.stats,
+            candidates: candidates.clone(),
+        });
+        for decision in &pass.decisions {
+            if let AdvisorDecision::Migrate { object, .. } = decision {
+                let cand = &candidates[object];
+                assert!(
+                    cand.migration_safe,
+                    "seed {seed}: named migration-unsafe object {object:?}"
+                );
+                assert!(!cand.busy, "seed {seed}: named busy object {object:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn decide_leaves_advisor_state_untouched() {
+    // `decide` borrows immutably, but the ledger state it *reads*
+    // (pending evidence, dwell clocks) must also be observably
+    // unchanged: a decide-heavy epoch followed by one more decide
+    // yields exactly what a fresh advisor yields.
+    let sc = scenario(9);
+    let candidates: BTreeMap<_, _> = sc.candidates.iter().copied().collect();
+    let input = AdvisorInput {
+        epoch: 1,
+        telemetry: &sc.snapshot,
+        stats: &sc.stats,
+        candidates,
+    };
+    let veteran = Advisor::new(AdvisorConfig::standard());
+    for _ in 0..100 {
+        let _ = veteran.decide(&input);
+    }
+    let fresh = Advisor::new(AdvisorConfig::standard());
+    assert_eq!(veteran.decide(&input), fresh.decide(&input));
+}

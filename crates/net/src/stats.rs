@@ -62,6 +62,50 @@ impl NetStats {
         }
     }
 
+    /// Integer-deterministic variant of [`NetStats::delivery_ratio_for`]:
+    /// delivered messages per thousand attempts on the directed link
+    /// `(src, dst)`, or `None` when the link never carried traffic —
+    /// callers that want "quiet means healthy" can default to 1000.
+    /// Being all-integer, the figure is safe to compare and report in
+    /// byte-deterministic artifacts.
+    #[must_use]
+    pub fn delivery_permille_for(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let delivered = self.per_link.get(&(src, dst)).map_or(0, |(n, _)| *n);
+        let dropped = self.per_link_dropped.get(&(src, dst)).copied().unwrap_or(0);
+        let total = delivered + dropped;
+        (total > 0).then(|| delivered.saturating_mul(1000) / total)
+    }
+
+    /// Every directed link whose delivery ratio fell below
+    /// `threshold_permille` among links that carried at least
+    /// `min_attempts` messages, in deterministic order: the cumulative
+    /// (since-reset) link-degradation signal. The windowed analogue
+    /// lives on the telemetry snapshot; this one is what a site without
+    /// windowing enabled can still steer by.
+    #[must_use]
+    pub fn degraded_links(
+        &self,
+        threshold_permille: u64,
+        min_attempts: u64,
+    ) -> Vec<((NodeId, NodeId), u64)> {
+        let mut edges: std::collections::BTreeSet<(NodeId, NodeId)> =
+            self.per_link.keys().copied().collect();
+        edges.extend(self.per_link_dropped.keys().copied());
+        edges
+            .into_iter()
+            .filter_map(|edge| {
+                let delivered = self.per_link.get(&edge).map_or(0, |(n, _)| *n);
+                let dropped = self.per_link_dropped.get(&edge).copied().unwrap_or(0);
+                let total = delivered + dropped;
+                if total < min_attempts.max(1) {
+                    return None;
+                }
+                let permille = delivered.saturating_mul(1000) / total;
+                (permille < threshold_permille).then_some((edge, permille))
+            })
+            .collect()
+    }
+
     pub(crate) fn record_drop(&mut self, src: NodeId, dst: NodeId) {
         self.messages_dropped += 1;
         *self.per_link_dropped.entry((src, dst)).or_insert(0) += 1;

@@ -691,6 +691,21 @@ pub fn fed_send(src: NodeId, dst: NodeId, kind: &'static str, bytes: usize) {
     });
 }
 
+/// Attributes one logical remote invocation of `target` to the
+/// requesting site `src` in the telemetry window's per-object caller
+/// map. Fed from the federation's `remote_invoke` entry points — once
+/// per logical operation, before any retries — and only recorded when
+/// the installed window opted into caller tracking
+/// ([`WindowConfig::with_callers`]); otherwise it is a no-op, keeping
+/// pre-advisor telemetry byte-identical.
+#[inline]
+pub fn remote_invoke_requested(src: NodeId, target: ObjectId) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.window_remote_call(src, target));
+}
+
 /// Records a federation protocol receive.
 #[inline]
 pub fn fed_recv(src: NodeId, dst: NodeId, kind: &'static str) {

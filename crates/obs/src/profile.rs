@@ -51,9 +51,30 @@ pub struct ObjectProfile {
     pub latency_p95_ns: u64,
     /// Shared-runtime checkout collisions against this object.
     pub busy_collisions: u64,
+    /// Remote invocation requests per requesting site (empty unless the
+    /// window was configured with
+    /// [`WindowConfig::with_callers`](crate::WindowConfig::with_callers)).
+    pub remote_callers: BTreeMap<NodeId, u64>,
 }
 
 impl ObjectProfile {
+    /// The site issuing the most remote invocations of this object,
+    /// with its request count (ties broken toward the lower site id, so
+    /// the answer is total and deterministic). `None` when no remote
+    /// caller was recorded.
+    #[must_use]
+    pub fn dominant_remote_caller(&self) -> Option<(NodeId, u64)> {
+        self.remote_callers
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(site, n)| (*site, *n))
+    }
+
+    /// Total remote invocation requests recorded against this object.
+    #[must_use]
+    pub fn remote_requests(&self) -> u64 {
+        self.remote_callers.values().sum()
+    }
     /// Busy-collision rate per thousand invocations (integer, so the
     /// snapshot stays byte-deterministic).
     #[must_use]
@@ -65,7 +86,7 @@ impl ObjectProfile {
     }
 
     fn to_value(&self) -> Value {
-        Value::map([
+        let mut fields = vec![
             ("invocations", int(self.invocations)),
             ("errors", int(self.errors)),
             ("fuel_total", int(self.fuel_total)),
@@ -75,7 +96,19 @@ impl ObjectProfile {
             ("latency_p95_ns", int(self.latency_p95_ns)),
             ("busy_collisions", int(self.busy_collisions)),
             ("busy_per_1k", int(self.busy_per_1k())),
-        ])
+        ];
+        // Only rendered when caller tracking actually recorded something,
+        // so snapshots from untracked windows keep their exact pre-advisor
+        // byte layout.
+        if !self.remote_callers.is_empty() {
+            let callers: Vec<Value> = self
+                .remote_callers
+                .iter()
+                .map(|(site, n)| Value::map([("site", node_int(*site)), ("count", int(*n))]))
+                .collect();
+            fields.push(("callers", Value::List(callers)));
+        }
+        Value::map(fields)
     }
 }
 
@@ -161,6 +194,9 @@ impl TelemetrySnapshot {
                 p.errors += s.errors;
                 p.fuel_total += s.fuel.sum();
                 p.busy_collisions += s.busy_collisions;
+                for (site, n) in &s.remote_callers {
+                    *p.remote_callers.entry(*site).or_insert(0) += n;
+                }
                 fuel.entry(*id).or_default().merge(&s.fuel);
                 latency.entry(*id).or_default().merge(&s.latency_ns);
             }
@@ -205,6 +241,34 @@ impl TelemetrySnapshot {
         all
     }
 
+    /// Invocations *executed at* `node` inside the window — the
+    /// diagonal of the call matrix, the per-site load figure the
+    /// Advisor's shedding policy compares against the fleet mean.
+    #[must_use]
+    pub fn site_load(&self, node: NodeId) -> u64 {
+        self.calls.get(&(node, node)).copied().unwrap_or(0)
+    }
+
+    /// Links whose windowed delivery ratio fell below
+    /// `threshold_permille`, among links that carried at least
+    /// `min_attempts` messages (so a single early drop cannot brand a
+    /// quiet link degraded). Returns `(link, delivered_per_1k)` pairs in
+    /// deterministic `BTreeMap` order — the Advisor's
+    /// ambassador-refresh signal.
+    #[must_use]
+    pub fn degraded_links(
+        &self,
+        threshold_permille: u64,
+        min_attempts: u64,
+    ) -> Vec<((NodeId, NodeId), u64)> {
+        self.links
+            .iter()
+            .filter(|(_, p)| p.delivered + p.dropped >= min_attempts.max(1))
+            .map(|(edge, p)| (*edge, p.delivered_per_1k()))
+            .filter(|(_, ratio)| *ratio < threshold_permille)
+            .collect()
+    }
+
     /// Restricts the snapshot to one site: objects passing `hosted`,
     /// matrix rows and links touching `node`. This is what
     /// `Federation::site_telemetry` serves.
@@ -245,6 +309,9 @@ impl TelemetrySnapshot {
             mine.latency_p50_ns = mine.latency_p50_ns.max(p.latency_p50_ns);
             mine.latency_p95_ns = mine.latency_p95_ns.max(p.latency_p95_ns);
             mine.busy_collisions += p.busy_collisions;
+            for (site, n) in &p.remote_callers {
+                *mine.remote_callers.entry(*site).or_insert(0) += n;
+            }
         }
         for (pair, n) in &other.calls {
             *self.calls.entry(*pair).or_default() += n;

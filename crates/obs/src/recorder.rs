@@ -334,6 +334,27 @@ impl Recorder {
         }
     }
 
+    /// Window feed: one remote invocation of `object` requested by the
+    /// site `src`. Ignored unless the window opted into caller tracking
+    /// ([`WindowConfig::with_callers`]), so pre-advisor snapshots stay
+    /// byte-identical.
+    pub fn window_remote_call(&mut self, src: NodeId, object: ObjectId) {
+        let now = self.virtual_now_us;
+        if let Some(b) = self
+            .window
+            .as_mut()
+            .filter(|w| w.config().track_callers)
+            .and_then(|w| w.bucket_at(now))
+        {
+            *b.objects
+                .entry(object)
+                .or_default()
+                .remote_callers
+                .entry(src)
+                .or_insert(0) += 1;
+        }
+    }
+
     /// Window feed: a shared-runtime checkout collision on `object`.
     pub fn window_collision(&mut self, object: ObjectId) {
         let now = self.virtual_now_us;

@@ -34,6 +34,12 @@ pub struct WindowConfig {
     pub epoch_micros: u64,
     /// Number of epoch buckets retained (min 1).
     pub epochs: usize,
+    /// Also attribute each remote invocation to its requesting site in
+    /// per-object caller maps (the Advisor's placement input). Off by
+    /// default: the maps cost one `BTreeMap` entry per (object, caller
+    /// site) pair, and snapshots taken without them stay byte-identical
+    /// to pre-advisor telemetry.
+    pub track_callers: bool,
 }
 
 impl WindowConfig {
@@ -41,6 +47,7 @@ impl WindowConfig {
     pub const DEFAULT: WindowConfig = WindowConfig {
         epoch_micros: 1_000_000,
         epochs: 8,
+        track_callers: false,
     };
 
     /// A window with the given shape (both dimensions clamped to ≥ 1).
@@ -49,7 +56,16 @@ impl WindowConfig {
         WindowConfig {
             epoch_micros: epoch_micros.max(1),
             epochs: epochs.max(1),
+            track_callers: false,
         }
+    }
+
+    /// Enables per-object remote-caller attribution (see
+    /// [`WindowConfig::track_callers`]).
+    #[must_use]
+    pub fn with_callers(mut self) -> WindowConfig {
+        self.track_callers = true;
+        self
     }
 
     /// Virtual time span the full window covers, in microseconds.
@@ -79,6 +95,12 @@ pub struct ObjectWindowStats {
     pub latency_ns: Histogram,
     /// Shared-runtime checkout collisions against this object.
     pub busy_collisions: u64,
+    /// Remote invocation requests per requesting site (only fed when the
+    /// window was configured with [`WindowConfig::with_callers`]): which
+    /// sites are pulling on this object, the dominant-caller signal the
+    /// placement Advisor steers by. One entry per logical `remote_invoke`
+    /// issued, counted at the sender, regardless of retries or outcome.
+    pub remote_callers: BTreeMap<NodeId, u64>,
 }
 
 /// Windowed per-link delivery tallies (one epoch bucket's worth).

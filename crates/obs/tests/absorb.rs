@@ -1,0 +1,192 @@
+//! Edge-case battery for [`TelemetrySnapshot::absorb`], the fold the
+//! fleet harness uses to reassemble per-site telemetry slices into the
+//! global view. The fleet invariant checker already verifies one happy
+//! path at scale; these tests pin the algebra:
+//!
+//! * absorbing an **empty** snapshot is the identity;
+//! * **disjoint** slices concatenate, **overlapping** slices sum
+//!   counters and max watermarks;
+//! * the fold is **associative** across 3+ slices — any absorb order
+//!   yields the same snapshot, which is what lets the harness fold
+//!   sites in arbitrary groupings.
+
+use mrom_obs::{LinkProfile, ObjectProfile, TelemetrySnapshot};
+use mrom_value::{NodeId, ObjectId};
+
+fn oid(n: u32) -> ObjectId {
+    ObjectId::from_parts(NodeId(5), n, 0)
+}
+
+fn profile(invocations: u64, fuel_p95: u64, callers: &[(u64, u64)]) -> ObjectProfile {
+    let mut p = ObjectProfile {
+        invocations,
+        errors: invocations / 10,
+        fuel_total: invocations * 7,
+        fuel_p95,
+        ..ObjectProfile::default()
+    };
+    for (site, n) in callers {
+        p.remote_callers.insert(NodeId(*site), *n);
+    }
+    p
+}
+
+fn slice(
+    now_us: u64,
+    objects: &[(ObjectId, ObjectProfile)],
+    calls: &[((u64, u64), u64)],
+    links: &[((u64, u64), LinkProfile)],
+) -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot {
+        now_us,
+        head_epoch: now_us / 1000,
+        ..TelemetrySnapshot::default()
+    };
+    for (id, p) in objects {
+        snap.objects.insert(*id, p.clone());
+    }
+    for ((a, b), n) in calls {
+        snap.calls.insert((NodeId(*a), NodeId(*b)), *n);
+    }
+    for ((a, b), l) in links {
+        snap.links.insert((NodeId(*a), NodeId(*b)), l.clone());
+    }
+    snap
+}
+
+fn link(delivered: u64, dropped: u64, p95: u64) -> LinkProfile {
+    LinkProfile {
+        delivered,
+        dropped,
+        bytes: delivered * 64,
+        latency_p95_us: p95,
+        ..LinkProfile::default()
+    }
+}
+
+#[test]
+fn absorbing_an_empty_snapshot_is_the_identity() {
+    let base = slice(
+        900,
+        &[(oid(1), profile(40, 12, &[(2, 30)]))],
+        &[((1, 2), 30)],
+        &[((1, 2), link(30, 2, 5000))],
+    );
+    let mut folded = base.clone();
+    folded.absorb(&TelemetrySnapshot::default());
+    assert_eq!(folded, base, "empty right-operand must change nothing");
+
+    let mut empty = TelemetrySnapshot::default();
+    empty.absorb(&base);
+    assert_eq!(
+        empty, base,
+        "absorbing into an empty snapshot must reproduce the slice"
+    );
+}
+
+#[test]
+fn disjoint_slices_concatenate() {
+    let mut a = slice(
+        100,
+        &[(oid(1), profile(10, 5, &[(3, 10)]))],
+        &[((3, 1), 10)],
+        &[],
+    );
+    let b = slice(
+        200,
+        &[(oid(2), profile(20, 9, &[(4, 20)]))],
+        &[((4, 2), 20)],
+        &[],
+    );
+    a.absorb(&b);
+    assert_eq!(a.objects.len(), 2);
+    assert_eq!(a.objects[&oid(1)].invocations, 10);
+    assert_eq!(a.objects[&oid(2)].invocations, 20);
+    assert_eq!(a.calls[&(NodeId(3), NodeId(1))], 10);
+    assert_eq!(a.calls[&(NodeId(4), NodeId(2))], 20);
+    assert_eq!(a.now_us, 200, "clock is the max watermark");
+}
+
+#[test]
+fn overlapping_slices_sum_counters_and_max_watermarks() {
+    let mut a = slice(
+        500,
+        &[(oid(7), profile(30, 40, &[(1, 10), (2, 20)]))],
+        &[((1, 7), 10)],
+        &[((1, 7), link(10, 1, 9000))],
+    );
+    let b = slice(
+        400,
+        &[(oid(7), profile(5, 90, &[(2, 3), (6, 2)]))],
+        &[((1, 7), 4)],
+        &[((1, 7), link(4, 0, 2000))],
+    );
+    a.absorb(&b);
+    let p = &a.objects[&oid(7)];
+    assert_eq!(p.invocations, 35, "counters sum");
+    assert_eq!(p.fuel_p95, 90, "percentile watermarks take the max");
+    assert_eq!(p.remote_callers[&NodeId(1)], 10);
+    assert_eq!(
+        p.remote_callers[&NodeId(2)],
+        23,
+        "caller weights sum per site"
+    );
+    assert_eq!(p.remote_callers[&NodeId(6)], 2);
+    assert_eq!(a.calls[&(NodeId(1), NodeId(7))], 14);
+    let l = &a.links[&(NodeId(1), NodeId(7))];
+    assert_eq!((l.delivered, l.dropped), (14, 1));
+    assert_eq!(l.latency_p95_us, 9000);
+    assert_eq!(a.now_us, 500, "older slice must not rewind the clock");
+}
+
+#[test]
+fn fold_is_associative_across_many_slices() {
+    let slices = [
+        slice(
+            100,
+            &[(oid(1), profile(10, 4, &[(2, 10)]))],
+            &[((2, 1), 10)],
+            &[((2, 1), link(10, 0, 100))],
+        ),
+        slice(
+            300,
+            &[
+                (oid(1), profile(7, 9, &[(3, 7)])),
+                (oid(2), profile(4, 2, &[])),
+            ],
+            &[((3, 1), 7)],
+            &[((2, 1), link(3, 1, 800))],
+        ),
+        slice(
+            200,
+            &[(oid(2), profile(6, 11, &[(2, 6)]))],
+            &[((2, 2), 6)],
+            &[((3, 2), link(6, 0, 50))],
+        ),
+        slice(50, &[], &[((2, 1), 1)], &[]),
+    ];
+
+    // ((a ⊕ b) ⊕ c) ⊕ d
+    let mut left = slices[0].clone();
+    for s in &slices[1..] {
+        left.absorb(s);
+    }
+    // a ⊕ (b ⊕ (c ⊕ d))
+    let mut tail = slices[2].clone();
+    tail.absorb(&slices[3]);
+    let mut mid = slices[1].clone();
+    mid.absorb(&tail);
+    let mut right = slices[0].clone();
+    right.absorb(&mid);
+
+    assert_eq!(left, right, "absorb must be associative");
+    assert_eq!(
+        left.to_json(),
+        right.to_json(),
+        "…down to the rendered JSON bytes"
+    );
+    assert_eq!(left.objects[&oid(1)].invocations, 17);
+    assert_eq!(left.objects[&oid(2)].invocations, 10);
+    assert_eq!(left.calls[&(NodeId(2), NodeId(1))], 11);
+    assert_eq!(left.now_us, 300);
+}

@@ -64,6 +64,7 @@ fn thirty_site_federation_brings_up_and_serves() {
         migration_every: 25,
         zipf_permille: 1100,
         workers: 1,
+        ..mrom::fleet::FleetConfig::smoke()
     };
     let run = mrom::fleet::run_fleet(&cfg, 123).unwrap();
     run.report.assert_invariants();
